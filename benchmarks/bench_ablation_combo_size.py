@@ -1,0 +1,51 @@
+"""Ablation: max candidate-combination size (the paper's η).
+
+Algorithm 1 enumerates parent combinations of any size up to the
+Theorem-2 bound; the complexity term O(η² κ^η n β) makes the practical η
+small.  This bench compares η = 1 (default) against η = 2 on mid-size LFR
+graphs: accuracy is expected to be near-identical while runtime grows
+roughly κ-fold.
+"""
+
+from _util import bench_scale, bench_seed, run_spec_bench
+
+from repro.baselines.base import TendsInferrer
+from repro.evaluation.harness import ExperimentSpec, MethodSpec, SweepPoint
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+
+
+def _spec() -> ExperimentSpec:
+    beta = 150 if bench_scale() == "full" else 60
+    points = tuple(
+        SweepPoint(
+            label=f"n={n}",
+            value=n,
+            graph_factory=lambda seed, n=n: lfr_benchmark_graph(
+                LFRParams(n=n, avg_degree=4), seed=seed
+            ),
+            beta=beta,
+        )
+        for n in (100, 200)
+    )
+    methods = (
+        MethodSpec(
+            "eta=1", lambda ctx: TendsInferrer(max_combination_size=1)
+        ),
+        MethodSpec(
+            "eta=2", lambda ctx: TendsInferrer(max_combination_size=2)
+        ),
+    )
+    return ExperimentSpec(
+        experiment_id="ablation_combo_size",
+        title="Candidate-combination size ablation (eta)",
+        x_label="number of nodes n",
+        points=points,
+        methods=methods,
+    )
+
+
+def test_ablation_combination_size(benchmark):
+    result = run_spec_bench("ablation_combo_size", _spec(), benchmark)
+    runtimes = result.series("runtime_s")
+    # eta = 2 must cost more; that is the point of the default being 1.
+    assert sum(runtimes["eta=2"]) >= sum(runtimes["eta=1"])

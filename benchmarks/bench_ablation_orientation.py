@@ -1,0 +1,54 @@
+"""Ablation: reciprocal vs random LFR edge orientation.
+
+Final infection statuses carry no information about edge direction, so a
+status-only method faces a hard directed-F ceiling (~2/3) on randomly
+oriented graphs.  This bench quantifies the gap that motivated the
+reciprocal default (DESIGN.md §4): directed and undirected F-scores for
+TENDS on both orientations.
+"""
+
+from _util import archive_result, bench_scale, bench_seed
+
+from repro.core.tends import Tends
+from repro.evaluation.metrics import evaluate_edges
+from repro.evaluation.reporting import format_rows
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.simulation.engine import DiffusionSimulator
+from repro.utils.rng import derive_seed
+
+
+def _measure() -> list[dict[str, object]]:
+    beta = 150 if bench_scale() == "full" else 60
+    rows: list[dict[str, object]] = []
+    for orientation in ("reciprocal", "random"):
+        params = LFRParams(n=200, avg_degree=4, orientation=orientation)
+        seed = derive_seed(bench_seed(), "orientation", orientation)
+        truth = lfr_benchmark_graph(params, seed=seed)
+        observations = DiffusionSimulator(
+            truth, mu=0.3, alpha=0.15, seed=derive_seed(seed, "sim")
+        ).run(beta=beta)
+        inferred = Tends().fit(observations.statuses).graph
+        directed = evaluate_edges(truth, inferred)
+        undirected = evaluate_edges(truth, inferred, undirected=True)
+        rows.append(
+            {
+                "orientation": orientation,
+                "directed_f": round(directed.f_score, 4),
+                "undirected_f": round(undirected.f_score, 4),
+                "direction_gap": round(undirected.f_score - directed.f_score, 4),
+            }
+        )
+    return rows
+
+
+def test_ablation_orientation(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = format_rows(rows)
+    print(f"\n{text}")
+    archive_result("ablation_orientation", text)
+
+    by_orientation = {row["orientation"]: row for row in rows}
+    # Random orientation must show a substantial direction gap; the
+    # reciprocal default must not.
+    assert by_orientation["random"]["direction_gap"] > 0.05
+    assert abs(by_orientation["reciprocal"]["direction_gap"]) < 0.05

@@ -1,0 +1,51 @@
+"""Ablation: greedy-rescoring vs ranked-union parent search.
+
+DESIGN.md §1 flags a discrepancy between Algorithm 1 as printed (score
+all combinations once, union in rank order) and the prose of §IV-A
+(re-score each candidate extension against the current parent set).  This
+bench runs both on the same observations across the LFR size sweep so the
+accuracy/runtime trade-off is on record.
+"""
+
+from _util import bench_scale, bench_seed, run_spec_bench
+
+from repro.baselines.base import TendsInferrer
+from repro.evaluation.figures import LFR_TABLE2
+from repro.evaluation.harness import ExperimentSpec, MethodSpec, SweepPoint
+from repro.graphs.generators.lfr import lfr_benchmark_graph
+
+
+def _spec() -> ExperimentSpec:
+    beta = 150 if bench_scale() == "full" else 60
+    points = tuple(
+        SweepPoint(
+            label=f"n={params.n}",
+            value=params.n,
+            graph_factory=lambda seed, p=params: lfr_benchmark_graph(p, seed=seed),
+            beta=beta,
+        )
+        for params in (LFR_TABLE2[f"LFR{i}"] for i in (1, 3, 5))
+    )
+    methods = (
+        MethodSpec(
+            "greedy-rescoring",
+            lambda ctx: TendsInferrer(search_strategy="greedy-rescoring"),
+        ),
+        MethodSpec(
+            "ranked-union",
+            lambda ctx: TendsInferrer(search_strategy="ranked-union"),
+        ),
+    )
+    return ExperimentSpec(
+        experiment_id="ablation_search",
+        title="Search strategy ablation (Algorithm 1 as printed vs prose)",
+        x_label="number of nodes n",
+        points=points,
+        methods=methods,
+    )
+
+
+def test_ablation_search_strategy(benchmark):
+    result = run_spec_bench("ablation_search", _spec(), benchmark)
+    series = result.series("f_score")
+    assert set(series) == {"greedy-rescoring", "ranked-union"}

@@ -1,0 +1,92 @@
+"""Ablation: fixed-zero 2-means τ vs simpler threshold rules.
+
+The paper's pruning threshold comes from a modified 2-means (one centroid
+pinned at 0).  This bench compares it against two simpler data-driven
+rules on the same observations: a high percentile of the non-negative IMI
+values, and Otsu-style maximal between-class variance.  The 2-means rule
+is expected to sit at or near the best F-score (paper Fig. 10–11 shows
+its τ is near-optimal).
+"""
+
+import numpy as np
+
+from _util import bench_scale, run_spec_bench
+
+from repro.baselines.base import (
+    InferenceOutput,
+    NetworkInferrer,
+    Observations,
+    TendsInferrer,
+)
+from repro.core.imi import infection_mi_matrix
+from repro.core.tends import Tends
+from repro.evaluation.harness import ExperimentSpec, MethodSpec, SweepPoint
+from repro.graphs.generators.realworld import netsci
+
+
+class _FixedRuleTends(NetworkInferrer):
+    """TENDS with the pruning threshold chosen by a custom rule."""
+
+    requires = frozenset({"statuses"})
+
+    def __init__(self, name: str, rule) -> None:
+        self.name = name
+        self._rule = rule
+
+    def infer(self, observations: Observations) -> InferenceOutput:
+        self.check_applicable(observations)
+        imi = infection_mi_matrix(observations.statuses)
+        n = imi.shape[0]
+        values = imi[~np.eye(n, dtype=bool)]
+        threshold = float(self._rule(values[values >= 0]))
+        result = Tends(threshold=threshold).fit(observations.statuses)
+        return InferenceOutput(graph=result.graph)
+
+
+def _percentile_rule(values: np.ndarray) -> float:
+    return float(np.percentile(values, 95)) if values.size else 0.0
+
+
+def _otsu_rule(values: np.ndarray) -> float:
+    if values.size < 2:
+        return 0.0
+    candidates = np.quantile(values, np.linspace(0.5, 0.99, 40))
+    best_threshold, best_score = 0.0, -1.0
+    for candidate in candidates:
+        low = values[values <= candidate]
+        high = values[values > candidate]
+        if low.size == 0 or high.size == 0:
+            continue
+        weight = low.size * high.size / values.size**2
+        score = weight * (low.mean() - high.mean()) ** 2
+        if score > best_score:
+            best_score, best_threshold = score, float(candidate)
+    return best_threshold
+
+
+def _spec() -> ExperimentSpec:
+    beta = 150 if bench_scale() == "full" else 60
+    point = SweepPoint(
+        label="netsci",
+        value=0,
+        graph_factory=lambda seed: netsci(0),
+        beta=beta,
+    )
+    methods = (
+        MethodSpec("2means(paper)", lambda ctx: TendsInferrer()),
+        MethodSpec("pctl95", lambda ctx: _FixedRuleTends("pctl95", _percentile_rule)),
+        MethodSpec("otsu", lambda ctx: _FixedRuleTends("otsu", _otsu_rule)),
+    )
+    return ExperimentSpec(
+        experiment_id="ablation_threshold",
+        title="Threshold-selection rule ablation on NetSci",
+        x_label="rule",
+        points=(point,),
+        methods=methods,
+    )
+
+
+def test_ablation_threshold_rules(benchmark):
+    result = run_spec_bench("ablation_threshold", _spec(), benchmark)
+    series = result.series("f_score")
+    assert len(series) == 3

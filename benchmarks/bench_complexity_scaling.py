@@ -1,0 +1,76 @@
+"""Empirical check of the §IV-D complexity analysis.
+
+The paper states the TENDS runtime is ``O(β n² + t n² + η² κ^η n β)`` —
+for fixed pruning effectiveness, roughly quadratic in the node count and
+linear in the number of processes.  This bench measures wall-clock over a
+doubling sweep of each and reports the fitted log-log slope; the
+assertions only require sub-cubic growth in ``n`` and sub-quadratic in
+``β`` (generous bounds — candidate-set sizes shift with scale, so exact
+exponents wobble).
+"""
+
+import math
+import time
+
+from _util import archive_result, bench_scale, bench_seed
+
+from repro.core.tends import Tends
+from repro.evaluation.reporting import format_rows
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.simulation.engine import DiffusionSimulator
+from repro.utils.rng import derive_seed
+
+
+def _time_fit(n: int, beta: int, seed: int) -> float:
+    truth = lfr_benchmark_graph(LFRParams(n=n, avg_degree=4), seed=seed)
+    observations = DiffusionSimulator(
+        truth, mu=0.3, alpha=0.15, seed=derive_seed(seed, "sim")
+    ).run(beta=beta)
+    start = time.perf_counter()
+    Tends().fit(observations.statuses)
+    return time.perf_counter() - start
+
+
+def _slope(xs: list[float], ys: list[float]) -> float:
+    """Least-squares slope of log(y) against log(x)."""
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-9)) for y in ys]
+    mx = sum(lx) / len(lx)
+    my = sum(ly) / len(ly)
+    sxx = sum((x - mx) ** 2 for x in lx)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(lx, ly))
+    return sxy / sxx if sxx else 0.0
+
+
+def _measure() -> tuple[list[dict[str, object]], float, float]:
+    seed = derive_seed(bench_seed(), "complexity")
+    if bench_scale() == "full":
+        node_counts = [100, 200, 400]
+        betas = [100, 200, 400]
+    else:
+        node_counts = [80, 160]
+        betas = [80, 160]
+    rows: list[dict[str, object]] = []
+
+    n_times = [_time_fit(n, 150, derive_seed(seed, "n", n)) for n in node_counts]
+    for n, t in zip(node_counts, n_times):
+        rows.append({"sweep": "nodes", "value": n, "seconds": round(t, 3)})
+    beta_times = [_time_fit(200, b, derive_seed(seed, "b", b)) for b in betas]
+    for b, t in zip(betas, beta_times):
+        rows.append({"sweep": "beta", "value": b, "seconds": round(t, 3)})
+
+    n_slope = _slope([float(n) for n in node_counts], n_times)
+    beta_slope = _slope([float(b) for b in betas], beta_times)
+    rows.append({"sweep": "slope(n)", "value": "-", "seconds": round(n_slope, 2)})
+    rows.append({"sweep": "slope(beta)", "value": "-", "seconds": round(beta_slope, 2)})
+    return rows, n_slope, beta_slope
+
+
+def test_complexity_scaling(benchmark):
+    rows, n_slope, beta_slope = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = format_rows(rows)
+    print(f"\n{text}")
+    archive_result("complexity_scaling", text)
+
+    assert n_slope < 3.0, f"node scaling looks super-cubic: slope {n_slope:.2f}"
+    assert beta_slope < 2.0, f"beta scaling looks super-quadratic: slope {beta_slope:.2f}"

@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the TENDS hot paths.
+
+These are classic pytest-benchmark measurements (many rounds) of the
+stages the complexity analysis in §IV-D names:
+
+* the O(β n²) IMI matrix,
+* the fixed-zero 2-means,
+* one O(β |F|) family-counts + local-score evaluation,
+* a full TENDS fit on a mid-size LFR observation set.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.imi import infection_mi_matrix
+from repro.core.kmeans import fixed_zero_two_means
+from repro.core.scoring import family_counts, local_score
+from repro.core.tends import Tends
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.simulation.engine import DiffusionSimulator
+
+
+@pytest.fixture(scope="module")
+def observations():
+    truth = lfr_benchmark_graph(LFRParams(n=200, avg_degree=4), seed=0)
+    return DiffusionSimulator(truth, mu=0.3, alpha=0.15, seed=1).run(beta=150)
+
+
+def test_imi_matrix_200_nodes(benchmark, observations):
+    result = benchmark(infection_mi_matrix, observations.statuses)
+    assert result.shape == (200, 200)
+
+
+def test_fixed_zero_two_means_40k_values(benchmark, observations):
+    imi = infection_mi_matrix(observations.statuses)
+    values = imi[imi >= 0].ravel()
+    result = benchmark(fixed_zero_two_means, values)
+    assert result.n_zero_cluster + result.n_upper_cluster == values.size
+
+
+def test_family_counts_three_parents(benchmark, observations):
+    statuses = observations.statuses
+    counts = benchmark(family_counts, statuses, 0, [1, 2, 3])
+    assert counts.totals.sum() == statuses.beta
+
+
+def test_local_score_three_parents(benchmark, observations):
+    statuses = observations.statuses
+    score = benchmark(local_score, statuses, 0, [1, 2, 3])
+    assert np.isfinite(score)
+
+
+def test_full_tends_fit_200_nodes(benchmark, observations):
+    statuses = observations.statuses
+    result = benchmark.pedantic(
+        lambda: Tends().fit(statuses), rounds=3, iterations=1
+    )
+    assert result.graph.n_nodes == 200

@@ -1,0 +1,63 @@
+"""Extension bench: the full method roster, including the paper's
+excluded related work.
+
+The paper compares TENDS against NetRate, MulTree, and LIFT, and excludes
+PATH (needs complete path traces) and NetInf (superseded by MulTree).
+This bench runs *everything* — including PATH fed with ground-truth
+diffusion paths, an input no real deployment has — on one LFR sweep
+point, so the README's claims about relative standings are backed by a
+regenerable table.
+"""
+
+from _util import bench_scale, run_spec_bench
+
+from repro.evaluation.harness import ExperimentSpec, SweepPoint, default_methods
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+
+
+def _spec() -> ExperimentSpec:
+    beta = 150 if bench_scale() == "full" else 60
+    points = tuple(
+        SweepPoint(
+            label=f"n={n}",
+            value=n,
+            graph_factory=lambda seed, n=n: lfr_benchmark_graph(
+                LFRParams(n=n, avg_degree=4), seed=seed
+            ),
+            beta=beta,
+        )
+        for n in (150, 250)
+    )
+    return ExperimentSpec(
+        experiment_id="extension_baselines",
+        title="Full roster incl. PATH (oracle paths), NetInf, CORR",
+        x_label="number of nodes n",
+        points=points,
+        methods=default_methods(
+            include=(
+                "TENDS",
+                "NetRate",
+                "MulTree",
+                "NetInf",
+                "LIFT",
+                "CORR",
+                "PATH",
+            )
+        ),
+    )
+
+
+def test_extension_baselines(benchmark):
+    result = run_spec_bench("extension_baselines", _spec(), benchmark)
+    series = result.series("f_score")
+    assert set(series) == {
+        "TENDS",
+        "NetRate",
+        "MulTree",
+        "NetInf",
+        "LIFT",
+        "CORR",
+        "PATH",
+    }
+    # PATH gets oracle paths, so it must dominate LIFT decisively.
+    assert min(series["PATH"]) > max(series["LIFT"])

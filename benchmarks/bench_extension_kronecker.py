@@ -1,0 +1,66 @@
+"""Extension bench: the comparison on Kronecker graphs.
+
+NetInf and NetRate were originally evaluated on stochastic Kronecker
+graphs; this bench replays the paper's §V comparison on that substrate
+(core-periphery and hierarchical initiators, reciprocalised so the
+status-only setting is informative) to check that the paper's orderings
+are not an artefact of LFR structure.
+"""
+
+from _util import bench_scale, run_spec_bench
+
+from repro.graphs.digraph import DiffusionGraph
+from repro.graphs.generators.kronecker import (
+    CORE_PERIPHERY_INITIATOR,
+    HIERARCHICAL_INITIATOR,
+    kronecker_digraph,
+)
+from repro.evaluation.harness import ExperimentSpec, SweepPoint, default_methods
+
+
+def _reciprocal_kronecker(initiator):
+    def factory(seed: int) -> DiffusionGraph:
+        base = kronecker_digraph(8, initiator, target_avg_degree=2.0, seed=seed)
+        graph = DiffusionGraph(base.n_nodes)
+        for u, v in base.edges():
+            graph.add_edge(u, v)
+            graph.add_edge(v, u)
+        return graph.freeze()
+
+    return factory
+
+
+def _spec() -> ExperimentSpec:
+    beta = 150 if bench_scale() == "full" else 60
+    points = (
+        SweepPoint(
+            label="core-periphery",
+            value=0,
+            graph_factory=_reciprocal_kronecker(CORE_PERIPHERY_INITIATOR),
+            beta=beta,
+        ),
+        SweepPoint(
+            label="hierarchical",
+            value=1,
+            graph_factory=_reciprocal_kronecker(HIERARCHICAL_INITIATOR),
+            beta=beta,
+        ),
+    )
+    return ExperimentSpec(
+        experiment_id="extension_kronecker",
+        title="Method comparison on Kronecker substrates (256 nodes)",
+        x_label="initiator",
+        points=points,
+        methods=default_methods(),
+    )
+
+
+def test_extension_kronecker(benchmark):
+    result = run_spec_bench("extension_kronecker", _spec(), benchmark)
+    series = result.series("f_score")
+    # The sanity floor: everything must beat LIFT on both substrates.
+    assert all(
+        series[name][i] >= series["LIFT"][i]
+        for name in ("TENDS", "MulTree")
+        for i in range(2)
+    )

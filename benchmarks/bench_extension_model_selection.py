@@ -1,0 +1,79 @@
+"""Extension bench: held-out selection of the pruning-threshold scale.
+
+EXPERIMENTS.md's honest-deviation register notes that the 2-means τ
+under-prunes in saturated regimes.  This bench evaluates the natural
+ground-truth-free remedy (``repro.core.selection``): pick the
+``threshold_scale`` by held-out predictive likelihood, and compare the
+resulting F-score against the paper default (1.0τ) and the oracle-best
+scale on NetSci at the paper's α and at the saturated α = 0.25.
+
+Expected (and honestly recorded) outcome: predictive likelihood measures
+*explanatory* power, and spurious-but-correlated parents genuinely help
+prediction, so the selected scale tracks the F-optimal scale only
+loosely — at the paper's operating point it can trade ~0.1 F for a more
+predictive (larger-threshold, sparser) model, while in the saturated
+regime it does recover part of the oracle's gain.  The bench records the
+full table so the trade-off is on the record; the assertion only guards
+against collapse (selection must stay within 0.15 F of the default and
+well above chance).
+"""
+
+from _util import archive_result, bench_scale, bench_seed
+
+from repro.core.selection import select_threshold_scale
+from repro.core.tends import Tends
+from repro.evaluation.metrics import evaluate_edges
+from repro.evaluation.reporting import format_rows
+from repro.graphs.generators.realworld import netsci
+from repro.simulation.engine import DiffusionSimulator
+from repro.utils.rng import derive_seed
+
+SCALES = (0.6, 0.8, 1.0, 1.5, 2.0)
+
+
+def _measure() -> list[dict[str, object]]:
+    beta = 150 if bench_scale() == "full" else 60
+    truth = netsci(0)
+    rows: list[dict[str, object]] = []
+    for alpha in (0.15, 0.25):
+        seed = derive_seed(bench_seed(), "model-selection", alpha)
+        statuses = DiffusionSimulator(
+            truth, mu=0.3, alpha=alpha, seed=seed
+        ).run(beta=beta).statuses
+
+        selection = select_threshold_scale(
+            statuses, SCALES, seed=derive_seed(seed, "split")
+        )
+        f_selected = evaluate_edges(truth, selection.result.graph).f_score
+
+        f_by_scale = {
+            scale: evaluate_edges(
+                truth, Tends(threshold_scale=scale).fit(statuses).graph
+            ).f_score
+            for scale in SCALES
+        }
+        oracle_scale = max(f_by_scale, key=lambda s: f_by_scale[s])
+        rows.append(
+            {
+                "alpha": alpha,
+                "selected_scale": selection.best_scale,
+                "f_selected": round(f_selected, 4),
+                "f_default": round(f_by_scale[1.0], 4),
+                "oracle_scale": oracle_scale,
+                "f_oracle": round(f_by_scale[oracle_scale], 4),
+            }
+        )
+    return rows
+
+
+def test_extension_model_selection(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = format_rows(rows)
+    print(f"\n{text}")
+    archive_result("extension_model_selection", text)
+
+    # Guard against collapse only; the docstring documents the honest
+    # finding that selection optimises predictive power, not F.
+    for row in rows:
+        assert row["f_selected"] >= row["f_default"] - 0.15, row
+        assert row["f_selected"] > 0.2, row

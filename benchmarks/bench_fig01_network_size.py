@@ -1,0 +1,13 @@
+"""Fig. 1: effect of diffusion network size (LFR1-5, n = 100..300).
+
+Regenerates the figure's data rows (per sweep point: each algorithm's
+F-score and running time) at the scale selected by ``REPRO_BENCH_SCALE``
+and archives them under ``benchmarks/results/fig1.txt``.
+"""
+
+from _util import run_figure_bench
+
+
+def test_fig1_network_size(benchmark):
+    result = run_figure_bench("fig1", benchmark)
+    assert result.results, "figure produced no measurements"

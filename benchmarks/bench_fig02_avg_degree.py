@@ -1,0 +1,13 @@
+"""Fig. 2: effect of average node degree (LFR6-10, k = 2..6).
+
+Regenerates the figure's data rows (per sweep point: each algorithm's
+F-score and running time) at the scale selected by ``REPRO_BENCH_SCALE``
+and archives them under ``benchmarks/results/fig2.txt``.
+"""
+
+from _util import run_figure_bench
+
+
+def test_fig2_avg_degree(benchmark):
+    result = run_figure_bench("fig2", benchmark)
+    assert result.results, "figure produced no measurements"

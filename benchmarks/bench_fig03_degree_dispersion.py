@@ -1,0 +1,13 @@
+"""Fig. 3: effect of node degree dispersion (LFR11-15, tau = 1..3).
+
+Regenerates the figure's data rows (per sweep point: each algorithm's
+F-score and running time) at the scale selected by ``REPRO_BENCH_SCALE``
+and archives them under ``benchmarks/results/fig3.txt``.
+"""
+
+from _util import run_figure_bench
+
+
+def test_fig3_degree_dispersion(benchmark):
+    result = run_figure_bench("fig3", benchmark)
+    assert result.results, "figure produced no measurements"

@@ -1,0 +1,13 @@
+"""Fig. 4: effect of initial infection ratio on NetSci.
+
+Regenerates the figure's data rows (per sweep point: each algorithm's
+F-score and running time) at the scale selected by ``REPRO_BENCH_SCALE``
+and archives them under ``benchmarks/results/fig4.txt``.
+"""
+
+from _util import run_figure_bench
+
+
+def test_fig4_alpha_netsci(benchmark):
+    result = run_figure_bench("fig4", benchmark)
+    assert result.results, "figure produced no measurements"

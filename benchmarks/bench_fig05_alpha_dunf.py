@@ -1,0 +1,13 @@
+"""Fig. 5: effect of initial infection ratio on DUNF.
+
+Regenerates the figure's data rows (per sweep point: each algorithm's
+F-score and running time) at the scale selected by ``REPRO_BENCH_SCALE``
+and archives them under ``benchmarks/results/fig5.txt``.
+"""
+
+from _util import run_figure_bench
+
+
+def test_fig5_alpha_dunf(benchmark):
+    result = run_figure_bench("fig5", benchmark)
+    assert result.results, "figure produced no measurements"

@@ -1,0 +1,13 @@
+"""Fig. 6: effect of propagation probability on NetSci.
+
+Regenerates the figure's data rows (per sweep point: each algorithm's
+F-score and running time) at the scale selected by ``REPRO_BENCH_SCALE``
+and archives them under ``benchmarks/results/fig6.txt``.
+"""
+
+from _util import run_figure_bench
+
+
+def test_fig6_mu_netsci(benchmark):
+    result = run_figure_bench("fig6", benchmark)
+    assert result.results, "figure produced no measurements"

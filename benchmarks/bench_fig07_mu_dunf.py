@@ -1,0 +1,13 @@
+"""Fig. 7: effect of propagation probability on DUNF.
+
+Regenerates the figure's data rows (per sweep point: each algorithm's
+F-score and running time) at the scale selected by ``REPRO_BENCH_SCALE``
+and archives them under ``benchmarks/results/fig7.txt``.
+"""
+
+from _util import run_figure_bench
+
+
+def test_fig7_mu_dunf(benchmark):
+    result = run_figure_bench("fig7", benchmark)
+    assert result.results, "figure produced no measurements"

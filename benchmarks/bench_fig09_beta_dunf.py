@@ -1,0 +1,13 @@
+"""Fig. 9: effect of number of diffusion processes on DUNF.
+
+Regenerates the figure's data rows (per sweep point: each algorithm's
+F-score and running time) at the scale selected by ``REPRO_BENCH_SCALE``
+and archives them under ``benchmarks/results/fig9.txt``.
+"""
+
+from _util import run_figure_bench
+
+
+def test_fig9_beta_dunf(benchmark):
+    result = run_figure_bench("fig9", benchmark)
+    assert result.results, "figure produced no measurements"

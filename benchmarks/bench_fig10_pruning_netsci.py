@@ -1,0 +1,13 @@
+"""Fig. 10: infection-MI pruning threshold sweep + MI-vs-IMI ablation on NetSci.
+
+Regenerates the figure's data rows (per sweep point: each algorithm's
+F-score and running time) at the scale selected by ``REPRO_BENCH_SCALE``
+and archives them under ``benchmarks/results/fig10.txt``.
+"""
+
+from _util import run_figure_bench
+
+
+def test_fig10_pruning_netsci(benchmark):
+    result = run_figure_bench("fig10", benchmark)
+    assert result.results, "figure produced no measurements"

@@ -1,0 +1,13 @@
+"""Fig. 11: infection-MI pruning threshold sweep + MI-vs-IMI ablation on DUNF.
+
+Regenerates the figure's data rows (per sweep point: each algorithm's
+F-score and running time) at the scale selected by ``REPRO_BENCH_SCALE``
+and archives them under ``benchmarks/results/fig11.txt``.
+"""
+
+from _util import run_figure_bench
+
+
+def test_fig11_pruning_dunf(benchmark):
+    result = run_figure_bench("fig11", benchmark)
+    assert result.results, "figure produced no measurements"

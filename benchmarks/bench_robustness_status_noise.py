@@ -1,0 +1,53 @@
+"""Extension bench: misreported final statuses.
+
+Even final statuses can be wrong (misdiagnosis, silent adopters).  This
+bench flips a growing fraction of status bits and measures TENDS's
+degradation curve — the practical error budget a deployment has before
+the reconstruction stops being useful.
+"""
+
+from _util import archive_result, bench_scale, bench_seed
+
+from repro.core.tends import Tends
+from repro.evaluation.metrics import evaluate_edges
+from repro.evaluation.reporting import format_rows
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.simulation.engine import DiffusionSimulator
+from repro.utils.rng import derive_seed
+
+
+def _measure() -> list[dict[str, object]]:
+    beta = 150 if bench_scale() == "full" else 60
+    seed = derive_seed(bench_seed(), "status-noise")
+    truth = lfr_benchmark_graph(LFRParams(n=150, avg_degree=4), seed=seed)
+    clean = DiffusionSimulator(
+        truth, mu=0.3, alpha=0.15, seed=derive_seed(seed, "sim")
+    ).run(beta=beta)
+
+    rows: list[dict[str, object]] = []
+    for flip in (0.0, 0.01, 0.02, 0.05, 0.10):
+        statuses = clean.statuses.with_flip_noise(
+            flip, seed=derive_seed(seed, "flip", flip)
+        )
+        metrics = evaluate_edges(truth, Tends().fit(statuses).graph)
+        rows.append(
+            {
+                "flip_probability": flip,
+                "f_score": round(metrics.f_score, 4),
+                "precision": round(metrics.precision, 4),
+                "recall": round(metrics.recall, 4),
+            }
+        )
+    return rows
+
+
+def test_robustness_to_status_noise(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = format_rows(rows)
+    print(f"\n{text}")
+    archive_result("robustness_status_noise", text)
+
+    # Degradation must be graceful: small noise costs little...
+    assert rows[1]["f_score"] > rows[0]["f_score"] - 0.15
+    # ...and heavy noise clearly hurts (the bench would be vacuous otherwise).
+    assert rows[-1]["f_score"] < rows[0]["f_score"]

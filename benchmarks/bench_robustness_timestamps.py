@@ -1,0 +1,74 @@
+"""Extension bench: unreliable timestamps (the paper's §I motivation).
+
+The paper's core argument for status-only inference is that monitored
+infection timestamps are unreliable (incubation periods, reporting lag)
+while final statuses are easy to observe.  This bench corrupts a growing
+fraction of the cascade timestamps — leaving final statuses untouched —
+and measures every method on the *same* diffusions: TENDS is immune by
+construction; the cascade-based methods degrade.
+"""
+
+import numpy as np
+
+from _util import archive_result, bench_scale, bench_seed
+
+from repro.baselines.base import Observations, TendsInferrer
+from repro.baselines.multree import MulTree
+from repro.baselines.netrate import NetRate
+from repro.evaluation.metrics import best_threshold_metrics, evaluate_edges
+from repro.evaluation.reporting import format_rows
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.simulation.engine import DiffusionSimulator
+from repro.utils.rng import derive_seed
+
+
+def _measure() -> list[dict[str, object]]:
+    beta = 150 if bench_scale() == "full" else 60
+    seed = derive_seed(bench_seed(), "timestamps")
+    truth = lfr_benchmark_graph(LFRParams(n=150, avg_degree=4), seed=seed)
+    clean = DiffusionSimulator(
+        truth, mu=0.3, alpha=0.15, seed=derive_seed(seed, "sim")
+    ).run(beta=beta)
+
+    rows: list[dict[str, object]] = []
+    for fraction in (0.0, 0.2, 0.4, 0.6):
+        cascades = clean.cascades.with_time_noise(
+            fraction, seed=derive_seed(seed, "noise", fraction)
+        )
+        observations = Observations(
+            n_nodes=truth.n_nodes,
+            statuses=cascades.to_status_matrix(),
+            cascades=cascades,
+            seed_sets=tuple(cascades.seed_sets()),
+        )
+        f_tends = evaluate_edges(
+            truth, TendsInferrer().infer(observations).graph
+        ).f_score
+        f_multree = evaluate_edges(
+            truth, MulTree(truth.n_edges).infer(observations).graph
+        ).f_score
+        netrate_output = NetRate(max_iterations=40).infer(observations)
+        f_netrate, _ = best_threshold_metrics(truth, netrate_output.edge_scores)
+        rows.append(
+            {
+                "corrupted_fraction": fraction,
+                "TENDS": round(f_tends, 4),
+                "MulTree": round(f_multree, 4),
+                "NetRate": round(f_netrate.f_score, 4),
+            }
+        )
+    return rows
+
+
+def test_robustness_to_timestamp_noise(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = format_rows(rows)
+    print(f"\n{text}")
+    archive_result("robustness_timestamps", text)
+
+    # TENDS consumes statuses only, so its accuracy must be exactly
+    # constant across corruption levels...
+    tends_scores = {row["TENDS"] for row in rows}
+    assert len(tends_scores) == 1
+    # ...while the cascade methods lose accuracy at heavy corruption.
+    assert rows[-1]["MulTree"] < rows[0]["MulTree"]

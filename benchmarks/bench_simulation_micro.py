@@ -1,0 +1,31 @@
+"""Micro-benchmarks of the diffusion simulation substrate."""
+
+import pytest
+
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.graphs.generators.realworld import dunf, netsci
+from repro.simulation.engine import DiffusionSimulator
+
+
+def test_lfr_generation_200_nodes(benchmark):
+    graph = benchmark(
+        lambda: lfr_benchmark_graph(LFRParams(n=200, avg_degree=4), seed=0)
+    )
+    assert graph.n_edges == 800
+
+
+def test_netsci_surrogate_generation(benchmark):
+    graph = benchmark.pedantic(lambda: netsci(0), rounds=3, iterations=1)
+    assert graph.n_edges == 1602
+
+
+def test_dunf_surrogate_generation(benchmark):
+    graph = benchmark.pedantic(lambda: dunf(0), rounds=3, iterations=1)
+    assert graph.n_edges == 2974
+
+
+def test_simulate_150_processes_netsci(benchmark):
+    graph = netsci(0)
+    simulator = DiffusionSimulator(graph, mu=0.3, alpha=0.15, seed=1)
+    result = benchmark.pedantic(lambda: simulator.run(beta=150), rounds=3, iterations=1)
+    assert result.beta == 150

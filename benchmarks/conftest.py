@@ -1,0 +1,7 @@
+"""Bench collection settings: show archived tables, keep output visible."""
+
+import sys
+from pathlib import Path
+
+# Make the benches importable as plain modules (benchmarks/ is not a package).
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Epidemic surveillance: recover a contact network from outbreak snapshots.
+
+Scenario (the paper's §I motivation): a health agency observes, for each of
+several independent outbreaks, only *who ended up infected* — incubation
+periods make onset timestamps unreliable, so cascade-based methods are off
+the table.  The contact network is small-world (households + occasional
+long-range contacts).  We:
+
+1. simulate outbreaks with the SI model (infectious individuals keep
+   exposing their contacts until the observation horizon),
+2. reconstruct the contact network with TENDS from the final statuses,
+3. stress-test the reconstruction against status-reporting errors
+   (misdiagnoses flip a fraction of the observed statuses).
+
+Run:  python examples/epidemic_surveillance.py [--n 100] [--beta 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    DiffusionGraph,
+    DiffusionSimulator,
+    SusceptibleInfectedModel,
+    Tends,
+    evaluate_edges,
+    watts_strogatz_digraph,
+)
+
+
+def build_contact_network(n: int, seed: int) -> DiffusionGraph:
+    """Small-world contacts, symmetric: disease can pass either way."""
+    ring = watts_strogatz_digraph(n, k_neighbors=2, rewire_probability=0.08, seed=seed)
+    contacts = DiffusionGraph(n)
+    for u, v in ring.edges():
+        contacts.add_edge(u, v)
+        contacts.add_edge(v, u)
+    return contacts.freeze()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=100, help="population size")
+    parser.add_argument("--beta", type=int, default=200, help="number of observed outbreaks")
+    parser.add_argument("--seed", type=int, default=11, help="random seed")
+    args = parser.parse_args()
+
+    contacts = build_contact_network(args.n, args.seed)
+    print(f"contact network: {contacts.n_nodes} people, {contacts.n_edges} directed contacts")
+
+    simulator = DiffusionSimulator(
+        contacts,
+        mu=0.25,  # per-round transmission probability between contacts
+        alpha=0.05,  # each outbreak starts from a few index cases
+        model=SusceptibleInfectedModel(horizon=6),
+        seed=args.seed,
+    )
+    outbreaks = simulator.run(beta=args.beta)
+    print(
+        f"observed {outbreaks.beta} outbreaks; "
+        f"mean attack rate {outbreaks.infection_fraction():.2f}"
+    )
+
+    clean = Tends().fit(outbreaks.statuses)
+    metrics = evaluate_edges(contacts, clean.graph)
+    print(
+        "clean statuses:  "
+        f"P = {metrics.precision:.3f}  R = {metrics.recall:.3f}  "
+        f"F = {metrics.f_score:.3f}"
+    )
+
+    # Surveillance data is noisy: flip a fraction of statuses (false
+    # positives from misdiagnosis, false negatives from asymptomatic cases).
+    for noise in (0.02, 0.05, 0.10):
+        noisy = outbreaks.statuses.with_flip_noise(noise, seed=args.seed)
+        result = Tends().fit(noisy)
+        noisy_metrics = evaluate_edges(contacts, result.graph)
+        print(
+            f"{noise:4.0%} misreport: "
+            f"P = {noisy_metrics.precision:.3f}  R = {noisy_metrics.recall:.3f}  "
+            f"F = {noisy_metrics.f_score:.3f}"
+        )
+
+    print(
+        "\nNote: timestamps were never used — TENDS works from the final"
+        " infection statuses alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

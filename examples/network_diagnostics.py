@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Deep-dive diagnostics of an inferred diffusion network.
+
+The F-score says *how much* of a network was recovered; this example shows
+the tools for understanding *what* was recovered and what it is good for:
+
+1. infer a topology with TENDS,
+2. produce the structural report (per-node recovery, degree correlations,
+   hub overlap) from ``repro.analysis.compare``,
+3. check that the inferred network preserves the community structure of
+   the truth (label propagation + modularity),
+4. parameterise the inferred edges with estimated propagation
+   probabilities and pick campaign seeds by greedy influence maximisation
+   — then verify the seeds chosen on the *inferred* network spread almost
+   as well on the *true* network.
+
+Run:  python examples/network_diagnostics.py [--n 150] [--beta 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    DiffusionSimulator,
+    LFRParams,
+    Tends,
+    compare_topologies,
+    estimate_edge_probabilities,
+    estimate_spread,
+    greedy_influence_maximization,
+    label_propagation_communities,
+    lfr_benchmark_graph,
+    modularity,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=150)
+    parser.add_argument("--beta", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=31)
+    parser.add_argument("--campaign-seeds", type=int, default=5)
+    args = parser.parse_args()
+
+    truth = lfr_benchmark_graph(
+        LFRParams(n=args.n, avg_degree=4, mixing=0.05), seed=args.seed
+    )
+    observations = DiffusionSimulator(truth, mu=0.3, alpha=0.15, seed=args.seed).run(
+        beta=args.beta
+    )
+    inferred = Tends().fit(observations.statuses).graph
+
+    print("structural report (truth vs inferred):")
+    for key, value in compare_topologies(truth, inferred).items():
+        print(f"  {key:28s} {value:.3f}")
+
+    true_labels = label_propagation_communities(truth, seed=1)
+    inferred_labels = label_propagation_communities(inferred, seed=1)
+    print(
+        f"\ncommunity structure: truth modularity "
+        f"{modularity(truth, true_labels):.3f} "
+        f"({len(set(true_labels.tolist()))} communities); inferred "
+        f"{modularity(inferred, inferred_labels):.3f} "
+        f"({len(set(inferred_labels.tolist()))} communities)"
+    )
+
+    probabilities = estimate_edge_probabilities(inferred, observations.statuses)
+    seeds, planned = greedy_influence_maximization(
+        inferred,
+        args.campaign_seeds,
+        probabilities,
+        n_samples=100,
+        seed=args.seed,
+    )
+    achieved = estimate_spread(
+        truth,
+        seeds,
+        observations.probabilities,
+        n_samples=300,
+        seed=args.seed,
+    )
+    print(
+        f"\ncampaign planning: seeds {seeds} "
+        f"(planned spread on inferred network: {planned:.1f} nodes; "
+        f"achieved on the true network: {achieved:.1f} of {truth.n_nodes})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Regenerate any of the paper's evaluation figures from the command line.
+
+Every figure in §V is registered in ``repro.evaluation.figures``; this
+script runs one of them and prints the rows the figure plots: per sweep
+point, each algorithm's F-score and running time.
+
+Run:  python examples/reproduce_figure.py fig1 [--scale quick|full] [--seed 0]
+List: python examples/reproduce_figure.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.evaluation import figure_spec, list_figures, run_experiment
+from repro.evaluation.reporting import format_result_table, format_series
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figure", nargs="?", help="figure id, e.g. fig1")
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick = reduced beta for a fast look; full = paper parameters",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--list", action="store_true", help="list figure ids and exit")
+    args = parser.parse_args()
+
+    if args.list or not args.figure:
+        print("available figures:", ", ".join(list_figures()))
+        return 0
+
+    spec = figure_spec(args.figure, scale=args.scale)
+    print(f"running {spec.experiment_id} ({args.scale} scale): {spec.title}")
+    result = run_experiment(
+        spec,
+        seed=args.seed,
+        progress=lambda message: print(f"  {message}", file=sys.stderr),
+    )
+    print()
+    print(format_result_table(result))
+    print()
+    print(format_series(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

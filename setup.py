@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` keeps working in fully offline environments
+where pip cannot fetch the ``wheel`` build dependency that editable
+installs otherwise require.
+"""
+
+from setuptools import setup
+
+setup()

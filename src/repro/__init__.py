@@ -1,0 +1,137 @@
+"""repro — reproduction of *Statistical Estimation of Diffusion Network
+Topologies* (TENDS, ICDE 2020).
+
+Quickstart
+----------
+>>> from repro import DiffusionSimulator, Tends, erdos_renyi_digraph
+>>> truth = erdos_renyi_digraph(40, 0.06, seed=1)
+>>> observations = DiffusionSimulator(truth, mu=0.3, alpha=0.15, seed=1).run(beta=150)
+>>> inferred = Tends().fit(observations.statuses).graph
+
+See README.md for the full tour and DESIGN.md for the paper mapping.
+"""
+
+from repro._version import __version__
+from repro.analysis import (
+    compare_topologies,
+    estimate_spread,
+    greedy_influence_maximization,
+    label_propagation_communities,
+    modularity,
+)
+from repro.baselines import (
+    CorrelationRanker,
+    InferenceOutput,
+    Lift,
+    MulTree,
+    NetInf,
+    NetRate,
+    NetworkInferrer,
+    Observations,
+    TendsInferrer,
+)
+from repro.core import (
+    Tends,
+    TendsConfig,
+    TendsResult,
+    estimate_edge_probabilities,
+)
+from repro.evaluation import (
+    ExperimentResult,
+    ExperimentSpec,
+    best_threshold_metrics,
+    evaluate_edges,
+    figure_spec,
+    run_experiment,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    DataError,
+    GraphError,
+    InferenceError,
+    ReproError,
+    SimulationError,
+)
+from repro.graphs import (
+    DiffusionGraph,
+    LFRParams,
+    barabasi_albert_digraph,
+    core_periphery_digraph,
+    dunf,
+    erdos_renyi_digraph,
+    lfr_benchmark_graph,
+    netsci,
+    random_tree_digraph,
+    summarize_graph,
+    watts_strogatz_digraph,
+)
+from repro.simulation import (
+    Cascade,
+    CascadeSet,
+    DiffusionSimulator,
+    IndependentCascadeModel,
+    SimulationResult,
+    StatusMatrix,
+    SusceptibleInfectedModel,
+)
+
+__all__ = [
+    "__version__",
+    # core
+    "Tends",
+    "TendsConfig",
+    "TendsResult",
+    "estimate_edge_probabilities",
+    # graphs
+    "DiffusionGraph",
+    "LFRParams",
+    "lfr_benchmark_graph",
+    "erdos_renyi_digraph",
+    "barabasi_albert_digraph",
+    "watts_strogatz_digraph",
+    "random_tree_digraph",
+    "core_periphery_digraph",
+    "netsci",
+    "dunf",
+    "summarize_graph",
+    # simulation
+    "DiffusionSimulator",
+    "SimulationResult",
+    "IndependentCascadeModel",
+    "SusceptibleInfectedModel",
+    "StatusMatrix",
+    "Cascade",
+    "CascadeSet",
+    # baselines
+    "Observations",
+    "InferenceOutput",
+    "NetworkInferrer",
+    "TendsInferrer",
+    "NetRate",
+    "MulTree",
+    "NetInf",
+    "Lift",
+    "CorrelationRanker",
+    # analysis
+    "compare_topologies",
+    "estimate_spread",
+    "greedy_influence_maximization",
+    "label_propagation_communities",
+    "modularity",
+    # evaluation
+    "evaluate_edges",
+    "best_threshold_metrics",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "run_experiment",
+    "figure_spec",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "DataError",
+    "GraphError",
+    "SimulationError",
+    "InferenceError",
+    "ConvergenceError",
+]

@@ -1,0 +1,38 @@
+"""Downstream analysis of (inferred) diffusion networks.
+
+The paper motivates topology reconstruction by what it enables:
+"designing effective strategies to promote or prevent future diffusions"
+(§I).  This package supplies those downstream tools so the library is
+usable end to end:
+
+* :mod:`repro.analysis.influence` — Monte-Carlo spread estimation and
+  CELF greedy influence maximisation on a (possibly inferred) network;
+* :mod:`repro.analysis.communities` — label-propagation community
+  detection (also used to validate the LFR generator's modular structure);
+* :mod:`repro.analysis.compare` — structural comparison of an inferred
+  topology against a reference (per-node accuracy, degree correlation,
+  hub recovery).
+"""
+
+from repro.analysis.communities import label_propagation_communities, modularity
+from repro.analysis.compare import (
+    NodeComparison,
+    compare_topologies,
+    degree_correlation,
+    per_node_metrics,
+)
+from repro.analysis.influence import (
+    estimate_spread,
+    greedy_influence_maximization,
+)
+
+__all__ = [
+    "estimate_spread",
+    "greedy_influence_maximization",
+    "label_propagation_communities",
+    "modularity",
+    "compare_topologies",
+    "per_node_metrics",
+    "degree_correlation",
+    "NodeComparison",
+]

@@ -1,0 +1,44 @@
+"""Comparison algorithms from the paper's evaluation (§V-A).
+
+* :class:`~repro.baselines.netrate.NetRate` — convex-programming MLE on
+  timestamped cascades (Gomez-Rodriguez et al., ICML 2011).
+* :class:`~repro.baselines.multree.MulTree` — submodular greedy weighting
+  all propagation trees per cascade (Gomez-Rodriguez & Schölkopf, ICML 2012).
+* :class:`~repro.baselines.netinf.NetInf` — best-single-tree submodular
+  greedy (Gomez-Rodriguez et al., KDD 2010); extension baseline.
+* :class:`~repro.baselines.lift.Lift` — lifting effects from seed sets to
+  final statuses (Amin et al., ICML 2014).
+* :class:`~repro.baselines.path.Path` — frequent-pair reconstruction from
+  diffusion path traces (Gripon & Rabbat, ISIT 2013); extension baseline
+  fed with ground-truth paths from the simulator's attribution.
+* :class:`~repro.baselines.correlation.CorrelationRanker` — naive
+  φ-coefficient ranking; sanity-check extension.
+* :class:`~repro.baselines.base.TendsInferrer` — adapter exposing TENDS
+  through the same interface for the harness.
+"""
+
+from repro.baselines.base import (
+    InferenceOutput,
+    NetworkInferrer,
+    Observations,
+    TendsInferrer,
+)
+from repro.baselines.correlation import CorrelationRanker
+from repro.baselines.lift import Lift
+from repro.baselines.multree import MulTree
+from repro.baselines.netinf import NetInf
+from repro.baselines.netrate import NetRate
+from repro.baselines.path import Path
+
+__all__ = [
+    "Path",
+    "Observations",
+    "InferenceOutput",
+    "NetworkInferrer",
+    "TendsInferrer",
+    "NetRate",
+    "MulTree",
+    "NetInf",
+    "Lift",
+    "CorrelationRanker",
+]

@@ -1,0 +1,138 @@
+"""Shared machinery for the tree-based cascade methods (NetInf, MulTree).
+
+Both algorithms score a candidate edge ``(j → i)`` by how much it improves
+the likelihood of the observed cascades when added to the current graph,
+where a cascade's likelihood is defined over propagation trees consistent
+with the observed infection times.  The per-cascade, per-edge transmission
+weight uses the discrete-time geometric waiting model matched to the
+simulator: if ``j`` was infected ``Δ = t_i − t_j`` rounds before ``i``,
+
+    P(j infected i at t_i) = p · (1 − p)^(Δ − 1)
+
+with ``p`` the assumed transmission probability.  Every infection can also
+be explained by a tiny ε-background rate, so cascades always have nonzero
+likelihood even under the empty graph (as in NetInf).
+
+This module extracts, for every candidate edge, the list of cascades
+supporting it and the corresponding weights — bit-packed into flat numpy
+arrays grouped by edge so the greedy loops touch nothing but array slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.simulation.cascades import CascadeSet
+from repro.utils.validation import check_fraction
+
+__all__ = ["CandidateEdgeTable", "build_candidate_table", "EPSILON_WEIGHT"]
+
+#: Probability of the ε-background explanation for any single infection.
+EPSILON_WEIGHT = 1e-8
+
+
+@dataclass(frozen=True)
+class CandidateEdgeTable:
+    """Candidate edges with their per-cascade transmission probabilities.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of nodes.
+    edges:
+        ``(n_candidates, 2)`` int64 array of ``(source, target)`` pairs.
+    offsets:
+        ``(n_candidates + 1,)`` prefix offsets into ``cascade_ids`` /
+        ``probabilities``: edge ``e``'s support is the slice
+        ``offsets[e]:offsets[e+1]``.
+    cascade_ids:
+        Cascade index of each support entry.
+    probabilities:
+        Transmission probability of each support entry (the geometric
+        weight above).
+    """
+
+    n_nodes: int
+    edges: np.ndarray
+    offsets: np.ndarray
+    cascade_ids: np.ndarray
+    probabilities: np.ndarray
+
+    @property
+    def n_candidates(self) -> int:
+        return self.edges.shape[0]
+
+    def support(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(cascade_ids, probabilities)`` slices of one candidate edge."""
+        lo, hi = int(self.offsets[index]), int(self.offsets[index + 1])
+        return self.cascade_ids[lo:hi], self.probabilities[lo:hi]
+
+
+def build_candidate_table(
+    cascades: CascadeSet, transmission_prob: float
+) -> CandidateEdgeTable:
+    """Enumerate every (j → i) pair observed in temporal order.
+
+    A pair is a candidate if, in at least one cascade, both nodes are
+    infected and ``j`` strictly precedes ``i``; its weight in that cascade
+    is the geometric transmission probability for the observed gap.
+    """
+    check_fraction("transmission_prob", transmission_prob)
+    n = cascades.n_nodes
+    log_survive = np.log1p(-transmission_prob)
+
+    sources: list[np.ndarray] = []
+    targets: list[np.ndarray] = []
+    cascade_ids: list[np.ndarray] = []
+    probabilities: list[np.ndarray] = []
+    for c_index, cascade in enumerate(cascades):
+        if len(cascade.times) < 2:
+            continue
+        nodes = np.fromiter(cascade.times.keys(), dtype=np.int64, count=len(cascade.times))
+        times = np.fromiter(cascade.times.values(), dtype=np.float64, count=len(cascade.times))
+        earlier = times[:, None] < times[None, :]
+        j_idx, i_idx = np.nonzero(earlier)
+        if j_idx.size == 0:
+            continue
+        gaps = times[i_idx] - times[j_idx]
+        weights = transmission_prob * np.exp((gaps - 1.0) * log_survive)
+        sources.append(nodes[j_idx])
+        targets.append(nodes[i_idx])
+        cascade_ids.append(np.full(j_idx.size, c_index, dtype=np.int64))
+        probabilities.append(weights)
+
+    if not sources:
+        empty = np.empty(0, dtype=np.int64)
+        return CandidateEdgeTable(
+            n_nodes=n,
+            edges=np.empty((0, 2), dtype=np.int64),
+            offsets=np.zeros(1, dtype=np.int64),
+            cascade_ids=empty,
+            probabilities=np.empty(0, dtype=np.float64),
+        )
+
+    all_sources = np.concatenate(sources)
+    all_targets = np.concatenate(targets)
+    all_cascades = np.concatenate(cascade_ids)
+    all_probs = np.concatenate(probabilities)
+
+    # Group entries by edge: sort by (source * n + target).
+    keys = all_sources * n + all_targets
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    all_cascades = all_cascades[order]
+    all_probs = all_probs[order]
+
+    unique_keys, start_indices = np.unique(keys, return_index=True)
+    offsets = np.concatenate([start_indices, [keys.size]]).astype(np.int64)
+    edges = np.stack([unique_keys // n, unique_keys % n], axis=1).astype(np.int64)
+    return CandidateEdgeTable(
+        n_nodes=n,
+        edges=edges,
+        offsets=offsets,
+        cascade_ids=all_cascades,
+        probabilities=all_probs,
+    )

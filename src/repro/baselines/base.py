@@ -1,0 +1,170 @@
+"""Shared interface for every network-inference algorithm in the library.
+
+The experiment harness treats TENDS and the baselines uniformly: each is a
+:class:`NetworkInferrer` that consumes an :class:`Observations` bundle and
+produces an :class:`InferenceOutput`.  The bundle advertises which views of
+the data exist, and each algorithm declares which views it ``requires`` —
+the harness can then explain *why* a method is inapplicable (e.g. LIFT
+without seed sets) instead of failing obscurely.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.exceptions import DataError
+from repro.graphs.digraph import DiffusionGraph
+from repro.simulation.cascades import CascadeSet
+from repro.simulation.engine import SimulationResult
+from repro.simulation.statuses import StatusMatrix
+
+__all__ = ["Observations", "InferenceOutput", "NetworkInferrer", "TendsInferrer"]
+
+EdgeScore = Mapping[tuple[int, int], float]
+
+
+@dataclass(frozen=True)
+class Observations:
+    """Every observation view an inference algorithm might consume.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of nodes in the unknown network.
+    statuses:
+        Final infection statuses (always present — the minimum observation).
+    cascades:
+        Timestamped cascades, if infection times were monitored.
+    seed_sets:
+        Initially infected node set per process, if sources were recorded.
+    """
+
+    n_nodes: int
+    statuses: StatusMatrix
+    cascades: CascadeSet | None = None
+    seed_sets: tuple[frozenset[int], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.statuses.n_nodes != self.n_nodes:
+            raise DataError(
+                f"statuses cover {self.statuses.n_nodes} nodes, expected {self.n_nodes}"
+            )
+        if self.cascades is not None and self.cascades.n_nodes != self.n_nodes:
+            raise DataError(
+                f"cascades cover {self.cascades.n_nodes} nodes, expected {self.n_nodes}"
+            )
+        if self.seed_sets is not None and len(self.seed_sets) != self.statuses.beta:
+            raise DataError(
+                f"{len(self.seed_sets)} seed sets for {self.statuses.beta} processes"
+            )
+
+    @property
+    def beta(self) -> int:
+        return self.statuses.beta
+
+    @classmethod
+    def from_simulation(cls, result: SimulationResult) -> "Observations":
+        """Package all three views of one simulation run."""
+        return cls(
+            n_nodes=result.graph.n_nodes,
+            statuses=result.statuses,
+            cascades=result.cascades,
+            seed_sets=tuple(result.seed_sets),
+        )
+
+    @classmethod
+    def from_statuses(cls, statuses: StatusMatrix) -> "Observations":
+        """Status-only observations (the TENDS setting)."""
+        return cls(n_nodes=statuses.n_nodes, statuses=statuses)
+
+    def available(self) -> frozenset[str]:
+        """Names of the views present in this bundle."""
+        views = {"statuses"}
+        if self.cascades is not None:
+            views.add("cascades")
+        if self.seed_sets is not None:
+            views.add("seed_sets")
+        return frozenset(views)
+
+
+@dataclass(frozen=True)
+class InferenceOutput:
+    """Result of one inference run.
+
+    Attributes
+    ----------
+    graph:
+        The inferred topology at the algorithm's operating point.
+    edge_scores:
+        Optional per-edge confidence scores (higher = more confident).
+        Present for weight-producing methods (NetRate, LIFT, correlation)
+        so the harness can sweep decision thresholds — the paper gives
+        NetRate exactly this preferential treatment (§V-A).
+    """
+
+    graph: DiffusionGraph
+    edge_scores: EdgeScore | None = None
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.n_edges
+
+
+class NetworkInferrer(abc.ABC):
+    """Base class for diffusion-network inference algorithms.
+
+    Subclasses set :attr:`name` (for report tables) and :attr:`requires`
+    (observation views they need) and implement :meth:`infer`.
+    """
+
+    #: Human-readable algorithm name used in report tables.
+    name: str = "inferrer"
+    #: Observation views the algorithm needs (subset of
+    #: {"statuses", "cascades", "seed_sets"}).
+    requires: frozenset[str] = frozenset({"statuses"})
+
+    def check_applicable(self, observations: Observations) -> None:
+        """Raise :class:`~repro.exceptions.DataError` if a required view
+        is missing from ``observations``."""
+        missing = self.requires - observations.available()
+        if missing:
+            raise DataError(
+                f"{self.name} requires observation views {sorted(missing)} "
+                f"which are not available"
+            )
+
+    @abc.abstractmethod
+    def infer(self, observations: Observations) -> InferenceOutput:
+        """Infer the network topology from ``observations``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class TendsInferrer(NetworkInferrer):
+    """Adapter running TENDS through the shared inferrer interface.
+
+    Parameters
+    ----------
+    config:
+        Optional :class:`~repro.core.config.TendsConfig`.
+    **overrides:
+        Config field overrides forwarded to :class:`~repro.core.tends.Tends`.
+    """
+
+    name = "TENDS"
+    requires = frozenset({"statuses"})
+
+    def __init__(self, config=None, **overrides) -> None:
+        from repro.core.tends import Tends
+
+        self._estimator = Tends(config, **overrides)
+        self.last_result = None
+
+    def infer(self, observations: Observations) -> InferenceOutput:
+        self.check_applicable(observations)
+        result = self._estimator.fit(observations.statuses)
+        self.last_result = result
+        return InferenceOutput(graph=result.graph)

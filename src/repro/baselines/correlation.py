@@ -1,0 +1,83 @@
+"""Naive correlation baseline (extension — not in the paper's comparison).
+
+Ranks node pairs by the φ coefficient (Pearson correlation of binary
+variables) of their final infection statuses and outputs the top-``m``
+ordered pairs.  It serves two purposes:
+
+* a sanity floor — any serious status-only method (TENDS) must beat it;
+* a demonstration of why raw correlation is insufficient: it cannot
+  distinguish direct influence from two-hop correlation, and, like every
+  status-only method, it is direction-blind (both orientations of a
+  correlated pair tie, so they are emitted in arbitrary order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import InferenceOutput, NetworkInferrer, Observations
+from repro.graphs.digraph import DiffusionGraph
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CorrelationRanker", "phi_coefficient_matrix"]
+
+
+def phi_coefficient_matrix(status_values: np.ndarray) -> np.ndarray:
+    """Pairwise φ coefficients of binary columns; diagonal zeroed.
+
+    Degenerate columns (always 0 or always 1) have zero variance and get
+    φ = 0 against everything.
+    """
+    data = status_values.astype(np.float64)
+    beta = data.shape[0]
+    if beta == 0:
+        raise ValueError("need at least one observation row")
+    means = data.mean(axis=0)
+    centered = data - means
+    covariance = centered.T @ centered / beta
+    std = data.std(axis=0)
+    denominator = np.outer(std, std)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        phi = np.where(denominator > 0, covariance / denominator, 0.0)
+    np.fill_diagonal(phi, 0.0)
+    return phi
+
+
+class CorrelationRanker(NetworkInferrer):
+    """Top-``m`` φ-coefficient pairs as inferred edges.
+
+    Parameters
+    ----------
+    n_edges:
+        Number of directed edges to emit.  Because φ is symmetric, pairs
+        enter in reciprocal couples until the budget runs out.
+    """
+
+    name = "CORR"
+    requires = frozenset({"statuses"})
+
+    def __init__(self, n_edges: int) -> None:
+        self.n_edges = check_positive_int("n_edges", n_edges)
+
+    def infer(self, observations: Observations) -> InferenceOutput:
+        self.check_applicable(observations)
+        phi = phi_coefficient_matrix(observations.statuses.values)
+        n = observations.n_nodes
+        upper_i, upper_j = np.triu_indices(n, k=1)
+        order = np.argsort(-phi[upper_i, upper_j], kind="stable")
+
+        graph = DiffusionGraph(n)
+        scores: dict[tuple[int, int], float] = {}
+        for index in order.tolist():
+            if graph.n_edges >= self.n_edges:
+                break
+            u, v = int(upper_i[index]), int(upper_j[index])
+            value = float(phi[u, v])
+            if value <= 0:
+                break
+            graph.add_edge(u, v)
+            scores[(u, v)] = value
+            if graph.n_edges < self.n_edges:
+                graph.add_edge(v, u)
+                scores[(v, u)] = value
+        return InferenceOutput(graph=graph.freeze(), edge_scores=scores)

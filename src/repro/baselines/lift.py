@@ -1,0 +1,127 @@
+"""LIFT — learning from contagion without timestamps (Amin et al., ICML 2014).
+
+LIFT consumes, per diffusion process, the *seed set* (initially infected
+nodes) and the final infection statuses, and scores each ordered pair
+``(u, v)`` by the **lifting effect** of seeding ``u`` on the infection of
+``v``:
+
+    lift(u → v) = P̂(X_v = 1 | u ∈ seeds) − P̂(X_v = 1 | u ∉ seeds)
+
+A strongly positive lift means observing ``u`` among the sources raises
+``v``'s infection probability, evidence of an influence path — and, for
+the strongest lifts, of a direct edge.  As in the paper's comparison
+(§V-A), LIFT needs to be told how many edges ``m`` to output; it returns
+the top-``m`` pairs by lift.  When the caller does not supply ``m``, it
+falls back to the positive-lift pairs whose lift exceeds ``min_lift``.
+
+Both conditional probabilities are estimated fully vectorised from the
+``β × n`` seed-indicator and status matrices, so the method is the
+fastest in the comparison — matching the paper's running-time panels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import InferenceOutput, NetworkInferrer, Observations
+from repro.exceptions import DataError
+from repro.graphs.digraph import DiffusionGraph
+from repro.utils.validation import check_non_negative, check_positive_int
+
+__all__ = ["Lift"]
+
+
+class Lift(NetworkInferrer):
+    """Lifting-effect topology inference.
+
+    Parameters
+    ----------
+    n_edges:
+        Number of edges to output (the paper supplies the true ``m``).
+        ``None`` selects all pairs with lift > ``min_lift`` instead.
+    min_lift:
+        Fallback decision threshold used when ``n_edges`` is ``None``.
+    min_support:
+        Minimum number of processes in which ``u`` must appear as a seed
+        (and as a non-seed) for the conditional estimates to count; pairs
+        below support get a lift of −∞.
+    """
+
+    name = "LIFT"
+    requires = frozenset({"statuses", "seed_sets"})
+
+    def __init__(
+        self,
+        n_edges: int | None = None,
+        *,
+        min_lift: float = 0.0,
+        min_support: int = 3,
+    ) -> None:
+        if n_edges is not None:
+            check_positive_int("n_edges", n_edges)
+        check_non_negative("min_lift", min_lift)
+        check_positive_int("min_support", min_support)
+        self.n_edges = n_edges
+        self.min_lift = min_lift
+        self.min_support = min_support
+
+    # ------------------------------------------------------------------
+    def lift_matrix(self, observations: Observations) -> np.ndarray:
+        """The ``n × n`` matrix of lifting effects, ``L[u, v] = lift(u → v)``.
+
+        Entries with insufficient support (see ``min_support``) and the
+        diagonal are ``-inf``.
+        """
+        self.check_applicable(observations)
+        statuses = observations.statuses.values.astype(np.float64)
+        beta, n = statuses.shape
+        seeds = np.zeros((beta, n), dtype=np.float64)
+        for row, seed_set in enumerate(observations.seed_sets):
+            for node in seed_set:
+                seeds[row, node] = 1.0
+
+        seeded_count = seeds.sum(axis=0)  # per node u: processes with u seeded
+        unseeded_count = beta - seeded_count
+        # co[u, v] = number of processes where u seeded and v infected
+        co_seeded = seeds.T @ statuses
+        co_unseeded = (1.0 - seeds).T @ statuses
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p_given_seeded = np.where(
+                seeded_count[:, None] > 0, co_seeded / seeded_count[:, None], 0.0
+            )
+            p_given_unseeded = np.where(
+                unseeded_count[:, None] > 0,
+                co_unseeded / unseeded_count[:, None],
+                0.0,
+            )
+        lift = p_given_seeded - p_given_unseeded
+        unsupported = (seeded_count < self.min_support) | (
+            unseeded_count < self.min_support
+        )
+        lift[unsupported, :] = -np.inf
+        np.fill_diagonal(lift, -np.inf)
+        return lift
+
+    def infer(self, observations: Observations) -> InferenceOutput:
+        lift = self.lift_matrix(observations)
+        n = observations.n_nodes
+        flat = lift.ravel()
+        finite = np.isfinite(flat)
+        if self.n_edges is not None:
+            k = min(self.n_edges, int(finite.sum()))
+            if k == 0:
+                chosen = np.empty(0, dtype=np.int64)
+            else:
+                candidates = np.argpartition(-np.where(finite, flat, -np.inf), k - 1)[:k]
+                chosen = candidates[np.isfinite(flat[candidates])]
+        else:
+            chosen = np.nonzero(finite & (flat > self.min_lift))[0]
+
+        graph = DiffusionGraph(n)
+        scores: dict[tuple[int, int], float] = {}
+        for index in chosen.tolist():
+            u, v = divmod(index, n)
+            graph.add_edge(u, v)
+            scores[(u, v)] = float(flat[index])
+        return InferenceOutput(graph=graph.freeze(), edge_scores=scores)

@@ -1,0 +1,110 @@
+"""MulTree — submodular inference from multiple trees (ICML 2012).
+
+MulTree refines NetInf by weighting **all** propagation trees a cascade
+supports instead of only the most probable one.  Under the tree-likelihood
+factorisation, summing over all trees reduces (by the matrix-tree-style
+argument in the original paper) to a per-infection sum over the possible
+parents present in the graph:
+
+    L_c(G) = Π_{i infected, non-seed} ( ε + Σ_{j ∈ pa_G(i), t_j < t_i} w_c(j, i) )
+
+so the marginal gain of adding edge ``(j → i)`` is
+
+    gain(j → i) = Σ_c log( 1 + w_c(j,i) / mass_c(i) )
+
+with ``mass_c(i)`` the current parent-weight sum (initially the ε
+background).  The objective is again monotone submodular, so the same
+lazy (CELF) greedy applies; the difference from NetInf is that gains
+never truncate at zero — every supported parent contributes — which is
+what buys MulTree its accuracy edge (and its extra runtime) in the
+paper's comparison.
+
+Like the paper's experimental protocol, MulTree is given the true number
+of edges ``m`` as its budget (§V-A).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.baselines._cascadetrees import (
+    EPSILON_WEIGHT,
+    CandidateEdgeTable,
+    build_candidate_table,
+)
+from repro.baselines.base import InferenceOutput, NetworkInferrer, Observations
+from repro.graphs.digraph import DiffusionGraph
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = ["MulTree"]
+
+_GAIN_EPS = 1e-12
+
+
+class MulTree(NetworkInferrer):
+    """All-trees submodular greedy inference from cascades.
+
+    Parameters
+    ----------
+    n_edges:
+        Edge budget (the paper supplies the true ``m``).
+    transmission_prob:
+        Assumed per-round transmission probability for the geometric edge
+        weights.
+    """
+
+    name = "MulTree"
+    requires = frozenset({"cascades"})
+
+    def __init__(self, n_edges: int, *, transmission_prob: float = 0.3) -> None:
+        self.n_edges = check_positive_int("n_edges", n_edges)
+        self.transmission_prob = check_fraction("transmission_prob", transmission_prob)
+
+    def infer(self, observations: Observations) -> InferenceOutput:
+        self.check_applicable(observations)
+        assert observations.cascades is not None  # check_applicable guarantees it
+        table = build_candidate_table(observations.cascades, self.transmission_prob)
+        graph, scores = _greedy_all_trees(
+            table, observations.beta, observations.n_nodes, self.n_edges
+        )
+        return InferenceOutput(graph=graph, edge_scores=scores)
+
+
+def _greedy_all_trees(
+    table: CandidateEdgeTable, beta: int, n: int, budget: int
+) -> tuple[DiffusionGraph, dict[tuple[int, int], float]]:
+    """CELF greedy on the all-trees (parent-mass) objective."""
+    graph = DiffusionGraph(n)
+    scores: dict[tuple[int, int], float] = {}
+    if table.n_candidates == 0:
+        return graph.freeze(), scores
+
+    # mass[c, i]: summed parent weight currently explaining i in cascade c.
+    mass = np.full((beta, n), EPSILON_WEIGHT)
+
+    def gain(index: int) -> float:
+        lo, hi = int(table.offsets[index]), int(table.offsets[index + 1])
+        cs = table.cascade_ids[lo:hi]
+        target = int(table.edges[index, 1])
+        return float(np.log1p(table.probabilities[lo:hi] / mass[cs, target]).sum())
+
+    heap: list[tuple[float, int]] = [(-gain(e), e) for e in range(table.n_candidates)]
+    heapq.heapify(heap)
+
+    while heap and graph.n_edges < budget:
+        negative_gain, index = heapq.heappop(heap)
+        fresh = gain(index)
+        if fresh <= _GAIN_EPS:
+            break
+        if heap and fresh < -heap[0][0] - _GAIN_EPS:
+            heapq.heappush(heap, (-fresh, index))
+            continue
+        source, target = int(table.edges[index, 0]), int(table.edges[index, 1])
+        graph.add_edge(source, target)
+        scores[(source, target)] = fresh
+        lo, hi = int(table.offsets[index]), int(table.offsets[index + 1])
+        cs = table.cascade_ids[lo:hi]
+        mass[cs, target] += table.probabilities[lo:hi]
+    return graph.freeze(), scores

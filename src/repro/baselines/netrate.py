@@ -1,0 +1,153 @@
+"""NetRate — convex MLE of transmission rates (Gomez-Rodriguez et al., ICML 2011).
+
+NetRate models each potential edge ``(j → i)`` with a transmission rate
+``α_ji ≥ 0`` under a continuous-time exponential transmission likelihood.
+For one cascade ``c`` observed up to horizon ``T`` the log-likelihood of
+node ``i`` factorises as
+
+* ``i`` infected at ``t_i > 0``:
+  ``log Σ_{j: t_j < t_i} α_ji  −  Σ_{j: t_j < t_i} α_ji (t_i − t_j)``
+* ``i`` uninfected:
+  ``− Σ_{j infected} α_ji (T − t_j)``
+* ``i`` a seed: no term (its infection is exogenous).
+
+The problem decomposes per target node into independent concave programs
+(the source of NetRate's "convex programming" label).  We solve each with
+the standard EM / minorise-maximise update for sums of exponentials,
+
+    α_j ← ( Σ_c α_j · D_cj / H_c ) / g_j ,
+
+where ``D_cj`` indicates ``j`` preceding ``i`` in cascade ``c``, ``H_c``
+is the hazard sum and ``g_j`` the accumulated exposure time.  The update
+is monotone in the likelihood, needs no step size, and keeps rates
+non-negative by construction — a faithful, dependency-free stand-in for
+the authors' SQP solver.
+
+NetRate returns *rates*, not a topology; following the paper's protocol
+(§V-A: "we use different thresholds to find the highest F-score"), the
+evaluation harness sweeps the decision threshold and reports NetRate's
+best achievable F-score.  :meth:`NetRate.infer` applies a default
+threshold for standalone use and always attaches the full rate matrix as
+edge scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import InferenceOutput, NetworkInferrer, Observations
+from repro.exceptions import ConvergenceError
+from repro.graphs.digraph import DiffusionGraph
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = ["NetRate"]
+
+#: Hazard regulariser: keeps log(H) finite for infections with no visible
+#: parent (cannot occur in clean simulated cascades, but defensive).
+_HAZARD_EPS = 1e-12
+
+
+class NetRate(NetworkInferrer):
+    """Exponential-model transmission-rate MLE from cascades.
+
+    Parameters
+    ----------
+    max_iterations:
+        EM iteration budget per target node.
+    tolerance:
+        Early-stop when the largest rate change falls below this.
+    rate_threshold:
+        Rates above this become edges in the standalone :meth:`infer`
+        topology (the harness sweeps thresholds instead, matching the
+        paper's preferential treatment of NetRate).
+    """
+
+    name = "NetRate"
+    requires = frozenset({"cascades"})
+
+    def __init__(
+        self,
+        *,
+        max_iterations: int = 60,
+        tolerance: float = 1e-5,
+        rate_threshold: float = 0.05,
+    ) -> None:
+        self.max_iterations = check_positive_int("max_iterations", max_iterations)
+        self.tolerance = check_positive("tolerance", tolerance)
+        self.rate_threshold = check_non_negative("rate_threshold", rate_threshold)
+
+    # ------------------------------------------------------------------
+    def rate_matrix(self, observations: Observations) -> np.ndarray:
+        """Estimate the full ``(n, n)`` rate matrix ``A`` with ``A[j, i] = α_ji``."""
+        self.check_applicable(observations)
+        assert observations.cascades is not None  # check_applicable guarantees it
+        cascades = observations.cascades
+        times = cascades.time_matrix()  # (beta, n); inf = uninfected
+        horizon = cascades.horizon
+        beta, n = times.shape
+        finite = np.isfinite(times)
+
+        rates = np.zeros((n, n))
+        for target in range(n):
+            rates[:, target] = self._solve_node(times, finite, horizon, target)
+        return rates
+
+    def _solve_node(
+        self,
+        times: np.ndarray,
+        finite: np.ndarray,
+        horizon: float,
+        target: int,
+    ) -> np.ndarray:
+        """EM for one target node's incoming rates."""
+        beta, n = times.shape
+        t_target = times[:, target]
+        # Effective end of exposure per cascade: infection time if infected,
+        # else the horizon.  Seeds have t = 0, zeroing their exposure row.
+        end = np.where(np.isfinite(t_target), t_target, horizon)
+        exposure = np.clip(end[:, None] - times, 0.0, None)
+        exposure[~finite] = 0.0  # uninfected js never expose anyone
+        g = exposure.sum(axis=0)  # total exposure per candidate parent
+        g[target] = 0.0
+
+        # D[c, j] = 1 iff j could have infected target in cascade c.
+        infected_rows = np.isfinite(t_target) & (t_target > 0)
+        d_matrix = finite & (times < t_target[:, None]) & infected_rows[:, None]
+        d_matrix[:, target] = False
+        d_float = d_matrix.astype(np.float64)
+
+        active = (g > 0) & (d_float.sum(axis=0) > 0)
+        alpha = np.zeros(n)
+        if not active.any():
+            return alpha
+        alpha[active] = 1.0 / max(horizon, 1.0)
+
+        d_active = d_float[:, active]
+        g_active = g[active]
+        a = alpha[active]
+        for _ in range(self.max_iterations):
+            hazard = d_active @ a + _HAZARD_EPS
+            responsibilities = d_active.T @ (1.0 / hazard)
+            updated = a * responsibilities / g_active
+            change = float(np.max(np.abs(updated - a))) if a.size else 0.0
+            a = updated
+            if change < self.tolerance:
+                break
+        alpha[active] = a
+        return alpha
+
+    def infer(self, observations: Observations) -> InferenceOutput:
+        rates = self.rate_matrix(observations)
+        n = observations.n_nodes
+        graph = DiffusionGraph(n)
+        scores: dict[tuple[int, int], float] = {}
+        sources, targets = np.nonzero(rates > 0)
+        for j, i in zip(sources.tolist(), targets.tolist()):
+            scores[(j, i)] = float(rates[j, i])
+            if rates[j, i] > self.rate_threshold:
+                graph.add_edge(j, i)
+        return InferenceOutput(graph=graph.freeze(), edge_scores=scores)

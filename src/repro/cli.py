@@ -1,0 +1,390 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI chains the library's stages through files, so each step can be
+run, inspected, and re-run independently:
+
+    python -m repro generate lfr --n 200 --avg-degree 4 -o truth.txt
+    python -m repro simulate truth.txt --beta 150 -o statuses.csv
+    python -m repro infer statuses.csv -o inferred.txt
+    python -m repro evaluate truth.txt inferred.txt
+    python -m repro estimate-probabilities inferred.txt statuses.csv
+    python -m repro analyze truth.txt inferred.txt
+    python -m repro influence inferred.txt --k 5 --statuses statuses.csv
+    python -m repro figure fig1 --scale quick
+
+Graphs travel as edge lists (``repro.graphs.io``), statuses as CSV or NPZ
+(``repro.simulation.io``); formats are chosen by file extension.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.compare import compare_topologies
+from repro.analysis.influence import greedy_influence_maximization
+from repro.core.edge_probabilities import estimate_edge_probabilities
+from repro.core.tends import Tends
+from repro.evaluation.figures import figure_spec, list_figures
+from repro.evaluation.harness import run_experiment
+from repro.evaluation.metrics import evaluate_edges
+from repro.evaluation.reporting import (
+    format_result_table,
+    format_series,
+    render_markdown_report,
+)
+from repro.exceptions import ReproError
+from repro.graphs import io as graph_io
+from repro.graphs.digraph import DiffusionGraph
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.graphs.generators.random_graphs import (
+    barabasi_albert_digraph,
+    erdos_renyi_digraph,
+    random_tree_digraph,
+)
+from repro.graphs.generators.realworld import dunf, netsci
+from repro.graphs.metrics import summarize_graph
+from repro.simulation import io as sim_io
+from repro.simulation.engine import DiffusionSimulator
+from repro.simulation.statuses import StatusMatrix
+
+__all__ = ["main", "build_parser"]
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+def _read_statuses(path: Path) -> StatusMatrix:
+    if path.suffix == ".npz":
+        return sim_io.read_statuses_npz(path)
+    return sim_io.read_statuses_csv(path)
+
+
+def _write_statuses(statuses: StatusMatrix, path: Path) -> None:
+    if path.suffix == ".npz":
+        sim_io.write_statuses_npz(statuses, path)
+    else:
+        sim_io.write_statuses_csv(statuses, path)
+
+
+def _read_graph(path: Path) -> DiffusionGraph:
+    if path.suffix == ".json":
+        return graph_io.read_json(path)
+    return graph_io.read_edge_list(path)
+
+
+def _write_graph(graph: DiffusionGraph, path: Path) -> None:
+    if path.suffix == ".json":
+        graph_io.write_json(graph, path)
+    else:
+        graph_io.write_edge_list(graph, path)
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "lfr":
+        graph = lfr_benchmark_graph(
+            LFRParams(
+                n=args.n,
+                avg_degree=args.avg_degree,
+                tau=args.tau,
+                orientation=args.orientation,
+            ),
+            seed=args.seed,
+        )
+    elif args.kind == "er":
+        graph = erdos_renyi_digraph(args.n, args.density, seed=args.seed)
+    elif args.kind == "ba":
+        graph = barabasi_albert_digraph(args.n, args.attach, seed=args.seed)
+    elif args.kind == "tree":
+        graph = random_tree_digraph(args.n, seed=args.seed)
+    elif args.kind == "netsci":
+        graph = netsci(args.seed)
+    else:  # dunf — choices are closed by argparse
+        graph = dunf(args.seed)
+    _write_graph(graph, args.output)
+    summary = summarize_graph(graph)
+    print(f"wrote {args.output}: {summary.as_row()}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    graph = _read_graph(args.graph)
+    simulator = DiffusionSimulator(
+        graph, mu=args.mu, alpha=args.alpha, seed=args.seed
+    )
+    result = simulator.run(beta=args.beta)
+    _write_statuses(result.statuses, args.output)
+    print(
+        f"simulated {args.beta} processes on {graph.n_nodes} nodes; "
+        f"infection fraction {result.infection_fraction():.3f}; "
+        f"wrote {args.output}"
+    )
+    if args.cascades is not None:
+        sim_io.write_cascades_jsonl(result.cascades, args.cascades)
+        print(f"wrote cascades to {args.cascades}")
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    statuses = _read_statuses(args.statuses)
+    estimator = Tends(
+        mi_kind=args.mi_kind,
+        threshold=args.threshold,
+        threshold_scale=args.threshold_scale,
+        search_strategy=args.search_strategy,
+        max_combination_size=args.max_combination_size,
+    )
+    result = estimator.fit(statuses)
+    _write_graph(result.graph, args.output)
+    total = sum(result.stage_seconds.values())
+    print(
+        f"TENDS: tau = {result.threshold:.6f}, inferred {result.n_edges} edges "
+        f"from {statuses.beta} processes in {total:.2f}s; wrote {args.output}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    truth = _read_graph(args.truth)
+    inferred = _read_graph(args.inferred)
+    metrics = evaluate_edges(truth, inferred, undirected=args.undirected)
+    mode = "undirected" if args.undirected else "directed"
+    print(
+        f"{mode}: precision = {metrics.precision:.4f}, "
+        f"recall = {metrics.recall:.4f}, F-score = {metrics.f_score:.4f} "
+        f"(tp={metrics.true_positives}, fp={metrics.false_positives}, "
+        f"fn={metrics.false_negatives})"
+    )
+    return 0
+
+
+def _cmd_estimate_probabilities(args: argparse.Namespace) -> int:
+    graph = _read_graph(args.graph)
+    statuses = _read_statuses(args.statuses)
+    probabilities = estimate_edge_probabilities(graph, statuses)
+    lines = [
+        f"{source} {target} {probability:.6f}"
+        for (source, target), probability in sorted(probabilities.items())
+    ]
+    if args.output is not None:
+        args.output.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(f"wrote {len(lines)} edge probabilities to {args.output}")
+    else:
+        print("\n".join(lines))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.evaluation.archive import load_result
+
+    archives = sorted(args.archives)
+    if not archives:
+        print("no archive files given", file=sys.stderr)
+        return 2
+    results = [load_result(path) for path in archives]
+    text = render_markdown_report(results)
+    if args.output is not None:
+        args.output.write_text(text, encoding="utf-8")
+        print(f"wrote report for {len(results)} experiments to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    truth = _read_graph(args.truth)
+    inferred = _read_graph(args.inferred)
+    report = compare_topologies(truth, inferred, top_hub_count=args.hubs)
+    width = max(len(key) for key in report)
+    for key, value in report.items():
+        print(f"{key.ljust(width)}  {value:.4f}")
+    return 0
+
+
+def _cmd_influence(args: argparse.Namespace) -> int:
+    graph = _read_graph(args.graph)
+    if args.statuses is not None:
+        statuses = _read_statuses(args.statuses)
+        probabilities = estimate_edge_probabilities(graph, statuses)
+        # Clamp away zero estimates so every edge stays usable.
+        probabilities = {
+            edge: max(p, 0.01) for edge, p in probabilities.items()
+        }
+        source = "estimated from statuses"
+    else:
+        probabilities = {edge: args.probability for edge in graph.edges()}
+        source = f"uniform {args.probability}"
+    seeds, spread = greedy_influence_maximization(
+        graph,
+        args.k,
+        probabilities,
+        n_samples=args.samples,
+        seed=args.seed,
+    )
+    print(
+        f"top-{args.k} seeds (edge probabilities {source}): "
+        f"{' '.join(str(s) for s in seeds)}"
+    )
+    print(f"estimated expected spread: {spread:.1f} of {graph.n_nodes} nodes")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.list:
+        print("available figures:", ", ".join(list_figures()))
+        return 0
+    if args.all:
+        figure_ids = list_figures()
+    elif args.figure is not None:
+        figure_ids = [args.figure]
+    else:
+        print("specify a figure id, --all, or --list", file=sys.stderr)
+        return 2
+    for figure_id in figure_ids:
+        spec = figure_spec(figure_id, scale=args.scale)
+        result = run_experiment(spec, seed=args.seed)
+        print(format_result_table(result))
+        print()
+        print(format_series(result))
+        if args.out is not None:
+            from repro.evaluation.archive import save_result
+
+            args.out.mkdir(parents=True, exist_ok=True)
+            save_result(result, args.out / f"{figure_id}.json")
+            print(f"archived to {args.out / (figure_id + '.json')}")
+        if len(figure_ids) > 1:
+            print()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TENDS diffusion-network reconstruction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a ground-truth network")
+    generate.add_argument(
+        "kind", choices=("lfr", "er", "ba", "tree", "netsci", "dunf")
+    )
+    generate.add_argument("--n", type=int, default=200)
+    generate.add_argument("--avg-degree", type=float, default=4.0)
+    generate.add_argument("--tau", type=float, default=2.0)
+    generate.add_argument(
+        "--orientation", choices=("reciprocal", "random"), default="reciprocal"
+    )
+    generate.add_argument("--density", type=float, default=0.02, help="ER edge probability")
+    generate.add_argument("--attach", type=int, default=2, help="BA attachment count")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", type=Path, required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    simulate = subparsers.add_parser("simulate", help="simulate diffusion processes")
+    simulate.add_argument("graph", type=Path)
+    simulate.add_argument("--beta", type=int, default=150)
+    simulate.add_argument("--mu", type=float, default=0.3)
+    simulate.add_argument("--alpha", type=float, default=0.15)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("-o", "--output", type=Path, required=True)
+    simulate.add_argument(
+        "--cascades", type=Path, default=None, help="also write cascades (JSONL)"
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    infer = subparsers.add_parser("infer", help="run TENDS on a status matrix")
+    infer.add_argument("statuses", type=Path)
+    infer.add_argument("--mi-kind", choices=("infection", "traditional"), default="infection")
+    infer.add_argument("--threshold", type=float, default=None)
+    infer.add_argument("--threshold-scale", type=float, default=1.0)
+    infer.add_argument(
+        "--search-strategy",
+        choices=("greedy-rescoring", "ranked-union"),
+        default="greedy-rescoring",
+    )
+    infer.add_argument("--max-combination-size", type=int, default=1)
+    infer.add_argument("-o", "--output", type=Path, required=True)
+    infer.set_defaults(func=_cmd_infer)
+
+    evaluate = subparsers.add_parser("evaluate", help="score an inferred topology")
+    evaluate.add_argument("truth", type=Path)
+    evaluate.add_argument("inferred", type=Path)
+    evaluate.add_argument("--undirected", action="store_true")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    estimate = subparsers.add_parser(
+        "estimate-probabilities",
+        help="estimate per-edge propagation probabilities",
+    )
+    estimate.add_argument("graph", type=Path)
+    estimate.add_argument("statuses", type=Path)
+    estimate.add_argument("-o", "--output", type=Path, default=None)
+    estimate.set_defaults(func=_cmd_estimate_probabilities)
+
+    report = subparsers.add_parser(
+        "report", help="render archived experiment results as Markdown"
+    )
+    report.add_argument("archives", type=Path, nargs="*")
+    report.add_argument("-o", "--output", type=Path, default=None)
+    report.set_defaults(func=_cmd_report)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="structural truth-vs-inferred comparison report"
+    )
+    analyze.add_argument("truth", type=Path)
+    analyze.add_argument("inferred", type=Path)
+    analyze.add_argument("--hubs", type=int, default=10)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    influence = subparsers.add_parser(
+        "influence", help="greedy influence-maximising seed selection"
+    )
+    influence.add_argument("graph", type=Path)
+    influence.add_argument("--k", type=int, default=5)
+    influence.add_argument(
+        "--statuses",
+        type=Path,
+        default=None,
+        help="estimate edge probabilities from these statuses",
+    )
+    influence.add_argument("--probability", type=float, default=0.3)
+    influence.add_argument("--samples", type=int, default=100)
+    influence.add_argument("--seed", type=int, default=0)
+    influence.set_defaults(func=_cmd_influence)
+
+    figure = subparsers.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("figure", nargs="?", default=None)
+    figure.add_argument("--scale", choices=("quick", "full"), default="quick")
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument("--list", action="store_true")
+    figure.add_argument("--all", action="store_true", help="run every figure")
+    figure.add_argument(
+        "--out", type=Path, default=None, help="archive results (JSON) here"
+    )
+    figure.set_defaults(func=_cmd_figure)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `| head`): exit quietly.
+        sys.stderr.close()
+        return 0

@@ -1,0 +1,55 @@
+"""TENDS core: infection MI, threshold selection, scoring, parent search."""
+
+from repro.core.config import TendsConfig
+from repro.core.edge_probabilities import (
+    attributable_risk,
+    estimate_edge_probabilities,
+)
+from repro.core.imi import (
+    infection_mi_matrix,
+    pointwise_mi_terms,
+    traditional_mi_matrix,
+)
+from repro.core.kmeans import fixed_zero_two_means
+from repro.core.scoring import (
+    FamilyCounts,
+    delta_i,
+    family_counts,
+    global_score,
+    local_score,
+    log_likelihood,
+    penalty,
+    size_bound,
+)
+from repro.core.search import ParentSearch, SearchDiagnostics
+from repro.core.selection import (
+    ThresholdSelection,
+    predictive_log_likelihood,
+    select_threshold_scale,
+)
+from repro.core.tends import Tends, TendsResult
+
+__all__ = [
+    "TendsConfig",
+    "attributable_risk",
+    "estimate_edge_probabilities",
+    "pointwise_mi_terms",
+    "infection_mi_matrix",
+    "traditional_mi_matrix",
+    "fixed_zero_two_means",
+    "FamilyCounts",
+    "family_counts",
+    "log_likelihood",
+    "penalty",
+    "local_score",
+    "global_score",
+    "delta_i",
+    "size_bound",
+    "ParentSearch",
+    "SearchDiagnostics",
+    "ThresholdSelection",
+    "predictive_log_likelihood",
+    "select_threshold_scale",
+    "Tends",
+    "TendsResult",
+]

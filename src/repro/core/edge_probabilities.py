@@ -1,0 +1,88 @@
+"""Propagation-probability estimation for an inferred topology.
+
+The paper focuses on recovering the *edge set* and notes that "a few
+existing approaches have presented how to quantify the propagation
+probability for a specific edge based on observed infection status
+results [28]" (§III).  This module supplies that missing piece so the
+library's output is a fully parameterised diffusion network.
+
+Estimator.  Under the independent-cascade model, a node ``v`` with parent
+set ``F`` ends a process *uninfected* with probability
+
+    P(X_v = 0 | X_F = π) = (1 − s_v) · Π_{u ∈ F : π_u = 1} (1 − p_{u→v})
+
+where ``s_v`` absorbs seeding and background effects.  Taking the
+complementary view per parent: comparing the child's infection frequency
+between processes where *only* the subsets of parents differ is noisy at
+realistic β, so we use the standard **attributable-risk** estimator
+
+    p̂_{u→v} = max(0, (q₁ − q₀) / (1 − q₀)),
+
+with ``q₁ = P̂(X_v = 1 | X_u = 1)`` and ``q₀ = P̂(X_v = 1 | X_u = 0)``.
+``q₀`` estimates the probability that ``v`` is infected through seeding or
+its other parents; the formula rescales the excess infection rate under
+``u``'s infection to the share of processes where those other causes did
+not fire.  For a single-parent node this is exactly the MLE of the edge
+probability; with multiple parents it is consistent when parents'
+infections are weakly dependent, and empirically recovers the simulator's
+Gaussian ``μ`` within a few hundredths (see the unit tests).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.graphs.digraph import DiffusionGraph
+from repro.simulation.statuses import StatusMatrix
+
+__all__ = ["estimate_edge_probabilities", "attributable_risk"]
+
+
+def attributable_risk(statuses: StatusMatrix, parent: int, child: int) -> float:
+    """The attributable-risk probability estimate for one edge.
+
+    Returns 0.0 when the conditioning cells are empty (the parent is
+    always or never infected) — an edge with no contrast in the data
+    carries no probability information.
+    """
+    parent_states = statuses.column(parent).astype(bool)
+    child_states = statuses.column(child).astype(np.float64)
+    n_parent_infected = int(parent_states.sum())
+    n_parent_uninfected = statuses.beta - n_parent_infected
+    if n_parent_infected == 0 or n_parent_uninfected == 0:
+        return 0.0
+    q1 = float(child_states[parent_states].mean())
+    q0 = float(child_states[~parent_states].mean())
+    if q0 >= 1.0:
+        return 0.0
+    return max(0.0, (q1 - q0) / (1.0 - q0))
+
+
+def estimate_edge_probabilities(
+    graph: DiffusionGraph, statuses: StatusMatrix
+) -> dict[tuple[int, int], float]:
+    """Estimate a propagation probability for every edge of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        An inferred (or known) topology over the same nodes as ``statuses``.
+    statuses:
+        The observed final infection statuses.
+
+    Returns
+    -------
+    dict
+        ``{(parent, child): probability}`` for every directed edge.
+    """
+    if graph.n_nodes != statuses.n_nodes:
+        raise DataError(
+            f"graph has {graph.n_nodes} nodes but statuses cover {statuses.n_nodes}"
+        )
+    return {
+        (parent, child): attributable_risk(statuses, parent, child)
+        for parent, child in graph.edges()
+    }

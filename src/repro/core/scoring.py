@@ -1,0 +1,239 @@
+"""The TENDS scoring criterion (paper §IV-A, Eq. 3–23).
+
+Given observed statuses ``S`` and a candidate parent set ``F_i`` for node
+``v_i``, the paper scores the family with
+
+    g(v_i, F_i) = log2 L(v_i, F_i) − ½ · Σ_j log2(N_ij + 1)          (Eq. 13)
+
+where ``L`` is the maximised multinomial likelihood of the child's status
+given each observed parent-status combination ``π_ij``:
+
+    log2 L(v_i, F_i) = Σ_j Σ_k N_ijk · log2(N_ijk / N_ij)            (Eq. 3)
+
+``N_ijk`` counts processes with parent pattern ``π_ij`` and child status
+``s_k``; ``N_ij = N_ij1 + N_ij2``.  Combinations that never occur in ``S``
+(the paper's ``φ`` non-existent combinations) contribute nothing to either
+term because ``N_ij = 0 ⇒ log2(N_ij + 1) = 0``.
+
+Theorem 2 bounds how large a useful parent set can be:
+
+    |F_i| ≤ log2(φ_{F_i} + δ_i)                                      (Eq. 16)
+    δ_i   = 2·N₁·log2(β/N₁) + 2·N₂·log2(β/N₂) + log2(β + 1)          (Eq. 17)
+
+with ``N₁``/``N₂`` the child's uninfected/infected process counts (terms
+with ``N = 0`` vanish under the same convention).
+
+Everything here is computed from bit-packed parent patterns, giving
+``O(β · |F_i|)`` per evaluation as the complexity analysis (§IV-D)
+requires.
+
+>>> from repro.simulation.statuses import StatusMatrix
+>>> statuses = StatusMatrix([[1, 1], [1, 1], [0, 0], [0, 0], [1, 0], [0, 1]])
+>>> counts = family_counts(statuses, child=1, parents=[0])
+>>> counts.totals.tolist()      # processes with parent=0 / parent=1
+[3, 3]
+>>> counts.infected.tolist()    # child infected in each group
+[1, 2]
+>>> round(local_score(statuses, 1, [0]), 3)   # 2 disagreements in 6 runs:
+-7.51
+>>> round(empty_set_score(statuses, 1), 3)    # ... the penalty rejects it
+-7.404
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.simulation.statuses import StatusMatrix
+
+__all__ = [
+    "FamilyCounts",
+    "family_counts",
+    "log_likelihood",
+    "penalty",
+    "local_score",
+    "empty_set_score",
+    "global_score",
+    "delta_i",
+    "size_bound",
+    "phi_from_counts",
+]
+
+
+@dataclass(frozen=True)
+class FamilyCounts:
+    """Contingency counts of a (child, parent set) family.
+
+    Counts are stored **sparsely over the observed combinations**: the
+    non-existent combinations (the paper's ``φ``) contribute 0 to both the
+    likelihood and the penalty, so they never need materialising.  This is
+    what keeps the search safe on large parent sets — Theorem 2's bound
+    ``|F| ≤ log2(φ + δ)`` is self-satisfying once ``2^|F|`` dwarfs β
+    (``φ ≈ 2^|F|``), so the literal Algorithm-1 strategy can legitimately
+    reach parent sets for which ``2^|F|`` cells would not fit in memory.
+
+    Attributes
+    ----------
+    n_parents:
+        ``|F_i|``.
+    totals:
+        ``N_ij`` for every **observed** combination ``j`` (all entries > 0
+        whenever there is at least one process).
+    infected:
+        ``N_ij2`` — processes with parent pattern ``j`` and child infected,
+        aligned with ``totals``.
+    beta:
+        Total number of processes (``Σ_j N_ij``).
+    """
+
+    n_parents: int
+    totals: np.ndarray
+    infected: np.ndarray
+    beta: int
+
+    @property
+    def uninfected(self) -> np.ndarray:
+        """``N_ij1`` — child uninfected per observed combination."""
+        return self.totals - self.infected
+
+    @property
+    def n_possible(self) -> int:
+        """``2^{|F_i|}`` possible parent-status combinations.
+
+        A plain Python int: for wide parent sets this exceeds any fixed
+        integer width, and it only ever feeds ``log2`` via ``phi``.
+        """
+        return 1 << self.n_parents
+
+    @property
+    def n_observed(self) -> int:
+        """Number of combinations with at least one instance in ``S``."""
+        return int(np.count_nonzero(self.totals))
+
+    @property
+    def phi(self) -> int:
+        """``φ_{F_i}`` — combinations with no instances (paper §IV-A)."""
+        return self.n_possible - self.n_observed
+
+
+def family_counts(
+    statuses: StatusMatrix, child: int, parents: Sequence[int]
+) -> FamilyCounts:
+    """Count ``N_ij`` / ``N_ijk`` for ``child`` given ``parents``.
+
+    Parent patterns are bit-packed (first parent = least-significant bit);
+    only the observed patterns are materialised (see
+    :class:`FamilyCounts`).
+    """
+    parent_list = [int(p) for p in parents]
+    if child in parent_list:
+        raise DataError(f"node {child} cannot be its own parent")
+    if len(set(parent_list)) != len(parent_list):
+        raise DataError(f"duplicate parents in {parent_list}")
+    _, inverse, totals = statuses.observed_pattern_counts(parent_list)
+    child_states = statuses.column(child).astype(np.float64)
+    infected = np.bincount(
+        inverse, weights=child_states, minlength=totals.shape[0]
+    ).astype(np.int64)
+    return FamilyCounts(
+        n_parents=len(parent_list),
+        totals=totals,
+        infected=infected,
+        beta=statuses.beta,
+    )
+
+
+def log_likelihood(counts: FamilyCounts) -> float:
+    """``log2 L(v_i, F_i)`` (Eq. 3): Σ_j Σ_k N_ijk log2(N_ijk / N_ij).
+
+    Always ≤ 0; equals 0 only when every observed combination determines
+    the child's status exactly.
+    """
+    total = 0.0
+    for group in (counts.infected, counts.uninfected):
+        mask = group > 0
+        if mask.any():
+            n_ijk = group[mask].astype(np.float64)
+            n_ij = counts.totals[mask].astype(np.float64)
+            total += float(np.sum(n_ijk * (np.log2(n_ijk) - np.log2(n_ij))))
+    return total
+
+
+def penalty(counts: FamilyCounts) -> float:
+    """The statistical-error penalty ``½ Σ_j log2(N_ij + 1)`` (Eq. 12-13)."""
+    observed = counts.totals[counts.totals > 0].astype(np.float64)
+    return 0.5 * float(np.sum(np.log2(observed + 1.0)))
+
+
+def local_score(
+    statuses: StatusMatrix, child: int, parents: Sequence[int]
+) -> float:
+    """``g(v_i, F_i)`` (Eq. 13) computed from scratch."""
+    counts = family_counts(statuses, child, parents)
+    return log_likelihood(counts) - penalty(counts)
+
+
+def empty_set_score(statuses: StatusMatrix, child: int) -> float:
+    """``g(v_i, ∅)`` (Eq. 18) — the baseline every non-empty set must beat."""
+    return local_score(statuses, child, [])
+
+
+def global_score(
+    statuses: StatusMatrix, parent_sets: Sequence[Sequence[int]]
+) -> float:
+    """``g(T)`` (Eq. 12) for a full topology given as per-node parent sets.
+
+    The criterion is decomposable — this is exactly the sum of the local
+    scores — which is what turns the reconstruction into ``n`` independent
+    parent-set searches.  Provided for whole-topology comparisons (e.g.
+    scoring a baseline's output under TENDS's own criterion).
+    """
+    if len(parent_sets) != statuses.n_nodes:
+        raise DataError(
+            f"{len(parent_sets)} parent sets for {statuses.n_nodes} nodes"
+        )
+    return sum(
+        local_score(statuses, child, parents)
+        for child, parents in enumerate(parent_sets)
+    )
+
+
+def delta_i(statuses: StatusMatrix, child: int) -> float:
+    """``δ_i`` from Theorem 2 (Eq. 17).
+
+    Uses the convention ``N · log2(β / N) = 0`` when ``N = 0`` (the child is
+    always, or never, infected), consistent with the entropy limits behind
+    the derivation.
+    """
+    beta = statuses.beta
+    if beta == 0:
+        raise DataError("delta_i undefined for zero processes")
+    n2 = int(statuses.column(child).sum())
+    n1 = beta - n2
+    value = math.log2(beta + 1)
+    for count in (n1, n2):
+        if count > 0:
+            value += 2.0 * count * math.log2(beta / count)
+    return value
+
+
+def size_bound(phi: int, delta: float) -> float:
+    """The Theorem-2 upper bound ``log2(φ + δ)`` on ``|F_i|``.
+
+    ``φ + δ`` can be < 1 only in pathological tiny-β cases; the bound is
+    then 0 (no parents allowed), never negative infinity.
+    """
+    argument = phi + delta
+    if argument < 1.0:
+        return 0.0
+    return math.log2(argument)
+
+
+def phi_from_counts(counts: FamilyCounts) -> int:
+    """Convenience alias matching the paper's symbol ``φ_{F_i}``."""
+    return counts.phi

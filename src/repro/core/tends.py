@@ -1,0 +1,174 @@
+"""The TENDS estimator (paper Algorithm 1, end to end).
+
+Pipeline::
+
+    statuses ──> IMI matrix ──> fixed-zero 2-means τ ──> candidate sets P_i
+                                                          │
+    inferred graph <── directed edges F_i → v_i <── parent search per node
+
+Usage
+-----
+>>> from repro.graphs import erdos_renyi_digraph
+>>> from repro.simulation import DiffusionSimulator
+>>> from repro.core import Tends
+>>> truth = erdos_renyi_digraph(30, 0.08, seed=3)
+>>> observations = DiffusionSimulator(truth, seed=3).run(beta=120)
+>>> result = Tends().fit(observations.statuses)
+>>> result.graph.n_nodes
+30
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.config import TendsConfig
+from repro.core.imi import infection_mi_matrix, traditional_mi_matrix
+from repro.core.kmeans import TwoMeansResult, fixed_zero_two_means
+from repro.core.search import ParentSearch, SearchDiagnostics
+from repro.exceptions import DataError
+from repro.graphs.digraph import DiffusionGraph
+from repro.simulation.statuses import StatusMatrix
+from repro.utils.timing import Stopwatch
+
+__all__ = ["Tends", "TendsResult"]
+
+
+@dataclass(frozen=True)
+class TendsResult:
+    """Everything TENDS produced in one fit.
+
+    Attributes
+    ----------
+    graph:
+        The inferred diffusion network (directed edges parent → child).
+    parent_sets:
+        ``parent_sets[i]`` is the inferred ``F_i``.
+    mi_matrix:
+        The pairwise (infection or traditional) MI matrix used for pruning.
+    threshold:
+        The pruning threshold ``τ`` actually applied (after scaling or
+        override).
+    clustering:
+        Raw fixed-zero 2-means outcome (``None`` when ``τ`` was overridden).
+    diagnostics:
+        Per-node :class:`~repro.core.search.SearchDiagnostics`.
+    stage_seconds:
+        Wall-clock per pipeline stage: ``imi``, ``threshold``, ``search``.
+    """
+
+    graph: DiffusionGraph
+    parent_sets: tuple[tuple[int, ...], ...]
+    mi_matrix: np.ndarray
+    threshold: float
+    clustering: TwoMeansResult | None
+    diagnostics: tuple[SearchDiagnostics, ...]
+    stage_seconds: Mapping[str, float]
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.n_edges
+
+    def candidate_counts(self) -> np.ndarray:
+        """``|P_i|`` per node — how aggressive the pruning was."""
+        return np.array([d.n_candidates for d in self.diagnostics], dtype=np.int64)
+
+    def total_evaluations(self) -> int:
+        """Total score evaluations across all nodes (cost proxy)."""
+        return int(sum(d.n_evaluations for d in self.diagnostics))
+
+
+class Tends:
+    """Statistical estimator of diffusion network topologies.
+
+    The only observation it consumes is the final-status matrix; no
+    timestamps, no diffusion sources, no prior knowledge of edge counts.
+
+    Parameters
+    ----------
+    config:
+        Full :class:`~repro.core.config.TendsConfig`; keyword overrides
+        below are merged into it for convenience.
+    **overrides:
+        Any :class:`TendsConfig` field, e.g. ``Tends(mi_kind="traditional")``.
+    """
+
+    def __init__(self, config: TendsConfig | None = None, **overrides) -> None:
+        base = config or TendsConfig()
+        self.config = base.with_overrides(**overrides) if overrides else base
+
+    # ------------------------------------------------------------------
+    def fit(self, statuses: StatusMatrix) -> TendsResult:
+        """Run the full Algorithm 1 pipeline on ``statuses``."""
+        if not isinstance(statuses, StatusMatrix):
+            statuses = StatusMatrix(statuses)
+        if statuses.beta < 2:
+            raise DataError(
+                f"TENDS needs at least 2 diffusion processes, got {statuses.beta}"
+            )
+        n = statuses.n_nodes
+        stage_seconds: dict[str, float] = {}
+
+        # Stage 1: pairwise MI matrix (Algorithm 1 lines 2-4).
+        with Stopwatch() as watch:
+            if self.config.mi_kind == "infection":
+                mi = infection_mi_matrix(statuses)
+            else:
+                mi = traditional_mi_matrix(statuses)
+        stage_seconds["imi"] = watch.elapsed
+
+        # Stage 2: threshold via fixed-zero 2-means (line 5).
+        with Stopwatch() as watch:
+            clustering: TwoMeansResult | None
+            if self.config.threshold is not None:
+                threshold = float(self.config.threshold)
+                clustering = None
+            else:
+                off_diagonal = mi[~np.eye(n, dtype=bool)]
+                non_negative = off_diagonal[off_diagonal >= 0.0]
+                clustering = fixed_zero_two_means(non_negative)
+                threshold = clustering.threshold * self.config.threshold_scale
+        stage_seconds["threshold"] = watch.elapsed
+
+        # Stage 3: candidate pruning + per-node parent search (lines 6-21).
+        with Stopwatch() as watch:
+            search = ParentSearch(statuses, self.config)
+            parent_sets: list[tuple[int, ...]] = []
+            diagnostics: list[SearchDiagnostics] = []
+            graph = DiffusionGraph(n)
+            for node in range(n):
+                candidates = self._candidates_for(mi, node, threshold)
+                parents, diag = search.find_parents(node, candidates)
+                parent_sets.append(tuple(parents))
+                diagnostics.append(diag)
+                for parent in parents:
+                    graph.add_edge(parent, node)
+        stage_seconds["search"] = watch.elapsed
+
+        return TendsResult(
+            graph=graph.freeze(),
+            parent_sets=tuple(parent_sets),
+            mi_matrix=mi,
+            threshold=threshold,
+            clustering=clustering,
+            diagnostics=tuple(diagnostics),
+            stage_seconds=stage_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def _candidates_for(
+        self, mi: np.ndarray, node: int, threshold: float
+    ) -> list[int]:
+        """``P_i``: nodes whose MI with ``node`` strictly exceeds ``τ``,
+        optionally capped to the strongest ``max_candidates``."""
+        row = mi[node]
+        candidates = np.nonzero(row > threshold)[0]
+        candidates = candidates[candidates != node]
+        cap = self.config.max_candidates
+        if cap is not None and candidates.size > cap:
+            order = np.argsort(row[candidates])[::-1]
+            candidates = candidates[order[:cap]]
+        return sorted(int(c) for c in candidates)

@@ -1,0 +1,64 @@
+"""Evaluation harness: metrics, experiment runner, per-figure specs."""
+
+from repro.evaluation.archive import (
+    load_result,
+    result_from_json,
+    result_to_json,
+    save_result,
+)
+from repro.evaluation.metrics import (
+    EdgeMetrics,
+    best_threshold_metrics,
+    evaluate_edges,
+    precision_recall_curve,
+)
+from repro.evaluation.harness import (
+    ExperimentResult,
+    ExperimentSpec,
+    MethodResult,
+    MethodSpec,
+    SweepPoint,
+    default_methods,
+    run_experiment,
+)
+from repro.evaluation.figures import (
+    FIGURES,
+    figure_spec,
+    list_figures,
+    table2_rows,
+)
+from repro.evaluation.reporting import format_result_table, format_rows
+from repro.evaluation.shapes import (
+    FIGURE_SHAPES,
+    ShapeCheck,
+    ShapeOutcome,
+    check_figure_shapes,
+)
+
+__all__ = [
+    "EdgeMetrics",
+    "evaluate_edges",
+    "best_threshold_metrics",
+    "precision_recall_curve",
+    "MethodSpec",
+    "MethodResult",
+    "SweepPoint",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "default_methods",
+    "run_experiment",
+    "FIGURES",
+    "figure_spec",
+    "list_figures",
+    "table2_rows",
+    "format_result_table",
+    "format_rows",
+    "FIGURE_SHAPES",
+    "ShapeCheck",
+    "ShapeOutcome",
+    "check_figure_shapes",
+    "result_to_json",
+    "result_from_json",
+    "save_result",
+    "load_result",
+]

@@ -1,0 +1,153 @@
+"""Experiment-result persistence.
+
+Full-scale figure runs take minutes; analysing them (shape checks,
+report tables, paper-vs-measured diffs) should not require re-running
+them.  This module serialises an :class:`ExperimentResult` to a JSON
+document and rebuilds a fully functional result from it — the rebuilt
+object carries stub graph/method factories (the data is already
+collected) but supports every read API: ``aggregated()``, ``series()``,
+report formatting, and :func:`repro.evaluation.shapes.check_figure_shapes`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.baselines.base import TendsInferrer
+from repro.evaluation.harness import (
+    ExperimentResult,
+    ExperimentSpec,
+    MethodResult,
+    MethodSpec,
+    SweepPoint,
+)
+from repro.evaluation.metrics import EdgeMetrics
+from repro.exceptions import DataError
+from repro.graphs.digraph import DiffusionGraph
+
+__all__ = [
+    "result_to_json",
+    "result_from_json",
+    "save_result",
+    "load_result",
+]
+
+PathLike = Union[str, Path]
+
+_FORMAT = "repro.experiment_result"
+
+
+def result_to_json(result: ExperimentResult) -> dict:
+    """Serialise a result (spec metadata + every measurement) to a dict."""
+    spec = result.spec
+    return {
+        "format": _FORMAT,
+        "version": 1,
+        "spec": {
+            "experiment_id": spec.experiment_id,
+            "title": spec.title,
+            "x_label": spec.x_label,
+            "replicates": spec.replicates,
+            "points": [
+                {
+                    "label": p.label,
+                    "value": p.value,
+                    "mu": p.mu,
+                    "alpha": p.alpha,
+                    "beta": p.beta,
+                }
+                for p in spec.points
+            ],
+            "methods": [m.name for m in spec.methods],
+        },
+        "results": [
+            {
+                "point_label": r.point_label,
+                "point_value": r.point_value,
+                "method": r.method,
+                "replicate": r.replicate,
+                "tp": r.metrics.true_positives,
+                "fp": r.metrics.false_positives,
+                "fn": r.metrics.false_negatives,
+                "runtime_seconds": r.runtime_seconds,
+                "threshold": r.threshold,
+            }
+            for r in result.results
+        ],
+    }
+
+
+def _stub_graph_factory(seed: int) -> DiffusionGraph:
+    raise DataError(
+        "this experiment result was loaded from an archive; "
+        "its sweep points cannot generate new networks"
+    )
+
+
+def result_from_json(document: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_json` output.
+
+    The rebuilt spec carries stub factories: re-*running* the experiment
+    requires the original figure spec, but every analysis API works.
+    """
+    if document.get("format") != _FORMAT:
+        raise DataError(
+            f"not an experiment-result document: format={document.get('format')!r}"
+        )
+    try:
+        spec_doc = document["spec"]
+        points = tuple(
+            SweepPoint(
+                label=p["label"],
+                value=float(p["value"]),
+                graph_factory=_stub_graph_factory,
+                mu=float(p["mu"]),
+                alpha=float(p["alpha"]),
+                beta=int(p["beta"]),
+            )
+            for p in spec_doc["points"]
+        )
+        methods = tuple(
+            MethodSpec(name, lambda ctx: TendsInferrer())
+            for name in spec_doc["methods"]
+        )
+        spec = ExperimentSpec(
+            experiment_id=spec_doc["experiment_id"],
+            title=spec_doc["title"],
+            x_label=spec_doc["x_label"],
+            points=points,
+            methods=methods,
+            replicates=int(spec_doc["replicates"]),
+        )
+        results = tuple(
+            MethodResult(
+                experiment_id=spec.experiment_id,
+                point_label=r["point_label"],
+                point_value=float(r["point_value"]),
+                method=r["method"],
+                replicate=int(r["replicate"]),
+                metrics=EdgeMetrics(int(r["tp"]), int(r["fp"]), int(r["fn"])),
+                runtime_seconds=float(r["runtime_seconds"]),
+                threshold=(None if r["threshold"] is None else float(r["threshold"])),
+            )
+            for r in document["results"]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"malformed experiment-result document: {exc}") from exc
+    return ExperimentResult(spec=spec, results=results)
+
+
+def save_result(result: ExperimentResult, path: PathLike) -> None:
+    """Write a result archive as JSON."""
+    Path(path).write_text(json.dumps(result_to_json(result)), encoding="utf-8")
+
+
+def load_result(path: PathLike) -> ExperimentResult:
+    """Read a result archive written by :func:`save_result`."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{path}: invalid JSON: {exc}") from exc
+    return result_from_json(document)

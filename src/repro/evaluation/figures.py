@@ -1,0 +1,367 @@
+"""Per-figure experiment definitions (paper §V-B … §V-H, plus Table II).
+
+Each builder returns an :class:`~repro.evaluation.harness.ExperimentSpec`
+that regenerates one figure's data: the F-score panel comes from the
+``f_score`` series and the running-time panel from the ``runtime_s``
+series of the same run.
+
+Two scales are supported:
+
+* ``"full"`` — the paper's parameters (β = 150, all five sweep values,
+  the real network sizes);
+* ``"quick"`` — the same networks and sweep shape at reduced β and, for
+  the β sweep itself, a 3-point subset; intended for CI-style smoke runs.
+
+Table II is not an experiment but an inventory of the fifteen LFR graphs;
+:func:`table2_rows` regenerates it from the actual generator output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.baselines.base import TendsInferrer
+from repro.evaluation.harness import (
+    ExperimentSpec,
+    MethodContext,
+    MethodSpec,
+    SweepPoint,
+    default_methods,
+)
+from repro.exceptions import ConfigurationError
+from repro.graphs.digraph import DiffusionGraph
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.graphs.generators.realworld import dunf, netsci
+from repro.graphs.metrics import summarize_graph
+
+__all__ = ["FIGURES", "figure_spec", "list_figures", "table2_rows", "LFR_TABLE2"]
+
+#: Paper defaults (§V-B …): β diffusion processes, seed ratio, mean prob.
+PAPER_BETA = 150
+PAPER_ALPHA = 0.15
+PAPER_MU = 0.3
+
+#: Table II: the fifteen LFR benchmark graphs, keyed LFR1..LFR15.
+LFR_TABLE2: dict[str, LFRParams] = {}
+for _index, _n in enumerate((100, 150, 200, 250, 300), start=1):
+    LFR_TABLE2[f"LFR{_index}"] = LFRParams(n=_n, avg_degree=4, tau=2)
+for _index, _k in enumerate((2, 3, 4, 5, 6), start=6):
+    LFR_TABLE2[f"LFR{_index}"] = LFRParams(n=200, avg_degree=_k, tau=2)
+for _index, _tau in enumerate((1.0, 1.5, 2.0, 2.5, 3.0), start=11):
+    LFR_TABLE2[f"LFR{_index}"] = LFRParams(n=200, avg_degree=4, tau=_tau)
+
+
+def _lfr_factory(params: LFRParams) -> Callable[[int], DiffusionGraph]:
+    return lambda seed: lfr_benchmark_graph(params, seed=seed)
+
+
+def _fixed_factory(builder: Callable[[int], DiffusionGraph]) -> Callable[[int], DiffusionGraph]:
+    # Real-world surrogates are pinned to a fixed seed so every sweep point
+    # sees the *same* network, as with a real dataset.
+    return lambda seed: builder(0)
+
+
+def _scale_beta(scale: str, beta: int) -> int:
+    return beta if scale == "full" else min(beta, 60)
+
+
+def _check_scale(scale: str) -> None:
+    if scale not in ("full", "quick"):
+        raise ConfigurationError(f"scale must be 'full' or 'quick', got {scale!r}")
+
+
+# ----------------------------------------------------------------------
+# synthetic-network figures (LFR sweeps)
+# ----------------------------------------------------------------------
+
+def fig1_network_size(scale: str = "full") -> ExperimentSpec:
+    """Fig. 1: effect of diffusion network size (LFR1–5, n = 100…300)."""
+    _check_scale(scale)
+    points = tuple(
+        SweepPoint(
+            label=f"n={params.n}",
+            value=params.n,
+            graph_factory=_lfr_factory(params),
+            beta=_scale_beta(scale, PAPER_BETA),
+        )
+        for params in (LFR_TABLE2[f"LFR{i}"] for i in range(1, 6))
+    )
+    return ExperimentSpec(
+        experiment_id="fig1",
+        title="Effect of Diffusion Network Size",
+        x_label="number of nodes n",
+        points=points,
+        methods=default_methods(),
+    )
+
+
+def fig2_average_degree(scale: str = "full") -> ExperimentSpec:
+    """Fig. 2: effect of average node degree (LFR6–10, κ = 2…6)."""
+    _check_scale(scale)
+    points = tuple(
+        SweepPoint(
+            label=f"k={int(params.avg_degree)}",
+            value=params.avg_degree,
+            graph_factory=_lfr_factory(params),
+            beta=_scale_beta(scale, PAPER_BETA),
+        )
+        for params in (LFR_TABLE2[f"LFR{i}"] for i in range(6, 11))
+    )
+    return ExperimentSpec(
+        experiment_id="fig2",
+        title="Effect of Average Node Degree",
+        x_label="average degree k",
+        points=points,
+        methods=default_methods(),
+    )
+
+
+def fig3_degree_dispersion(scale: str = "full") -> ExperimentSpec:
+    """Fig. 3: effect of node degree dispersion (LFR11–15, τ = 1…3)."""
+    _check_scale(scale)
+    points = tuple(
+        SweepPoint(
+            label=f"tau={params.tau:g}",
+            value=params.tau,
+            graph_factory=_lfr_factory(params),
+            beta=_scale_beta(scale, PAPER_BETA),
+        )
+        for params in (LFR_TABLE2[f"LFR{i}"] for i in range(11, 16))
+    )
+    return ExperimentSpec(
+        experiment_id="fig3",
+        title="Effect of Node Degree Dispersion",
+        x_label="degree distribution parameter tau",
+        points=points,
+        methods=default_methods(),
+    )
+
+
+# ----------------------------------------------------------------------
+# real-world-network figures (NetSci / DUNF sweeps)
+# ----------------------------------------------------------------------
+
+_REAL_NETWORKS: dict[str, Callable[[int], DiffusionGraph]] = {
+    "netsci": _fixed_factory(netsci),
+    "dunf": _fixed_factory(dunf),
+}
+
+
+def _alpha_sweep(network: str, fig_id: str, scale: str) -> ExperimentSpec:
+    _check_scale(scale)
+    factory = _REAL_NETWORKS[network]
+    points = tuple(
+        SweepPoint(
+            label=f"alpha={alpha:.2f}",
+            value=alpha,
+            graph_factory=factory,
+            alpha=alpha,
+            beta=_scale_beta(scale, PAPER_BETA),
+        )
+        for alpha in (0.05, 0.10, 0.15, 0.20, 0.25)
+    )
+    return ExperimentSpec(
+        experiment_id=fig_id,
+        title=f"Effect of Initial Infection Ratio on {network}",
+        x_label="initial infection ratio alpha",
+        points=points,
+        methods=default_methods(),
+    )
+
+
+def _mu_sweep(network: str, fig_id: str, scale: str) -> ExperimentSpec:
+    _check_scale(scale)
+    factory = _REAL_NETWORKS[network]
+    points = tuple(
+        SweepPoint(
+            label=f"mu={mu:.2f}",
+            value=mu,
+            graph_factory=factory,
+            mu=mu,
+            beta=_scale_beta(scale, PAPER_BETA),
+        )
+        for mu in (0.20, 0.25, 0.30, 0.35, 0.40)
+    )
+    return ExperimentSpec(
+        experiment_id=fig_id,
+        title=f"Effect of Propagation Probability on {network}",
+        x_label="mean propagation probability mu",
+        points=points,
+        methods=default_methods(),
+    )
+
+
+def _beta_sweep(network: str, fig_id: str, scale: str) -> ExperimentSpec:
+    _check_scale(scale)
+    factory = _REAL_NETWORKS[network]
+    betas = (50, 100, 150, 200, 250) if scale == "full" else (50, 150, 250)
+    points = tuple(
+        SweepPoint(
+            label=f"beta={beta}",
+            value=beta,
+            graph_factory=factory,
+            beta=beta,
+        )
+        for beta in betas
+    )
+    return ExperimentSpec(
+        experiment_id=fig_id,
+        title=f"Effect of Number of Diffusion Processes on {network}",
+        x_label="number of diffusion processes beta",
+        points=points,
+        methods=default_methods(),
+    )
+
+
+def fig4_alpha_netsci(scale: str = "full") -> ExperimentSpec:
+    """Fig. 4: initial infection ratio sweep on NetSci."""
+    return _alpha_sweep("netsci", "fig4", scale)
+
+
+def fig5_alpha_dunf(scale: str = "full") -> ExperimentSpec:
+    """Fig. 5: initial infection ratio sweep on DUNF."""
+    return _alpha_sweep("dunf", "fig5", scale)
+
+
+def fig6_mu_netsci(scale: str = "full") -> ExperimentSpec:
+    """Fig. 6: propagation probability sweep on NetSci."""
+    return _mu_sweep("netsci", "fig6", scale)
+
+
+def fig7_mu_dunf(scale: str = "full") -> ExperimentSpec:
+    """Fig. 7: propagation probability sweep on DUNF."""
+    return _mu_sweep("dunf", "fig7", scale)
+
+
+def fig8_beta_netsci(scale: str = "full") -> ExperimentSpec:
+    """Fig. 8: number-of-processes sweep on NetSci."""
+    return _beta_sweep("netsci", "fig8", scale)
+
+
+def fig9_beta_dunf(scale: str = "full") -> ExperimentSpec:
+    """Fig. 9: number-of-processes sweep on DUNF."""
+    return _beta_sweep("dunf", "fig9", scale)
+
+
+# ----------------------------------------------------------------------
+# pruning ablation figures (TENDS threshold sweep + MI vs IMI)
+# ----------------------------------------------------------------------
+
+def _tends_threshold_methods() -> tuple[MethodSpec, ...]:
+    """Two TENDS variants whose pruning threshold tracks the sweep point:
+    the paper's infection MI and the traditional-MI ablation."""
+
+    def infection_factory(ctx: MethodContext):
+        scale = float(ctx.point.value) if ctx.point is not None else 1.0
+        return TendsInferrer(mi_kind="infection", threshold_scale=scale)
+
+    def traditional_factory(ctx: MethodContext):
+        scale = float(ctx.point.value) if ctx.point is not None else 1.0
+        return TendsInferrer(mi_kind="traditional", threshold_scale=scale)
+
+    return (
+        MethodSpec("TENDS(IMI)", infection_factory),
+        MethodSpec("TENDS(MI)", traditional_factory),
+    )
+
+
+def _pruning_sweep(network: str, fig_id: str, scale: str) -> ExperimentSpec:
+    _check_scale(scale)
+    factory = _REAL_NETWORKS[network]
+    scales = (0.4, 0.6, 0.8, 1.0, 1.5, 2.0)
+    points = tuple(
+        SweepPoint(
+            label=f"{s:g}tau",
+            value=s,
+            graph_factory=factory,
+            beta=_scale_beta(scale, PAPER_BETA),
+        )
+        for s in scales
+    )
+    return ExperimentSpec(
+        experiment_id=fig_id,
+        title=f"Effect of Infection MI-based Pruning on {network}",
+        x_label="pruning threshold (multiples of the auto-selected tau)",
+        points=points,
+        methods=_tends_threshold_methods(),
+    )
+
+
+def fig10_pruning_netsci(scale: str = "full") -> ExperimentSpec:
+    """Fig. 10: pruning-threshold sweep + MI-vs-IMI ablation on NetSci."""
+    return _pruning_sweep("netsci", "fig10", scale)
+
+
+def fig11_pruning_dunf(scale: str = "full") -> ExperimentSpec:
+    """Fig. 11: pruning-threshold sweep + MI-vs-IMI ablation on DUNF."""
+    return _pruning_sweep("dunf", "fig11", scale)
+
+
+# ----------------------------------------------------------------------
+# registry + Table II
+# ----------------------------------------------------------------------
+
+FIGURES: dict[str, Callable[[str], ExperimentSpec]] = {
+    "fig1": fig1_network_size,
+    "fig2": fig2_average_degree,
+    "fig3": fig3_degree_dispersion,
+    "fig4": fig4_alpha_netsci,
+    "fig5": fig5_alpha_dunf,
+    "fig6": fig6_mu_netsci,
+    "fig7": fig7_mu_dunf,
+    "fig8": fig8_beta_netsci,
+    "fig9": fig9_beta_dunf,
+    "fig10": fig10_pruning_netsci,
+    "fig11": fig11_pruning_dunf,
+}
+
+
+def list_figures() -> list[str]:
+    """Figure ids in paper order."""
+    return list(FIGURES)
+
+
+def figure_spec(
+    figure_id: str, scale: str = "full", *, replicates: int = 1
+) -> ExperimentSpec:
+    """Look up a figure's experiment spec by id (``"fig1"`` … ``"fig11"``).
+
+    ``replicates`` reruns every sweep cell with independent seeds and lets
+    the harness report mean/min/max F-scores (the paper reports single
+    runs; replicates > 1 smooth seed noise for shape checks).
+    """
+    if figure_id not in FIGURES:
+        raise ConfigurationError(
+            f"unknown figure {figure_id!r}; available: {list_figures()}"
+        )
+    spec = FIGURES[figure_id](scale)
+    if replicates != 1:
+        from dataclasses import replace
+
+        spec = replace(spec, replicates=replicates)
+    return spec
+
+
+def table2_rows(*, seed: int = 0) -> list[dict[str, object]]:
+    """Regenerate Table II: properties of the fifteen LFR benchmark graphs.
+
+    Each row reports the requested parameters alongside the realised
+    statistics of the generated graph, so the table doubles as a generator
+    validation.
+    """
+    rows: list[dict[str, object]] = []
+    for name, params in LFR_TABLE2.items():
+        graph = lfr_benchmark_graph(params, seed=seed)
+        summary = summarize_graph(graph)
+        rows.append(
+            {
+                "graph": name,
+                "n": params.n,
+                "k_requested": params.avg_degree,
+                "tau": params.tau,
+                "m_realised": summary.n_edges,
+                "k_realised": round(summary.avg_degree, 3),
+                "degree_std": round(summary.total_degree_std, 3),
+            }
+        )
+    return rows

@@ -1,0 +1,173 @@
+"""Accuracy metrics for inferred topologies (paper §V-A, Performance Criteria).
+
+The paper reports the F-score of inferred directed edges:
+
+    Precision = TP / (TP + FP),  Recall = TP / (TP + FN),
+    F = 2 · P · R / (P + R)
+
+with true positives counted over exact directed edges.  For algorithms
+that output confidence scores instead of a hard topology (NetRate), the
+paper "use[s] different thresholds to find the highest F-score and
+report[s] it" — :func:`best_threshold_metrics` implements exactly that
+sweep over the score-sorted prefix sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.graphs.digraph import DiffusionGraph
+
+__all__ = [
+    "EdgeMetrics",
+    "evaluate_edges",
+    "best_threshold_metrics",
+    "precision_recall_curve",
+    "average_precision",
+]
+
+Edge = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class EdgeMetrics:
+    """Precision / recall / F-score with raw confusion counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f_score(self) -> float:
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "f_score": round(self.f_score, 4),
+            "tp": self.true_positives,
+            "fp": self.false_positives,
+            "fn": self.false_negatives,
+        }
+
+
+def _as_edge_set(edges: DiffusionGraph | Iterable[Edge]) -> frozenset[Edge]:
+    if isinstance(edges, DiffusionGraph):
+        return edges.edge_set()
+    return frozenset((int(s), int(t)) for s, t in edges)
+
+
+def evaluate_edges(
+    truth: DiffusionGraph | Iterable[Edge],
+    predicted: DiffusionGraph | Iterable[Edge],
+    *,
+    undirected: bool = False,
+) -> EdgeMetrics:
+    """Compare a predicted edge set against the ground truth.
+
+    Parameters
+    ----------
+    truth, predicted:
+        Graphs or iterables of ``(source, target)`` pairs.
+    undirected:
+        When ``True``, edges are compared as unordered pairs — used by the
+        direction-ambiguity ablation, *not* by the paper's headline metric.
+    """
+    true_set = _as_edge_set(truth)
+    pred_set = _as_edge_set(predicted)
+    if undirected:
+        true_set = frozenset(tuple(sorted(e)) for e in true_set)
+        pred_set = frozenset(tuple(sorted(e)) for e in pred_set)
+    tp = len(true_set & pred_set)
+    return EdgeMetrics(
+        true_positives=tp,
+        false_positives=len(pred_set) - tp,
+        false_negatives=len(true_set) - tp,
+    )
+
+
+def best_threshold_metrics(
+    truth: DiffusionGraph | Iterable[Edge],
+    edge_scores: Mapping[Edge, float],
+) -> tuple[EdgeMetrics, float]:
+    """Highest-F operating point over all score thresholds.
+
+    Sorts edges by descending score and evaluates every prefix (each
+    prefix corresponds to one threshold); returns the best metrics and the
+    score of the last edge included at that operating point.  This is the
+    preferential treatment the paper grants NetRate (§V-A).
+    """
+    true_set = _as_edge_set(truth)
+    if not true_set:
+        raise DataError("ground truth has no edges; F-score is undefined")
+    ranked = sorted(edge_scores.items(), key=lambda item: (-item[1], item[0]))
+    best = EdgeMetrics(0, 0, len(true_set))
+    best_f = best.f_score
+    best_threshold = float("inf")
+    tp = 0
+    for rank, (edge, score) in enumerate(ranked, start=1):
+        if edge in true_set:
+            tp += 1
+        metrics = EdgeMetrics(tp, rank - tp, len(true_set) - tp)
+        if metrics.f_score > best_f:
+            best, best_f, best_threshold = metrics, metrics.f_score, float(score)
+    return best, best_threshold
+
+
+def average_precision(
+    truth: DiffusionGraph | Iterable[Edge],
+    edge_scores: Mapping[Edge, float],
+) -> float:
+    """Average precision (area under the PR curve, step interpolation).
+
+    A threshold-free accuracy summary for score-producing methods —
+    complements the paper's best-threshold F by not granting the method an
+    oracle operating point.  Edges of the truth never ranked by the method
+    contribute zero recall mass, so AP ∈ [0, 1] and equals 1 only when
+    every true edge is ranked above every false one.
+    """
+    true_set = _as_edge_set(truth)
+    if not true_set:
+        raise DataError("ground truth has no edges; average precision undefined")
+    ranked = sorted(edge_scores.items(), key=lambda item: (-item[1], item[0]))
+    tp = 0
+    total = 0.0
+    for rank, (edge, _score) in enumerate(ranked, start=1):
+        if edge in true_set:
+            tp += 1
+            total += tp / rank
+    return total / len(true_set)
+
+
+def precision_recall_curve(
+    truth: DiffusionGraph | Iterable[Edge],
+    edge_scores: Mapping[Edge, float],
+) -> np.ndarray:
+    """``(k, 3)`` array of (threshold, precision, recall) over all prefixes."""
+    true_set = _as_edge_set(truth)
+    if not true_set:
+        raise DataError("ground truth has no edges; curve is undefined")
+    ranked = sorted(edge_scores.items(), key=lambda item: (-item[1], item[0]))
+    rows = np.empty((len(ranked), 3))
+    tp = 0
+    for rank, (edge, score) in enumerate(ranked, start=1):
+        if edge in true_set:
+            tp += 1
+        rows[rank - 1] = (score, tp / rank, tp / len(true_set))
+    return rows

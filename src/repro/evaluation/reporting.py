@@ -1,0 +1,124 @@
+"""Plain-text table rendering for experiment results.
+
+The benches print (and archive) the same rows the paper's figures plot:
+one block per sweep point with per-method F-score and runtime columns.
+Everything is dependency-free ASCII so output survives logs and diffs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.evaluation.harness import ExperimentResult
+
+__all__ = [
+    "format_rows",
+    "format_result_table",
+    "format_series",
+    "render_markdown_report",
+]
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    float_digits: int = 4,
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    rendered = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns)))
+        for r in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_result_table(result: ExperimentResult) -> str:
+    """Full report for one experiment: title plus aggregated rows."""
+    spec = result.spec
+    lines = [
+        f"{spec.experiment_id}: {spec.title}",
+        f"x-axis: {spec.x_label}; replicates: {spec.replicates}",
+        "",
+        format_rows(
+            result.aggregated(),
+            columns=["point", "method", "f_score", "runtime_s", "replicates"],
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def render_markdown_report(results: Sequence[ExperimentResult]) -> str:
+    """Render experiment results as a Markdown document.
+
+    One section per experiment: an F-score table and a runtime table
+    (methods × sweep points), followed by the paper-shape verdicts when
+    the experiment is a registered figure.  This is the machine-updatable
+    core of ``EXPERIMENTS.md`` — regenerate it from archived JSON results
+    (:mod:`repro.evaluation.archive`) without re-running anything.
+    """
+    from repro.evaluation.shapes import check_figure_shapes
+
+    lines: list[str] = ["# Experiment report", ""]
+    for result in results:
+        spec = result.spec
+        lines.append(f"## {spec.experiment_id} — {spec.title}")
+        lines.append("")
+        points = [p.label for p in spec.points]
+        for metric, label, digits in (
+            ("f_score", "F-score", 3),
+            ("runtime_s", "runtime (s)", 2),
+        ):
+            series = result.series(metric)
+            lines.append(f"**{label}**")
+            lines.append("")
+            lines.append("| method | " + " | ".join(points) + " |")
+            lines.append("|---" * (len(points) + 1) + "|")
+            for method, values in series.items():
+                cells = " | ".join(f"{v:.{digits}f}" for v in values)
+                lines.append(f"| {method} | {cells} |")
+            lines.append("")
+        outcomes = check_figure_shapes(result)
+        if outcomes:
+            lines.append("**paper-shape claims**")
+            lines.append("")
+            lines.append("| verdict | claim | measured |")
+            lines.append("|---|---|---|")
+            for outcome in outcomes:
+                verdict = "PASS" if outcome.passed else "FAIL"
+                lines.append(f"| {verdict} | {outcome.claim} | {outcome.detail} |")
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def format_series(result: ExperimentResult) -> str:
+    """Compact per-method series (the plotted lines), one row per method."""
+    points = [p.label for p in result.spec.points]
+    f_series = result.series("f_score")
+    t_series = result.series("runtime_s")
+    lines = ["points: " + ", ".join(points)]
+    for method, values in f_series.items():
+        lines.append(
+            f"F  {method:>12}: " + ", ".join(f"{v:.3f}" for v in values)
+        )
+    for method, values in t_series.items():
+        lines.append(
+            f"t  {method:>12}: " + ", ".join(f"{v:.2f}s" for v in values)
+        )
+    return "\n".join(lines)

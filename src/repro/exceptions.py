@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries.  Sub-classes distinguish configuration mistakes (bad
+parameters), data problems (malformed observations), and convergence
+failures of iterative solvers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DataError",
+    "GraphError",
+    "SimulationError",
+    "InferenceError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or inconsistent combination of parameters.
+
+    Also a :class:`ValueError` so that call sites written against the
+    standard library idiom (``except ValueError``) keep working.
+    """
+
+
+class DataError(ReproError, ValueError):
+    """Observed data (statuses, cascades, seed sets) is malformed."""
+
+
+class GraphError(ReproError, ValueError):
+    """A graph operation received an invalid node, edge, or structure."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A diffusion simulation could not be carried out as requested."""
+
+
+class InferenceError(ReproError, RuntimeError):
+    """A network inference algorithm failed to produce a result."""
+
+
+class ConvergenceError(InferenceError):
+    """An iterative solver exhausted its iteration budget without
+    meeting its convergence tolerance.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Last observed convergence residual, if the solver tracks one.
+    """
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual

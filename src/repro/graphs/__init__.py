@@ -1,0 +1,33 @@
+"""Directed-graph substrate: data structure, generators, metrics, I/O."""
+
+from repro.graphs.digraph import DiffusionGraph
+from repro.graphs.generators.kronecker import kronecker_digraph
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.graphs.generators.random_graphs import (
+    barabasi_albert_digraph,
+    core_periphery_digraph,
+    erdos_renyi_digraph,
+    random_tree_digraph,
+    watts_strogatz_digraph,
+)
+from repro.graphs.generators.realworld import dunf, netsci
+from repro.graphs.metrics import GraphSummary, degree_statistics, summarize_graph
+from repro.graphs import io
+
+__all__ = [
+    "DiffusionGraph",
+    "kronecker_digraph",
+    "LFRParams",
+    "lfr_benchmark_graph",
+    "erdos_renyi_digraph",
+    "barabasi_albert_digraph",
+    "watts_strogatz_digraph",
+    "random_tree_digraph",
+    "core_periphery_digraph",
+    "netsci",
+    "dunf",
+    "GraphSummary",
+    "degree_statistics",
+    "summarize_graph",
+    "io",
+]

@@ -1,0 +1,37 @@
+"""Graph generators: LFR benchmark, classic random graphs, real-world surrogates."""
+
+from repro.graphs.generators.kronecker import (
+    CORE_PERIPHERY_INITIATOR,
+    HIERARCHICAL_INITIATOR,
+    kronecker_digraph,
+)
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.graphs.generators.powerlaw import (
+    fit_powerlaw_exponent,
+    truncated_powerlaw_degrees,
+)
+from repro.graphs.generators.random_graphs import (
+    barabasi_albert_digraph,
+    core_periphery_digraph,
+    erdos_renyi_digraph,
+    random_tree_digraph,
+    watts_strogatz_digraph,
+)
+from repro.graphs.generators.realworld import dunf, netsci
+
+__all__ = [
+    "kronecker_digraph",
+    "CORE_PERIPHERY_INITIATOR",
+    "HIERARCHICAL_INITIATOR",
+    "LFRParams",
+    "lfr_benchmark_graph",
+    "truncated_powerlaw_degrees",
+    "fit_powerlaw_exponent",
+    "erdos_renyi_digraph",
+    "barabasi_albert_digraph",
+    "watts_strogatz_digraph",
+    "random_tree_digraph",
+    "core_periphery_digraph",
+    "netsci",
+    "dunf",
+]

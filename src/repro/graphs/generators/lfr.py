@@ -1,0 +1,400 @@
+"""LFR-style benchmark graph generator (Lancichinetti–Fortunato–Radicchi).
+
+The paper's synthetic experiments run on fifteen LFR benchmark graphs
+(Table II) parameterised by
+
+* ``n`` — number of nodes (100–300),
+* ``κ`` — average degree, defined as directed-edge count over node count,
+* ``τ`` — degree-distribution parameter, *larger τ means less dispersion*.
+
+This module implements the generator from scratch (no dependence on
+``networkx.LFR_benchmark_graph``, which is undirected-only and frequently
+fails to converge at these small sizes):
+
+1. sample a total-degree sequence from a truncated power law with mean
+   ``2κ`` (each directed edge contributes one unit of total degree at both
+   endpoints once oriented) — see
+   :func:`repro.graphs.generators.powerlaw.truncated_powerlaw_degrees`;
+2. sample community sizes from a power law and assign nodes;
+3. split each node's stubs into intra-community (fraction ``1 - mixing``)
+   and inter-community stubs;
+4. wire stubs by configuration-model matching, rejecting self-loops and
+   duplicate edges with bounded retries;
+5. orient every undirected edge uniformly at random, yielding a directed
+   graph with ``m ≈ κ · n`` edges.
+
+The generator is deterministic given a seed and validated by the Table II
+reproduction benchmark (``benchmarks/bench_table2_lfr.py``) and the unit
+tests, which check mean degree, dispersion monotonicity in ``τ``, and
+community mixing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, GraphError
+from repro.graphs.digraph import DiffusionGraph
+from repro.graphs.generators.powerlaw import truncated_powerlaw_degrees
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = ["LFRParams", "lfr_benchmark_graph"]
+
+
+@dataclass(frozen=True)
+class LFRParams:
+    """Parameters of an LFR benchmark graph, mirroring paper Table II.
+
+    Attributes
+    ----------
+    n:
+        Number of nodes.
+    avg_degree:
+        Target average *directed* degree ``κ = m / n``.
+    tau:
+        Degree-dispersion parameter ``τ``; larger values concentrate the
+        degree distribution (paper §V-D sweeps 1–3).
+    mixing:
+        Fraction of each node's edges that leave its community (LFR ``μ``;
+        the paper does not sweep it, we default to 0.1).
+    orientation:
+        ``"reciprocal"`` (default): every influence relationship is
+        mutual, i.e. each generated undirected edge becomes two directed
+        edges.  ``"random"``: each undirected edge is oriented one way
+        uniformly at random.  Final infection statuses carry no
+        information about edge direction, so the paper's reported accuracy
+        on LFR graphs is only attainable under (near-)reciprocal influence
+        — see DESIGN.md §4; the random orientation is kept for the
+        direction-ambiguity ablation bench.
+    community_exponent:
+        Power-law exponent for community sizes (LFR ``τ₂``; default 1.5).
+    min_community:
+        Minimum community size; defaults to ``max(10, 2 * avg_degree)``
+        computed at generation time when left as ``None``.
+    """
+
+    n: int
+    avg_degree: float = 4.0
+    tau: float = 2.0
+    mixing: float = 0.1
+    orientation: str = "reciprocal"
+    community_exponent: float = 1.5
+    min_community: int | None = None
+
+    def __post_init__(self) -> None:
+        check_positive_int("n", self.n)
+        check_positive("avg_degree", self.avg_degree)
+        check_positive("tau", self.tau)
+        check_fraction("mixing", self.mixing)
+        check_positive("community_exponent", self.community_exponent)
+        if self.orientation not in ("random", "reciprocal"):
+            raise ConfigurationError(
+                f"orientation must be 'random' or 'reciprocal', got {self.orientation!r}"
+            )
+        if self.avg_degree >= self.n:
+            raise ConfigurationError(
+                f"avg_degree ({self.avg_degree}) must be < n ({self.n})"
+            )
+
+    def resolved_min_community(self) -> int:
+        if self.min_community is not None:
+            return check_positive_int("min_community", self.min_community)
+        return int(max(10, 2 * self.avg_degree))
+
+
+def lfr_benchmark_graph(
+    params: LFRParams | None = None,
+    *,
+    n: int | None = None,
+    avg_degree: float | None = None,
+    tau: float | None = None,
+    mixing: float | None = None,
+    seed: RandomState = None,
+    max_attempts: int = 8,
+) -> DiffusionGraph:
+    """Generate a directed LFR-style benchmark graph.
+
+    Either pass a fully-specified :class:`LFRParams`, or the individual
+    keyword shortcuts ``n`` / ``avg_degree`` / ``tau`` / ``mixing``.
+
+    Returns a frozen :class:`~repro.graphs.digraph.DiffusionGraph` with
+    approximately ``avg_degree * n`` directed edges.
+
+    Raises
+    ------
+    GraphError
+        If stub matching repeatedly fails (pathological parameters, e.g.
+        a single node asked for more neighbours than exist).
+    """
+    if params is None:
+        if n is None:
+            raise ConfigurationError("provide LFRParams or at least n=")
+        params = LFRParams(
+            n=n,
+            avg_degree=avg_degree if avg_degree is not None else 4.0,
+            tau=tau if tau is not None else 2.0,
+            mixing=mixing if mixing is not None else 0.1,
+        )
+    elif any(v is not None for v in (n, avg_degree, tau, mixing)):
+        raise ConfigurationError("pass either params or keyword shortcuts, not both")
+
+    rng = as_generator(seed)
+    last_error: GraphError | None = None
+    for _ in range(max_attempts):
+        try:
+            return _generate_once(params, rng)
+        except GraphError as exc:  # rare matching failure; retry fresh draw
+            last_error = exc
+    raise GraphError(
+        f"LFR generation failed after {max_attempts} attempts: {last_error}"
+    )
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+
+def _undirected_target(params: LFRParams) -> int:
+    """How many *undirected* edges realise the requested directed κ."""
+    directed_target = params.avg_degree * params.n
+    if params.orientation == "reciprocal":
+        return int(round(directed_target / 2.0))
+    return int(round(directed_target))
+
+
+def _generate_once(params: LFRParams, rng: np.random.Generator) -> DiffusionGraph:
+    n = params.n
+    # Each undirected edge adds 2 units of undirected degree, so the mean
+    # undirected degree is 2 * m_undirected / n.
+    mean_undirected_degree = 2.0 * _undirected_target(params) / n
+    degrees = truncated_powerlaw_degrees(
+        n, mean_degree=mean_undirected_degree, exponent=params.tau, seed=rng
+    )
+    communities = _assign_communities(params, degrees, rng)
+
+    internal = np.rint(degrees * (1.0 - params.mixing)).astype(np.int64)
+    external = degrees - internal
+    _balance_parities(internal, external, communities, rng)
+
+    undirected: set[tuple[int, int]] = set()
+    for members in communities:
+        _match_stubs(internal, members, undirected, rng, label="intra-community")
+    _match_external_stubs(external, communities, undirected, rng)
+
+    # Stub matching drops a few percent of edges on heavy-tailed sequences
+    # (rejected duplicates/self-loops); top the count back up with random
+    # intra-community pairs biased towards the nodes that lost stubs, so the
+    # realised average degree matches Table II.
+    _top_up_edges(undirected, degrees, communities, n, params, rng)
+
+    graph = DiffusionGraph(n)
+    if params.orientation == "reciprocal":
+        for u, v in undirected:
+            graph.add_edge(u, v)
+            graph.add_edge(v, u)
+    else:
+        for u, v in undirected:
+            if rng.random() < 0.5:
+                graph.add_edge(u, v)
+            else:
+                graph.add_edge(v, u)
+    return graph.freeze()
+
+
+def _top_up_edges(
+    undirected: set[tuple[int, int]],
+    degrees: np.ndarray,
+    communities: list[np.ndarray],
+    n: int,
+    params: LFRParams,
+    rng: np.random.Generator,
+) -> None:
+    target = _undirected_target(params)
+    if len(undirected) >= target:
+        return
+    realised = np.zeros(n, dtype=np.int64)
+    for u, v in undirected:
+        realised[u] += 1
+        realised[v] += 1
+    deficit = np.maximum(degrees - realised, 0).astype(np.float64)
+    community_of = np.zeros(n, dtype=np.int64)
+    for index, members in enumerate(communities):
+        community_of[members] = index
+    guard = 0
+    while len(undirected) < target and guard < 500 * target:
+        guard += 1
+        if deficit.sum() > 0:
+            u = int(rng.choice(n, p=deficit / deficit.sum()))
+        else:
+            u = int(rng.integers(n))
+        members = communities[community_of[u]]
+        if rng.random() < 1.0 - params.mixing and members.size > 1:
+            v = int(members[int(rng.integers(members.size))])
+        else:
+            v = int(rng.integers(n))
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in undirected:
+            continue
+        undirected.add(key)
+        deficit[u] = max(deficit[u] - 1, 0)
+        deficit[v] = max(deficit[v] - 1, 0)
+
+
+def _assign_communities(
+    params: LFRParams, degrees: np.ndarray, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Sample community sizes and assign nodes so every node's internal
+    degree fits inside its community."""
+    n = params.n
+    min_size = min(params.resolved_min_community(), n)
+    max_size = n
+
+    sizes: list[int] = []
+    while sum(sizes) < n:
+        u = rng.random()
+        raw = min_size * (1.0 - u) ** (-1.0 / params.community_exponent)
+        sizes.append(int(min(max(min_size, round(raw)), max_size)))
+    # Trim the last community so sizes sum exactly to n (merge tiny remainder).
+    overshoot = sum(sizes) - n
+    sizes[-1] -= overshoot
+    if sizes[-1] < min_size and len(sizes) > 1:
+        sizes[-2] += sizes[-1]
+        sizes.pop()
+
+    # Place high-degree nodes in large communities so that the internal
+    # degree (1 - mixing) * k_i never exceeds the community size - 1.
+    order = np.argsort(degrees)[::-1]
+    sizes_sorted = sorted(sizes, reverse=True)
+    assignments: list[list[int]] = [[] for _ in sizes_sorted]
+    capacity = list(sizes_sorted)
+    cursor = 0
+    for node in order:
+        placed = False
+        for offset in range(len(sizes_sorted)):
+            idx = (cursor + offset) % len(sizes_sorted)
+            internal_degree = int(round(degrees[node] * (1.0 - params.mixing)))
+            if capacity[idx] > 0 and internal_degree <= sizes_sorted[idx] - 1:
+                assignments[idx].append(int(node))
+                capacity[idx] -= 1
+                cursor = (idx + 1) % len(sizes_sorted)
+                placed = True
+                break
+        if not placed:
+            # Fall back: largest community with remaining capacity.
+            idx = int(np.argmax(capacity))
+            if capacity[idx] <= 0:
+                raise GraphError("community assignment overflow")
+            assignments[idx].append(int(node))
+            capacity[idx] -= 1
+    return [np.array(group, dtype=np.int64) for group in assignments if group]
+
+
+def _balance_parities(
+    internal: np.ndarray,
+    external: np.ndarray,
+    communities: list[np.ndarray],
+    rng: np.random.Generator,
+) -> None:
+    """Make the intra-community stub counts even per community, and the
+    global external stub count even, by moving single stubs between the
+    internal and external pools of randomly chosen nodes."""
+    for members in communities:
+        if int(internal[members].sum()) % 2 == 1:
+            node = int(rng.choice(members))
+            if external[node] > 0:
+                external[node] -= 1
+                internal[node] += 1
+            elif internal[node] > 0:
+                internal[node] -= 1
+                external[node] += 1
+            else:
+                internal[node] += 1
+    if int(external.sum()) % 2 == 1:
+        candidates = np.nonzero(external > 0)[0]
+        if candidates.size:
+            external[int(rng.choice(candidates))] -= 1
+        else:
+            external[int(rng.integers(external.shape[0]))] += 1
+
+
+def _match_stubs(
+    stub_counts: np.ndarray,
+    members: np.ndarray,
+    edges: set[tuple[int, int]],
+    rng: np.random.Generator,
+    *,
+    label: str,
+    max_rounds: int = 50,
+) -> None:
+    """Configuration-model matching restricted to ``members``.
+
+    Self-loops and duplicate pairs are rejected and their stubs re-queued;
+    after ``max_rounds`` the few unmatchable stubs are dropped (standard
+    LFR practice — the expected loss is a handful of edges).
+    """
+    stubs = np.repeat(members, stub_counts[members])
+    for _ in range(max_rounds):
+        if stubs.size < 2:
+            return
+        rng.shuffle(stubs)
+        if stubs.size % 2 == 1:
+            stubs = stubs[:-1]
+        left, right = stubs[0::2], stubs[1::2]
+        leftover: list[int] = []
+        for u, v in zip(left.tolist(), right.tolist()):
+            key = (u, v) if u < v else (v, u)
+            if u == v or key in edges:
+                leftover.extend((u, v))
+            else:
+                edges.add(key)
+        if not leftover:
+            return
+        stubs = np.array(leftover, dtype=np.int64)
+    # A few stubborn stubs remain (e.g. one node holding both endpoints);
+    # drop them rather than loop forever.
+
+
+def _match_external_stubs(
+    external: np.ndarray,
+    communities: list[np.ndarray],
+    edges: set[tuple[int, int]],
+    rng: np.random.Generator,
+    max_rounds: int = 50,
+) -> None:
+    """Match inter-community stubs, rejecting intra-community pairs."""
+    if len(communities) == 1:
+        # Single community: external stubs have nowhere to go; wire them
+        # internally instead so the degree sequence is preserved.
+        _match_stubs(external, communities[0], edges, rng, label="external-fallback")
+        return
+    community_of = np.empty(int(sum(len(c) for c in communities)), dtype=np.int64)
+    for index, members in enumerate(communities):
+        community_of[members] = index
+    all_nodes = np.concatenate(communities)
+    stubs = np.repeat(all_nodes, external[all_nodes])
+    for _ in range(max_rounds):
+        if stubs.size < 2:
+            return
+        rng.shuffle(stubs)
+        if stubs.size % 2 == 1:
+            stubs = stubs[:-1]
+        left, right = stubs[0::2], stubs[1::2]
+        leftover: list[int] = []
+        for u, v in zip(left.tolist(), right.tolist()):
+            key = (u, v) if u < v else (v, u)
+            if u == v or key in edges or community_of[u] == community_of[v]:
+                leftover.extend((u, v))
+            else:
+                edges.add(key)
+        if not leftover:
+            return
+        stubs = np.array(leftover, dtype=np.int64)

@@ -1,0 +1,107 @@
+"""Graph serialisation: whitespace edge lists and a JSON document format.
+
+The edge-list format is the interchange standard of the cascade-inference
+literature (NetInf/NetRate tooling): one ``source target`` pair per line,
+``#`` comments allowed, node count declared via an optional
+``# nodes: <n>`` header (otherwise inferred as ``max id + 1``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import DataError
+from repro.graphs.digraph import DiffusionGraph
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "graph_to_json",
+    "graph_from_json",
+    "write_json",
+    "read_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: DiffusionGraph, path: PathLike) -> None:
+    """Write ``graph`` as an edge list with a node-count header."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# nodes: {graph.n_nodes}\n")
+        for source, target in graph.edges():
+            handle.write(f"{source} {target}\n")
+
+
+def read_edge_list(path: PathLike) -> DiffusionGraph:
+    """Read an edge list written by :func:`write_edge_list` (or compatible)."""
+    path = Path(path)
+    n_nodes: int | None = None
+    edges: list[tuple[int, int]] = []
+    max_id = -1
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            if text.startswith("#"):
+                header = text[1:].strip()
+                if header.startswith("nodes:"):
+                    try:
+                        n_nodes = int(header.split(":", 1)[1])
+                    except ValueError as exc:
+                        raise DataError(
+                            f"{path}:{line_number}: malformed nodes header {text!r}"
+                        ) from exc
+                continue
+            parts = text.split()
+            if len(parts) != 2:
+                raise DataError(f"{path}:{line_number}: expected 'source target', got {text!r}")
+            try:
+                source, target = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise DataError(f"{path}:{line_number}: non-integer node id in {text!r}") from exc
+            edges.append((source, target))
+            max_id = max(max_id, source, target)
+    if n_nodes is None:
+        n_nodes = max_id + 1
+    return DiffusionGraph(max(n_nodes, 0), edges).freeze()
+
+
+def graph_to_json(graph: DiffusionGraph) -> dict:
+    """Serialise to a plain dict (JSON-compatible)."""
+    return {
+        "format": "repro.diffusion_graph",
+        "version": 1,
+        "n_nodes": graph.n_nodes,
+        "edges": [[s, t] for s, t in graph.edges()],
+    }
+
+
+def graph_from_json(document: dict) -> DiffusionGraph:
+    """Deserialise a dict produced by :func:`graph_to_json`."""
+    if document.get("format") != "repro.diffusion_graph":
+        raise DataError(f"not a diffusion-graph document: format={document.get('format')!r}")
+    try:
+        n_nodes = int(document["n_nodes"])
+        edges = [(int(s), int(t)) for s, t in document["edges"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"malformed diffusion-graph document: {exc}") from exc
+    return DiffusionGraph(n_nodes, edges).freeze()
+
+
+def write_json(graph: DiffusionGraph, path: PathLike) -> None:
+    """Write the JSON document format to ``path``."""
+    Path(path).write_text(json.dumps(graph_to_json(graph)), encoding="utf-8")
+
+
+def read_json(path: PathLike) -> DiffusionGraph:
+    """Read the JSON document format from ``path``."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{path}: invalid JSON: {exc}") from exc
+    return graph_from_json(document)

@@ -1,0 +1,182 @@
+"""Structural graph statistics.
+
+These feed the Table II reproduction (LFR graph properties) and the
+experiment logs: for every generated network the harness records node
+count, directed edge count, average degree ``κ = m/n``, degree standard
+deviation (the paper's "dispersion"), and reciprocity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.digraph import DiffusionGraph
+
+__all__ = [
+    "GraphSummary",
+    "degree_statistics",
+    "summarize_graph",
+    "reciprocity",
+    "average_clustering",
+    "degree_assortativity",
+    "weak_component_sizes",
+]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One row of the Table II-style graph inventory."""
+
+    n_nodes: int
+    n_edges: int
+    avg_degree: float
+    in_degree_std: float
+    out_degree_std: float
+    total_degree_std: float
+    max_in_degree: int
+    max_out_degree: int
+    reciprocity: float
+    density: float
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "n": self.n_nodes,
+            "m": self.n_edges,
+            "avg_degree": round(self.avg_degree, 3),
+            "degree_std": round(self.total_degree_std, 3),
+            "max_in": self.max_in_degree,
+            "max_out": self.max_out_degree,
+            "reciprocity": round(self.reciprocity, 3),
+            "density": round(self.density, 5),
+        }
+
+
+def degree_statistics(graph: DiffusionGraph) -> dict[str, float]:
+    """Mean/std/min/max of in-, out-, and total-degree distributions."""
+    in_deg = graph.in_degrees().astype(np.float64)
+    out_deg = graph.out_degrees().astype(np.float64)
+    total = in_deg + out_deg
+    def stats(name: str, values: np.ndarray) -> dict[str, float]:
+        return {
+            f"{name}_mean": float(values.mean()) if values.size else 0.0,
+            f"{name}_std": float(values.std()) if values.size else 0.0,
+            f"{name}_min": float(values.min()) if values.size else 0.0,
+            f"{name}_max": float(values.max()) if values.size else 0.0,
+        }
+
+    result: dict[str, float] = {}
+    result.update(stats("in", in_deg))
+    result.update(stats("out", out_deg))
+    result.update(stats("total", total))
+    return result
+
+
+def reciprocity(graph: DiffusionGraph) -> float:
+    """Fraction of directed edges whose reverse edge also exists."""
+    if graph.n_edges == 0:
+        return 0.0
+    edges = graph.edge_set()
+    mutual = sum(1 for (u, v) in edges if (v, u) in edges)
+    return mutual / graph.n_edges
+
+
+def _undirected_adjacency(graph: DiffusionGraph) -> list[set[int]]:
+    neighbours: list[set[int]] = [set() for _ in graph.nodes()]
+    for u, v in graph.edges():
+        neighbours[u].add(v)
+        neighbours[v].add(u)
+    return neighbours
+
+
+def average_clustering(graph: DiffusionGraph) -> float:
+    """Mean local clustering coefficient of the undirected projection.
+
+    A node's coefficient is the fraction of its neighbour pairs that are
+    themselves connected; degree-<2 nodes contribute 0 (the convention
+    that keeps sparse graphs comparable).  High clustering is the LFR /
+    coauthorship signature the community generators must reproduce.
+    """
+    neighbours = _undirected_adjacency(graph)
+    if graph.n_nodes == 0:
+        return 0.0
+    total = 0.0
+    for node in graph.nodes():
+        adjacent = neighbours[node]
+        k = len(adjacent)
+        if k < 2:
+            continue
+        links = sum(
+            1
+            for u in adjacent
+            for v in adjacent
+            if u < v and v in neighbours[u]
+        )
+        total += 2.0 * links / (k * (k - 1))
+    return total / graph.n_nodes
+
+
+def degree_assortativity(graph: DiffusionGraph) -> float:
+    """Pearson correlation of endpoint total-degrees over directed edges.
+
+    Positive for hub-to-hub wiring (social networks), negative for
+    hub-to-leaf wiring (stars, core-periphery).  Returns 0.0 when either
+    endpoint-degree sequence is constant.
+    """
+    edges = graph.edge_array()
+    if edges.shape[0] == 0:
+        return 0.0
+    totals = (graph.in_degrees() + graph.out_degrees()).astype(np.float64)
+    source_degrees = totals[edges[:, 0]]
+    target_degrees = totals[edges[:, 1]]
+    if source_degrees.std() == 0.0 or target_degrees.std() == 0.0:
+        return 0.0
+    return float(np.corrcoef(source_degrees, target_degrees)[0, 1])
+
+
+def weak_component_sizes(graph: DiffusionGraph) -> list[int]:
+    """Sizes of weakly connected components, largest first.
+
+    BFS over the undirected projection; the diffusion experiments care
+    about the giant component because cascades cannot cross component
+    boundaries.
+    """
+    neighbours = _undirected_adjacency(graph)
+    seen = np.zeros(graph.n_nodes, dtype=bool)
+    sizes: list[int] = []
+    for start in graph.nodes():
+        if seen[start]:
+            continue
+        queue = [start]
+        seen[start] = True
+        size = 0
+        while queue:
+            node = queue.pop()
+            size += 1
+            for neighbour in neighbours[node]:
+                if not seen[neighbour]:
+                    seen[neighbour] = True
+                    queue.append(neighbour)
+        sizes.append(size)
+    return sorted(sizes, reverse=True)
+
+
+def summarize_graph(graph: DiffusionGraph) -> GraphSummary:
+    """Compute the full :class:`GraphSummary` for ``graph``."""
+    n, m = graph.n_nodes, graph.n_edges
+    stats = degree_statistics(graph)
+    density = m / (n * (n - 1)) if n > 1 else 0.0
+    return GraphSummary(
+        n_nodes=n,
+        n_edges=m,
+        avg_degree=m / n if n else 0.0,
+        in_degree_std=stats["in_std"],
+        out_degree_std=stats["out_std"],
+        total_degree_std=stats["total_std"],
+        max_in_degree=int(stats["in_max"]),
+        max_out_degree=int(stats["out_max"]),
+        reciprocity=reciprocity(graph),
+        density=density,
+    )

@@ -1,0 +1,259 @@
+"""Cascade observations (timestamped infection sequences).
+
+TENDS itself never looks at timestamps, but the paper's comparison
+baselines do: NetRate, MulTree and NetInf consume cascades; LIFT consumes
+the seed sets.  The simulator therefore records, for every diffusion
+process, each infected node's infection *round* (seeds are round 0).
+
+A :class:`Cascade` stores ``(node, time)`` pairs; a :class:`CascadeSet`
+bundles the cascades of all ``β`` processes plus the node count and the
+observation horizon, and can project itself down to the status matrix or
+the seed sets, guaranteeing every algorithm in a comparison sees views of
+the *same* underlying diffusions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.simulation.statuses import StatusMatrix
+
+__all__ = ["Cascade", "CascadeSet"]
+
+
+@dataclass(frozen=True)
+class Cascade:
+    """One diffusion process: infection times for the infected nodes.
+
+    Attributes
+    ----------
+    times:
+        Mapping from node id to infection time (float rounds; seeds at 0.0).
+        Nodes absent from the mapping were never infected.
+    infectors:
+        Optional ground-truth attribution: for each non-seed infected node,
+        the node that caused its infection.  Populated by the simulator;
+        absent (``None``) for observations that only carry timestamps.
+        Required by the PATH baseline's diffusion-path extraction.
+    """
+
+    times: Mapping[int, float]
+    infectors: Mapping[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        for node, time in self.times.items():
+            if time < 0:
+                raise DataError(f"negative infection time {time} for node {node}")
+        if self.infectors is not None:
+            for child, parent in self.infectors.items():
+                if child not in self.times or parent not in self.times:
+                    raise DataError(
+                        f"infector pair ({parent} -> {child}) mentions uninfected nodes"
+                    )
+                if not self.times[parent] < self.times[child]:
+                    raise DataError(
+                        f"infector {parent} not infected before its child {child}"
+                    )
+
+    def infection_paths(self, length: int) -> list[tuple[int, ...]]:
+        """All ground-truth diffusion paths of exactly ``length`` nodes.
+
+        Walks each infected node's infector chain backwards; returns the
+        ordered node tuples (earliest infection first).  Requires the
+        cascade to carry attribution (:attr:`infectors`).
+        """
+        if length < 2:
+            raise DataError(f"path length must be at least 2, got {length}")
+        if self.infectors is None:
+            raise DataError("cascade has no infector attribution; paths unavailable")
+        paths: list[tuple[int, ...]] = []
+        for node in self.times:
+            chain = [node]
+            current = node
+            while len(chain) < length and current in self.infectors:
+                current = self.infectors[current]
+                chain.append(current)
+            if len(chain) == length:
+                paths.append(tuple(reversed(chain)))
+        return paths
+
+    @property
+    def infected(self) -> frozenset[int]:
+        """Set of infected node ids."""
+        return frozenset(self.times)
+
+    @property
+    def seeds(self) -> frozenset[int]:
+        """Nodes infected at the earliest time (the initially infected set)."""
+        if not self.times:
+            return frozenset()
+        first = min(self.times.values())
+        return frozenset(node for node, t in self.times.items() if t == first)
+
+    def time_of(self, node: int) -> float:
+        """Infection time of ``node``; ``math.inf`` if never infected."""
+        return self.times.get(node, float("inf"))
+
+    def ordered(self) -> list[tuple[int, float]]:
+        """Infections sorted by (time, node id)."""
+        return sorted(self.times.items(), key=lambda item: (item[1], item[0]))
+
+    def potential_parents(self, node: int) -> list[int]:
+        """Nodes infected strictly before ``node`` (candidate infectors)."""
+        own = self.time_of(node)
+        if own == float("inf"):
+            return []
+        return [other for other, t in self.times.items() if t < own]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class CascadeSet:
+    """The cascades of ``β`` diffusion processes over ``n`` nodes.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes in the underlying network.
+    cascades:
+        One :class:`Cascade` per observed process.
+    horizon:
+        Observation window length ``T`` used by survival-likelihood
+        baselines; defaults to one round past the latest infection.
+    """
+
+    __slots__ = ("_n", "_cascades", "_horizon")
+
+    def __init__(
+        self,
+        n_nodes: int,
+        cascades: Iterable[Cascade],
+        *,
+        horizon: float | None = None,
+    ) -> None:
+        self._n = int(n_nodes)
+        self._cascades = list(cascades)
+        for cascade in self._cascades:
+            for node in cascade.times:
+                if not 0 <= node < self._n:
+                    raise DataError(f"cascade mentions node {node} outside [0, {self._n})")
+        if horizon is None:
+            latest = max(
+                (max(c.times.values()) for c in self._cascades if c.times),
+                default=0.0,
+            )
+            horizon = latest + 1.0
+        if self._cascades and horizon < max(
+            (max(c.times.values()) for c in self._cascades if c.times), default=0.0
+        ):
+            raise DataError("horizon earlier than the latest observed infection")
+        self._horizon = float(horizon)
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    @property
+    def beta(self) -> int:
+        """Number of cascades."""
+        return len(self._cascades)
+
+    @property
+    def horizon(self) -> float:
+        """Observation window ``T``."""
+        return self._horizon
+
+    def __iter__(self) -> Iterator[Cascade]:
+        return iter(self._cascades)
+
+    def __len__(self) -> int:
+        return len(self._cascades)
+
+    def __getitem__(self, index: int) -> Cascade:
+        return self._cascades[index]
+
+    # ------------------------------------------------------------------
+    # projections
+    # ------------------------------------------------------------------
+    def to_status_matrix(self) -> StatusMatrix:
+        """Forget timestamps: the ``β × n`` final-status matrix."""
+        data = np.zeros((len(self._cascades), self._n), dtype=np.uint8)
+        for row, cascade in enumerate(self._cascades):
+            infected = list(cascade.times)
+            if infected:
+                data[row, infected] = 1
+        return StatusMatrix(data)
+
+    def seed_sets(self) -> list[frozenset[int]]:
+        """The initially infected node set of each process (LIFT's input)."""
+        return [cascade.seeds for cascade in self._cascades]
+
+    def time_matrix(self) -> np.ndarray:
+        """``(β, n)`` float matrix of infection times, ``inf`` = uninfected.
+
+        The dense layout the vectorised NetRate solver consumes.
+        """
+        matrix = np.full((len(self._cascades), self._n), np.inf)
+        for row, cascade in enumerate(self._cascades):
+            for node, time in cascade.times.items():
+                matrix[row, node] = time
+        return matrix
+
+    def with_time_noise(self, fraction: float, *, max_shift: int = 2, seed=None) -> "CascadeSet":
+        """Corrupt a fraction of (non-seed) infection timestamps.
+
+        Models the paper's §I/§II-A observation that monitored timestamps
+        are unreliable (incubation periods, reporting lag): each selected
+        infection's time is shifted by a uniform ±``max_shift`` rounds
+        (clamped at 0.5 so corrupted nodes never masquerade as seeds).
+        Final statuses are untouched, so status-only methods are immune by
+        construction while cascade-based methods see scrambled orderings.
+        """
+        from repro.utils.rng import as_generator
+        from repro.utils.validation import check_positive_int, check_probability
+
+        check_probability("fraction", fraction)
+        check_positive_int("max_shift", max_shift)
+        rng = as_generator(seed)
+        noisy: list[Cascade] = []
+        for cascade in self._cascades:
+            seeds = cascade.seeds
+            times: dict[int, float] = {}
+            for node, time in cascade.times.items():
+                if node not in seeds and rng.random() < fraction:
+                    shift = float(rng.integers(-max_shift, max_shift + 1))
+                    times[node] = max(0.5, time + shift)
+                else:
+                    times[node] = time
+            noisy.append(Cascade(times))
+        latest = max(
+            (max(c.times.values()) for c in noisy if c.times), default=0.0
+        )
+        return CascadeSet(self._n, noisy, horizon=max(self._horizon, latest + 1.0))
+
+    def drop_timestamps_fraction(self, fraction: float, *, seed=None) -> "CascadeSet":
+        """Remove a random fraction of (non-seed) infections entirely —
+        the missing-observation robustness scenario from §II-A."""
+        from repro.utils.rng import as_generator
+        from repro.utils.validation import check_probability
+
+        check_probability("fraction", fraction)
+        rng = as_generator(seed)
+        trimmed: list[Cascade] = []
+        for cascade in self._cascades:
+            seeds = cascade.seeds
+            kept = {
+                node: time
+                for node, time in cascade.times.items()
+                if node in seeds or rng.random() >= fraction
+            }
+            trimmed.append(Cascade(kept))
+        return CascadeSet(self._n, trimmed, horizon=self._horizon)
+
+    def __repr__(self) -> str:
+        return f"CascadeSet(beta={self.beta}, n_nodes={self._n}, horizon={self._horizon})"

@@ -1,0 +1,126 @@
+"""Observation persistence: status matrices and cascades on disk.
+
+Formats:
+
+* **Status matrices** — CSV (one process per row, ``0``/``1`` cells,
+  optional ``#`` header comments) for interchange, and NPZ for speed.
+* **Cascades** — JSON Lines: one JSON object per process mapping node id
+  to infection time, plus a leading metadata line carrying the node count
+  and horizon.
+
+These formats are what the command-line interface (``python -m repro``)
+reads and writes, so simulation and inference can run as separate steps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.simulation.cascades import Cascade, CascadeSet
+from repro.simulation.statuses import StatusMatrix
+
+__all__ = [
+    "write_statuses_csv",
+    "read_statuses_csv",
+    "write_statuses_npz",
+    "read_statuses_npz",
+    "write_cascades_jsonl",
+    "read_cascades_jsonl",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_statuses_csv(statuses: StatusMatrix, path: PathLike) -> None:
+    """Write a status matrix as comma-separated 0/1 rows with a header."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# beta: {statuses.beta}, nodes: {statuses.n_nodes}\n")
+        for row in statuses.values:
+            handle.write(",".join(str(int(cell)) for cell in row) + "\n")
+
+
+def read_statuses_csv(path: PathLike) -> StatusMatrix:
+    """Read a status matrix written by :func:`write_statuses_csv`."""
+    path = Path(path)
+    rows: list[list[int]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                row = [int(cell) for cell in text.split(",")]
+            except ValueError as exc:
+                raise DataError(f"{path}:{line_number}: non-integer cell") from exc
+            rows.append(row)
+    if not rows:
+        raise DataError(f"{path}: no status rows found")
+    widths = {len(row) for row in rows}
+    if len(widths) != 1:
+        raise DataError(f"{path}: inconsistent row lengths {sorted(widths)}")
+    return StatusMatrix(rows)
+
+
+def write_statuses_npz(statuses: StatusMatrix, path: PathLike) -> None:
+    """Write a status matrix as a compressed NPZ archive."""
+    np.savez_compressed(Path(path), statuses=statuses.values)
+
+
+def read_statuses_npz(path: PathLike) -> StatusMatrix:
+    """Read a status matrix written by :func:`write_statuses_npz`."""
+    with np.load(Path(path)) as archive:
+        if "statuses" not in archive:
+            raise DataError(f"{path}: missing 'statuses' array")
+        return StatusMatrix(archive["statuses"])
+
+
+def write_cascades_jsonl(cascades: CascadeSet, path: PathLike) -> None:
+    """Write cascades as JSON Lines with a metadata header line."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "format": "repro.cascades",
+            "version": 1,
+            "n_nodes": cascades.n_nodes,
+            "horizon": cascades.horizon,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for cascade in cascades:
+            record = {str(node): time for node, time in cascade.times.items()}
+            handle.write(json.dumps(record) + "\n")
+
+
+def read_cascades_jsonl(path: PathLike) -> CascadeSet:
+    """Read cascades written by :func:`write_cascades_jsonl`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        try:
+            header = json.loads(handle.readline())
+        except json.JSONDecodeError as exc:
+            raise DataError(f"{path}: malformed header line: {exc}") from exc
+        if header.get("format") != "repro.cascades":
+            raise DataError(f"{path}: not a cascades file (format={header.get('format')!r})")
+        try:
+            n_nodes = int(header["n_nodes"])
+            horizon = float(header["horizon"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError(f"{path}: malformed cascades header: {exc}") from exc
+        cascades: list[Cascade] = []
+        for line_number, line in enumerate(handle, start=2):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                record = json.loads(text)
+                cascades.append(
+                    Cascade({int(node): float(time) for node, time in record.items()})
+                )
+            except (json.JSONDecodeError, TypeError, ValueError) as exc:
+                raise DataError(f"{path}:{line_number}: malformed cascade: {exc}") from exc
+    return CascadeSet(n_nodes, cascades, horizon=horizon)

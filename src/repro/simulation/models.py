@@ -1,0 +1,322 @@
+"""Diffusion process models.
+
+The paper's generator is the discrete-time Independent Cascade (IC) model:
+"each infected node tries to infect its uninfected child nodes with a given
+propagation probability" (§V-A) — in IC, each infector gets exactly one
+attempt per edge, in the round after it becomes infected.
+
+:class:`SusceptibleInfectedModel` is a supported extension in which
+infected nodes keep attempting every round until a horizon; it produces
+denser infections and is used by the epidemic example and the robustness
+benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.graphs.digraph import DiffusionGraph
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "ProcessOutcome",
+    "DiffusionModel",
+    "IndependentCascadeModel",
+    "SusceptibleInfectedModel",
+    "LinearThresholdModel",
+]
+
+EdgeProbabilities = Mapping[tuple[int, int], float]
+
+
+@dataclass(frozen=True)
+class ProcessOutcome:
+    """Everything one diffusion process produced.
+
+    Attributes
+    ----------
+    times:
+        Infection round per infected node; seeds at 0.0.
+    infectors:
+        The node credited with each non-seed infection — the parent whose
+        attempt succeeded (IC/SI) or whose contribution crossed the
+        threshold (LT; attribution there is to the final contributor).
+        Seeds have no infector.  This ground-truth attribution powers the
+        PATH baseline's diffusion-path extraction and white-box tests.
+    """
+
+    times: dict[int, float]
+    infectors: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for child, parent in self.infectors.items():
+            if child not in self.times:
+                raise SimulationError(f"infector recorded for uninfected node {child}")
+            if parent not in self.times:
+                raise SimulationError(f"infector {parent} of {child} is uninfected")
+
+
+class DiffusionModel(Protocol):
+    """Protocol for diffusion process models.
+
+    ``simulate`` turns (graph, edge probabilities, seed set, rng) into a
+    :class:`ProcessOutcome`; ``run`` is the times-only convenience wrapper.
+    """
+
+    def simulate(
+        self,
+        graph: DiffusionGraph,
+        probabilities: EdgeProbabilities,
+        seeds: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ProcessOutcome:
+        ...
+
+    def run(
+        self,
+        graph: DiffusionGraph,
+        probabilities: EdgeProbabilities,
+        seeds: np.ndarray,
+        rng: np.random.Generator,
+    ) -> dict[int, float]:
+        ...
+
+
+class IndependentCascadeModel:
+    """Discrete-round Independent Cascade.
+
+    Every node infected in round ``t`` makes a single infection attempt on
+    each currently uninfected out-neighbour in round ``t + 1``; the attempt
+    succeeds with the edge's propagation probability.  The process ends
+    when a round produces no new infections (guaranteed because attempts
+    are never repeated).
+
+    Parameters
+    ----------
+    max_rounds:
+        Safety valve; the process cannot run longer than ``n`` rounds
+        anyway, so the default is generous.
+    """
+
+    def __init__(self, max_rounds: int = 10_000) -> None:
+        self.max_rounds = check_positive_int("max_rounds", max_rounds)
+
+    def simulate(
+        self,
+        graph: DiffusionGraph,
+        probabilities: EdgeProbabilities,
+        seeds: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ProcessOutcome:
+        times: dict[int, float] = {}
+        infectors: dict[int, int] = {}
+        frontier: list[int] = []
+        for seed in np.asarray(seeds, dtype=np.int64).tolist():
+            if seed not in times:
+                times[seed] = 0.0
+                frontier.append(seed)
+        round_index = 0
+        while frontier:
+            round_index += 1
+            if round_index > self.max_rounds:
+                raise SimulationError(
+                    f"IC process exceeded max_rounds={self.max_rounds}"
+                )
+            next_frontier: list[int] = []
+            for source in frontier:
+                for target in graph.successors(source).tolist():
+                    if target in times:
+                        continue
+                    p = probabilities.get((source, target))
+                    if p is None:
+                        raise SimulationError(
+                            f"missing propagation probability for edge ({source}, {target})"
+                        )
+                    if rng.random() < p:
+                        times[target] = float(round_index)
+                        infectors[target] = source
+                        next_frontier.append(target)
+            frontier = next_frontier
+        return ProcessOutcome(times=times, infectors=infectors)
+
+    def run(
+        self,
+        graph: DiffusionGraph,
+        probabilities: EdgeProbabilities,
+        seeds: np.ndarray,
+        rng: np.random.Generator,
+    ) -> dict[int, float]:
+        """Times-only wrapper around :meth:`simulate`."""
+        return self.simulate(graph, probabilities, seeds, rng).times
+
+    def __repr__(self) -> str:
+        return f"IndependentCascadeModel(max_rounds={self.max_rounds})"
+
+
+class SusceptibleInfectedModel:
+    """Discrete-round SI process with persistent infection attempts.
+
+    Unlike IC, an infected node re-attempts every uninfected out-neighbour
+    each round, so the process only stops at the horizon (or when everyone
+    reachable is infected).  With per-round probability ``p`` an edge fires
+    within ``h`` rounds with probability ``1 - (1 - p)^h``, so SI runs are
+    a denser, more saturated observation regime than IC.
+
+    Parameters
+    ----------
+    horizon:
+        Number of rounds to simulate.
+    """
+
+    def __init__(self, horizon: int = 10) -> None:
+        self.horizon = check_positive_int("horizon", horizon)
+
+    def simulate(
+        self,
+        graph: DiffusionGraph,
+        probabilities: EdgeProbabilities,
+        seeds: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ProcessOutcome:
+        times: dict[int, float] = {}
+        infectors: dict[int, int] = {}
+        infected: list[int] = []
+        for seed in np.asarray(seeds, dtype=np.int64).tolist():
+            if seed not in times:
+                times[seed] = 0.0
+                infected.append(seed)
+        for round_index in range(1, self.horizon + 1):
+            newly: list[int] = []
+            for source in infected:
+                for target in graph.successors(source).tolist():
+                    if target in times:
+                        continue
+                    p = probabilities.get((source, target))
+                    if p is None:
+                        raise SimulationError(
+                            f"missing propagation probability for edge ({source}, {target})"
+                        )
+                    if rng.random() < p:
+                        times[target] = float(round_index)
+                        infectors[target] = source
+                        newly.append(target)
+            infected.extend(newly)
+            if len(times) == graph.n_nodes:
+                break
+        return ProcessOutcome(times=times, infectors=infectors)
+
+    def run(
+        self,
+        graph: DiffusionGraph,
+        probabilities: EdgeProbabilities,
+        seeds: np.ndarray,
+        rng: np.random.Generator,
+    ) -> dict[int, float]:
+        """Times-only wrapper around :meth:`simulate`."""
+        return self.simulate(graph, probabilities, seeds, rng).times
+
+    def __repr__(self) -> str:
+        return f"SusceptibleInfectedModel(horizon={self.horizon})"
+
+
+class LinearThresholdModel:
+    """Discrete-round Linear Threshold diffusion (Kempe et al., KDD 2003).
+
+    Each node ``v`` draws a private threshold ``θ_v ~ U(0, 1)`` per
+    process; ``v`` becomes infected in the first round where the summed
+    influence weight of its infected in-neighbours reaches ``θ_v``.  Edge
+    influence weights are the supplied per-edge "probabilities" normalised
+    by each node's weighted in-degree (the standard LT construction, which
+    guarantees Σ_u w(u, v) ≤ 1).
+
+    This model is *not* the paper's generator — it exists so the
+    robustness benches can measure how TENDS (whose scoring assumes only
+    that infections are caused by infected parents, not IC semantics)
+    behaves under generative-model mismatch.
+
+    Parameters
+    ----------
+    max_rounds:
+        Safety valve; LT terminates within ``n`` rounds on its own.
+    """
+
+    def __init__(self, max_rounds: int = 10_000) -> None:
+        self.max_rounds = check_positive_int("max_rounds", max_rounds)
+
+    def simulate(
+        self,
+        graph: DiffusionGraph,
+        probabilities: EdgeProbabilities,
+        seeds: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ProcessOutcome:
+        n = graph.n_nodes
+        # Normalise incoming weights per node so they sum to at most 1.
+        weights: dict[tuple[int, int], float] = {}
+        for node in range(n):
+            parents = graph.predecessors(node).tolist()
+            if not parents:
+                continue
+            raw = []
+            for parent in parents:
+                p = probabilities.get((parent, node))
+                if p is None:
+                    raise SimulationError(
+                        f"missing influence weight for edge ({parent}, {node})"
+                    )
+                raw.append(p)
+            total = sum(raw)
+            scale = 1.0 / total if total > 1.0 else 1.0
+            for parent, p in zip(parents, raw):
+                weights[(parent, node)] = p * scale
+
+        thresholds = rng.random(n)
+        times: dict[int, float] = {}
+        infectors: dict[int, int] = {}
+        frontier: list[int] = []
+        for seed in np.asarray(seeds, dtype=np.int64).tolist():
+            if seed not in times:
+                times[seed] = 0.0
+                frontier.append(seed)
+        accumulated = np.zeros(n)
+        round_index = 0
+        while frontier:
+            round_index += 1
+            if round_index > self.max_rounds:
+                raise SimulationError(
+                    f"LT process exceeded max_rounds={self.max_rounds}"
+                )
+            next_frontier: list[int] = []
+            # Add the newly infected nodes' influence to their children...
+            touched: dict[int, int] = {}
+            for source in frontier:
+                for target in graph.successors(source).tolist():
+                    if target in times:
+                        continue
+                    accumulated[target] += weights[(source, target)]
+                    touched[target] = source  # last contributor this round
+            # ...then fire every child whose threshold is now reached.
+            for target, last_contributor in touched.items():
+                if target not in times and accumulated[target] >= thresholds[target]:
+                    times[target] = float(round_index)
+                    infectors[target] = last_contributor
+                    next_frontier.append(target)
+            frontier = next_frontier
+        return ProcessOutcome(times=times, infectors=infectors)
+
+    def run(
+        self,
+        graph: DiffusionGraph,
+        probabilities: EdgeProbabilities,
+        seeds: np.ndarray,
+        rng: np.random.Generator,
+    ) -> dict[int, float]:
+        """Times-only wrapper around :meth:`simulate`."""
+        return self.simulate(graph, probabilities, seeds, rng).times
+
+    def __repr__(self) -> str:
+        return f"LinearThresholdModel(max_rounds={self.max_rounds})"

@@ -1,0 +1,79 @@
+"""Per-edge propagation probabilities.
+
+The paper (§V-A) draws each edge's propagation probability from a Gaussian
+with mean ``μ`` "and variance 0.05, to ensure that more than 95 % of all
+propagation probabilities are within the range from μ − 0.1 to μ + 0.1".
+A Gaussian has 95 % of its mass within ±1.96 standard deviations, so the
+stated range implies a *standard deviation* of ≈ 0.05 (variance 0.0025);
+we follow the 95 %-range statement, which is the operative constraint, and
+use ``sigma = 0.05``.  Draws are clipped away from {0, 1} so that every
+edge can both fire and fail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.digraph import DiffusionGraph
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_fraction, check_non_negative
+
+__all__ = [
+    "gaussian_probabilities",
+    "constant_probabilities",
+    "uniform_probabilities",
+    "PROBABILITY_FLOOR",
+    "PROBABILITY_CEIL",
+]
+
+#: Clipping bounds: probabilities of exactly 0 or 1 would make edges
+#: unobservable or deterministic, which the diffusion model excludes.
+PROBABILITY_FLOOR = 0.01
+PROBABILITY_CEIL = 0.99
+
+
+def gaussian_probabilities(
+    graph: DiffusionGraph,
+    mu: float,
+    sigma: float = 0.05,
+    *,
+    seed: RandomState = None,
+) -> dict[tuple[int, int], float]:
+    """Draw one clipped ``N(mu, sigma²)`` probability per directed edge.
+
+    Returns a dict keyed by ``(source, target)``, the layout the simulator
+    consumes.  Deterministic for a fixed seed and graph edge order.
+    """
+    check_fraction("mu", mu)
+    check_non_negative("sigma", sigma)
+    rng = as_generator(seed)
+    edges = list(graph.edges())
+    draws = rng.normal(mu, sigma, size=len(edges))
+    clipped = np.clip(draws, PROBABILITY_FLOOR, PROBABILITY_CEIL)
+    return {edge: float(p) for edge, p in zip(edges, clipped)}
+
+
+def constant_probabilities(
+    graph: DiffusionGraph, probability: float
+) -> dict[tuple[int, int], float]:
+    """Assign the same probability to every edge (ablation/testing)."""
+    check_fraction("probability", probability)
+    return {edge: probability for edge in graph.edges()}
+
+
+def uniform_probabilities(
+    graph: DiffusionGraph,
+    low: float,
+    high: float,
+    *,
+    seed: RandomState = None,
+) -> dict[tuple[int, int], float]:
+    """Draw each edge's probability uniformly from ``[low, high]``."""
+    check_fraction("low", low)
+    check_fraction("high", high)
+    if high < low:
+        raise ValueError(f"high ({high}) must be >= low ({low})")
+    rng = as_generator(seed)
+    edges = list(graph.edges())
+    draws = rng.uniform(low, high, size=len(edges))
+    return {edge: float(p) for edge, p in zip(edges, draws)}

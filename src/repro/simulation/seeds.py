@@ -1,0 +1,81 @@
+"""Seed-selection strategies (who is initially infected).
+
+The paper's experiments select ``⌈α · n⌉`` seeds uniformly at random per
+process (§V).  The extra strategies support the example applications:
+degree-biased seeding models outbreaks that start at hubs, fixed seeding
+models a designed marketing campaign.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.digraph import DiffusionGraph
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_fraction
+
+__all__ = [
+    "SeedStrategy",
+    "uniform_random_seeds",
+    "degree_biased_seeds",
+    "fixed_seeds",
+    "seed_count",
+]
+
+#: A seed strategy maps (graph, rng) -> array of seed node ids.
+SeedStrategy = Callable[[DiffusionGraph, np.random.Generator], np.ndarray]
+
+
+def seed_count(n_nodes: int, alpha: float) -> int:
+    """Number of seeds for initial-infection ratio ``alpha``: ``⌈α n⌉``,
+    at least 1 so every process actually starts."""
+    check_fraction("alpha", alpha)
+    return max(1, math.ceil(alpha * n_nodes))
+
+
+def uniform_random_seeds(alpha: float) -> SeedStrategy:
+    """Paper default: ``⌈α n⌉`` distinct nodes chosen uniformly."""
+    check_fraction("alpha", alpha)
+
+    def strategy(graph: DiffusionGraph, rng: np.random.Generator) -> np.ndarray:
+        count = seed_count(graph.n_nodes, alpha)
+        return rng.choice(graph.n_nodes, size=count, replace=False)
+
+    return strategy
+
+
+def degree_biased_seeds(alpha: float, *, use_out_degree: bool = True) -> SeedStrategy:
+    """Choose seeds with probability proportional to degree + 1.
+
+    Models epidemics that are first noticed at well-connected nodes.
+    """
+    check_fraction("alpha", alpha)
+
+    def strategy(graph: DiffusionGraph, rng: np.random.Generator) -> np.ndarray:
+        count = seed_count(graph.n_nodes, alpha)
+        degrees = graph.out_degrees() if use_out_degree else graph.in_degrees()
+        weights = (degrees + 1).astype(np.float64)
+        weights /= weights.sum()
+        return rng.choice(graph.n_nodes, size=count, replace=False, p=weights)
+
+    return strategy
+
+
+def fixed_seeds(nodes: Sequence[int]) -> SeedStrategy:
+    """Always start from the same node set (designed-campaign scenarios)."""
+    chosen = np.array(sorted(set(int(v) for v in nodes)), dtype=np.int64)
+    if chosen.size == 0:
+        raise ConfigurationError("fixed_seeds requires at least one node")
+
+    def strategy(graph: DiffusionGraph, rng: np.random.Generator) -> np.ndarray:
+        if chosen.max() >= graph.n_nodes:
+            raise ConfigurationError(
+                f"fixed seed {int(chosen.max())} outside graph of {graph.n_nodes} nodes"
+            )
+        return chosen.copy()
+
+    return strategy

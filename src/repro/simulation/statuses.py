@@ -1,0 +1,203 @@
+"""Final-infection-status observations.
+
+A :class:`StatusMatrix` is the ``β × n`` binary matrix ``S`` from the paper
+(§III): row ``ℓ`` holds the final infection status of every node at the end
+of the ``ℓ``-th diffusion process.  It is the *only* observation TENDS
+consumes, so this class also hosts the vectorised marginal/joint counting
+helpers the scoring and IMI code build on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = ["StatusMatrix"]
+
+
+class StatusMatrix:
+    """Immutable wrapper around a ``(beta, n)`` uint8 array of {0, 1}.
+
+    Parameters
+    ----------
+    data:
+        Array-like of shape ``(beta, n)`` containing only 0/1 values.
+
+    Examples
+    --------
+    >>> s = StatusMatrix([[1, 0, 1], [0, 0, 1]])
+    >>> s.beta, s.n_nodes
+    (2, 3)
+    >>> s.infection_counts().tolist()
+    [1, 0, 2]
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Iterable[Sequence[int]] | np.ndarray) -> None:
+        array = np.asarray(data)
+        if array.ndim != 2:
+            raise DataError(f"status matrix must be 2-D (beta, n), got shape {array.shape}")
+        if array.size and not np.isin(array, (0, 1)).all():
+            raise DataError("status matrix entries must be 0 or 1")
+        self._data = np.ascontiguousarray(array, dtype=np.uint8)
+        self._data.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only ``(beta, n)`` uint8 view."""
+        return self._data
+
+    @property
+    def beta(self) -> int:
+        """Number of observed diffusion processes (rows)."""
+        return self._data.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes (columns)."""
+        return self._data.shape[1]
+
+    def column(self, node: int) -> np.ndarray:
+        """Status vector of one node across all processes."""
+        return self._data[:, node]
+
+    def process(self, index: int) -> np.ndarray:
+        """Status vector of all nodes in one process."""
+        return self._data[index, :]
+
+    # ------------------------------------------------------------------
+    # counting helpers (used by scoring and IMI)
+    # ------------------------------------------------------------------
+    def infection_counts(self) -> np.ndarray:
+        """Per-node count of processes in which the node ended infected
+        (the paper's ``N₂`` per node; ``N₁ = beta - N₂``)."""
+        return self._data.sum(axis=0, dtype=np.int64)
+
+    def infection_rates(self) -> np.ndarray:
+        """Per-node empirical infection probability ``P̂(X_i = 1)``."""
+        if self.beta == 0:
+            raise DataError("cannot compute rates from zero processes")
+        return self.infection_counts() / self.beta
+
+    def joint_counts(self) -> dict[str, np.ndarray]:
+        """All four pairwise joint counts as ``(n, n)`` int64 matrices.
+
+        Keys ``"11"``, ``"10"``, ``"01"``, ``"00"`` give
+        ``count(X_i = a ∧ X_j = b)`` at ``[i, j]``.  Computed with two
+        matrix products, which is what makes the IMI stage ``O(β n²)`` with
+        a tiny constant.
+        """
+        ones = self._data.astype(np.int64)
+        zeros = 1 - ones
+        n11 = ones.T @ ones
+        n10 = ones.T @ zeros
+        n01 = zeros.T @ ones
+        n00 = zeros.T @ zeros
+        return {"11": n11, "10": n10, "01": n01, "00": n00}
+
+    def pattern_counts(self, columns: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Group rows by the joint pattern of ``columns`` (dense variant).
+
+        Returns ``(codes, counts)`` where ``codes`` assigns each process a
+        pattern id (the binary number formed by the selected columns) and
+        ``counts[c]`` is the number of processes showing pattern ``c``,
+        for **every** of the ``2^k`` possible patterns.  This is the
+        ``N_ij`` machinery of Eq. (3): patterns with zero count are exactly
+        the paper's non-existent combinations ``φ``.
+
+        The dense layout materialises ``2^k`` cells, so it is capped at 20
+        columns; the scoring code uses :meth:`observed_pattern_counts`,
+        which scales to the bit-packing limit.
+        """
+        cols = list(columns)
+        if len(cols) == 0:
+            codes = np.zeros(self.beta, dtype=np.int64)
+            return codes, np.array([self.beta], dtype=np.int64)
+        if len(cols) > 20:
+            raise DataError(
+                f"dense pattern_counts materialises 2^{len(cols)} cells; "
+                "use observed_pattern_counts for wide column sets"
+            )
+        weights = (1 << np.arange(len(cols), dtype=np.int64))
+        codes = self._data[:, cols].astype(np.int64) @ weights
+        counts = np.bincount(codes, minlength=1 << len(cols)).astype(np.int64)
+        return codes, counts
+
+    def observed_pattern_counts(
+        self, columns: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Group rows by the joint pattern of ``columns`` (sparse variant).
+
+        Returns ``(pattern_ids, inverse, counts)``: the **observed**
+        pattern ids in ascending order, each row's index into them, and
+        the per-pattern counts.  Memory is ``O(beta)`` regardless of the
+        number of columns, which matters because the Theorem-2 size bound
+        is self-satisfying for large parent sets (``φ`` grows like
+        ``2^|F|``), so the literal Algorithm-1 search can reach parent
+        sets far beyond dense-counting territory.
+        """
+        cols = list(columns)
+        if len(cols) > 62:
+            raise DataError(f"too many columns for bit-packing: {len(cols)}")
+        if len(cols) == 0:
+            return (
+                np.zeros(1, dtype=np.int64),
+                np.zeros(self.beta, dtype=np.int64),
+                np.array([self.beta], dtype=np.int64),
+            )
+        weights = (1 << np.arange(len(cols), dtype=np.int64))
+        codes = self._data[:, cols].astype(np.int64) @ weights
+        pattern_ids, inverse, counts = np.unique(
+            codes, return_inverse=True, return_counts=True
+        )
+        return pattern_ids, inverse.astype(np.int64), counts.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def subset(self, processes: Sequence[int] | np.ndarray) -> "StatusMatrix":
+        """New matrix containing only the selected process rows."""
+        return StatusMatrix(self._data[np.asarray(processes, dtype=np.int64), :])
+
+    def select_nodes(self, nodes: Sequence[int] | np.ndarray) -> "StatusMatrix":
+        """New matrix containing only the selected node columns (in the
+        given order) — the partial-observation scenario where some nodes
+        are never monitored.  Node ``nodes[i]`` becomes column ``i``."""
+        index = np.asarray(nodes, dtype=np.int64)
+        if index.size != np.unique(index).size:
+            raise DataError("selected nodes must be distinct")
+        return StatusMatrix(self._data[:, index])
+
+    def with_flip_noise(self, flip_probability: float, *, seed=None) -> "StatusMatrix":
+        """Return a copy where each entry is flipped independently with the
+        given probability (observation-noise robustness experiments)."""
+        from repro.utils.rng import as_generator
+        from repro.utils.validation import check_probability
+
+        check_probability("flip_probability", flip_probability)
+        rng = as_generator(seed)
+        flips = rng.random(self._data.shape) < flip_probability
+        return StatusMatrix(np.where(flips, 1 - self._data, self._data))
+
+    # ------------------------------------------------------------------
+    # dunders
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StatusMatrix):
+            return NotImplemented
+        return self._data.shape == other._data.shape and bool(
+            (self._data == other._data).all()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._data.shape, self._data.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"StatusMatrix(beta={self.beta}, n_nodes={self.n_nodes})"

@@ -1,0 +1,26 @@
+"""Shared utilities: seeded randomness, timing, validation, logging."""
+
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "Stopwatch",
+    "timed",
+    "check_fraction",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

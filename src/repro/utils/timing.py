@@ -1,0 +1,84 @@
+"""Wall-clock timing helpers used by the evaluation harness.
+
+The paper reports running-time panels next to every accuracy panel; the
+harness wraps each inference call in a :class:`Stopwatch` so that the bench
+tables can print both columns from one run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+__all__ = ["Stopwatch", "timed"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock timer.
+
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     _ = sum(range(1000))
+    >>> watch.elapsed >= 0.0
+    True
+
+    The timer accumulates across multiple ``with`` blocks, which lets the
+    harness measure a multi-stage pipeline with a single instance.
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch is already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed() -> Iterator[Callable[[], float]]:
+    """Context manager yielding a zero-arg callable that reports elapsed
+    seconds (live while inside the block, frozen after it exits).
+
+    >>> with timed() as elapsed:
+    ...     _ = sum(range(1000))
+    >>> elapsed() >= 0.0
+    True
+    """
+    start = time.perf_counter()
+    end: float | None = None
+
+    def read() -> float:
+        return (time.perf_counter() if end is None else end) - start
+
+    try:
+        yield read
+    finally:
+        end = time.perf_counter()

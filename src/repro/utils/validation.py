@@ -1,0 +1,84 @@
+"""Argument-validation helpers shared across the library.
+
+All helpers raise :class:`repro.exceptions.ConfigurationError` (a
+``ValueError`` subclass) with a message that names the offending parameter,
+and return the validated value so they can be used inline::
+
+    self.beta = check_positive_int("beta", beta)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import SupportsFloat, SupportsInt
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_positive_int",
+    "check_probability",
+    "check_fraction",
+    "check_in_range",
+]
+
+
+def check_positive(name: str, value: SupportsFloat) -> float:
+    """Validate ``value > 0`` and return it as ``float``."""
+    result = float(value)
+    if not math.isfinite(result) or result <= 0:
+        raise ConfigurationError(f"{name} must be a positive finite number, got {value!r}")
+    return result
+
+
+def check_non_negative(name: str, value: SupportsFloat) -> float:
+    """Validate ``value >= 0`` and return it as ``float``."""
+    result = float(value)
+    if not math.isfinite(result) or result < 0:
+        raise ConfigurationError(f"{name} must be a non-negative finite number, got {value!r}")
+    return result
+
+
+def check_positive_int(name: str, value: SupportsInt) -> int:
+    """Validate that ``value`` is an integer-valued number ``>= 1``."""
+    result = int(value)
+    if result != float(value) or result < 1:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return result
+
+
+def check_probability(name: str, value: SupportsFloat) -> float:
+    """Validate ``0 <= value <= 1`` and return it as ``float``."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_fraction(name: str, value: SupportsFloat) -> float:
+    """Validate ``0 < value < 1`` (an open-interval proportion)."""
+    result = float(value)
+    if not math.isfinite(result) or not 0.0 < result < 1.0:
+        raise ConfigurationError(
+            f"{name} must lie strictly between 0 and 1, got {value!r}"
+        )
+    return result
+
+
+def check_in_range(
+    name: str,
+    value: SupportsFloat,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    result = float(value)
+    if inclusive:
+        ok = math.isfinite(result) and low <= result <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = math.isfinite(result) and low < result < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ConfigurationError(f"{name} must lie in {bounds}, got {value!r}")
+    return result

@@ -1,0 +1,62 @@
+"""Shared fixtures: small deterministic graphs and simulated observations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.digraph import DiffusionGraph
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph, random_tree_digraph
+from repro.simulation.engine import DiffusionSimulator
+from repro.simulation.statuses import StatusMatrix
+
+
+@pytest.fixture
+def chain_graph() -> DiffusionGraph:
+    """0 -> 1 -> 2 -> 3 -> 4."""
+    return DiffusionGraph(5, [(i, i + 1) for i in range(4)]).freeze()
+
+
+@pytest.fixture
+def star_graph() -> DiffusionGraph:
+    """Hub 0 pointing at 1..5."""
+    return DiffusionGraph(6, [(0, i) for i in range(1, 6)]).freeze()
+
+
+@pytest.fixture
+def reciprocal_pair() -> DiffusionGraph:
+    """Two mutually linked nodes plus an isolated third."""
+    return DiffusionGraph(3, [(0, 1), (1, 0)]).freeze()
+
+
+@pytest.fixture
+def small_er_graph() -> DiffusionGraph:
+    """A 25-node random digraph, frozen, deterministic."""
+    return erdos_renyi_digraph(25, 0.12, seed=11)
+
+
+@pytest.fixture
+def small_tree() -> DiffusionGraph:
+    """A 20-node random out-tree (exactly recoverable topology class)."""
+    return random_tree_digraph(20, seed=5)
+
+
+@pytest.fixture
+def small_observations(small_er_graph):
+    """120 simulated processes on the small ER graph (all views)."""
+    simulator = DiffusionSimulator(small_er_graph, mu=0.35, alpha=0.15, seed=3)
+    return simulator.run(beta=120)
+
+
+@pytest.fixture
+def tiny_statuses() -> StatusMatrix:
+    """A hand-written 6-process, 3-node status matrix used by counting tests."""
+    return StatusMatrix(
+        [
+            [1, 1, 0],
+            [1, 1, 1],
+            [0, 0, 0],
+            [0, 1, 1],
+            [1, 0, 0],
+            [0, 0, 1],
+        ]
+    )

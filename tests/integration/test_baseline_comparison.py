@@ -1,0 +1,91 @@
+"""Cross-algorithm integration: every method runs on shared observations
+and the paper's qualitative orderings hold at small scale."""
+
+import pytest
+
+from repro.baselines import (
+    CorrelationRanker,
+    Lift,
+    MulTree,
+    NetInf,
+    NetRate,
+    Observations,
+    TendsInferrer,
+)
+from repro.evaluation.metrics import best_threshold_metrics, evaluate_edges
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.graphs.generators.random_graphs import random_tree_digraph
+from repro.simulation.engine import DiffusionSimulator
+
+
+@pytest.fixture(scope="module")
+def lfr_setup():
+    truth = lfr_benchmark_graph(LFRParams(n=120, avg_degree=4), seed=0)
+    result = DiffusionSimulator(truth, mu=0.3, alpha=0.15, seed=1).run(beta=150)
+    return truth, Observations.from_simulation(result)
+
+
+class TestAllMethodsRun:
+    def test_every_method_produces_a_graph(self, lfr_setup):
+        truth, obs = lfr_setup
+        methods = [
+            TendsInferrer(),
+            NetRate(max_iterations=30),
+            MulTree(truth.n_edges),
+            NetInf(truth.n_edges),
+            Lift(truth.n_edges),
+            CorrelationRanker(truth.n_edges),
+        ]
+        for method in methods:
+            output = method.infer(obs)
+            assert output.graph.n_nodes == truth.n_nodes, method.name
+
+    def test_tends_beats_lift(self, lfr_setup):
+        truth, obs = lfr_setup
+        f_tends = evaluate_edges(truth, TendsInferrer().infer(obs).graph).f_score
+        f_lift = evaluate_edges(truth, Lift(truth.n_edges).infer(obs).graph).f_score
+        assert f_tends > f_lift + 0.2
+
+    def test_multree_beats_netinf(self, lfr_setup):
+        """The paper's motivation for MulTree: all-trees > best-tree."""
+        truth, obs = lfr_setup
+        f_multree = evaluate_edges(
+            truth, MulTree(truth.n_edges).infer(obs).graph
+        ).f_score
+        f_netinf = evaluate_edges(
+            truth, NetInf(truth.n_edges).infer(obs).graph
+        ).f_score
+        assert f_multree >= f_netinf
+
+    def test_netrate_best_threshold_competitive(self, lfr_setup):
+        truth, obs = lfr_setup
+        output = NetRate(max_iterations=30).infer(obs)
+        metrics, _ = best_threshold_metrics(truth, output.edge_scores)
+        assert metrics.f_score > 0.3
+
+
+class TestTreeRecovery:
+    """Trees are the provably-recoverable regime for cascade methods."""
+
+    @pytest.fixture(scope="class")
+    def tree_setup(self):
+        truth = random_tree_digraph(25, seed=3)
+        result = DiffusionSimulator(
+            truth,
+            mu=0.5,
+            alpha=0.08,
+            seed=4,
+        ).run(beta=400)
+        return truth, Observations.from_simulation(result)
+
+    def test_multree_recovers_most_of_a_tree(self, tree_setup):
+        truth, obs = tree_setup
+        output = MulTree(truth.n_edges).infer(obs)
+        metrics = evaluate_edges(truth, output.graph)
+        assert metrics.f_score > 0.7
+
+    def test_netrate_recovers_most_of_a_tree(self, tree_setup):
+        truth, obs = tree_setup
+        output = NetRate().infer(obs)
+        metrics, _ = best_threshold_metrics(truth, output.edge_scores)
+        assert metrics.f_score > 0.7

@@ -1,0 +1,70 @@
+"""Every example script must run end-to-end at a reduced scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestQuickstart:
+    def test_runs_and_reports_fscore(self):
+        proc = _run("quickstart.py", "--n", "60", "--beta", "80")
+        assert proc.returncode == 0, proc.stderr
+        assert "F-score" in proc.stdout
+        assert "ground truth" in proc.stdout
+
+
+class TestEpidemicSurveillance:
+    def test_runs_with_noise_sweep(self):
+        proc = _run("epidemic_surveillance.py", "--n", "60", "--beta", "80")
+        assert proc.returncode == 0, proc.stderr
+        assert "clean statuses" in proc.stdout
+        assert "misreport" in proc.stdout
+
+
+class TestViralMarketing:
+    def test_runs_and_shortlists_influencers(self):
+        proc = _run("viral_marketing.py", "--n", "80", "--beta", "60")
+        assert proc.returncode == 0, proc.stderr
+        assert "method comparison" in proc.stdout
+        assert "seed shortlist" in proc.stdout
+
+
+class TestNetworkDiagnostics:
+    def test_runs_full_diagnostics(self):
+        proc = _run("network_diagnostics.py", "--n", "60", "--beta", "80",
+                    "--campaign-seeds", "2")
+        assert proc.returncode == 0, proc.stderr
+        assert "structural report" in proc.stdout
+        assert "community structure" in proc.stdout
+        assert "campaign planning" in proc.stdout
+
+
+class TestReproduceFigure:
+    def test_list_mode(self):
+        proc = _run("reproduce_figure.py", "--list")
+        assert proc.returncode == 0, proc.stderr
+        assert "fig1" in proc.stdout and "fig11" in proc.stdout
+
+    def test_unknown_figure_fails_cleanly(self):
+        proc = _run("reproduce_figure.py", "fig99")
+        assert proc.returncode != 0
+
+    @pytest.mark.slow
+    def test_quick_fig3_runs(self):
+        proc = _run("reproduce_figure.py", "fig3", "--scale", "quick")
+        assert proc.returncode == 0, proc.stderr
+        assert "TENDS" in proc.stdout
+        assert "points:" in proc.stdout

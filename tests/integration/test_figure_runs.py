@@ -1,0 +1,42 @@
+"""End-to-end figure harness runs (reduced scale) with shape checking."""
+
+import pytest
+
+from repro.evaluation.archive import result_from_json, result_to_json
+from repro.evaluation.figures import figure_spec
+from repro.evaluation.harness import run_experiment
+from repro.evaluation.shapes import check_figure_shapes
+
+
+@pytest.mark.slow
+class TestQuickFigureRuns:
+    def test_fig3_quick_end_to_end(self):
+        result = run_experiment(figure_spec("fig3", scale="quick"), seed=0)
+        series = result.series("f_score")
+        assert set(series) == {"TENDS", "NetRate", "MulTree", "LIFT"}
+        assert all(len(values) == 5 for values in series.values())
+        # Shape checks run without error; verdicts may legitimately fail
+        # at reduced beta, but each must carry a detail string.
+        outcomes = check_figure_shapes(result)
+        assert outcomes
+        assert all(outcome.detail for outcome in outcomes)
+
+    def test_fig10_quick_runs_both_variants(self):
+        result = run_experiment(figure_spec("fig10", scale="quick"), seed=0)
+        series = result.series("f_score")
+        assert set(series) == {"TENDS(IMI)", "TENDS(MI)"}
+
+    def test_quick_figure_round_trips_through_archive(self):
+        result = run_experiment(figure_spec("fig3", scale="quick"), seed=1)
+        rebuilt = result_from_json(result_to_json(result))
+        assert rebuilt.series("f_score") == result.series("f_score")
+        assert [o.as_row() for o in check_figure_shapes(rebuilt)] == [
+            o.as_row() for o in check_figure_shapes(result)
+        ]
+
+
+class TestReplicates:
+    def test_figure_spec_replicates_parameter(self):
+        spec = figure_spec("fig1", scale="quick", replicates=3)
+        assert spec.replicates == 3
+        assert figure_spec("fig1", scale="quick").replicates == 1

@@ -1,0 +1,91 @@
+"""End-to-end recovery: simulate on a known graph, infer, score.
+
+These tests pin the accuracy floor of the whole pipeline on controlled
+topologies.  Thresholds are deliberately conservative (well below what the
+benches report) so the tests stay robust to RNG implementation details
+while still catching real regressions.
+"""
+
+import pytest
+
+from repro.core.tends import Tends
+from repro.evaluation.metrics import evaluate_edges
+from repro.graphs.digraph import DiffusionGraph
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.simulation.engine import DiffusionSimulator
+
+
+def _simulate(graph, *, beta=150, mu=0.35, alpha=0.15, seed=0):
+    return DiffusionSimulator(graph, mu=mu, alpha=alpha, seed=seed).run(beta=beta)
+
+
+class TestReciprocalPairRecovery:
+    def test_two_coupled_nodes(self):
+        truth = DiffusionGraph(6, [(0, 1), (1, 0), (2, 3), (3, 2)]).freeze()
+        result = _simulate(truth, beta=250, mu=0.5, alpha=0.2)
+        inferred = Tends().fit(result.statuses)
+        metrics = evaluate_edges(truth, inferred.graph)
+        assert metrics.recall >= 0.75
+        assert metrics.precision >= 0.75
+
+
+class TestLfrRecovery:
+    def test_reciprocal_lfr_above_half_f(self):
+        truth = lfr_benchmark_graph(LFRParams(n=150, avg_degree=4), seed=2)
+        result = _simulate(truth, mu=0.3, seed=3)
+        inferred = Tends().fit(result.statuses)
+        metrics = evaluate_edges(truth, inferred.graph)
+        assert metrics.f_score > 0.5
+
+    def test_more_data_helps(self):
+        truth = lfr_benchmark_graph(LFRParams(n=120, avg_degree=4), seed=4)
+        simulator_args = dict(mu=0.3, alpha=0.15)
+        few = DiffusionSimulator(truth, seed=5, **simulator_args).run(beta=50)
+        many = DiffusionSimulator(truth, seed=5, **simulator_args).run(beta=300)
+        f_few = evaluate_edges(truth, Tends().fit(few.statuses).graph).f_score
+        f_many = evaluate_edges(truth, Tends().fit(many.statuses).graph).f_score
+        assert f_many > f_few
+
+    def test_direction_blindness_on_random_orientation(self):
+        """On a randomly oriented LFR graph the undirected F-score must be
+        far higher than the directed one — the structural limit discussed
+        in DESIGN.md §4."""
+        truth = lfr_benchmark_graph(
+            LFRParams(n=150, avg_degree=4, orientation="random"), seed=6
+        )
+        result = _simulate(truth, seed=7)
+        inferred = Tends().fit(result.statuses).graph
+        directed = evaluate_edges(truth, inferred)
+        undirected = evaluate_edges(truth, inferred, undirected=True)
+        assert undirected.f_score > directed.f_score + 0.1
+
+
+class TestPruningEffect:
+    def test_pruning_reduces_work_without_hurting_f(self):
+        truth = lfr_benchmark_graph(LFRParams(n=100, avg_degree=4), seed=8)
+        result = _simulate(truth, seed=9)
+        pruned = Tends().fit(result.statuses)
+        unpruned = Tends(threshold=1e-6).fit(result.statuses)
+        assert pruned.total_evaluations() < unpruned.total_evaluations()
+        pruned_f = evaluate_edges(truth, pruned.graph).f_score
+        unpruned_f = evaluate_edges(truth, unpruned.graph).f_score
+        assert pruned_f >= unpruned_f - 0.05
+
+    def test_mi_pruning_weaker_than_imi(self):
+        """Traditional MI keeps anti-correlated candidates, so the
+        candidate sets are at least as large as with infection MI."""
+        truth = lfr_benchmark_graph(LFRParams(n=100, avg_degree=4), seed=10)
+        result = _simulate(truth, seed=11)
+        imi = Tends(mi_kind="infection").fit(result.statuses)
+        mi = Tends(mi_kind="traditional").fit(result.statuses)
+        assert mi.candidate_counts().sum() >= imi.candidate_counts().sum() * 0.8
+
+
+class TestSearchStrategies:
+    def test_both_strategies_work_end_to_end(self):
+        truth = lfr_benchmark_graph(LFRParams(n=100, avg_degree=4), seed=12)
+        result = _simulate(truth, seed=13)
+        for strategy in ("greedy-rescoring", "ranked-union"):
+            inferred = Tends(search_strategy=strategy).fit(result.statuses)
+            metrics = evaluate_edges(truth, inferred.graph)
+            assert metrics.f_score > 0.35, strategy

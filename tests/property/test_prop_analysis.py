@@ -1,0 +1,77 @@
+"""Property-based checks of the analysis package."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.communities import label_propagation_communities, modularity
+from repro.analysis.compare import compare_topologies, per_node_metrics
+from repro.graphs.digraph import DiffusionGraph
+
+
+@st.composite
+def graph_pairs(draw):
+    n = draw(st.integers(2, 12))
+    def edges():
+        return draw(
+            st.sets(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                    lambda e: e[0] != e[1]
+                ),
+                max_size=30,
+            )
+        )
+    return DiffusionGraph(n, edges()), DiffusionGraph(n, edges())
+
+
+@given(pair=graph_pairs())
+@settings(max_examples=80, deadline=None)
+def test_per_node_metrics_aggregate_to_global(pair):
+    truth, inferred = pair
+    rows = per_node_metrics(truth, inferred)
+    total_tp = sum(r.metrics.true_positives for r in rows)
+    total_fp = sum(r.metrics.false_positives for r in rows)
+    total_fn = sum(r.metrics.false_negatives for r in rows)
+    assert total_tp + total_fp == inferred.n_edges
+    assert total_tp + total_fn == truth.n_edges
+
+
+@given(pair=graph_pairs())
+@settings(max_examples=80, deadline=None)
+def test_compare_topologies_values_bounded(pair):
+    truth, inferred = pair
+    report = compare_topologies(truth, inferred)
+    for key, value in report.items():
+        if key.endswith("correlation"):
+            assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9, key
+        else:
+            assert 0.0 <= value <= 1.0, key
+
+
+@given(pair=graph_pairs())
+@settings(max_examples=60, deadline=None)
+def test_self_comparison_is_perfect(pair):
+    truth, _ = pair
+    report = compare_topologies(truth, truth)
+    assert report["undirected_f_score"] in (0.0, 1.0)  # 0 only if edgeless
+    assert report["exact_parent_set_fraction"] == 1.0
+    assert report["hub_overlap"] == 1.0
+
+
+@given(pair=graph_pairs(), seed=st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_label_propagation_partitions_nodes(pair, seed):
+    graph, _ = pair
+    labels = label_propagation_communities(graph, seed=seed)
+    assert labels.shape == (graph.n_nodes,)
+    count = len(set(labels.tolist()))
+    assert set(labels.tolist()) == set(range(count))
+
+
+@given(pair=graph_pairs(), seed=st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_modularity_bounded(pair, seed):
+    graph, _ = pair
+    labels = label_propagation_communities(graph, seed=seed)
+    value = modularity(graph, labels)
+    assert -1.0 <= value <= 1.0

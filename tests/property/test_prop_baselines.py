@@ -1,0 +1,89 @@
+"""Property-based checks of the baseline algorithms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.base import Observations
+from repro.baselines.correlation import CorrelationRanker
+from repro.baselines.lift import Lift
+from repro.baselines.multree import MulTree
+from repro.baselines.netinf import NetInf
+from repro.simulation.cascades import Cascade, CascadeSet
+from repro.simulation.statuses import StatusMatrix
+
+
+@st.composite
+def cascade_observations(draw):
+    """Random small cascade sets with consistent statuses and seed sets."""
+    n = draw(st.integers(3, 8))
+    beta = draw(st.integers(1, 10))
+    cascades = []
+    for _ in range(beta):
+        n_infected = draw(st.integers(1, n))
+        nodes = draw(
+            st.lists(
+                st.integers(0, n - 1), min_size=n_infected, max_size=n_infected,
+                unique=True,
+            )
+        )
+        times = {
+            node: float(draw(st.integers(0, 4))) for node in nodes
+        }
+        # Normalise so at least one node is a seed (time 0).
+        minimum = min(times.values())
+        times = {node: t - minimum for node, t in times.items()}
+        cascades.append(Cascade(times))
+    cascade_set = CascadeSet(n, cascades)
+    return Observations(
+        n_nodes=n,
+        statuses=cascade_set.to_status_matrix(),
+        cascades=cascade_set,
+        seed_sets=tuple(cascade_set.seed_sets()),
+    )
+
+
+@given(observations=cascade_observations(), budget=st.integers(1, 20))
+@settings(max_examples=60, deadline=None)
+def test_tree_methods_respect_budget_and_temporal_order(observations, budget):
+    for method in (NetInf(budget), MulTree(budget)):
+        output = method.infer(observations)
+        assert output.n_edges <= budget
+        # Every inferred edge must be temporally supported in some cascade.
+        for source, target in output.graph.edges():
+            assert any(
+                cascade.time_of(source) < cascade.time_of(target) != float("inf")
+                for cascade in observations.cascades
+            )
+
+
+@given(observations=cascade_observations(), budget=st.integers(1, 20))
+@settings(max_examples=60, deadline=None)
+def test_lift_budget_and_no_self_edges(observations, budget):
+    output = Lift(budget, min_support=1).infer(observations)
+    assert output.n_edges <= budget
+    assert all(u != v for u, v in output.graph.edges())
+
+
+@given(observations=cascade_observations(), budget=st.integers(1, 20))
+@settings(max_examples=60, deadline=None)
+def test_correlation_scores_sorted_and_positive(observations, budget):
+    output = CorrelationRanker(budget).infer(observations)
+    assert output.n_edges <= budget
+    assert all(score > 0 for score in output.edge_scores.values())
+
+
+@given(observations=cascade_observations())
+@settings(max_examples=40, deadline=None)
+def test_multree_outscores_netinf_in_supported_edges(observations):
+    """MulTree's all-trees objective never selects an edge NetInf could
+    not also justify: their candidate tables are identical."""
+    budget = 10
+    netinf_edges = NetInf(budget).infer(observations).graph.edge_set()
+    multree_edges = MulTree(budget).infer(observations).graph.edge_set()
+    from repro.baselines._cascadetrees import build_candidate_table
+
+    table = build_candidate_table(observations.cascades, 0.3)
+    candidates = {tuple(edge) for edge in table.edges.tolist()}
+    assert netinf_edges <= candidates
+    assert multree_edges <= candidates

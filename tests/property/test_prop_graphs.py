@@ -1,0 +1,82 @@
+"""Property-based checks of the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import DiffusionGraph
+from repro.graphs.io import graph_from_json, graph_to_json
+from repro.graphs.metrics import reciprocity, summarize_graph
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(1, 20))
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=60,
+        )
+    )
+    graph = DiffusionGraph(n)
+    for u, v in pairs:
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+@given(graph=graphs())
+@settings(max_examples=100, deadline=None)
+def test_degree_sums_equal_edge_count(graph):
+    assert graph.in_degrees().sum() == graph.n_edges
+    assert graph.out_degrees().sum() == graph.n_edges
+
+
+@given(graph=graphs())
+@settings(max_examples=100, deadline=None)
+def test_adjacency_matrix_consistent(graph):
+    matrix = graph.adjacency_matrix()
+    assert matrix.sum() == graph.n_edges
+    assert not matrix.diagonal().any()
+    back = DiffusionGraph.from_adjacency_matrix(matrix)
+    assert back.edge_set() == graph.edge_set()
+
+
+@given(graph=graphs())
+@settings(max_examples=100, deadline=None)
+def test_reverse_is_involution(graph):
+    assert graph.reverse().reverse().edge_set() == graph.edge_set()
+
+
+@given(graph=graphs())
+@settings(max_examples=100, deadline=None)
+def test_reverse_preserves_reciprocity(graph):
+    assert reciprocity(graph.reverse()) == reciprocity(graph)
+
+
+@given(graph=graphs())
+@settings(max_examples=100, deadline=None)
+def test_json_round_trip(graph):
+    document = graph_to_json(graph)
+    back = graph_from_json(document)
+    assert back.n_nodes == graph.n_nodes
+    assert back.edge_set() == graph.edge_set()
+
+
+@given(graph=graphs())
+@settings(max_examples=100, deadline=None)
+def test_successor_predecessor_duality(graph):
+    for node in graph.nodes():
+        for successor in graph.successors(node).tolist():
+            assert node in graph.predecessors(successor).tolist()
+
+
+@given(graph=graphs())
+@settings(max_examples=100, deadline=None)
+def test_summary_internally_consistent(graph):
+    summary = summarize_graph(graph)
+    assert summary.n_edges == graph.n_edges
+    assert 0.0 <= summary.reciprocity <= 1.0
+    assert 0.0 <= summary.density <= 1.0
+    if graph.n_nodes:
+        assert summary.avg_degree == graph.n_edges / graph.n_nodes

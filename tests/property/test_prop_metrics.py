@@ -1,0 +1,80 @@
+"""Property-based checks of the evaluation metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    EdgeMetrics,
+    best_threshold_metrics,
+    evaluate_edges,
+)
+from repro.graphs.digraph import DiffusionGraph
+
+edge_sets = st.sets(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(lambda e: e[0] != e[1]),
+    max_size=30,
+)
+
+
+@given(truth=edge_sets, predicted=edge_sets)
+@settings(max_examples=150, deadline=None)
+def test_confusion_counts_partition(truth, predicted):
+    metrics = evaluate_edges(truth, predicted)
+    assert metrics.true_positives + metrics.false_positives == len(predicted)
+    assert metrics.true_positives + metrics.false_negatives == len(truth)
+
+
+@given(truth=edge_sets, predicted=edge_sets)
+@settings(max_examples=150, deadline=None)
+def test_f_score_bounds(truth, predicted):
+    metrics = evaluate_edges(truth, predicted)
+    assert 0.0 <= metrics.precision <= 1.0
+    assert 0.0 <= metrics.recall <= 1.0
+    assert 0.0 <= metrics.f_score <= 1.0
+
+
+@given(truth=edge_sets)
+@settings(max_examples=100, deadline=None)
+def test_self_comparison_is_perfect(truth):
+    metrics = evaluate_edges(truth, truth)
+    if truth:
+        assert metrics.f_score == 1.0
+
+
+@given(truth=edge_sets, predicted=edge_sets)
+@settings(max_examples=100, deadline=None)
+def test_symmetric_confusion_swap(truth, predicted):
+    forward = evaluate_edges(truth, predicted)
+    backward = evaluate_edges(predicted, truth)
+    assert forward.true_positives == backward.true_positives
+    assert forward.false_positives == backward.false_negatives
+
+
+@given(truth=edge_sets, predicted=edge_sets)
+@settings(max_examples=100, deadline=None)
+def test_undirected_mode_is_direction_invariant(truth, predicted):
+    """Reversing every predicted edge cannot change the undirected metrics."""
+    reversed_predictions = {(v, u) for u, v in predicted}
+    original = evaluate_edges(truth, predicted, undirected=True)
+    flipped = evaluate_edges(truth, reversed_predictions, undirected=True)
+    assert original.true_positives == flipped.true_positives
+    assert original.f_score == flipped.f_score
+
+
+@given(
+    truth=edge_sets.filter(lambda s: len(s) > 0),
+    scores=st.dictionaries(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        st.floats(0.0, 1.0, allow_nan=False),
+        max_size=30,
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_best_threshold_dominates_every_prefix(truth, scores):
+    best, _ = best_threshold_metrics(truth, scores)
+    full = evaluate_edges(truth, scores.keys())
+    empty = evaluate_edges(truth, [])
+    assert best.f_score >= full.f_score - 1e-12
+    assert best.f_score >= empty.f_score - 1e-12

@@ -1,0 +1,141 @@
+"""Property-based checks of the paper's theorems on random status data.
+
+These are the load-bearing invariants of §IV-A:
+
+* Lemma 1 (the merge inequality behind Theorem 1),
+* Theorem 1 (likelihood is monotone in the parent set),
+* the penalty term is monotone in the parent set,
+* Theorem 2 (the size bound holds for any score-improving set),
+* counting consistency of ``family_counts``.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.scoring import (
+    delta_i,
+    empty_set_score,
+    family_counts,
+    local_score,
+    log_likelihood,
+    penalty,
+    size_bound,
+)
+from repro.simulation.statuses import StatusMatrix
+
+status_matrices = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(2, 40), st.integers(2, 6)),
+    elements=st.integers(0, 1),
+).map(StatusMatrix)
+
+
+def _term(b: int, a: int) -> float:
+    return b * math.log2(b / a) if b > 0 else 0.0
+
+
+@given(
+    a1=st.integers(0, 50),
+    a2=st.integers(0, 50),
+    b1=st.integers(0, 50),
+    b2=st.integers(0, 50),
+)
+def test_lemma1_merge_inequality(a1, a2, b1, b2):
+    """(b/a)^b <= (b1/a1)^b1 (b2/a2)^b2 in log space, with 0log0 = 0."""
+    b1 = min(b1, a1)
+    b2 = min(b2, a2)
+    a = a1 + a2
+    b = b1 + b2
+    if a == 0:
+        return
+    merged = _term(b, a)
+    split = _term(b1, a1) + _term(b2, a2)
+    assert merged <= split + 1e-9
+
+
+@given(statuses=status_matrices, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_theorem1_likelihood_monotone(statuses, data):
+    """Adding any node to the parent set never decreases log L."""
+    n = statuses.n_nodes
+    child = data.draw(st.integers(0, n - 1))
+    others = [v for v in range(n) if v != child]
+    subset = data.draw(st.lists(st.sampled_from(others), unique=True, max_size=4))
+    extra_pool = [v for v in others if v not in subset]
+    if not extra_pool:
+        return
+    extra = data.draw(st.sampled_from(extra_pool))
+    before = log_likelihood(family_counts(statuses, child, subset))
+    after = log_likelihood(family_counts(statuses, child, subset + [extra]))
+    assert after >= before - 1e-9
+
+
+@given(statuses=status_matrices, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_penalty_monotone_in_parent_set(statuses, data):
+    n = statuses.n_nodes
+    child = data.draw(st.integers(0, n - 1))
+    others = [v for v in range(n) if v != child]
+    subset = data.draw(st.lists(st.sampled_from(others), unique=True, max_size=4))
+    extra_pool = [v for v in others if v not in subset]
+    if not extra_pool:
+        return
+    extra = data.draw(st.sampled_from(extra_pool))
+    before = penalty(family_counts(statuses, child, subset))
+    after = penalty(family_counts(statuses, child, subset + [extra]))
+    assert after >= before - 1e-9
+
+
+@given(statuses=status_matrices, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_theorem2_bound_holds_for_improving_sets(statuses, data):
+    """Any parent set whose score beats g(v, {}) satisfies Eq. 16."""
+    n = statuses.n_nodes
+    child = data.draw(st.integers(0, n - 1))
+    others = [v for v in range(n) if v != child]
+    subset = data.draw(st.lists(st.sampled_from(others), unique=True, max_size=5))
+    if not subset:
+        return
+    score = local_score(statuses, child, subset)
+    if score < empty_set_score(statuses, child):
+        return  # Theorem 2 only constrains score-improving sets
+    counts = family_counts(statuses, child, subset)
+    bound = size_bound(counts.phi, delta_i(statuses, child))
+    assert len(subset) <= bound + 1e-9
+
+
+@given(statuses=status_matrices, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_family_counts_consistency(statuses, data):
+    n = statuses.n_nodes
+    child = data.draw(st.integers(0, n - 1))
+    others = [v for v in range(n) if v != child]
+    parents = data.draw(st.lists(st.sampled_from(others), unique=True, max_size=4))
+    counts = family_counts(statuses, child, parents)
+    assert counts.totals.sum() == statuses.beta
+    assert counts.infected.sum() == int(statuses.column(child).sum())
+    assert (counts.infected <= counts.totals).all()
+    assert (counts.uninfected >= 0).all()
+    assert counts.n_possible == 2 ** len(parents)
+    assert 0 <= counts.phi < counts.n_possible or (counts.phi == 0 and not parents)
+
+
+@given(statuses=status_matrices, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_log_likelihood_non_positive(statuses, data):
+    n = statuses.n_nodes
+    child = data.draw(st.integers(0, n - 1))
+    others = [v for v in range(n) if v != child]
+    parents = data.draw(st.lists(st.sampled_from(others), unique=True, max_size=4))
+    assert log_likelihood(family_counts(statuses, child, parents)) <= 1e-9
+
+
+@given(statuses=status_matrices)
+@settings(max_examples=60, deadline=None)
+def test_delta_positive(statuses):
+    for child in range(statuses.n_nodes):
+        assert delta_i(statuses, child) > 0

@@ -1,0 +1,68 @@
+"""Property-based checks of the parent-set search."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.config import TendsConfig
+from repro.core.scoring import empty_set_score, local_score
+from repro.core.search import MAX_PARENT_SET_SIZE, ParentSearch
+from repro.simulation.statuses import StatusMatrix
+
+status_matrices = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(4, 30), st.integers(3, 7)),
+    elements=st.integers(0, 1),
+).map(StatusMatrix)
+
+
+@given(statuses=status_matrices, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_greedy_result_never_scores_below_empty_set(statuses, data):
+    """Accepted parent sets must (weakly) beat the empty set — Eq. 19."""
+    node = data.draw(st.integers(0, statuses.n_nodes - 1))
+    candidates = [v for v in range(statuses.n_nodes) if v != node]
+    search = ParentSearch(statuses, TendsConfig())
+    parents, diag = search.find_parents(node, candidates)
+    assert diag.final_score >= empty_set_score(statuses, node) - 1e-9
+
+
+@given(statuses=status_matrices, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_parents_drawn_from_candidates(statuses, data):
+    node = data.draw(st.integers(0, statuses.n_nodes - 1))
+    pool = data.draw(
+        st.lists(
+            st.integers(0, statuses.n_nodes - 1).filter(lambda v: v != node),
+            unique=True,
+            max_size=statuses.n_nodes,
+        )
+    )
+    for strategy in ("greedy-rescoring", "ranked-union"):
+        search = ParentSearch(statuses, TendsConfig(search_strategy=strategy))
+        parents, _ = search.find_parents(node, pool)
+        assert set(parents) <= set(pool)
+        assert node not in parents
+        assert len(parents) <= MAX_PARENT_SET_SIZE
+
+
+@given(statuses=status_matrices, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_final_score_matches_reported_parents(statuses, data):
+    node = data.draw(st.integers(0, statuses.n_nodes - 1))
+    candidates = [v for v in range(statuses.n_nodes) if v != node]
+    search = ParentSearch(statuses, TendsConfig())
+    parents, diag = search.find_parents(node, candidates)
+    assert diag.final_score == local_score(statuses, node, parents)
+
+
+@given(statuses=status_matrices, data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_search_is_deterministic(statuses, data):
+    node = data.draw(st.integers(0, statuses.n_nodes - 1))
+    candidates = [v for v in range(statuses.n_nodes) if v != node]
+    search = ParentSearch(statuses, TendsConfig())
+    first, _ = search.find_parents(node, candidates)
+    second, _ = search.find_parents(node, candidates)
+    assert first == second

@@ -1,0 +1,70 @@
+"""Property-based checks of the held-out likelihood machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.selection import predictive_log_likelihood
+from repro.simulation.statuses import StatusMatrix
+
+status_matrices = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(4, 30), st.integers(2, 5)),
+    elements=st.integers(0, 1),
+).map(StatusMatrix)
+
+
+def _split(statuses: StatusMatrix) -> tuple[StatusMatrix, StatusMatrix]:
+    half = statuses.beta // 2
+    return statuses.subset(range(half)), statuses.subset(range(half, statuses.beta))
+
+
+@given(statuses=status_matrices, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_predictive_ll_is_finite_and_negative(statuses, data):
+    train, valid = _split(statuses)
+    n = statuses.n_nodes
+    parent_sets = [
+        data.draw(
+            st.lists(
+                st.integers(0, n - 1).filter(lambda v, c=child: v != c),
+                unique=True,
+                max_size=3,
+            )
+        )
+        for child in range(n)
+    ]
+    value = predictive_log_likelihood(train, valid, parent_sets)
+    assert np.isfinite(value)
+    assert value <= 0.0  # every factor is a probability < 1 after smoothing
+
+
+@given(statuses=status_matrices)
+@settings(max_examples=60, deadline=None)
+def test_predictive_ll_bounded_by_one_bit_per_cell(statuses):
+    """Laplace smoothing keeps every factor >= 1/(beta+2), so the total is
+    bounded below by -beta_valid * n * log2(beta_train + 2)."""
+    train, valid = _split(statuses)
+    empty_sets = [[] for _ in range(statuses.n_nodes)]
+    value = predictive_log_likelihood(train, valid, empty_sets)
+    lower = -valid.beta * statuses.n_nodes * np.log2(train.beta + 2)
+    assert value >= lower - 1e-9
+
+
+@given(statuses=status_matrices)
+@settings(max_examples=40, deadline=None)
+def test_evaluating_on_training_data_never_prefers_empty_over_true_cpt(statuses):
+    """Self-evaluation sanity: with the same split on both sides, adding a
+    perfectly predictive parent cannot reduce the likelihood much."""
+    # Construct a duplicated-column matrix: column 1 := column 0.
+    values = statuses.values.copy()
+    values[:, 1] = values[:, 0]
+    coupled = StatusMatrix(values)
+    train, valid = _split(coupled)
+    empty = [[] for _ in range(coupled.n_nodes)]
+    with_parent = [list(p) for p in empty]
+    with_parent[1] = [0]
+    ll_empty = predictive_log_likelihood(train, valid, empty)
+    ll_parent = predictive_log_likelihood(train, valid, with_parent)
+    assert ll_parent >= ll_empty - 2.0

@@ -1,0 +1,78 @@
+"""Property-based checks of the diffusion simulator."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+from repro.simulation.engine import DiffusionSimulator
+
+
+@st.composite
+def simulations(draw):
+    n = draw(st.integers(5, 25))
+    density = draw(st.floats(0.05, 0.3))
+    mu = draw(st.floats(0.1, 0.6))
+    alpha = draw(st.floats(0.05, 0.4))
+    seed = draw(st.integers(0, 10_000))
+    graph = erdos_renyi_digraph(n, density, seed=seed)
+    simulator = DiffusionSimulator(graph, mu=mu, alpha=alpha, seed=seed)
+    return simulator.run(beta=draw(st.integers(1, 15)))
+
+
+@given(result=simulations())
+@settings(max_examples=40, deadline=None)
+def test_statuses_binary(result):
+    values = result.statuses.values
+    assert set(np.unique(values)).issubset({0, 1})
+
+
+@given(result=simulations())
+@settings(max_examples=40, deadline=None)
+def test_seeds_are_infected_at_time_zero(result):
+    for cascade in result.cascades:
+        for seed in cascade.seeds:
+            assert cascade.times[seed] == 0.0
+
+
+@given(result=simulations())
+@settings(max_examples=40, deadline=None)
+def test_every_infection_has_an_infected_graph_parent(result):
+    """Non-seed infections must be explainable: some in-neighbour was
+    infected in exactly the previous round."""
+    graph = result.graph
+    for cascade in result.cascades:
+        for node, time in cascade.times.items():
+            if time == 0.0:
+                continue
+            parents = graph.predecessors(node).tolist()
+            assert any(
+                cascade.times.get(parent, math.inf) == time - 1.0
+                for parent in parents
+            )
+
+
+@given(result=simulations())
+@settings(max_examples=40, deadline=None)
+def test_infection_times_are_consecutive_rounds(result):
+    for cascade in result.cascades:
+        times = sorted(set(cascade.times.values()))
+        assert times == [float(t) for t in range(len(times))]
+
+
+@given(result=simulations())
+@settings(max_examples=40, deadline=None)
+def test_status_matrix_matches_cascades(result):
+    statuses = result.statuses
+    for row, cascade in enumerate(result.cascades):
+        infected = set(np.nonzero(statuses.values[row])[0].tolist())
+        assert infected == set(cascade.times)
+
+
+@given(result=simulations())
+@settings(max_examples=40, deadline=None)
+def test_edge_probabilities_in_open_interval(result):
+    for probability in result.probabilities.values():
+        assert 0.0 < probability < 1.0

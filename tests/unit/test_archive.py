@@ -1,0 +1,100 @@
+"""Experiment-result JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.baselines.base import TendsInferrer
+from repro.evaluation.archive import (
+    load_result,
+    result_from_json,
+    result_to_json,
+    save_result,
+)
+from repro.evaluation.harness import (
+    ExperimentSpec,
+    MethodSpec,
+    SweepPoint,
+    run_experiment,
+)
+from repro.evaluation.reporting import format_result_table
+from repro.evaluation.shapes import check_figure_shapes
+from repro.exceptions import DataError
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    spec = ExperimentSpec(
+        experiment_id="archive-demo",
+        title="Archive demo",
+        x_label="n",
+        points=tuple(
+            SweepPoint(
+                label=f"n={n}",
+                value=n,
+                graph_factory=lambda s, n=n: erdos_renyi_digraph(n, 0.2, seed=s),
+                beta=30,
+            )
+            for n in (10, 14)
+        ),
+        methods=(MethodSpec("TENDS", lambda ctx: TendsInferrer()),),
+        replicates=2,
+    )
+    return run_experiment(spec, seed=5)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_measurements(self, small_result):
+        document = result_to_json(small_result)
+        rebuilt = result_from_json(document)
+        assert rebuilt.aggregated() == small_result.aggregated()
+        assert rebuilt.series("f_score") == small_result.series("f_score")
+        assert rebuilt.series("runtime_s") == small_result.series("runtime_s")
+
+    def test_spec_metadata_preserved(self, small_result):
+        rebuilt = result_from_json(result_to_json(small_result))
+        assert rebuilt.spec.experiment_id == "archive-demo"
+        assert rebuilt.spec.title == "Archive demo"
+        assert rebuilt.spec.replicates == 2
+        assert [p.label for p in rebuilt.spec.points] == ["n=10", "n=14"]
+
+    def test_document_is_json_serialisable(self, small_result):
+        text = json.dumps(result_to_json(small_result))
+        assert "archive-demo" in text
+
+    def test_file_round_trip(self, small_result, tmp_path):
+        path = tmp_path / "r.json"
+        save_result(small_result, path)
+        rebuilt = load_result(path)
+        assert rebuilt.aggregated() == small_result.aggregated()
+
+    def test_report_formatting_works_on_rebuilt(self, small_result):
+        rebuilt = result_from_json(result_to_json(small_result))
+        assert "Archive demo" in format_result_table(rebuilt)
+
+    def test_shape_checks_work_on_rebuilt(self, small_result):
+        rebuilt = result_from_json(result_to_json(small_result))
+        # unknown experiment id -> no claims, but the call must not crash
+        assert check_figure_shapes(rebuilt) == []
+
+
+class TestErrors:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DataError):
+            result_from_json({"format": "nope"})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(DataError):
+            result_from_json({"format": "repro.experiment_result"})
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{")
+        with pytest.raises(DataError):
+            load_result(path)
+
+    def test_stub_factories_refuse_to_generate(self, small_result):
+        rebuilt = result_from_json(result_to_json(small_result))
+        with pytest.raises(DataError, match="archive"):
+            rebuilt.spec.points[0].graph_factory(0)

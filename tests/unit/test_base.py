@@ -1,0 +1,89 @@
+"""Observations bundle and the shared inferrer interface."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import (
+    InferenceOutput,
+    NetworkInferrer,
+    Observations,
+    TendsInferrer,
+)
+from repro.exceptions import DataError
+from repro.graphs.digraph import DiffusionGraph
+from repro.simulation.cascades import Cascade, CascadeSet
+from repro.simulation.statuses import StatusMatrix
+
+
+class TestObservations:
+    def test_from_simulation_has_all_views(self, small_observations):
+        obs = Observations.from_simulation(small_observations)
+        assert obs.available() == {"statuses", "cascades", "seed_sets"}
+        assert obs.beta == small_observations.beta
+
+    def test_from_statuses_minimal(self, tiny_statuses):
+        obs = Observations.from_statuses(tiny_statuses)
+        assert obs.available() == {"statuses"}
+        assert obs.n_nodes == 3
+
+    def test_node_count_mismatch_rejected(self, tiny_statuses):
+        with pytest.raises(DataError):
+            Observations(n_nodes=5, statuses=tiny_statuses)
+
+    def test_cascade_node_count_mismatch_rejected(self, tiny_statuses):
+        cascades = CascadeSet(7, [Cascade({0: 0.0})])
+        with pytest.raises(DataError):
+            Observations(n_nodes=3, statuses=tiny_statuses, cascades=cascades)
+
+    def test_seed_set_count_mismatch_rejected(self, tiny_statuses):
+        with pytest.raises(DataError):
+            Observations(
+                n_nodes=3, statuses=tiny_statuses, seed_sets=(frozenset({0}),)
+            )
+
+
+class TestInferenceOutput:
+    def test_n_edges(self, chain_graph):
+        assert InferenceOutput(graph=chain_graph).n_edges == 4
+
+    def test_scores_optional(self, chain_graph):
+        output = InferenceOutput(graph=chain_graph, edge_scores={(0, 1): 0.5})
+        assert output.edge_scores[(0, 1)] == 0.5
+
+
+class TestNetworkInferrerContract:
+    def test_missing_view_message(self, tiny_statuses):
+        class NeedsCascades(NetworkInferrer):
+            name = "X"
+            requires = frozenset({"cascades"})
+
+            def infer(self, observations):
+                self.check_applicable(observations)
+
+        with pytest.raises(DataError, match="cascades"):
+            NeedsCascades().infer(Observations.from_statuses(tiny_statuses))
+
+    def test_repr(self):
+        assert "TENDS" in repr(TendsInferrer())
+
+
+class TestTendsInferrer:
+    def test_runs_on_statuses_only(self, small_observations):
+        obs = Observations.from_statuses(small_observations.statuses)
+        output = TendsInferrer().infer(obs)
+        assert output.graph.n_nodes == obs.n_nodes
+        assert output.edge_scores is None
+
+    def test_keeps_last_result(self, small_observations):
+        inferrer = TendsInferrer()
+        assert inferrer.last_result is None
+        inferrer.infer(Observations.from_statuses(small_observations.statuses))
+        assert inferrer.last_result is not None
+        assert inferrer.last_result.threshold >= 0.0
+
+    def test_forwards_overrides(self, small_observations):
+        inferrer = TendsInferrer(threshold=100.0)
+        output = inferrer.infer(
+            Observations.from_statuses(small_observations.statuses)
+        )
+        assert output.n_edges == 0

@@ -1,0 +1,142 @@
+"""Cascade and CascadeSet observation views."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.simulation.cascades import Cascade, CascadeSet
+
+
+class TestCascade:
+    def test_infected_and_seeds(self):
+        cascade = Cascade({0: 0.0, 1: 0.0, 2: 1.0, 3: 2.0})
+        assert cascade.infected == {0, 1, 2, 3}
+        assert cascade.seeds == {0, 1}
+
+    def test_time_of_uninfected_is_inf(self):
+        cascade = Cascade({0: 0.0})
+        assert cascade.time_of(5) == math.inf
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(DataError):
+            Cascade({0: -1.0})
+
+    def test_ordered(self):
+        cascade = Cascade({3: 2.0, 1: 0.0, 2: 1.0})
+        assert cascade.ordered() == [(1, 0.0), (2, 1.0), (3, 2.0)]
+
+    def test_potential_parents(self):
+        cascade = Cascade({0: 0.0, 1: 1.0, 2: 1.0, 3: 2.0})
+        assert set(cascade.potential_parents(3)) == {0, 1, 2}
+        assert cascade.potential_parents(1) == [0]
+        assert cascade.potential_parents(9) == []
+
+    def test_empty_cascade(self):
+        cascade = Cascade({})
+        assert cascade.seeds == frozenset()
+        assert len(cascade) == 0
+
+
+class TestCascadeSet:
+    def _set(self) -> CascadeSet:
+        return CascadeSet(
+            4,
+            [
+                Cascade({0: 0.0, 1: 1.0}),
+                Cascade({2: 0.0, 3: 1.0, 1: 2.0}),
+            ],
+        )
+
+    def test_shape(self):
+        cascades = self._set()
+        assert cascades.beta == 2
+        assert cascades.n_nodes == 4
+        assert len(cascades) == 2
+
+    def test_default_horizon_past_latest(self):
+        assert self._set().horizon == 3.0
+
+    def test_explicit_horizon_validated(self):
+        with pytest.raises(DataError):
+            CascadeSet(2, [Cascade({0: 0.0, 1: 5.0})], horizon=2.0)
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(DataError):
+            CascadeSet(2, [Cascade({5: 0.0})])
+
+    def test_to_status_matrix(self):
+        statuses = self._set().to_status_matrix()
+        assert statuses.values.tolist() == [[1, 1, 0, 0], [0, 1, 1, 1]]
+
+    def test_seed_sets(self):
+        assert self._set().seed_sets() == [frozenset({0}), frozenset({2})]
+
+    def test_time_matrix(self):
+        times = self._set().time_matrix()
+        assert times[0, 0] == 0.0
+        assert times[0, 1] == 1.0
+        assert np.isinf(times[0, 2])
+        assert times[1, 1] == 2.0
+
+    def test_indexing_and_iteration(self):
+        cascades = self._set()
+        assert cascades[0].seeds == {0}
+        assert [len(c) for c in cascades] == [2, 3]
+
+    def test_drop_timestamps_keeps_seeds(self):
+        cascades = self._set()
+        trimmed = cascades.drop_timestamps_fraction(1.0, seed=0)
+        assert trimmed.seed_sets() == cascades.seed_sets()
+        assert all(len(c) == len(c.seeds) for c in trimmed)
+
+    def test_drop_zero_fraction_is_identity(self):
+        cascades = self._set()
+        same = cascades.drop_timestamps_fraction(0.0, seed=0)
+        assert same.to_status_matrix() == cascades.to_status_matrix()
+
+    def test_empty_set_horizon(self):
+        cascades = CascadeSet(3, [])
+        assert cascades.horizon == 1.0
+        assert cascades.beta == 0
+
+    def test_time_noise_preserves_statuses(self):
+        cascades = self._set()
+        noisy = cascades.with_time_noise(1.0, seed=0)
+        assert noisy.to_status_matrix() == cascades.to_status_matrix()
+
+    def test_time_noise_preserves_seed_times(self):
+        cascades = self._set()
+        noisy = cascades.with_time_noise(1.0, seed=1)
+        for original, corrupted in zip(cascades, noisy):
+            for seed_node in original.seeds:
+                assert corrupted.times[seed_node] == 0.0
+
+    def test_time_noise_actually_changes_times(self):
+        cascades = CascadeSet(
+            4, [Cascade({0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}) for _ in range(10)]
+        )
+        noisy = cascades.with_time_noise(1.0, seed=2)
+        changed = sum(
+            1
+            for original, corrupted in zip(cascades, noisy)
+            for node in original.times
+            if original.times[node] != corrupted.times[node]
+        )
+        assert changed > 0
+
+    def test_time_noise_never_creates_fake_seeds(self):
+        cascades = CascadeSet(
+            4, [Cascade({0: 0.0, 1: 1.0, 2: 2.0}) for _ in range(20)]
+        )
+        noisy = cascades.with_time_noise(1.0, max_shift=5, seed=3)
+        for cascade in noisy:
+            non_seed_times = [t for node, t in cascade.times.items() if node != 0]
+            assert all(t > 0.0 for t in non_seed_times)
+
+    def test_time_noise_zero_fraction_is_identity(self):
+        cascades = self._set()
+        same = cascades.with_time_noise(0.0, seed=0)
+        for original, copy in zip(cascades, same):
+            assert dict(original.times) == dict(copy.times)

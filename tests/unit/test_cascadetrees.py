@@ -1,0 +1,81 @@
+"""Candidate-edge table shared by NetInf and MulTree."""
+
+import numpy as np
+import pytest
+
+from repro.baselines._cascadetrees import build_candidate_table
+from repro.exceptions import ConfigurationError
+from repro.simulation.cascades import Cascade, CascadeSet
+
+
+def _cascades() -> CascadeSet:
+    return CascadeSet(
+        4,
+        [
+            Cascade({0: 0.0, 1: 1.0, 2: 2.0}),
+            Cascade({3: 0.0, 2: 1.0}),
+        ],
+    )
+
+
+class TestBuildCandidateTable:
+    def test_candidate_pairs(self):
+        table = build_candidate_table(_cascades(), 0.3)
+        edges = {tuple(e) for e in table.edges.tolist()}
+        assert edges == {(0, 1), (0, 2), (1, 2), (3, 2)}
+
+    def test_geometric_weights(self):
+        table = build_candidate_table(_cascades(), 0.3)
+        by_edge = {
+            tuple(table.edges[i]): table.support(i) for i in range(table.n_candidates)
+        }
+        # (0, 1): gap 1 -> p
+        _, probs = by_edge[(0, 1)]
+        assert probs[0] == pytest.approx(0.3)
+        # (0, 2): gap 2 -> p * (1 - p)
+        _, probs = by_edge[(0, 2)]
+        assert probs[0] == pytest.approx(0.3 * 0.7)
+
+    def test_support_cascade_ids(self):
+        table = build_candidate_table(_cascades(), 0.3)
+        by_edge = {
+            tuple(table.edges[i]): table.support(i) for i in range(table.n_candidates)
+        }
+        cascade_ids, _ = by_edge[(3, 2)]
+        assert cascade_ids.tolist() == [1]
+
+    def test_offsets_partition_entries(self):
+        table = build_candidate_table(_cascades(), 0.3)
+        assert table.offsets[0] == 0
+        assert table.offsets[-1] == table.cascade_ids.shape[0]
+        assert np.all(np.diff(table.offsets) >= 1)
+
+    def test_empty_cascades(self):
+        table = build_candidate_table(CascadeSet(3, []), 0.3)
+        assert table.n_candidates == 0
+
+    def test_singleton_cascades_skipped(self):
+        table = build_candidate_table(CascadeSet(3, [Cascade({0: 0.0})]), 0.3)
+        assert table.n_candidates == 0
+
+    def test_simultaneous_infections_not_candidates(self):
+        cascades = CascadeSet(3, [Cascade({0: 0.0, 1: 0.0, 2: 1.0})])
+        table = build_candidate_table(cascades, 0.3)
+        edges = {tuple(e) for e in table.edges.tolist()}
+        assert (0, 1) not in edges and (1, 0) not in edges
+        assert edges == {(0, 2), (1, 2)}
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            build_candidate_table(_cascades(), 0.0)
+
+    def test_edge_appearing_in_multiple_cascades_grouped(self):
+        cascades = CascadeSet(
+            2,
+            [Cascade({0: 0.0, 1: 1.0}), Cascade({0: 0.0, 1: 2.0})],
+        )
+        table = build_candidate_table(cascades, 0.5)
+        assert table.n_candidates == 1
+        cascade_ids, probs = table.support(0)
+        assert cascade_ids.tolist() == [0, 1]
+        assert probs.tolist() == pytest.approx([0.5, 0.25])

@@ -1,0 +1,79 @@
+"""Label-propagation communities and modularity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.communities import label_propagation_communities, modularity
+from repro.graphs.digraph import DiffusionGraph
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+
+
+def _two_cliques(k: int = 5) -> DiffusionGraph:
+    """Two k-cliques joined by a single edge."""
+    graph = DiffusionGraph(2 * k)
+    for offset in (0, k):
+        for i in range(k):
+            for j in range(k):
+                if i != j:
+                    graph.add_edge(offset + i, offset + j)
+    graph.add_edge(0, k)
+    return graph.freeze()
+
+
+class TestLabelPropagation:
+    def test_separates_two_cliques(self):
+        graph = _two_cliques()
+        labels = label_propagation_communities(graph, seed=0)
+        first = set(labels[:5].tolist())
+        second = set(labels[5:].tolist())
+        assert len(first) == 1
+        assert len(second) == 1
+        assert first != second
+
+    def test_labels_renumbered_contiguously(self):
+        labels = label_propagation_communities(_two_cliques(), seed=1)
+        assert set(labels.tolist()) == set(range(len(set(labels.tolist()))))
+
+    def test_isolated_nodes_singletons(self):
+        graph = DiffusionGraph(4, [(0, 1), (1, 0)]).freeze()
+        labels = label_propagation_communities(graph, seed=0)
+        assert labels[0] == labels[1]
+        assert labels[2] != labels[3]
+        assert labels[2] != labels[0]
+
+    def test_empty_graph(self):
+        labels = label_propagation_communities(DiffusionGraph(0))
+        assert labels.shape == (0,)
+
+    def test_lfr_graph_is_modular(self):
+        graph = lfr_benchmark_graph(
+            LFRParams(n=150, avg_degree=6, mixing=0.05), seed=2
+        )
+        labels = label_propagation_communities(graph, seed=3)
+        assert modularity(graph, labels) > 0.3
+        assert len(set(labels.tolist())) >= 2
+
+
+class TestModularity:
+    def test_perfect_partition_of_cliques(self):
+        graph = _two_cliques()
+        labels = np.array([0] * 5 + [1] * 5)
+        assert modularity(graph, labels) > 0.4
+
+    def test_single_community_is_zero(self):
+        graph = _two_cliques()
+        labels = np.zeros(10, dtype=np.int64)
+        assert modularity(graph, labels) == pytest.approx(0.0)
+
+    def test_bad_partition_scores_lower(self):
+        graph = _two_cliques()
+        good = np.array([0] * 5 + [1] * 5)
+        bad = np.array([0, 1] * 5)
+        assert modularity(graph, good) > modularity(graph, bad)
+
+    def test_edgeless_graph(self):
+        assert modularity(DiffusionGraph(3), np.zeros(3, dtype=np.int64)) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            modularity(_two_cliques(), np.zeros(3, dtype=np.int64))

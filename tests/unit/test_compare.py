@@ -1,0 +1,82 @@
+"""Structural truth-vs-inferred comparison."""
+
+import pytest
+
+from repro.analysis.compare import (
+    compare_topologies,
+    degree_correlation,
+    per_node_metrics,
+)
+from repro.exceptions import DataError
+from repro.graphs.digraph import DiffusionGraph
+
+
+class TestPerNodeMetrics:
+    def test_perfect_recovery(self, chain_graph):
+        rows = per_node_metrics(chain_graph, chain_graph)
+        assert all(
+            row.metrics.false_positives == 0 and row.metrics.false_negatives == 0
+            for row in rows
+        )
+
+    def test_localises_errors(self, chain_graph):
+        inferred = DiffusionGraph(5, [(0, 1), (1, 2), (0, 3)]).freeze()
+        rows = {row.node: row for row in per_node_metrics(chain_graph, inferred)}
+        assert rows[1].f_score == 1.0  # parent {0} recovered
+        assert rows[3].metrics.false_positives == 1  # wrong parent 0
+        assert rows[3].metrics.false_negatives == 1  # missing parent 2
+        assert rows[4].metrics.false_negatives == 1  # nothing inferred
+
+    def test_node_count_mismatch(self, chain_graph):
+        with pytest.raises(DataError):
+            per_node_metrics(chain_graph, DiffusionGraph(3))
+
+
+class TestDegreeCorrelation:
+    def test_identity_is_one(self, small_er_graph):
+        assert degree_correlation(small_er_graph, small_er_graph) == pytest.approx(1.0)
+
+    def test_empty_inferred_is_zero(self, small_er_graph):
+        empty = DiffusionGraph(small_er_graph.n_nodes)
+        assert degree_correlation(small_er_graph, empty) == 0.0
+
+    def test_kind_selection(self, star_graph):
+        reversed_star = star_graph.reverse()
+        # Reversing a star anti-correlates in/out degrees with the original.
+        assert degree_correlation(star_graph, reversed_star, kind="out") < 0
+        assert degree_correlation(star_graph, star_graph, kind="in") == pytest.approx(1.0)
+
+    def test_unknown_kind(self, star_graph):
+        with pytest.raises(DataError):
+            degree_correlation(star_graph, star_graph, kind="sideways")
+
+
+class TestCompareTopologies:
+    def test_perfect_report(self, small_er_graph):
+        report = compare_topologies(small_er_graph, small_er_graph)
+        assert report["f_score"] == 1.0
+        assert report["undirected_f_score"] == 1.0
+        assert report["exact_parent_set_fraction"] == 1.0
+        assert report["hub_overlap"] == 1.0
+
+    def test_reversed_edges_show_direction_gap(self, chain_graph):
+        report = compare_topologies(chain_graph, chain_graph.reverse())
+        assert report["f_score"] == 0.0
+        assert report["undirected_f_score"] == 1.0
+
+    def test_keys_stable(self, chain_graph):
+        report = compare_topologies(chain_graph, chain_graph)
+        assert set(report) == {
+            "f_score",
+            "precision",
+            "recall",
+            "undirected_f_score",
+            "in_degree_correlation",
+            "out_degree_correlation",
+            "exact_parent_set_fraction",
+            "hub_overlap",
+        }
+
+    def test_mismatched_nodes_rejected(self, chain_graph):
+        with pytest.raises(DataError):
+            compare_topologies(chain_graph, DiffusionGraph(2))

@@ -1,0 +1,68 @@
+"""Naive phi-coefficient baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import Observations
+from repro.baselines.correlation import CorrelationRanker, phi_coefficient_matrix
+from repro.exceptions import ConfigurationError
+from repro.simulation.statuses import StatusMatrix
+
+
+class TestPhiMatrix:
+    def test_perfect_correlation(self):
+        column = np.array([0, 1] * 10)
+        phi = phi_coefficient_matrix(np.stack([column, column], axis=1))
+        assert phi[0, 1] == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        column = np.array([0, 1] * 10)
+        phi = phi_coefficient_matrix(np.stack([column, 1 - column], axis=1))
+        assert phi[0, 1] == pytest.approx(-1.0)
+
+    def test_constant_column_is_zero(self):
+        data = np.column_stack([np.ones(10, dtype=int), np.arange(10) % 2])
+        phi = phi_coefficient_matrix(data)
+        assert phi[0, 1] == 0.0
+
+    def test_diagonal_zeroed(self):
+        rng = np.random.default_rng(0)
+        phi = phi_coefficient_matrix(rng.integers(0, 2, (30, 4)))
+        assert np.allclose(np.diag(phi), 0.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        phi = phi_coefficient_matrix(rng.integers(0, 2, (30, 5)))
+        assert np.allclose(phi, phi.T)
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            phi_coefficient_matrix(np.zeros((0, 3)))
+
+
+class TestCorrelationRanker:
+    def test_emits_reciprocal_couples(self):
+        column = np.array([0, 1] * 20)
+        other = np.where(np.arange(40) % 5 == 0, 1 - column, column)
+        statuses = StatusMatrix(np.column_stack([column, other, np.zeros(40, int)]))
+        output = CorrelationRanker(n_edges=2).infer(
+            Observations.from_statuses(statuses)
+        )
+        assert output.graph.edge_set() == {(0, 1), (1, 0)}
+
+    def test_budget_respected(self, small_observations):
+        obs = Observations.from_statuses(small_observations.statuses)
+        output = CorrelationRanker(n_edges=7).infer(obs)
+        assert output.n_edges <= 7
+
+    def test_stops_at_non_positive_phi(self):
+        rng = np.random.default_rng(2)
+        statuses = StatusMatrix(rng.integers(0, 2, (10, 4)))
+        output = CorrelationRanker(n_edges=100).infer(
+            Observations.from_statuses(statuses)
+        )
+        assert all(score > 0 for score in output.edge_scores.values())
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            CorrelationRanker(n_edges=0)

@@ -1,0 +1,43 @@
+"""Run the doctests embedded in module and class docstrings.
+
+Keeps every usage example in the documentation executable and correct.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.imi
+import repro.core.kmeans
+import repro.core.scoring
+import repro.core.tends
+import repro.graphs.digraph
+import repro.simulation.engine
+import repro.simulation.statuses
+import repro.utils.rng
+import repro.utils.timing
+
+MODULES = [
+    repro,
+    repro.core.imi,
+    repro.core.kmeans,
+    repro.core.scoring,
+    repro.core.tends,
+    repro.graphs.digraph,
+    repro.simulation.engine,
+    repro.simulation.statuses,
+    repro.utils.rng,
+    repro.utils.timing,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        verbose=False,
+    )
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

@@ -1,0 +1,87 @@
+"""Propagation-probability estimation from statuses."""
+
+import numpy as np
+import pytest
+
+from repro.core.edge_probabilities import (
+    attributable_risk,
+    estimate_edge_probabilities,
+)
+from repro.exceptions import DataError
+from repro.graphs.digraph import DiffusionGraph
+from repro.simulation.engine import DiffusionSimulator
+from repro.simulation.probabilities import constant_probabilities
+from repro.simulation.statuses import StatusMatrix
+
+
+class TestAttributableRisk:
+    def test_deterministic_edge(self):
+        statuses = StatusMatrix([[1, 1]] * 10 + [[0, 0]] * 10)
+        assert attributable_risk(statuses, 0, 1) == pytest.approx(1.0)
+
+    def test_independent_pair_near_zero(self):
+        rng = np.random.default_rng(0)
+        statuses = StatusMatrix(rng.integers(0, 2, (400, 2)))
+        assert attributable_risk(statuses, 0, 1) < 0.1
+
+    def test_negative_association_clamped_to_zero(self):
+        column = np.array([0, 1] * 20)
+        statuses = StatusMatrix(np.column_stack([column, 1 - column]))
+        assert attributable_risk(statuses, 0, 1) == 0.0
+
+    def test_constant_parent_gives_zero(self):
+        statuses = StatusMatrix([[1, 0], [1, 1], [1, 0]])
+        assert attributable_risk(statuses, 0, 1) == 0.0
+
+    def test_saturated_background_gives_zero(self):
+        statuses = StatusMatrix([[0, 1], [1, 1], [0, 1], [1, 1]])
+        assert attributable_risk(statuses, 0, 1) == 0.0
+
+
+def _bernoulli_seeds(probability):
+    """Seed each node independently — the regime where attributable risk
+    is an unbiased estimator of the edge probability."""
+
+    def strategy(graph, rng):
+        mask = rng.random(graph.n_nodes) < probability
+        return np.nonzero(mask)[0]
+
+    return strategy
+
+
+class TestEstimateEdgeProbabilities:
+    def test_recovers_single_parent_probability(self):
+        """2-node chain with independent Bernoulli seeding:
+        q1 = s + (1-s)p, q0 = s, so AR = p exactly in expectation."""
+        truth = DiffusionGraph(2, [(0, 1)]).freeze()
+        result = DiffusionSimulator(
+            truth,
+            probabilities=constant_probabilities(truth, 0.35),
+            seed_strategy=_bernoulli_seeds(0.3),
+            seed=1,
+        ).run(beta=3000)
+        estimates = estimate_edge_probabilities(truth, result.statuses)
+        assert estimates[(0, 1)] == pytest.approx(0.35, abs=0.05)
+
+    def test_star_children_recover_probability(self):
+        truth = DiffusionGraph(5, [(0, i) for i in range(1, 5)]).freeze()
+        result = DiffusionSimulator(
+            truth,
+            probabilities=constant_probabilities(truth, 0.4),
+            seed_strategy=_bernoulli_seeds(0.3),
+            seed=2,
+        ).run(beta=3000)
+        estimates = estimate_edge_probabilities(truth, result.statuses)
+        for edge, value in estimates.items():
+            assert value == pytest.approx(0.4, abs=0.06), edge
+
+    def test_covers_all_edges(self, small_observations):
+        truth = small_observations.graph
+        estimates = estimate_edge_probabilities(truth, small_observations.statuses)
+        assert set(estimates) == truth.edge_set()
+        assert all(0.0 <= p <= 1.0 for p in estimates.values())
+
+    def test_node_count_mismatch_rejected(self, tiny_statuses):
+        graph = DiffusionGraph(7, [(0, 1)])
+        with pytest.raises(DataError):
+            estimate_edge_probabilities(graph, tiny_statuses)

@@ -1,0 +1,102 @@
+"""DiffusionSimulator end-to-end behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.digraph import DiffusionGraph
+from repro.simulation.engine import DiffusionSimulator
+from repro.simulation.models import SusceptibleInfectedModel
+from repro.simulation.probabilities import constant_probabilities
+from repro.simulation.seeds import fixed_seeds
+
+
+class TestConstruction:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiffusionSimulator(DiffusionGraph(0))
+
+    def test_unfrozen_graph_gets_frozen_copy(self):
+        graph = DiffusionGraph(3, [(0, 1)])
+        simulator = DiffusionSimulator(graph, seed=0)
+        assert simulator.graph.frozen
+        assert not graph.frozen
+
+    def test_explicit_probabilities_validated(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            DiffusionSimulator(chain_graph, probabilities={})
+        with pytest.raises(ConfigurationError):
+            DiffusionSimulator(
+                chain_graph,
+                probabilities={edge: 1.5 for edge in chain_graph.edges()},
+            )
+
+    def test_probabilities_drawn_once(self, small_er_graph):
+        simulator = DiffusionSimulator(small_er_graph, seed=0)
+        assert set(simulator.probabilities) == small_er_graph.edge_set()
+
+
+class TestRun:
+    def test_result_shapes(self, small_er_graph):
+        result = DiffusionSimulator(small_er_graph, seed=1).run(beta=10)
+        assert result.beta == 10
+        assert result.statuses.beta == 10
+        assert result.statuses.n_nodes == small_er_graph.n_nodes
+        assert len(result.seed_sets) == 10
+
+    def test_beta_validated(self, small_er_graph):
+        with pytest.raises(ConfigurationError):
+            DiffusionSimulator(small_er_graph, seed=1).run(beta=0)
+
+    def test_deterministic_for_seed(self, small_er_graph):
+        a = DiffusionSimulator(small_er_graph, seed=42).run(beta=5)
+        b = DiffusionSimulator(small_er_graph, seed=42).run(beta=5)
+        assert a.statuses == b.statuses
+
+    def test_different_processes_differ(self, small_er_graph):
+        result = DiffusionSimulator(small_er_graph, seed=0).run(beta=30)
+        rows = {row.tobytes() for row in result.statuses.values}
+        assert len(rows) > 1
+
+    def test_seeds_always_infected(self, small_er_graph):
+        result = DiffusionSimulator(small_er_graph, seed=3).run(beta=20)
+        statuses = result.statuses
+        for row, seed_set in enumerate(result.seed_sets):
+            for node in seed_set:
+                assert statuses.values[row, node] == 1
+
+    def test_seed_ratio_respected(self, small_er_graph):
+        result = DiffusionSimulator(small_er_graph, alpha=0.2, seed=4).run(beta=10)
+        for seed_set in result.seed_sets:
+            assert len(seed_set) == 5  # ceil(0.2 * 25)
+
+    def test_custom_seed_strategy(self, chain_graph):
+        simulator = DiffusionSimulator(
+            chain_graph, seed=0, seed_strategy=fixed_seeds([0])
+        )
+        result = simulator.run(beta=5)
+        assert all(s == frozenset({0}) for s in result.seed_sets)
+
+    def test_custom_model(self, chain_graph):
+        simulator = DiffusionSimulator(
+            chain_graph,
+            seed=0,
+            model=SusceptibleInfectedModel(horizon=1),
+            seed_strategy=fixed_seeds([0]),
+            probabilities=constant_probabilities(chain_graph, 0.99),
+        )
+        result = simulator.run(beta=3)
+        # Horizon 1: infection can reach at most node 1.
+        assert result.statuses.values[:, 2:].sum() == 0
+
+    def test_infection_fraction_bounds(self, small_er_graph):
+        result = DiffusionSimulator(small_er_graph, alpha=0.15, seed=0).run(beta=10)
+        fraction = result.infection_fraction()
+        assert 0.0 < fraction <= 1.0
+        # at least the seeds are infected:
+        assert fraction >= 0.15 * 0.9
+
+    def test_cascade_view_consistent_with_statuses(self, small_observations):
+        statuses = small_observations.statuses
+        from_cascades = small_observations.cascades.to_status_matrix()
+        assert statuses == from_cascades

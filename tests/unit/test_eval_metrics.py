@@ -1,0 +1,151 @@
+"""Evaluation metrics: F-score, best-threshold sweep, PR curve."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    EdgeMetrics,
+    average_precision,
+    best_threshold_metrics,
+    evaluate_edges,
+    precision_recall_curve,
+)
+from repro.exceptions import DataError
+from repro.graphs.digraph import DiffusionGraph
+
+
+class TestEdgeMetrics:
+    def test_perfect(self):
+        metrics = EdgeMetrics(10, 0, 0)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f_score == 1.0
+
+    def test_zero_predictions(self):
+        metrics = EdgeMetrics(0, 0, 5)
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f_score == 0.0
+
+    def test_harmonic_mean(self):
+        metrics = EdgeMetrics(1, 1, 1)  # P = R = 0.5
+        assert metrics.f_score == pytest.approx(0.5)
+
+    def test_as_row(self):
+        row = EdgeMetrics(2, 1, 1).as_row()
+        assert row["tp"] == 2
+        assert row["precision"] == pytest.approx(2 / 3, abs=1e-4)
+
+
+class TestEvaluateEdges:
+    def test_directed_exact(self, chain_graph):
+        predicted = [(0, 1), (1, 2), (4, 3)]
+        metrics = evaluate_edges(chain_graph, predicted)
+        assert metrics.true_positives == 2
+        assert metrics.false_positives == 1
+        assert metrics.false_negatives == 2
+
+    def test_graph_inputs(self, chain_graph):
+        metrics = evaluate_edges(chain_graph, chain_graph)
+        assert metrics.f_score == 1.0
+
+    def test_undirected_mode(self, chain_graph):
+        predicted = [(1, 0), (2, 1)]  # all reversed
+        directed = evaluate_edges(chain_graph, predicted)
+        undirected = evaluate_edges(chain_graph, predicted, undirected=True)
+        assert directed.true_positives == 0
+        assert undirected.true_positives == 2
+
+    def test_undirected_collapses_reciprocal_pairs(self, reciprocal_pair):
+        metrics = evaluate_edges(reciprocal_pair, [(0, 1)], undirected=True)
+        assert metrics.true_positives == 1
+        assert metrics.false_negatives == 0
+
+    def test_empty_prediction(self, chain_graph):
+        metrics = evaluate_edges(chain_graph, [])
+        assert metrics.f_score == 0.0
+
+
+class TestBestThreshold:
+    def test_finds_optimal_prefix(self, chain_graph):
+        scores = {
+            (0, 1): 0.9,
+            (1, 2): 0.8,
+            (2, 3): 0.7,
+            (3, 4): 0.6,
+            (0, 4): 0.5,  # false edge ranked last
+        }
+        metrics, threshold = best_threshold_metrics(chain_graph, scores)
+        assert metrics.f_score == 1.0
+        assert threshold == pytest.approx(0.6)
+
+    def test_beats_full_set_when_noise_ranked_low(self, chain_graph):
+        scores = {(0, 1): 0.9, (4, 0): 0.1, (4, 1): 0.1}
+        metrics, _ = best_threshold_metrics(chain_graph, scores)
+        full = evaluate_edges(chain_graph, scores.keys())
+        assert metrics.f_score >= full.f_score
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(DataError):
+            best_threshold_metrics(DiffusionGraph(3), {(0, 1): 1.0})
+
+    def test_empty_scores(self, chain_graph):
+        metrics, threshold = best_threshold_metrics(chain_graph, {})
+        assert metrics.f_score == 0.0
+        assert threshold == float("inf")
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self, chain_graph):
+        scores = {(0, 1): 0.9, (1, 2): 0.8, (2, 3): 0.7, (3, 4): 0.6, (4, 0): 0.1}
+        assert average_precision(chain_graph, scores) == pytest.approx(1.0)
+
+    def test_inverted_ranking_scores_low(self, chain_graph):
+        scores = {
+            (4, 0): 0.9,
+            (4, 1): 0.8,
+            (4, 2): 0.7,
+            (0, 1): 0.1,
+            (1, 2): 0.05,
+        }
+        assert average_precision(chain_graph, scores) < 0.25
+
+    def test_unranked_true_edges_lose_recall_mass(self, chain_graph):
+        scores = {(0, 1): 0.9}  # only 1 of 4 true edges ranked
+        assert average_precision(chain_graph, scores) == pytest.approx(0.25)
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(DataError):
+            average_precision(DiffusionGraph(3), {(0, 1): 1.0})
+
+    def test_bounded(self, chain_graph):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        scores = {
+            (int(u), int(v)): float(rng.random())
+            for u in range(5)
+            for v in range(5)
+            if u != v
+        }
+        value = average_precision(chain_graph, scores)
+        assert 0.0 <= value <= 1.0
+
+
+class TestPrecisionRecallCurve:
+    def test_shape_and_monotone_recall(self, chain_graph):
+        scores = {(0, 1): 0.9, (1, 2): 0.8, (0, 3): 0.7}
+        curve = precision_recall_curve(chain_graph, scores)
+        assert curve.shape == (3, 3)
+        recalls = curve[:, 2]
+        assert (np.diff(recalls) >= 0).all()
+
+    def test_first_row_is_top_edge(self, chain_graph):
+        scores = {(0, 1): 0.9, (4, 0): 0.2}
+        curve = precision_recall_curve(chain_graph, scores)
+        assert curve[0, 0] == pytest.approx(0.9)
+        assert curve[0, 1] == 1.0  # top edge is a true positive
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(DataError):
+            precision_recall_curve(DiffusionGraph(2), {(0, 1): 1.0})

@@ -1,0 +1,61 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    DataError,
+    GraphError,
+    InferenceError,
+    ReproError,
+    SimulationError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (
+        ConfigurationError,
+        DataError,
+        GraphError,
+        SimulationError,
+        InferenceError,
+        ConvergenceError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_configuration_error_is_value_error():
+    assert issubclass(ConfigurationError, ValueError)
+    with pytest.raises(ValueError):
+        raise ConfigurationError("bad parameter")
+
+
+def test_data_error_is_value_error():
+    assert issubclass(DataError, ValueError)
+
+
+def test_graph_error_is_value_error():
+    assert issubclass(GraphError, ValueError)
+
+
+def test_simulation_and_inference_errors_are_runtime_errors():
+    assert issubclass(SimulationError, RuntimeError)
+    assert issubclass(InferenceError, RuntimeError)
+
+
+def test_convergence_error_carries_diagnostics():
+    error = ConvergenceError("did not converge", iterations=42, residual=0.5)
+    assert error.iterations == 42
+    assert error.residual == 0.5
+    assert "did not converge" in str(error)
+
+
+def test_convergence_error_defaults():
+    error = ConvergenceError("plain")
+    assert error.iterations is None
+    assert error.residual is None
+
+
+def test_convergence_error_is_inference_error():
+    assert issubclass(ConvergenceError, InferenceError)

@@ -1,0 +1,126 @@
+"""Figure registry: every paper figure has a well-formed spec."""
+
+import pytest
+
+from repro.evaluation.figures import (
+    FIGURES,
+    LFR_TABLE2,
+    figure_spec,
+    list_figures,
+    table2_rows,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_all_eleven_figures_present(self):
+        assert list_figures() == [f"fig{i}" for i in range(1, 12)]
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            figure_spec("fig99")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            figure_spec("fig1", scale="gigantic")
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("figure_id", list(FIGURES))
+    def test_spec_builds(self, figure_id):
+        spec = figure_spec(figure_id, scale="quick")
+        assert spec.experiment_id == figure_id
+        assert len(spec.points) >= 3
+        assert len(spec.methods) >= 2
+
+    def test_fig1_sweeps_size(self):
+        spec = figure_spec("fig1")
+        assert [p.value for p in spec.points] == [100, 150, 200, 250, 300]
+
+    def test_fig2_sweeps_degree(self):
+        spec = figure_spec("fig2")
+        assert [p.value for p in spec.points] == [2, 3, 4, 5, 6]
+
+    def test_fig3_sweeps_tau(self):
+        spec = figure_spec("fig3")
+        assert [p.value for p in spec.points] == [1.0, 1.5, 2.0, 2.5, 3.0]
+
+    @pytest.mark.parametrize("figure_id", ["fig4", "fig5"])
+    def test_alpha_sweeps(self, figure_id):
+        spec = figure_spec(figure_id)
+        assert [p.value for p in spec.points] == [0.05, 0.10, 0.15, 0.20, 0.25]
+        assert all(p.alpha == p.value for p in spec.points)
+
+    @pytest.mark.parametrize("figure_id", ["fig6", "fig7"])
+    def test_mu_sweeps(self, figure_id):
+        spec = figure_spec(figure_id)
+        assert all(p.mu == p.value for p in spec.points)
+
+    @pytest.mark.parametrize("figure_id", ["fig8", "fig9"])
+    def test_beta_sweeps(self, figure_id):
+        spec = figure_spec(figure_id)
+        assert all(p.beta == p.value for p in spec.points)
+        quick = figure_spec(figure_id, scale="quick")
+        assert len(quick.points) == 3
+
+    @pytest.mark.parametrize("figure_id", ["fig10", "fig11"])
+    def test_pruning_sweeps_have_two_tends_variants(self, figure_id):
+        spec = figure_spec(figure_id)
+        names = [m.name for m in spec.methods]
+        assert names == ["TENDS(IMI)", "TENDS(MI)"]
+
+    def test_paper_roster_on_comparison_figures(self):
+        spec = figure_spec("fig1")
+        assert [m.name for m in spec.methods] == [
+            "TENDS",
+            "NetRate",
+            "MulTree",
+            "LIFT",
+        ]
+
+    def test_quick_scale_reduces_beta(self):
+        full = figure_spec("fig1")
+        quick = figure_spec("fig1", scale="quick")
+        assert all(p.beta == 150 for p in full.points)
+        assert all(p.beta == 60 for p in quick.points)
+
+    def test_real_network_factories_are_seed_pinned(self):
+        spec = figure_spec("fig4")
+        graph_a = spec.points[0].graph_factory(123)
+        graph_b = spec.points[1].graph_factory(456)
+        assert graph_a.edge_set() == graph_b.edge_set()
+
+
+class TestTable2:
+    def test_fifteen_graphs(self):
+        assert len(LFR_TABLE2) == 15
+        assert list(LFR_TABLE2) == [f"LFR{i}" for i in range(1, 16)]
+
+    def test_parameters_match_paper(self):
+        assert [LFR_TABLE2[f"LFR{i}"].n for i in range(1, 6)] == [
+            100,
+            150,
+            200,
+            250,
+            300,
+        ]
+        assert [LFR_TABLE2[f"LFR{i}"].avg_degree for i in range(6, 11)] == [
+            2,
+            3,
+            4,
+            5,
+            6,
+        ]
+        assert [LFR_TABLE2[f"LFR{i}"].tau for i in range(11, 16)] == [
+            1.0,
+            1.5,
+            2.0,
+            2.5,
+            3.0,
+        ]
+
+    def test_rows_regenerate(self):
+        rows = table2_rows(seed=0)
+        assert len(rows) == 15
+        for row in rows:
+            assert row["k_realised"] == pytest.approx(row["k_requested"], rel=0.02)

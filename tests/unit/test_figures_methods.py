@@ -1,0 +1,59 @@
+"""Per-point method factories of the pruning-sweep figures."""
+
+import numpy as np
+
+from repro.baselines.base import Observations
+from repro.evaluation.figures import figure_spec
+from repro.evaluation.harness import MethodContext
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+from repro.simulation.engine import DiffusionSimulator
+
+
+def _context(point):
+    truth = erdos_renyi_digraph(20, 0.15, seed=0)
+    observations = Observations.from_simulation(
+        DiffusionSimulator(truth, seed=1).run(beta=40)
+    )
+    return MethodContext(truth=truth, observations=observations, point=point)
+
+
+class TestPruningSweepFactories:
+    def test_factories_read_point_value_as_scale(self):
+        spec = figure_spec("fig10", scale="quick")
+        point = spec.points[0]  # 0.4tau
+        for method in spec.methods:
+            inferrer = method.factory(_context(point))
+            assert inferrer._estimator.config.threshold_scale == point.value
+
+    def test_imi_and_mi_variants_configured(self):
+        spec = figure_spec("fig11", scale="quick")
+        context = _context(spec.points[3])
+        kinds = {
+            method.name: method.factory(context)._estimator.config.mi_kind
+            for method in spec.methods
+        }
+        assert kinds == {"TENDS(IMI)": "infection", "TENDS(MI)": "traditional"}
+
+    def test_missing_point_defaults_to_unit_scale(self):
+        spec = figure_spec("fig10", scale="quick")
+        context = _context(None)
+        inferrer = spec.methods[0].factory(context)
+        assert inferrer._estimator.config.threshold_scale == 1.0
+
+
+class TestComparisonFigureFactories:
+    def test_budgeted_methods_get_true_edge_count(self):
+        spec = figure_spec("fig1", scale="quick")
+        context = _context(spec.points[0])
+        by_name = {m.name: m for m in spec.methods}
+        multree = by_name["MulTree"].factory(context)
+        lift = by_name["LIFT"].factory(context)
+        assert multree.n_edges == context.true_edge_count
+        assert lift.n_edges == context.true_edge_count
+
+    def test_every_method_is_constructible(self):
+        spec = figure_spec("fig1", scale="quick")
+        context = _context(spec.points[0])
+        for method in spec.methods:
+            inferrer = method.factory(context)
+            assert inferrer.name == method.name

@@ -1,0 +1,93 @@
+"""Graph serialisation round-trips and malformed-input handling."""
+
+import json
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.graphs import io
+from repro.graphs.digraph import DiffusionGraph
+
+
+class TestEdgeList:
+    def test_round_trip(self, small_er_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        io.write_edge_list(small_er_graph, path)
+        back = io.read_edge_list(path)
+        assert back.n_nodes == small_er_graph.n_nodes
+        assert back.edge_set() == small_er_graph.edge_set()
+
+    def test_header_preserves_isolated_tail_nodes(self, tmp_path):
+        graph = DiffusionGraph(10, [(0, 1)])
+        path = tmp_path / "graph.txt"
+        io.write_edge_list(graph, path)
+        assert io.read_edge_list(path).n_nodes == 10
+
+    def test_missing_header_infers_node_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n3 2\n")
+        graph = io.read_edge_list(path)
+        assert graph.n_nodes == 4
+        assert graph.has_edge(3, 2)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n\n0 1\n")
+        assert io.read_edge_list(path).n_edges == 1
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 1 2\n")
+        with pytest.raises(DataError, match=":2"):
+            io.read_edge_list(path)
+
+    def test_non_integer_ids_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(DataError):
+            io.read_edge_list(path)
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nodes: many\n0 1\n")
+        with pytest.raises(DataError):
+            io.read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("")
+        graph = io.read_edge_list(path)
+        assert graph.n_nodes == 0
+        assert graph.n_edges == 0
+
+
+class TestJson:
+    def test_round_trip_via_dict(self, small_er_graph):
+        document = io.graph_to_json(small_er_graph)
+        back = io.graph_from_json(document)
+        assert back.edge_set() == small_er_graph.edge_set()
+
+    def test_round_trip_via_file(self, small_er_graph, tmp_path):
+        path = tmp_path / "g.json"
+        io.write_json(small_er_graph, path)
+        back = io.read_json(path)
+        assert back.edge_set() == small_er_graph.edge_set()
+        assert back.n_nodes == small_er_graph.n_nodes
+
+    def test_wrong_format_tag_rejected(self):
+        with pytest.raises(DataError):
+            io.graph_from_json({"format": "something-else"})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(DataError):
+            io.graph_from_json({"format": "repro.diffusion_graph"})
+
+    def test_invalid_json_file_rejected(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text("{not json")
+        with pytest.raises(DataError):
+            io.read_json(path)
+
+    def test_document_is_json_serialisable(self, small_er_graph):
+        text = json.dumps(io.graph_to_json(small_er_graph))
+        assert "repro.diffusion_graph" in text

@@ -1,0 +1,63 @@
+"""Graph summary statistics."""
+
+import pytest
+
+from repro.graphs.digraph import DiffusionGraph
+from repro.graphs.metrics import degree_statistics, reciprocity, summarize_graph
+
+
+class TestDegreeStatistics:
+    def test_chain(self, chain_graph):
+        stats = degree_statistics(chain_graph)
+        assert stats["out_mean"] == pytest.approx(4 / 5)
+        assert stats["in_mean"] == pytest.approx(4 / 5)
+        assert stats["total_max"] == 2
+
+    def test_empty_graph(self):
+        stats = degree_statistics(DiffusionGraph(0))
+        assert stats["in_mean"] == 0.0
+        assert stats["total_std"] == 0.0
+
+
+class TestReciprocity:
+    def test_no_edges(self):
+        assert reciprocity(DiffusionGraph(3)) == 0.0
+
+    def test_fully_reciprocal(self, reciprocal_pair):
+        assert reciprocity(reciprocal_pair) == 1.0
+
+    def test_one_way(self, chain_graph):
+        assert reciprocity(chain_graph) == 0.0
+
+    def test_half(self):
+        graph = DiffusionGraph(3, [(0, 1), (1, 0), (1, 2), (0, 2)])
+        assert reciprocity(graph) == 0.5
+
+
+class TestSummarizeGraph:
+    def test_star(self, star_graph):
+        summary = summarize_graph(star_graph)
+        assert summary.n_nodes == 6
+        assert summary.n_edges == 5
+        assert summary.avg_degree == pytest.approx(5 / 6)
+        assert summary.max_out_degree == 5
+        assert summary.max_in_degree == 1
+        assert summary.density == pytest.approx(5 / 30)
+
+    def test_as_row_keys(self, star_graph):
+        row = summarize_graph(star_graph).as_row()
+        assert set(row) == {
+            "n",
+            "m",
+            "avg_degree",
+            "degree_std",
+            "max_in",
+            "max_out",
+            "reciprocity",
+            "density",
+        }
+
+    def test_single_node(self):
+        summary = summarize_graph(DiffusionGraph(1))
+        assert summary.density == 0.0
+        assert summary.avg_degree == 0.0

@@ -1,0 +1,81 @@
+"""Clustering, assortativity, and component metrics."""
+
+import pytest
+
+from repro.graphs.digraph import DiffusionGraph
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.graphs.metrics import (
+    average_clustering,
+    degree_assortativity,
+    weak_component_sizes,
+)
+
+
+def _triangle() -> DiffusionGraph:
+    return DiffusionGraph(3, [(0, 1), (1, 2), (2, 0)]).freeze()
+
+
+class TestAverageClustering:
+    def test_triangle_is_fully_clustered(self):
+        assert average_clustering(_triangle()) == pytest.approx(1.0)
+
+    def test_chain_has_no_triangles(self, chain_graph):
+        assert average_clustering(chain_graph) == 0.0
+
+    def test_star_center_unclustered(self, star_graph):
+        assert average_clustering(star_graph) == 0.0
+
+    def test_empty_graph(self):
+        assert average_clustering(DiffusionGraph(0)) == 0.0
+
+    def test_lfr_more_clustered_than_mixed(self):
+        tight = lfr_benchmark_graph(LFRParams(n=150, avg_degree=5, mixing=0.05), seed=0)
+        loose = lfr_benchmark_graph(LFRParams(n=150, avg_degree=5, mixing=0.6), seed=0)
+        assert average_clustering(tight) > average_clustering(loose)
+
+
+class TestDegreeAssortativity:
+    def test_pure_star_has_no_degree_variance(self, star_graph):
+        # Every edge joins the degree-5 hub to a degree-1 leaf: both
+        # endpoint sequences are constant, so the correlation is defined
+        # as 0 rather than spuriously +/-1.
+        assert degree_assortativity(star_graph) == 0.0
+
+    def test_star_with_leaf_link_is_disassortative(self):
+        graph = DiffusionGraph(
+            6, [(0, i) for i in range(1, 6)] + [(1, 2)]
+        ).freeze()
+        assert degree_assortativity(graph) < 0
+
+    def test_regular_graph_is_zero(self):
+        # Directed 4-cycle: every endpoint degree identical -> no variance.
+        cycle = DiffusionGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert degree_assortativity(cycle) == 0.0
+
+    def test_empty_graph(self):
+        assert degree_assortativity(DiffusionGraph(5)) == 0.0
+
+    def test_bounded(self, small_er_graph):
+        value = degree_assortativity(small_er_graph)
+        assert -1.0 <= value <= 1.0
+
+
+class TestWeakComponents:
+    def test_single_component(self, chain_graph):
+        assert weak_component_sizes(chain_graph) == [5]
+
+    def test_direction_ignored(self):
+        graph = DiffusionGraph(4, [(0, 1), (2, 1), (3, 2)])
+        assert weak_component_sizes(graph) == [4]
+
+    def test_isolated_nodes_are_singletons(self):
+        graph = DiffusionGraph(5, [(0, 1)])
+        assert weak_component_sizes(graph) == [2, 1, 1, 1]
+
+    def test_sizes_sum_to_n(self, small_er_graph):
+        sizes = weak_component_sizes(small_er_graph)
+        assert sum(sizes) == small_er_graph.n_nodes
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_empty_graph(self):
+        assert weak_component_sizes(DiffusionGraph(0)) == []

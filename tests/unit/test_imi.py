@@ -1,0 +1,98 @@
+"""Infection MI (Eq. 24-25) and traditional MI."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.imi import infection_mi_matrix, pointwise_mi_terms, traditional_mi_matrix
+from repro.exceptions import DataError
+from repro.simulation.statuses import StatusMatrix
+
+
+def _perfectly_correlated(beta: int = 20) -> StatusMatrix:
+    column = np.array([i % 2 for i in range(beta)], dtype=np.uint8)
+    return StatusMatrix(np.stack([column, column], axis=1))
+
+
+def _perfectly_anticorrelated(beta: int = 20) -> StatusMatrix:
+    column = np.array([i % 2 for i in range(beta)], dtype=np.uint8)
+    return StatusMatrix(np.stack([column, 1 - column], axis=1))
+
+
+def _independent(beta: int = 4) -> StatusMatrix:
+    # All four joint outcomes equally often: exactly independent.
+    return StatusMatrix([[0, 0], [0, 1], [1, 0], [1, 1]] * (beta // 4))
+
+
+class TestPointwiseTerms:
+    def test_keys(self, tiny_statuses):
+        terms = pointwise_mi_terms(tiny_statuses)
+        assert set(terms) == {"11", "10", "01", "00"}
+
+    def test_zero_processes_rejected(self):
+        with pytest.raises(DataError):
+            pointwise_mi_terms(StatusMatrix(np.zeros((0, 3))))
+
+    def test_independent_terms_are_zero(self):
+        terms = pointwise_mi_terms(_independent(8))
+        for matrix in terms.values():
+            assert matrix[0, 1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_correlated_cross_terms_negative(self):
+        terms = pointwise_mi_terms(_perfectly_correlated())
+        # (1,0) never observed -> 0; but for near-perfect correlation with
+        # one disagreement the cross term goes negative:
+        data = [[1, 1]] * 10 + [[0, 0]] * 9 + [[1, 0]]
+        terms = pointwise_mi_terms(StatusMatrix(data))
+        assert terms["10"][0, 1] < 0
+
+    def test_degenerate_marginals_contribute_zero(self):
+        statuses = StatusMatrix([[1, 0], [1, 1]])  # column 0 constant
+        terms = pointwise_mi_terms(statuses)
+        for matrix in terms.values():
+            assert np.isfinite(matrix).all()
+
+
+class TestInfectionMI:
+    def test_symmetry(self, small_observations):
+        imi = infection_mi_matrix(small_observations.statuses)
+        assert np.allclose(imi, imi.T)
+
+    def test_diagonal_zero(self, small_observations):
+        imi = infection_mi_matrix(small_observations.statuses)
+        assert np.allclose(np.diag(imi), 0.0)
+
+    def test_perfect_correlation_is_positive(self):
+        imi = infection_mi_matrix(_perfectly_correlated())
+        assert imi[0, 1] == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation_is_negative(self):
+        imi = infection_mi_matrix(_perfectly_anticorrelated())
+        assert imi[0, 1] == pytest.approx(-1.0)
+
+    def test_independence_is_zero(self):
+        imi = infection_mi_matrix(_independent(8))
+        assert imi[0, 1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_distinguishes_sign_where_mi_cannot(self):
+        imi_pos = infection_mi_matrix(_perfectly_correlated())[0, 1]
+        imi_neg = infection_mi_matrix(_perfectly_anticorrelated())[0, 1]
+        mi_pos = traditional_mi_matrix(_perfectly_correlated())[0, 1]
+        mi_neg = traditional_mi_matrix(_perfectly_anticorrelated())[0, 1]
+        assert mi_pos == pytest.approx(mi_neg)  # MI blind to direction...
+        assert imi_pos > 0 > imi_neg  # ...IMI is not (the paper's point)
+
+
+class TestTraditionalMI:
+    def test_non_negative(self, small_observations):
+        mi = traditional_mi_matrix(small_observations.statuses)
+        assert mi.min() >= 0.0
+
+    def test_perfect_dependence_is_one_bit(self):
+        mi = traditional_mi_matrix(_perfectly_correlated())
+        assert mi[0, 1] == pytest.approx(1.0)
+
+    def test_diagonal_zero(self, small_observations):
+        mi = traditional_mi_matrix(small_observations.statuses)
+        assert np.allclose(np.diag(mi), 0.0)

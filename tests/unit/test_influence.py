@@ -1,0 +1,77 @@
+"""Influence spread estimation and maximisation."""
+
+import pytest
+
+from repro.analysis.influence import estimate_spread, greedy_influence_maximization
+from repro.exceptions import ConfigurationError
+from repro.graphs.digraph import DiffusionGraph
+from repro.graphs.generators.random_graphs import core_periphery_digraph
+
+
+class TestEstimateSpread:
+    def test_empty_seeds(self, chain_graph):
+        assert estimate_spread(chain_graph, [], 0.5, seed=0) == 0.0
+
+    def test_seeds_always_counted(self, chain_graph):
+        spread = estimate_spread(chain_graph, [0, 2], 0.01, n_samples=50, seed=0)
+        assert spread >= 2.0
+
+    def test_deterministic_chain_probability_one_ish(self, chain_graph):
+        spread = estimate_spread(chain_graph, [0], 0.99, n_samples=100, seed=1)
+        assert spread > 4.5  # nearly the whole 5-node chain
+
+    def test_probability_monotonicity(self, small_er_graph):
+        low = estimate_spread(small_er_graph, [0], 0.05, n_samples=150, seed=2)
+        high = estimate_spread(small_er_graph, [0], 0.6, n_samples=150, seed=2)
+        assert high >= low
+
+    def test_explicit_probability_mapping(self, chain_graph):
+        probs = {edge: 0.9 for edge in chain_graph.edges()}
+        spread = estimate_spread(chain_graph, [0], probs, n_samples=50, seed=3)
+        assert spread > 3.0
+
+    def test_missing_edge_probability_rejected(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            estimate_spread(chain_graph, [0], {(0, 1): 0.5}, seed=0)
+
+    def test_uniform_probability_bounds(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            estimate_spread(chain_graph, [0], 1.0)
+
+
+class TestGreedyInfluenceMaximization:
+    def test_selects_spreader_over_sink(self):
+        # Node 0 reaches everyone; node 4 reaches nobody.
+        graph = DiffusionGraph(5, [(0, i) for i in range(1, 5)]).freeze()
+        seeds, spread = greedy_influence_maximization(
+            graph, 1, 0.5, n_samples=150, seed=0
+        )
+        assert seeds == [0]
+        assert spread > 1.5
+
+    def test_second_seed_avoids_redundancy(self):
+        # Two disjoint stars: the greedy must take one hub from each.
+        edges = [(0, i) for i in range(1, 5)] + [(5, i) for i in range(6, 10)]
+        graph = DiffusionGraph(10, edges).freeze()
+        seeds, _ = greedy_influence_maximization(graph, 2, 0.6, n_samples=150, seed=1)
+        assert set(seeds) == {0, 5}
+
+    def test_core_periphery_prefers_core(self):
+        graph = core_periphery_digraph(40, core_fraction=0.15, seed=2)
+        seeds, _ = greedy_influence_maximization(graph, 3, 0.4, n_samples=80, seed=3)
+        n_core = 6
+        assert sum(1 for s in seeds if s < n_core) >= 2
+
+    def test_k_validation(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            greedy_influence_maximization(chain_graph, 0)
+        with pytest.raises(ConfigurationError):
+            greedy_influence_maximization(chain_graph, 99)
+
+    def test_returns_k_seeds(self, small_er_graph):
+        seeds, spread = greedy_influence_maximization(
+            small_er_graph, 3, 0.3, n_samples=40, seed=4
+        )
+        assert len(seeds) == 3
+        assert len(set(seeds)) == 3
+        assert spread >= 3.0

@@ -1,0 +1,74 @@
+"""Fixed-zero 2-means threshold selection (Algorithm 1, line 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kmeans import fixed_zero_two_means
+from repro.exceptions import DataError
+
+
+class TestDegenerateInputs:
+    def test_empty(self):
+        result = fixed_zero_two_means(np.array([]))
+        assert result.threshold == 0.0
+        assert result.n_zero_cluster == 0
+        assert result.n_upper_cluster == 0
+
+    def test_all_equal(self):
+        result = fixed_zero_two_means(np.full(10, 0.5))
+        assert result.threshold == 0.0
+        assert result.n_upper_cluster == 10
+
+    def test_all_zero(self):
+        result = fixed_zero_two_means(np.zeros(10))
+        assert result.threshold == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataError):
+            fixed_zero_two_means(np.array([0.1, -0.2]))
+
+    def test_single_value(self):
+        result = fixed_zero_two_means(np.array([0.7]))
+        assert result.threshold == 0.0
+        assert result.n_upper_cluster == 1
+
+
+class TestBimodalSplit:
+    def test_clean_split(self):
+        values = np.concatenate([np.full(50, 0.01), np.full(10, 0.5)])
+        result = fixed_zero_two_means(values)
+        assert result.threshold == pytest.approx(0.01)
+        assert result.n_zero_cluster == 50
+        assert result.n_upper_cluster == 10
+        assert result.upper_centroid == pytest.approx(0.5)
+
+    def test_noisy_bimodal(self):
+        rng = np.random.default_rng(0)
+        low = np.abs(rng.normal(0.0, 0.005, 500))
+        high = rng.normal(0.4, 0.05, 60)
+        result = fixed_zero_two_means(np.concatenate([low, high]))
+        assert 0.0 < result.threshold < 0.2
+        assert result.n_upper_cluster == pytest.approx(60, abs=5)
+
+    def test_threshold_is_member_of_zero_cluster(self):
+        values = np.array([0.01, 0.02, 0.03, 0.5, 0.6])
+        result = fixed_zero_two_means(values)
+        assert result.threshold in values
+        assert result.threshold < result.upper_centroid / 2
+
+    def test_accepts_2d_input(self):
+        values = np.array([[0.01, 0.02], [0.5, 0.6]])
+        result = fixed_zero_two_means(values)
+        assert result.n_zero_cluster + result.n_upper_cluster == 4
+
+    def test_converges_quickly(self):
+        rng = np.random.default_rng(1)
+        values = np.abs(rng.normal(0, 0.1, 1000))
+        result = fixed_zero_two_means(values)
+        assert result.iterations < 50
+
+    def test_cluster_counts_sum(self):
+        rng = np.random.default_rng(2)
+        values = rng.random(321)
+        result = fixed_zero_two_means(values)
+        assert result.n_zero_cluster + result.n_upper_cluster == 321

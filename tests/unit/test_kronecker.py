@@ -1,0 +1,71 @@
+"""Stochastic Kronecker graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.generators.kronecker import (
+    CORE_PERIPHERY_INITIATOR,
+    HIERARCHICAL_INITIATOR,
+    kronecker_digraph,
+)
+from repro.graphs.metrics import summarize_graph
+
+
+class TestKroneckerDigraph:
+    def test_node_count_is_power_of_two(self):
+        graph = kronecker_digraph(5, seed=0)
+        assert graph.n_nodes == 32
+
+    def test_deterministic_for_seed(self):
+        a = kronecker_digraph(6, seed=3)
+        b = kronecker_digraph(6, seed=3)
+        assert a.edge_set() == b.edge_set()
+
+    def test_target_average_degree(self):
+        graph = kronecker_digraph(8, target_avg_degree=4.0, seed=1)
+        realised = graph.n_edges / graph.n_nodes
+        assert realised == pytest.approx(4.0, rel=0.25)
+
+    def test_core_periphery_concentrates_low_ids(self):
+        # Node 0 (all-zero bits) hits theta[0,0]^k on every pair with
+        # low-bit nodes; its degree must far exceed the median.
+        graph = kronecker_digraph(8, CORE_PERIPHERY_INITIATOR, seed=2)
+        degrees = graph.out_degrees() + graph.in_degrees()
+        assert degrees[0] > 3 * np.median(degrees[degrees > 0])
+
+    def test_hierarchical_initiator_is_assortative(self):
+        # [[.9,.1],[.1,.9]]: same-prefix nodes connect far more often.
+        graph = kronecker_digraph(7, HIERARCHICAL_INITIATOR, scale=0.3, seed=3)
+        half = graph.n_nodes // 2
+        same, cross = 0, 0
+        for u, v in graph.edges():
+            if (u < half) == (v < half):
+                same += 1
+            else:
+                cross += 1
+        assert same > 3 * max(cross, 1)
+
+    def test_no_self_loops(self):
+        graph = kronecker_digraph(6, seed=4)
+        assert all(u != v for u, v in graph.edges())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"k": 13},
+            {"k": 4, "initiator": ((0.5,),)},
+            {"k": 4, "initiator": ((1.5, 0.1), (0.1, 0.1))},
+            {"k": 4, "scale": 2.0, "target_avg_degree": 3.0},
+            {"k": 4, "scale": -1.0},
+        ],
+    )
+    def test_invalid_arguments(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            kronecker_digraph(**kwargs)
+
+    def test_summary_sane(self):
+        summary = summarize_graph(kronecker_digraph(7, target_avg_degree=3, seed=5))
+        assert summary.n_nodes == 128
+        assert summary.density > 0

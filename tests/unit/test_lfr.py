@@ -1,0 +1,111 @@
+"""LFR benchmark generator behaviour (paper Table II properties)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.graphs.metrics import reciprocity, summarize_graph
+
+
+class TestLFRParams:
+    def test_defaults(self):
+        params = LFRParams(n=100)
+        assert params.avg_degree == 4.0
+        assert params.tau == 2.0
+        assert params.orientation == "reciprocal"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0},
+            {"n": 100, "avg_degree": 0},
+            {"n": 100, "tau": 0},
+            {"n": 100, "mixing": 0.0},
+            {"n": 100, "mixing": 1.0},
+            {"n": 100, "avg_degree": 100},
+            {"n": 100, "orientation": "sideways"},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LFRParams(**kwargs)
+
+    def test_min_community_resolution(self):
+        assert LFRParams(n=100, avg_degree=4).resolved_min_community() == 10
+        assert LFRParams(n=100, avg_degree=8).resolved_min_community() == 16
+        assert LFRParams(n=100, min_community=5).resolved_min_community() == 5
+
+
+class TestGeneration:
+    def test_exact_average_degree(self):
+        graph = lfr_benchmark_graph(LFRParams(n=200, avg_degree=4), seed=0)
+        assert graph.n_nodes == 200
+        assert graph.n_edges == 800
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_degree_sweep(self, k):
+        graph = lfr_benchmark_graph(LFRParams(n=150, avg_degree=k), seed=1)
+        assert graph.n_edges == k * 150
+
+    def test_reciprocal_orientation(self):
+        graph = lfr_benchmark_graph(LFRParams(n=100, avg_degree=4), seed=2)
+        assert reciprocity(graph) == 1.0
+
+    def test_random_orientation(self):
+        graph = lfr_benchmark_graph(
+            LFRParams(n=100, avg_degree=4, orientation="random"), seed=2
+        )
+        assert reciprocity(graph) < 0.2
+
+    def test_dispersion_monotone_in_tau(self):
+        stds = []
+        for tau in (1.0, 2.0, 3.0):
+            graph = lfr_benchmark_graph(LFRParams(n=300, avg_degree=4, tau=tau), seed=3)
+            stds.append(summarize_graph(graph).total_degree_std)
+        assert stds[0] > stds[1] > stds[2]
+
+    def test_deterministic_for_seed(self):
+        a = lfr_benchmark_graph(LFRParams(n=120, avg_degree=4), seed=9)
+        b = lfr_benchmark_graph(LFRParams(n=120, avg_degree=4), seed=9)
+        assert a.edge_set() == b.edge_set()
+
+    def test_different_seeds_differ(self):
+        a = lfr_benchmark_graph(LFRParams(n=120, avg_degree=4), seed=1)
+        b = lfr_benchmark_graph(LFRParams(n=120, avg_degree=4), seed=2)
+        assert a.edge_set() != b.edge_set()
+
+    def test_keyword_shortcuts(self):
+        graph = lfr_benchmark_graph(n=100, avg_degree=3, tau=2.5, seed=0)
+        assert graph.n_edges == 300
+
+    def test_params_and_shortcuts_conflict(self):
+        with pytest.raises(ConfigurationError):
+            lfr_benchmark_graph(LFRParams(n=100), n=100)
+
+    def test_missing_everything_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lfr_benchmark_graph()
+
+    def test_result_is_frozen(self):
+        graph = lfr_benchmark_graph(n=60, seed=0)
+        assert graph.frozen
+
+    def test_no_self_loops(self):
+        graph = lfr_benchmark_graph(n=150, seed=4)
+        assert all(u != v for u, v in graph.edges())
+
+    def test_community_mixing_bounds_cross_edges(self):
+        # With strong mixing bias most relations stay inside communities;
+        # at least the generated graph must have substantial clustering in
+        # the sense that the giant component is not a uniform random graph.
+        graph = lfr_benchmark_graph(LFRParams(n=200, avg_degree=4, mixing=0.05), seed=5)
+        nx_graph = graph.to_networkx().to_undirected()
+        import networkx as nx
+
+        clustering = nx.average_clustering(nx_graph)
+        er_like = lfr_benchmark_graph(
+            LFRParams(n=200, avg_degree=4, mixing=0.6), seed=5
+        )
+        er_clustering = nx.average_clustering(er_like.to_networkx().to_undirected())
+        assert clustering > er_clustering

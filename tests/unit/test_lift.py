@@ -1,0 +1,74 @@
+"""LIFT baseline: lifting effects from seed sets."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import Observations
+from repro.baselines.lift import Lift
+from repro.exceptions import ConfigurationError, DataError
+from repro.simulation.statuses import StatusMatrix
+
+
+def _seeded_observations() -> Observations:
+    """Node 0 seeded in half the processes; node 1 infected iff 0 seeded;
+    node 2 infected at random."""
+    rng = np.random.default_rng(0)
+    beta = 80
+    seeded = np.arange(beta) % 2 == 0
+    statuses = np.zeros((beta, 3), dtype=np.uint8)
+    statuses[:, 0] = seeded
+    statuses[:, 1] = np.where(seeded, 1, 0)
+    statuses[:, 2] = rng.integers(0, 2, beta)
+    seed_sets = tuple(
+        frozenset({0}) if s else frozenset({2}) for s in seeded
+    )
+    return Observations(
+        n_nodes=3, statuses=StatusMatrix(statuses), seed_sets=seed_sets
+    )
+
+
+class TestLiftMatrix:
+    def test_perfect_lift(self):
+        lift = Lift().lift_matrix(_seeded_observations())
+        assert lift[0, 1] == pytest.approx(1.0)
+
+    def test_random_target_near_zero(self):
+        lift = Lift().lift_matrix(_seeded_observations())
+        assert abs(lift[0, 2]) < 0.3
+
+    def test_diagonal_is_neg_inf(self):
+        lift = Lift().lift_matrix(_seeded_observations())
+        assert np.isneginf(np.diag(lift)).all()
+
+    def test_unsupported_rows_are_neg_inf(self):
+        # Node 1 is never a seed -> no support for conditioning on it.
+        lift = Lift(min_support=1).lift_matrix(_seeded_observations())
+        assert np.isneginf(lift[1]).all()
+
+    def test_requires_seed_sets(self, tiny_statuses):
+        with pytest.raises(DataError):
+            Lift().lift_matrix(Observations.from_statuses(tiny_statuses))
+
+
+class TestInfer:
+    def test_top_edge_is_true_influence(self):
+        output = Lift(n_edges=1).infer(_seeded_observations())
+        assert output.graph.edge_set() == {(0, 1)}
+
+    def test_budget_respected(self, small_observations):
+        obs = Observations.from_simulation(small_observations)
+        output = Lift(n_edges=10).infer(obs)
+        assert output.n_edges <= 10
+
+    def test_threshold_mode(self):
+        output = Lift(n_edges=None, min_lift=0.5).infer(_seeded_observations())
+        assert (0, 1) in output.graph.edge_set()
+        assert all(score > 0.5 for score in output.edge_scores.values())
+
+    def test_scores_attached(self):
+        output = Lift(n_edges=2).infer(_seeded_observations())
+        assert set(output.edge_scores) == output.graph.edge_set()
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            Lift(n_edges=0)

@@ -1,0 +1,30 @@
+"""Package logger helpers."""
+
+import logging
+
+from repro.utils.logging import enable_console_logging, get_logger
+
+
+def test_root_logger_name():
+    assert get_logger().name == "repro"
+
+
+def test_child_logger_name():
+    assert get_logger("core.tends").name == "repro.core.tends"
+
+
+def test_already_qualified_name_not_doubled():
+    assert get_logger("repro.graphs").name == "repro.graphs"
+
+
+def test_enable_console_logging_is_idempotent():
+    logger = enable_console_logging(logging.WARNING)
+    n_handlers = len(logger.handlers)
+    logger_again = enable_console_logging(logging.WARNING)
+    assert logger is logger_again
+    assert len(logger_again.handlers) == n_handlers
+
+
+def test_enable_console_logging_sets_level():
+    logger = enable_console_logging(logging.DEBUG)
+    assert logger.level == logging.DEBUG

@@ -1,0 +1,58 @@
+"""MulTree greedy all-trees inference."""
+
+import pytest
+
+from repro.baselines.base import Observations
+from repro.baselines.multree import MulTree
+from repro.baselines.netinf import NetInf
+from repro.exceptions import ConfigurationError, DataError
+from repro.simulation.cascades import Cascade, CascadeSet
+
+
+def _diamond_observations(beta: int = 40) -> Observations:
+    """0 -> {1, 2} -> 3 diamond; both middle nodes fire every process."""
+    cascades = CascadeSet(
+        4,
+        [Cascade({0: 0.0, 1: 1.0, 2: 1.0, 3: 2.0}) for _ in range(beta)],
+    )
+    return Observations(
+        n_nodes=4, statuses=cascades.to_status_matrix(), cascades=cascades
+    )
+
+
+class TestMulTree:
+    def test_recovers_diamond(self):
+        output = MulTree(n_edges=4).infer(_diamond_observations())
+        assert output.graph.edge_set() == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+    def test_all_trees_takes_both_parents(self):
+        # NetInf's best-tree objective saturates after one parent of node 3;
+        # MulTree keeps accumulating parent mass -> it ranks BOTH (1,3) and
+        # (2,3) with positive gain.
+        output = MulTree(n_edges=4).infer(_diamond_observations())
+        assert (1, 3) in output.graph.edge_set()
+        assert (2, 3) in output.graph.edge_set()
+
+    def test_budget_respected(self, small_observations):
+        obs = Observations.from_simulation(small_observations)
+        output = MulTree(n_edges=6).infer(obs)
+        assert output.n_edges <= 6
+
+    def test_requires_cascades(self, tiny_statuses):
+        with pytest.raises(DataError):
+            MulTree(n_edges=1).infer(Observations.from_statuses(tiny_statuses))
+
+    def test_scores_positive_and_descendingish(self):
+        output = MulTree(n_edges=4).infer(_diamond_observations())
+        assert all(score > 0 for score in output.edge_scores.values())
+
+    def test_deterministic(self, small_observations):
+        obs = Observations.from_simulation(small_observations)
+        a = MulTree(n_edges=10).infer(obs).graph.edge_set()
+        b = MulTree(n_edges=10).infer(obs).graph.edge_set()
+        assert a == b
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_invalid_budget(self, bad):
+        with pytest.raises(ConfigurationError):
+            MulTree(n_edges=bad)

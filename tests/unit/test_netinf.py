@@ -1,0 +1,73 @@
+"""NetInf greedy best-tree inference."""
+
+import pytest
+
+from repro.baselines.base import Observations
+from repro.baselines.netinf import NetInf
+from repro.exceptions import ConfigurationError, DataError
+from repro.simulation.cascades import Cascade, CascadeSet
+from repro.simulation.statuses import StatusMatrix
+
+
+def _chain_observations(beta: int = 30) -> Observations:
+    """Deterministic chain cascades 0 -> 1 -> 2 every process."""
+    cascades = CascadeSet(
+        3, [Cascade({0: 0.0, 1: 1.0, 2: 2.0}) for _ in range(beta)]
+    )
+    return Observations(
+        n_nodes=3,
+        statuses=cascades.to_status_matrix(),
+        cascades=cascades,
+    )
+
+
+class TestNetInf:
+    def test_recovers_chain(self):
+        output = NetInf(n_edges=2).infer(_chain_observations())
+        assert output.graph.edge_set() == {(0, 1), (1, 2)}
+
+    def test_budget_respected(self, small_observations):
+        obs = Observations.from_simulation(small_observations)
+        output = NetInf(n_edges=5).infer(obs)
+        assert output.n_edges <= 5
+
+    def test_stops_when_gains_exhausted(self):
+        # Only two explainable parent-child pairs exist; asking for more
+        # edges must not fabricate them.
+        output = NetInf(n_edges=50).infer(_chain_observations())
+        assert output.n_edges <= 3
+
+    def test_requires_cascades(self, tiny_statuses):
+        with pytest.raises(DataError):
+            NetInf(n_edges=1).infer(Observations.from_statuses(tiny_statuses))
+
+    def test_scores_positive(self):
+        output = NetInf(n_edges=2).infer(_chain_observations())
+        assert all(score > 0 for score in output.edge_scores.values())
+
+    def test_gap_one_preferred_over_gap_two(self):
+        output = NetInf(n_edges=1).infer(_chain_observations())
+        # (1, 2) and (0, 1) both have gap 1 and identical weights; (0, 2)
+        # has gap 2 and must lose.
+        assert (0, 2) not in output.graph.edge_set()
+
+    def test_empty_cascades(self):
+        cascades = CascadeSet(3, [])
+        obs = Observations(
+            n_nodes=3,
+            statuses=StatusMatrix([[0, 0, 0]]),
+            cascades=cascades,
+        )
+        # statuses beta (1) and cascades beta (0) mismatch is fine for the
+        # table builder; it sees no pairs and returns an empty graph.
+        output = NetInf(n_edges=3).infer(obs)
+        assert output.n_edges == 0
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_budget(self, bad):
+        with pytest.raises(ConfigurationError):
+            NetInf(n_edges=bad)
+
+    def test_invalid_transmission_prob(self):
+        with pytest.raises(ConfigurationError):
+            NetInf(n_edges=1, transmission_prob=1.0)

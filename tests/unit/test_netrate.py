@@ -1,0 +1,89 @@
+"""NetRate exponential-model EM solver."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import Observations
+from repro.baselines.netrate import NetRate
+from repro.exceptions import ConfigurationError, DataError
+from repro.simulation.cascades import Cascade, CascadeSet
+
+
+def _chain_observations(beta: int = 40) -> Observations:
+    cascades = CascadeSet(
+        3, [Cascade({0: 0.0, 1: 1.0, 2: 2.0}) for _ in range(beta)], horizon=4.0
+    )
+    return Observations(
+        n_nodes=3, statuses=cascades.to_status_matrix(), cascades=cascades
+    )
+
+
+def _mixed_observations() -> Observations:
+    """Node 1 follows node 0 quickly when 0 is seeded; node 2 unrelated."""
+    cascades = []
+    for i in range(30):
+        if i % 2 == 0:
+            cascades.append(Cascade({0: 0.0, 1: 1.0}))
+        else:
+            cascades.append(Cascade({2: 0.0}))
+    cs = CascadeSet(3, cascades, horizon=5.0)
+    return Observations(n_nodes=3, statuses=cs.to_status_matrix(), cascades=cs)
+
+
+class TestRateMatrix:
+    def test_shape_and_nonnegativity(self):
+        rates = NetRate().rate_matrix(_chain_observations())
+        assert rates.shape == (3, 3)
+        assert (rates >= 0).all()
+
+    def test_diagonal_zero(self):
+        rates = NetRate().rate_matrix(_chain_observations())
+        assert np.allclose(np.diag(rates), 0.0)
+
+    def test_true_edges_get_highest_rates(self):
+        rates = NetRate().rate_matrix(_chain_observations())
+        assert rates[0, 1] > rates[2, 1]
+        assert rates[1, 2] > rates[0, 2]  # gap 1 beats gap 2
+
+    def test_no_rate_for_never_preceding_pairs(self):
+        rates = NetRate().rate_matrix(_chain_observations())
+        assert rates[2, 0] == 0.0  # 2 never precedes 0
+
+    def test_unrelated_node_gets_low_rate(self):
+        rates = NetRate().rate_matrix(_mixed_observations())
+        assert rates[0, 1] > 0.1
+        assert rates[0, 2] == 0.0  # 2 is infected only as a seed
+
+    def test_requires_cascades(self, tiny_statuses):
+        with pytest.raises(DataError):
+            NetRate().rate_matrix(Observations.from_statuses(tiny_statuses))
+
+
+class TestInfer:
+    def test_threshold_controls_edges(self):
+        low = NetRate(rate_threshold=0.0).infer(_chain_observations())
+        high = NetRate(rate_threshold=1e9).infer(_chain_observations())
+        assert low.n_edges >= high.n_edges
+        assert high.n_edges == 0
+
+    def test_scores_cover_all_positive_rates(self):
+        output = NetRate().infer(_chain_observations())
+        assert all(score > 0 for score in output.edge_scores.values())
+        assert (0, 1) in output.edge_scores
+
+    def test_converges_on_simulated_data(self, small_observations):
+        obs = Observations.from_simulation(small_observations)
+        output = NetRate(max_iterations=30).infer(obs)
+        assert output.graph.n_nodes == obs.n_nodes
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_iterations": 0},
+            {"tolerance": 0.0},
+            {"rate_threshold": -0.1},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            NetRate(**kwargs)

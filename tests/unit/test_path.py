@@ -1,0 +1,93 @@
+"""PATH baseline and the infection-path extraction feeding it."""
+
+import pytest
+
+from repro.baselines.base import Observations
+from repro.baselines.path import Path
+from repro.exceptions import DataError
+from repro.simulation.cascades import Cascade, CascadeSet
+from repro.simulation.statuses import StatusMatrix
+
+
+def _attributed_cascade() -> Cascade:
+    """0 -> 1 -> 2, plus seed 3 -> 4."""
+    return Cascade(
+        {0: 0.0, 1: 1.0, 2: 2.0, 3: 0.0, 4: 1.0},
+        infectors={1: 0, 2: 1, 4: 3},
+    )
+
+
+class TestInfectionPaths:
+    def test_length_two_paths_are_attributed_edges(self):
+        paths = _attributed_cascade().infection_paths(2)
+        assert set(paths) == {(0, 1), (1, 2), (3, 4)}
+
+    def test_length_three_paths(self):
+        paths = _attributed_cascade().infection_paths(3)
+        assert paths == [(0, 1, 2)]
+
+    def test_too_long_paths_are_empty(self):
+        assert _attributed_cascade().infection_paths(4) == []
+
+    def test_requires_attribution(self):
+        with pytest.raises(DataError):
+            Cascade({0: 0.0, 1: 1.0}).infection_paths(2)
+
+    def test_length_validation(self):
+        with pytest.raises(DataError):
+            _attributed_cascade().infection_paths(1)
+
+    def test_invalid_attribution_rejected(self):
+        with pytest.raises(DataError):
+            Cascade({0: 0.0, 1: 1.0}, infectors={1: 5})
+        with pytest.raises(DataError):
+            Cascade({0: 0.0, 1: 1.0}, infectors={0: 1})  # parent not earlier
+
+
+def _observations(beta: int = 20) -> Observations:
+    cascades = CascadeSet(5, [_attributed_cascade() for _ in range(beta)])
+    return Observations(
+        n_nodes=5, statuses=cascades.to_status_matrix(), cascades=cascades
+    )
+
+
+class TestPathInferrer:
+    def test_recovers_chain_edges(self):
+        output = Path(n_edges=3, path_length=2).infer(_observations())
+        assert output.graph.edge_set() == {(0, 1), (1, 2), (3, 4)}
+
+    def test_length_three_restricts_to_long_chains(self):
+        output = Path(n_edges=10, path_length=3).infer(_observations())
+        # Only the 0->1->2 chain is 3 long; its adjacent pairs win.
+        assert output.graph.edge_set() == {(0, 1), (1, 2)}
+
+    def test_budget_respected(self):
+        output = Path(n_edges=1, path_length=2).infer(_observations())
+        assert output.n_edges == 1
+
+    def test_scores_are_vote_counts(self):
+        output = Path(n_edges=3, path_length=2).infer(_observations(beta=7))
+        assert all(score == 7.0 for score in output.edge_scores.values())
+
+    def test_requires_cascades(self, tiny_statuses):
+        with pytest.raises(DataError):
+            Path(n_edges=1).infer(Observations.from_statuses(tiny_statuses))
+
+    def test_requires_attribution(self):
+        cascades = CascadeSet(3, [Cascade({0: 0.0, 1: 1.0})])
+        obs = Observations(
+            n_nodes=3, statuses=cascades.to_status_matrix(), cascades=cascades
+        )
+        with pytest.raises(DataError, match="attribution"):
+            Path(n_edges=1).infer(obs)
+
+    def test_simulated_observations_have_attribution(self, small_observations):
+        obs = Observations.from_simulation(small_observations)
+        output = Path(n_edges=10, path_length=2).infer(obs)
+        # Every voted edge is a true edge: paths are ground truth.
+        assert output.graph.edge_set() <= small_observations.graph.edge_set()
+
+    @pytest.mark.parametrize("bad_length", [0, 1])
+    def test_path_length_validation(self, bad_length):
+        with pytest.raises(DataError):
+            Path(n_edges=1, path_length=bad_length)

@@ -1,0 +1,77 @@
+"""Power-law degree sequence sampling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.generators.powerlaw import (
+    fit_powerlaw_exponent,
+    truncated_powerlaw_degrees,
+)
+
+
+class TestTruncatedPowerlawDegrees:
+    def test_shape_and_dtype(self):
+        degrees = truncated_powerlaw_degrees(100, 4.0, 2.0, seed=0)
+        assert degrees.shape == (100,)
+        assert degrees.dtype == np.int64
+
+    def test_mean_on_target(self):
+        degrees = truncated_powerlaw_degrees(500, 6.0, 2.0, seed=1)
+        assert abs(degrees.mean() - 6.0) < 0.51
+
+    def test_bounds_respected(self):
+        degrees = truncated_powerlaw_degrees(300, 5.0, 1.0, k_min=2, k_max=20, seed=2)
+        assert degrees.min() >= 2
+        assert degrees.max() <= 20
+
+    def test_dispersion_decreases_with_exponent(self):
+        heavy = truncated_powerlaw_degrees(2000, 4.0, 1.0, seed=3)
+        light = truncated_powerlaw_degrees(2000, 4.0, 3.0, seed=3)
+        assert heavy.std() > light.std()
+
+    def test_deterministic_for_seed(self):
+        a = truncated_powerlaw_degrees(50, 4.0, 2.0, seed=7)
+        b = truncated_powerlaw_degrees(50, 4.0, 2.0, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_infeasible_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            truncated_powerlaw_degrees(100, 0.5, 2.0, k_min=1)
+
+    def test_kmax_below_kmin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            truncated_powerlaw_degrees(100, 4.0, 2.0, k_min=5, k_max=3)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_bad_exponent_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            truncated_powerlaw_degrees(100, 4.0, bad)
+
+    def test_single_node(self):
+        degrees = truncated_powerlaw_degrees(1, 1.0, 2.0, k_max=1, seed=0)
+        assert degrees.tolist() == [1]
+
+
+class TestFitPowerlawExponent:
+    def test_orders_tail_weights(self):
+        # The estimator must rank heavier tails below lighter ones, and land
+        # in a plausible band for a shape-1.5 Pareto (density exponent 2.5).
+        rng = np.random.default_rng(0)
+        heavy = (1.0 - rng.random(20000)) ** (-1.0 / 1.0)
+        light = (1.0 - rng.random(20000)) ** (-1.0 / 2.5)
+        mid = (1.0 - rng.random(20000)) ** (-1.0 / 1.5)
+        f_heavy = fit_powerlaw_exponent(np.floor(heavy), k_min=2)
+        f_light = fit_powerlaw_exponent(np.floor(light), k_min=2)
+        f_mid = fit_powerlaw_exponent(np.floor(mid), k_min=2)
+        assert f_heavy < f_mid < f_light
+        assert 1.6 < f_mid < 3.0
+
+    def test_requires_two_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_powerlaw_exponent(np.array([3.0]))
+
+    def test_degenerate_sample(self):
+        # All values at k_min: log-sum positive but tiny -> huge exponent.
+        fitted = fit_powerlaw_exponent(np.array([1, 1, 1, 1]), k_min=1)
+        assert fitted > 2.0

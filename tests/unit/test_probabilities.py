@@ -1,0 +1,72 @@
+"""Per-edge propagation probability sampling (paper §V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.probabilities import (
+    PROBABILITY_CEIL,
+    PROBABILITY_FLOOR,
+    constant_probabilities,
+    gaussian_probabilities,
+    uniform_probabilities,
+)
+
+
+class TestGaussian:
+    def test_one_probability_per_edge(self, small_er_graph):
+        probs = gaussian_probabilities(small_er_graph, mu=0.3, seed=0)
+        assert set(probs) == small_er_graph.edge_set()
+
+    def test_clipping(self, small_er_graph):
+        probs = gaussian_probabilities(small_er_graph, mu=0.02, sigma=0.5, seed=0)
+        values = np.array(list(probs.values()))
+        assert values.min() >= PROBABILITY_FLOOR
+        assert values.max() <= PROBABILITY_CEIL
+
+    def test_paper_95_percent_band(self):
+        # sigma = 0.05 must put >95% of draws within mu +/- 0.1 (paper §V-A).
+        from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+
+        graph = erdos_renyi_digraph(60, 0.5, seed=1)
+        probs = gaussian_probabilities(graph, mu=0.3, sigma=0.05, seed=2)
+        values = np.array(list(probs.values()))
+        in_band = np.mean((values >= 0.2) & (values <= 0.4))
+        assert in_band > 0.95
+
+    def test_deterministic(self, small_er_graph):
+        a = gaussian_probabilities(small_er_graph, mu=0.3, seed=9)
+        b = gaussian_probabilities(small_er_graph, mu=0.3, seed=9)
+        assert a == b
+
+    def test_zero_sigma_is_constant(self, small_er_graph):
+        probs = gaussian_probabilities(small_er_graph, mu=0.3, sigma=0.0, seed=0)
+        assert all(p == pytest.approx(0.3) for p in probs.values())
+
+    @pytest.mark.parametrize("mu", [0.0, 1.0, -0.2])
+    def test_invalid_mu(self, small_er_graph, mu):
+        with pytest.raises(ConfigurationError):
+            gaussian_probabilities(small_er_graph, mu=mu)
+
+
+class TestConstant:
+    def test_values(self, chain_graph):
+        probs = constant_probabilities(chain_graph, 0.42)
+        assert all(p == 0.42 for p in probs.values())
+        assert len(probs) == chain_graph.n_edges
+
+    def test_invalid(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            constant_probabilities(chain_graph, 1.0)
+
+
+class TestUniform:
+    def test_bounds(self, small_er_graph):
+        probs = uniform_probabilities(small_er_graph, 0.2, 0.5, seed=0)
+        values = np.array(list(probs.values()))
+        assert values.min() >= 0.2
+        assert values.max() <= 0.5
+
+    def test_reversed_bounds_rejected(self, small_er_graph):
+        with pytest.raises(ValueError):
+            uniform_probabilities(small_er_graph, 0.5, 0.2)

@@ -1,0 +1,103 @@
+"""Public-API surface checks: exports resolve, docstrings exist.
+
+These are the contracts docs/API.md documents; a missing export or a
+public callable without a docstring is a release regression.
+"""
+
+import inspect
+
+import pytest
+
+import repro
+import repro.analysis
+import repro.baselines
+import repro.core
+import repro.evaluation
+import repro.graphs
+import repro.simulation
+
+PACKAGES = [
+    repro,
+    repro.core,
+    repro.graphs,
+    repro.simulation,
+    repro.baselines,
+    repro.evaluation,
+    repro.analysis,
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES, ids=lambda p: p.__name__)
+def test_all_exports_resolve(package):
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package.__name__}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES, ids=lambda p: p.__name__)
+def test_exports_have_docstrings(package):
+    undocumented = []
+    for name in package.__all__:
+        attr = getattr(package, name)
+        if inspect.ismodule(attr) or isinstance(attr, str):
+            continue
+        if callable(attr) and not (attr.__doc__ or "").strip():
+            undocumented.append(name)
+    assert not undocumented, f"{package.__name__}: undocumented {undocumented}"
+
+
+def test_version_is_semver_like():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_inferrers_share_interface():
+    from repro.baselines import (
+        CorrelationRanker,
+        Lift,
+        MulTree,
+        NetInf,
+        NetRate,
+        NetworkInferrer,
+        Path,
+        TendsInferrer,
+    )
+
+    instances = [
+        TendsInferrer(),
+        NetRate(),
+        MulTree(5),
+        NetInf(5),
+        Lift(5),
+        Path(5),
+        CorrelationRanker(5),
+    ]
+    names = set()
+    for inferrer in instances:
+        assert isinstance(inferrer, NetworkInferrer)
+        assert inferrer.requires <= {"statuses", "cascades", "seed_sets"}
+        assert inferrer.name
+        names.add(inferrer.name)
+    assert len(names) == len(instances)  # distinct display names
+
+
+def test_exception_hierarchy_is_exported_flat():
+    from repro import (
+        ConfigurationError,
+        ConvergenceError,
+        DataError,
+        GraphError,
+        InferenceError,
+        ReproError,
+        SimulationError,
+    )
+
+    for exc in (
+        ConfigurationError,
+        ConvergenceError,
+        DataError,
+        GraphError,
+        InferenceError,
+        SimulationError,
+    ):
+        assert issubclass(exc, ReproError)

@@ -1,0 +1,101 @@
+"""Classic random graph generators."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.generators.random_graphs import (
+    barabasi_albert_digraph,
+    core_periphery_digraph,
+    erdos_renyi_digraph,
+    random_tree_digraph,
+    watts_strogatz_digraph,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        graph = erdos_renyi_digraph(100, 0.05, seed=0)
+        expected = 0.05 * 100 * 99
+        assert 0.7 * expected < graph.n_edges < 1.3 * expected
+
+    def test_zero_probability(self):
+        assert erdos_renyi_digraph(20, 0.0, seed=0).n_edges == 0
+
+    def test_full_probability(self):
+        graph = erdos_renyi_digraph(10, 1.0, seed=0)
+        assert graph.n_edges == 90
+
+    def test_deterministic(self):
+        a = erdos_renyi_digraph(30, 0.1, seed=5)
+        b = erdos_renyi_digraph(30, 0.1, seed=5)
+        assert a.edge_set() == b.edge_set()
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_digraph(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        graph = barabasi_albert_digraph(50, 2, seed=0)
+        assert graph.n_edges == (50 - 2) * 2
+
+    def test_heavy_tailed_in_degree(self):
+        graph = barabasi_albert_digraph(300, 2, seed=1)
+        in_degrees = graph.in_degrees()
+        assert in_degrees.max() >= 5 * max(in_degrees.mean(), 1)
+
+    def test_m_attach_must_be_smaller_than_n(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_digraph(5, 5)
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_ring(self):
+        graph = watts_strogatz_digraph(10, 2, 0.0, seed=0)
+        assert graph.n_edges == 20
+        assert graph.has_edge(0, 1) and graph.has_edge(0, 2)
+
+    def test_rewiring_keeps_edge_budget_close(self):
+        graph = watts_strogatz_digraph(50, 3, 0.3, seed=1)
+        assert graph.n_edges <= 150
+        assert graph.n_edges >= 140  # a few rewires may collide and drop
+
+    def test_k_bound(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz_digraph(5, 5, 0.1)
+
+
+class TestRandomTree:
+    def test_edge_count(self):
+        tree = random_tree_digraph(30, seed=0)
+        assert tree.n_edges == 29
+
+    def test_every_non_root_has_one_parent(self):
+        tree = random_tree_digraph(30, seed=1)
+        in_degrees = tree.in_degrees()
+        assert in_degrees[0] == 0
+        assert all(d == 1 for d in in_degrees[1:])
+
+    def test_single_node(self):
+        assert random_tree_digraph(1, seed=0).n_edges == 0
+
+
+class TestCorePeriphery:
+    def test_periphery_receives_from_core(self):
+        graph = core_periphery_digraph(50, core_fraction=0.2, seed=0)
+        n_core = 10
+        for node in range(n_core, 50):
+            predecessors = graph.predecessors(node)
+            assert len(predecessors) >= 1
+            assert all(p < n_core for p in predecessors)
+
+    def test_core_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            core_periphery_digraph(10, core_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            core_periphery_digraph(10, core_fraction=1.0)
+
+    def test_all_core_rejected(self):
+        with pytest.raises(ConfigurationError):
+            core_periphery_digraph(4, core_fraction=0.99)

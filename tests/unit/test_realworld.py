@@ -1,0 +1,55 @@
+"""Real-world network surrogates: published sizes and structure."""
+
+from repro.graphs.generators.realworld import (
+    DUNF_EDGES,
+    DUNF_NODES,
+    DUNF_RECIPROCITY,
+    NETSCI_EDGES,
+    NETSCI_NODES,
+    dunf,
+    netsci,
+)
+from repro.graphs.metrics import reciprocity, summarize_graph
+
+
+class TestNetSci:
+    def test_published_sizes(self):
+        graph = netsci()
+        assert graph.n_nodes == NETSCI_NODES == 379
+        assert graph.n_edges == NETSCI_EDGES == 1602
+
+    def test_fully_reciprocal(self):
+        assert reciprocity(netsci()) == 1.0
+
+    def test_deterministic_default_seed(self):
+        assert netsci().edge_set() == netsci().edge_set()
+
+    def test_alternate_seed_changes_topology(self):
+        assert netsci(1).edge_set() != netsci(0).edge_set()
+        assert netsci(1).n_edges == NETSCI_EDGES
+
+    def test_heavy_tailed_degrees(self):
+        summary = summarize_graph(netsci())
+        assert summary.max_in_degree >= 3 * summary.avg_degree
+
+
+class TestDunf:
+    def test_published_sizes(self):
+        graph = dunf()
+        assert graph.n_nodes == DUNF_NODES == 750
+        assert graph.n_edges == DUNF_EDGES == 2974
+
+    def test_reciprocity_matches_constant(self):
+        assert abs(reciprocity(dunf()) - DUNF_RECIPROCITY) < 0.02
+
+    def test_deterministic_default_seed(self):
+        assert dunf().edge_set() == dunf().edge_set()
+
+    def test_has_one_way_edges(self):
+        graph = dunf()
+        edges = graph.edge_set()
+        one_way = [e for e in edges if (e[1], e[0]) not in edges]
+        assert len(one_way) > 0
+
+    def test_no_self_loops(self):
+        assert all(u != v for u, v in dunf().edges())

@@ -1,0 +1,89 @@
+"""ASCII table rendering."""
+
+from repro.baselines.base import TendsInferrer
+from repro.evaluation.harness import (
+    ExperimentSpec,
+    MethodSpec,
+    SweepPoint,
+    run_experiment,
+)
+from repro.evaluation.reporting import (
+    format_result_table,
+    format_rows,
+    format_series,
+    render_markdown_report,
+)
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+
+
+def _result():
+    spec = ExperimentSpec(
+        experiment_id="demo",
+        title="Demo sweep",
+        x_label="n",
+        points=(
+            SweepPoint("n=10", 10, lambda s: erdos_renyi_digraph(10, 0.2, seed=s), beta=30),
+        ),
+        methods=(MethodSpec("TENDS", lambda ctx: TendsInferrer()),),
+    )
+    return run_experiment(spec, seed=0)
+
+
+class TestFormatRows:
+    def test_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_alignment_and_floats(self):
+        text = format_rows(
+            [{"a": 1, "b": 0.123456}, {"a": 22, "b": 7.0}], float_digits=2
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "0.12" in text
+        assert len({len(line) for line in lines[:2]}) == 1  # header == separator
+
+    def test_column_selection(self):
+        text = format_rows([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_key_blank(self):
+        text = format_rows([{"a": 1}], columns=["a", "zz"])
+        assert "zz" in text
+
+
+class TestResultFormatting:
+    def test_result_table_mentions_title(self):
+        text = format_result_table(_result())
+        assert "Demo sweep" in text
+        assert "TENDS" in text
+        assert "f_score" in text
+
+    def test_series_layout(self):
+        text = format_series(_result())
+        assert text.splitlines()[0].startswith("points:")
+        assert any(line.startswith("F ") for line in text.splitlines())
+        assert any(line.startswith("t ") for line in text.splitlines())
+
+
+class TestMarkdownReport:
+    def test_contains_tables_per_experiment(self):
+        text = render_markdown_report([_result()])
+        assert text.startswith("# Experiment report")
+        assert "## demo — Demo sweep" in text
+        assert "**F-score**" in text
+        assert "**runtime (s)**" in text
+        assert "| TENDS |" in text
+
+    def test_no_shape_section_for_custom_experiments(self):
+        text = render_markdown_report([_result()])
+        assert "paper-shape claims" not in text
+
+    def test_multiple_results_stack(self):
+        text = render_markdown_report([_result(), _result()])
+        assert text.count("## demo") == 2
+
+    def test_markdown_table_well_formed(self):
+        text = render_markdown_report([_result()])
+        table_lines = [l for l in text.splitlines() if l.startswith("|")]
+        column_counts = {line.count("|") for line in table_lines}
+        assert len(column_counts) == 1  # consistent column count

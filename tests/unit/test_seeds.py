@@ -1,0 +1,77 @@
+"""Seed-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.seeds import (
+    degree_biased_seeds,
+    fixed_seeds,
+    seed_count,
+    uniform_random_seeds,
+)
+from repro.utils.rng import as_generator
+
+
+class TestSeedCount:
+    def test_ceiling(self):
+        assert seed_count(100, 0.15) == 15
+        assert seed_count(101, 0.15) == 16
+
+    def test_at_least_one(self):
+        assert seed_count(3, 0.01) == 1
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            seed_count(100, 0.0)
+
+
+class TestUniformRandomSeeds:
+    def test_count_and_distinctness(self, small_er_graph):
+        strategy = uniform_random_seeds(0.2)
+        seeds = strategy(small_er_graph, as_generator(0))
+        assert len(seeds) == 5
+        assert len(set(seeds.tolist())) == 5
+
+    def test_all_in_range(self, small_er_graph):
+        seeds = uniform_random_seeds(0.5)(small_er_graph, as_generator(1))
+        assert all(0 <= s < small_er_graph.n_nodes for s in seeds)
+
+    def test_varies_with_rng(self, small_er_graph):
+        strategy = uniform_random_seeds(0.2)
+        a = strategy(small_er_graph, as_generator(1))
+        b = strategy(small_er_graph, as_generator(2))
+        assert set(a.tolist()) != set(b.tolist())
+
+
+class TestDegreeBiasedSeeds:
+    def test_bias_towards_hubs(self, star_graph):
+        strategy = degree_biased_seeds(0.17)  # 1 seed from 6 nodes
+        hits = sum(
+            1
+            for trial in range(300)
+            if 0 in strategy(star_graph, as_generator(trial)).tolist()
+        )
+        # Hub 0 has degree 5 of 10 total; weights (degree+1)/(n+degrees).
+        assert hits > 100  # far above the uniform expectation of 50
+
+    def test_in_degree_variant(self, star_graph):
+        strategy = degree_biased_seeds(0.17, use_out_degree=False)
+        seeds = strategy(star_graph, as_generator(0))
+        assert len(seeds) == seed_count(star_graph.n_nodes, 0.17)
+
+
+class TestFixedSeeds:
+    def test_returns_same_set(self, small_er_graph):
+        strategy = fixed_seeds([3, 1, 3])
+        seeds = strategy(small_er_graph, as_generator(0))
+        assert seeds.tolist() == [1, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fixed_seeds([])
+
+    def test_out_of_range_detected_at_call(self, small_er_graph):
+        strategy = fixed_seeds([999])
+        with pytest.raises(ConfigurationError):
+            strategy(small_er_graph, as_generator(0))

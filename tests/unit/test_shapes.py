@@ -1,0 +1,174 @@
+"""Shape-claim machinery (paper-vs-measured comparison helpers)."""
+
+import pytest
+
+from repro.baselines.base import TendsInferrer
+from repro.evaluation.harness import (
+    ExperimentResult,
+    ExperimentSpec,
+    MethodResult,
+    MethodSpec,
+    SweepPoint,
+)
+from repro.evaluation.metrics import EdgeMetrics
+from repro.evaluation.shapes import (
+    FIGURE_SHAPES,
+    best_method,
+    check_figure_shapes,
+    fastest_method,
+    insensitive,
+    trend,
+)
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+
+
+def _synthetic_result(
+    experiment_id: str,
+    f_by_method: dict[str, list[float]],
+    runtime_by_method: dict[str, list[float]] | None = None,
+    values: list[float] | None = None,
+) -> ExperimentResult:
+    """Hand-build an ExperimentResult with prescribed series."""
+    n_points = len(next(iter(f_by_method.values())))
+    values = values or list(range(n_points))
+    points = tuple(
+        SweepPoint(
+            label=f"x={value}",
+            value=value,
+            graph_factory=lambda seed: erdos_renyi_digraph(5, 0.3, seed=seed),
+        )
+        for value in values
+    )
+    methods = tuple(
+        MethodSpec(name, lambda ctx: TendsInferrer()) for name in f_by_method
+    )
+    spec = ExperimentSpec(
+        experiment_id=experiment_id,
+        title="synthetic",
+        x_label="x",
+        points=points,
+        methods=methods,
+    )
+    results = []
+    for index, point in enumerate(points):
+        for name, series in f_by_method.items():
+            f = series[index]
+            tp = int(round(100 * f))
+            runtime = (
+                runtime_by_method[name][index] if runtime_by_method else 1.0
+            )
+            # EdgeMetrics with precision == recall == f.
+            metrics = EdgeMetrics(tp, 100 - tp, 100 - tp)
+            results.append(
+                MethodResult(
+                    experiment_id=experiment_id,
+                    point_label=point.label,
+                    point_value=point.value,
+                    method=name,
+                    replicate=0,
+                    metrics=metrics,
+                    runtime_seconds=runtime,
+                )
+            )
+    return ExperimentResult(spec=spec, results=tuple(results))
+
+
+class TestHelpers:
+    def test_insensitive(self):
+        assert insensitive([0.5, 0.55, 0.6], spread=0.15)
+        assert not insensitive([0.2, 0.6], spread=0.15)
+        assert insensitive([], spread=0.1)
+
+    def test_trend_direction(self):
+        assert trend([0.2, 0.3, 0.4, 0.5]) > 0
+        assert trend([0.5, 0.4, 0.3, 0.2]) < 0
+        assert trend([0.4]) == 0.0
+
+    def test_best_and_fastest(self):
+        result = _synthetic_result(
+            "custom",
+            {"A": [0.8, 0.8], "B": [0.5, 0.5]},
+            {"A": [2.0, 2.0], "B": [0.5, 0.5]},
+        )
+        assert best_method(result) == "A"
+        assert fastest_method(result) == "B"
+
+
+class TestRegistry:
+    def test_all_figures_have_claims(self):
+        assert set(FIGURE_SHAPES) == {f"fig{i}" for i in range(1, 12)}
+        assert all(len(checks) >= 2 for checks in FIGURE_SHAPES.values())
+
+    def test_unknown_experiment_has_no_claims(self):
+        result = _synthetic_result("custom", {"A": [0.5, 0.5]})
+        assert check_figure_shapes(result) == []
+
+
+class TestClaimEvaluation:
+    def test_fig1_pass_case(self):
+        result = _synthetic_result(
+            "fig1",
+            {
+                "TENDS": [0.66, 0.67, 0.66, 0.65, 0.68],
+                "NetRate": [0.75, 0.66, 0.60, 0.58, 0.55],
+                "MulTree": [0.66, 0.62, 0.60, 0.55, 0.54],
+                "LIFT": [0.11, 0.10, 0.09, 0.08, 0.07],
+            },
+            {
+                "TENDS": [0.1] * 5,
+                "NetRate": [0.3] * 5,
+                "MulTree": [1.0] * 5,
+                "LIFT": [0.01] * 5,
+            },
+        )
+        outcomes = check_figure_shapes(result)
+        assert outcomes, "fig1 must have claims"
+        assert all(outcome.passed for outcome in outcomes), [
+            o.as_row() for o in outcomes if not o.passed
+        ]
+
+    def test_fig1_fail_case_detected(self):
+        result = _synthetic_result(
+            "fig1",
+            {
+                "TENDS": [0.2, 0.3, 0.5, 0.6, 0.9],  # not insensitive, not best
+                "NetRate": [0.9, 0.9, 0.9, 0.9, 0.9],
+                "MulTree": [0.5] * 5,
+                "LIFT": [0.1] * 5,
+            },
+            {
+                "TENDS": [5.0] * 5,
+                "NetRate": [0.3] * 5,
+                "MulTree": [1.0] * 5,
+                "LIFT": [0.01] * 5,
+            },
+        )
+        outcomes = check_figure_shapes(result)
+        assert any(not outcome.passed for outcome in outcomes)
+
+    def test_fig10_peak_claim(self):
+        result = _synthetic_result(
+            "fig10",
+            {
+                "TENDS(IMI)": [0.40, 0.50, 0.57, 0.60, 0.55, 0.45],
+                "TENDS(MI)": [0.35, 0.45, 0.50, 0.52, 0.50, 0.40],
+            },
+            values=[0.4, 0.6, 0.8, 1.0, 1.5, 2.0],
+        )
+        outcomes = check_figure_shapes(result)
+        assert all(outcome.passed for outcome in outcomes), [
+            o.as_row() for o in outcomes if not o.passed
+        ]
+
+    def test_outcome_rows(self):
+        result = _synthetic_result(
+            "fig10",
+            {
+                "TENDS(IMI)": [0.5, 0.6, 0.4],
+                "TENDS(MI)": [0.4, 0.5, 0.3],
+            },
+            values=[0.6, 1.0, 2.0],
+        )
+        rows = [outcome.as_row() for outcome in check_figure_shapes(result)]
+        assert all(row["verdict"] in ("PASS", "FAIL") for row in rows)
+        assert all(row["detail"] for row in rows)

@@ -1,0 +1,101 @@
+"""Observation persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.simulation.cascades import Cascade, CascadeSet
+from repro.simulation.io import (
+    read_cascades_jsonl,
+    read_statuses_csv,
+    read_statuses_npz,
+    write_cascades_jsonl,
+    write_statuses_csv,
+    write_statuses_npz,
+)
+from repro.simulation.statuses import StatusMatrix
+
+
+class TestStatusesCsv:
+    def test_round_trip(self, tiny_statuses, tmp_path):
+        path = tmp_path / "s.csv"
+        write_statuses_csv(tiny_statuses, path)
+        assert read_statuses_csv(path) == tiny_statuses
+
+    def test_header_comment_present(self, tiny_statuses, tmp_path):
+        path = tmp_path / "s.csv"
+        write_statuses_csv(tiny_statuses, path)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("#")
+        assert "beta: 6" in first
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("# nothing\n")
+        with pytest.raises(DataError):
+            read_statuses_csv(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("0,1\n0,1,1\n")
+        with pytest.raises(DataError):
+            read_statuses_csv(path)
+
+    def test_non_integer_cell_rejected(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("0,x\n")
+        with pytest.raises(DataError):
+            read_statuses_csv(path)
+
+
+class TestStatusesNpz:
+    def test_round_trip(self, tiny_statuses, tmp_path):
+        path = tmp_path / "s.npz"
+        write_statuses_npz(tiny_statuses, path)
+        assert read_statuses_npz(path) == tiny_statuses
+
+    def test_missing_array_rejected(self, tmp_path):
+        path = tmp_path / "s.npz"
+        np.savez(path, other=np.zeros((2, 2)))
+        with pytest.raises(DataError):
+            read_statuses_npz(path)
+
+
+class TestCascadesJsonl:
+    def _cascades(self) -> CascadeSet:
+        return CascadeSet(
+            5,
+            [Cascade({0: 0.0, 1: 1.0}), Cascade({3: 0.0}), Cascade({})],
+            horizon=4.0,
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        original = self._cascades()
+        write_cascades_jsonl(original, path)
+        back = read_cascades_jsonl(path)
+        assert back.n_nodes == 5
+        assert back.horizon == 4.0
+        assert back.beta == 3
+        assert back.to_status_matrix() == original.to_status_matrix()
+        assert dict(back[0].times) == {0: 0.0, 1: 1.0}
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"format": "other"}\n')
+        with pytest.raises(DataError):
+            read_cascades_jsonl(path)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        write_cascades_jsonl(self._cascades(), path)
+        with path.open("a") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(DataError, match=":5"):
+            read_cascades_jsonl(path)
+
+    def test_missing_header_field_rejected(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"format": "repro.cascades"}\n')
+        with pytest.raises(DataError):
+            read_cascades_jsonl(path)

@@ -1,0 +1,97 @@
+"""The TENDS estimator end-to-end on small controlled inputs."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TendsConfig
+from repro.core.tends import Tends
+from repro.exceptions import DataError
+from repro.simulation.statuses import StatusMatrix
+
+
+def _two_block_statuses(beta: int = 120, seed: int = 0) -> StatusMatrix:
+    """Nodes {0,1} strongly coupled, {2,3} strongly coupled, blocks independent."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 2, beta)
+    b = np.where(rng.random(beta) < 0.08, 1 - a, a)
+    c = rng.integers(0, 2, beta)
+    d = np.where(rng.random(beta) < 0.08, 1 - c, c)
+    return StatusMatrix(np.column_stack([a, b, c, d]))
+
+
+class TestFit:
+    def test_recovers_block_structure(self):
+        result = Tends().fit(_two_block_statuses())
+        edges = result.graph.edge_set()
+        assert (0, 1) in edges and (1, 0) in edges
+        assert (2, 3) in edges and (3, 2) in edges
+        cross = {(u, v) for u, v in edges if (u < 2) != (v < 2)}
+        assert not cross
+
+    def test_accepts_raw_arrays(self):
+        raw = _two_block_statuses().values
+        result = Tends().fit(raw)
+        assert result.graph.n_nodes == 4
+
+    def test_requires_two_processes(self):
+        with pytest.raises(DataError):
+            Tends().fit(StatusMatrix(np.zeros((1, 3), dtype=int)))
+
+    def test_result_fields(self):
+        result = Tends().fit(_two_block_statuses())
+        assert result.mi_matrix.shape == (4, 4)
+        assert result.threshold >= 0.0
+        assert result.clustering is not None
+        assert len(result.parent_sets) == 4
+        assert len(result.diagnostics) == 4
+        assert set(result.stage_seconds) == {"imi", "threshold", "search"}
+
+    def test_parent_sets_match_graph(self):
+        result = Tends().fit(_two_block_statuses())
+        for child, parents in enumerate(result.parent_sets):
+            for parent in parents:
+                assert result.graph.has_edge(parent, child)
+        assert sum(len(p) for p in result.parent_sets) == result.n_edges
+
+    def test_deterministic(self):
+        statuses = _two_block_statuses()
+        a = Tends().fit(statuses)
+        b = Tends().fit(statuses)
+        assert a.graph.edge_set() == b.graph.edge_set()
+        assert a.threshold == b.threshold
+
+
+class TestConfigEffects:
+    def test_explicit_threshold_skips_clustering(self):
+        result = Tends(threshold=0.5).fit(_two_block_statuses())
+        assert result.clustering is None
+        assert result.threshold == 0.5
+
+    def test_huge_threshold_prunes_everything(self):
+        result = Tends(threshold=10.0).fit(_two_block_statuses())
+        assert result.n_edges == 0
+        assert result.candidate_counts().tolist() == [0, 0, 0, 0]
+
+    def test_threshold_scale_applied(self):
+        statuses = _two_block_statuses()
+        base = Tends().fit(statuses)
+        scaled = Tends(threshold_scale=2.0).fit(statuses)
+        assert scaled.threshold == pytest.approx(2.0 * base.threshold)
+
+    def test_traditional_mi_mode(self):
+        result = Tends(mi_kind="traditional").fit(_two_block_statuses())
+        assert result.mi_matrix.min() >= 0.0
+
+    def test_max_candidates_cap(self):
+        result = Tends(max_candidates=1).fit(_two_block_statuses())
+        assert result.candidate_counts().max() <= 1
+
+    def test_config_object_and_overrides(self):
+        config = TendsConfig(threshold_scale=0.5)
+        estimator = Tends(config, min_improvement=0.1)
+        assert estimator.config.threshold_scale == 0.5
+        assert estimator.config.min_improvement == 0.1
+
+    def test_total_evaluations_positive(self):
+        result = Tends().fit(_two_block_statuses())
+        assert result.total_evaluations() > 0

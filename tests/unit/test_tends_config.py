@@ -1,0 +1,58 @@
+"""TendsConfig validation and override mechanics."""
+
+import pytest
+
+from repro.core.config import TendsConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = TendsConfig()
+        assert config.mi_kind == "infection"
+        assert config.threshold is None
+        assert config.threshold_scale == 1.0
+        assert config.search_strategy == "greedy-rescoring"
+        assert config.max_combination_size == 1
+        assert config.max_candidates is None
+        assert config.min_improvement == 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mi_kind": "magic"},
+            {"search_strategy": "exhaustive"},
+            {"max_combination_size": 0},
+            {"threshold_scale": -1.0},
+            {"min_improvement": -0.1},
+            {"threshold": -0.5},
+            {"max_candidates": 0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TendsConfig(**kwargs)
+
+    def test_accepts_traditional_mi(self):
+        assert TendsConfig(mi_kind="traditional").mi_kind == "traditional"
+
+    def test_accepts_explicit_threshold(self):
+        assert TendsConfig(threshold=0.02).threshold == 0.02
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_instance(self):
+        base = TendsConfig()
+        changed = base.with_overrides(threshold_scale=0.5)
+        assert changed.threshold_scale == 0.5
+        assert base.threshold_scale == 1.0
+
+    def test_override_validation_applies(self):
+        with pytest.raises(ConfigurationError):
+            TendsConfig().with_overrides(mi_kind="nope")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TendsConfig().mi_kind = "traditional"  # type: ignore[misc]

@@ -1,0 +1,69 @@
+"""Stopwatch and timed() behaviour."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.elapsed
+        with watch:
+            pass
+        assert watch.elapsed >= first
+
+    def test_start_twice_rejected(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+        watch.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_running_flag(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_elapsed_non_negative(self):
+        watch = Stopwatch()
+        with watch:
+            _ = sum(range(100))
+        assert watch.elapsed >= 0.0
+
+
+class TestTimed:
+    def test_reports_elapsed(self):
+        with timed() as elapsed:
+            _ = sum(range(100))
+        assert elapsed() >= 0.0
+
+    def test_freezes_after_exit(self):
+        with timed() as elapsed:
+            pass
+        first = elapsed()
+        second = elapsed()
+        assert first == second
+
+    def test_freezes_on_exception(self):
+        with pytest.raises(ValueError):
+            with timed() as elapsed:
+                raise ValueError("boom")
+        assert elapsed() == elapsed()

@@ -1,0 +1,84 @@
+"""Argument-validation helper contracts."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("value", [0, -1, math.nan, math.inf])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    @pytest.mark.parametrize("value", [-0.001, math.nan, -math.inf])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", value)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_one(self):
+        assert check_positive_int("n", 1) == 1
+
+    def test_accepts_integer_valued_float(self):
+        assert check_positive_int("n", 5.0) == 5
+
+    @pytest.mark.parametrize("value", [0, -3, 2.5])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError, match="n"):
+            check_positive_int("n", value)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_bounds(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, math.nan])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", value)
+
+
+class TestCheckFraction:
+    def test_accepts_interior(self):
+        assert check_fraction("f", 0.3) == 0.3
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.5, 2.0, math.nan])
+    def test_rejects_boundary_and_outside(self, value):
+        with pytest.raises(ConfigurationError):
+            check_fraction("f", value)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("v", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("v", 2.0, 1.0, 2.0) == 2.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("v", 1.0, 1.0, 2.0, inclusive=False)
+        assert check_in_range("v", 1.5, 1.0, 2.0, inclusive=False) == 1.5
+
+    def test_message_names_bounds(self):
+        with pytest.raises(ConfigurationError, match=r"\[1.0, 2.0\]"):
+            check_in_range("v", 3.0, 1.0, 2.0)
