@@ -10,6 +10,7 @@ exponents wobble).
 """
 
 import math
+import os
 import time
 
 from _util import archive_result, bench_scale, bench_seed
@@ -21,14 +22,22 @@ from repro.simulation.engine import DiffusionSimulator
 from repro.utils.rng import derive_seed
 
 
-def _time_fit(n: int, beta: int, seed: int) -> float:
+def _time_fit(
+    n: int,
+    beta: int,
+    seed: int,
+    *,
+    executor: str | None = None,
+    n_jobs: int | None = None,
+) -> tuple[float, float]:
+    """Total fit seconds and stage-3 (search) seconds for one workload."""
     truth = lfr_benchmark_graph(LFRParams(n=n, avg_degree=4), seed=seed)
     observations = DiffusionSimulator(
         truth, mu=0.3, alpha=0.15, seed=derive_seed(seed, "sim")
     ).run(beta=beta)
     start = time.perf_counter()
-    Tends().fit(observations.statuses)
-    return time.perf_counter() - start
+    result = Tends(executor=executor, n_jobs=n_jobs).fit(observations.statuses)
+    return time.perf_counter() - start, result.stage_seconds["search"]
 
 
 def _slope(xs: list[float], ys: list[float]) -> float:
@@ -52,10 +61,10 @@ def _measure() -> tuple[list[dict[str, object]], float, float]:
         betas = [80, 160]
     rows: list[dict[str, object]] = []
 
-    n_times = [_time_fit(n, 150, derive_seed(seed, "n", n)) for n in node_counts]
+    n_times = [_time_fit(n, 150, derive_seed(seed, "n", n))[0] for n in node_counts]
     for n, t in zip(node_counts, n_times):
         rows.append({"sweep": "nodes", "value": n, "seconds": round(t, 3)})
-    beta_times = [_time_fit(200, b, derive_seed(seed, "b", b)) for b in betas]
+    beta_times = [_time_fit(200, b, derive_seed(seed, "b", b))[0] for b in betas]
     for b, t in zip(betas, beta_times):
         rows.append({"sweep": "beta", "value": b, "seconds": round(t, 3)})
 
@@ -63,6 +72,26 @@ def _measure() -> tuple[list[dict[str, object]], float, float]:
     beta_slope = _slope([float(b) for b in betas], beta_times)
     rows.append({"sweep": "slope(n)", "value": "-", "seconds": round(n_slope, 2)})
     rows.append({"sweep": "slope(beta)", "value": "-", "seconds": round(beta_slope, 2)})
+
+    # Stage 3 dominates every row above; measure how much the parallel
+    # executor claws back on the largest node sweep (full numbers in
+    # bench_parallel_search, which also asserts backend determinism).
+    largest = node_counts[-1]
+    jobs = min(4, os.cpu_count() or 1)
+    _, serial_search = _time_fit(largest, 150, derive_seed(seed, "n", largest))
+    _, parallel_search = _time_fit(
+        largest, 150, derive_seed(seed, "n", largest), executor="process", n_jobs=jobs
+    )
+    rows.append(
+        {"sweep": "search serial", "value": largest, "seconds": round(serial_search, 3)}
+    )
+    rows.append(
+        {
+            "sweep": f"search process x{jobs}",
+            "value": largest,
+            "seconds": round(parallel_search, 3),
+        }
+    )
     return rows, n_slope, beta_slope
 
 

@@ -56,6 +56,22 @@ __all__ = ["main", "build_parser"]
 # helpers
 # ----------------------------------------------------------------------
 
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    """Stage-3 execution backend knobs shared by ``infer`` and ``figure``."""
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="parent-search execution backend (default: REPRO_EXECUTOR or serial)",
+    )
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        help="parallel workers; -1 = all CPUs (default: REPRO_N_JOBS or 1)",
+    )
+
+
 def _read_statuses(path: Path) -> StatusMatrix:
     if path.suffix == ".npz":
         return sim_io.read_statuses_npz(path)
@@ -139,14 +155,29 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         threshold_scale=args.threshold_scale,
         search_strategy=args.search_strategy,
         max_combination_size=args.max_combination_size,
+        executor=args.executor,
+        n_jobs=args.n_jobs,
+        chunk_size=args.chunk_size,
     )
     result = estimator.fit(statuses)
     _write_graph(result.graph, args.output)
-    total = sum(result.stage_seconds.values())
+    total = sum(
+        seconds
+        for stage, seconds in result.stage_seconds.items()
+        if "/" not in stage  # per-worker entries overlap the stage totals
+    )
     print(
         f"TENDS: tau = {result.threshold:.6f}, inferred {result.n_edges} edges "
         f"from {statuses.beta} processes in {total:.2f}s; wrote {args.output}"
     )
+    if args.verbose_timing:
+        for stage, seconds in result.stage_seconds.items():
+            print(f"  {stage}: {seconds:.3f}s")
+        for stats in result.worker_stats:
+            print(
+                f"  worker {stats.worker}: {stats.n_items} nodes in "
+                f"{stats.n_chunks} chunks"
+            )
     return 0
 
 
@@ -246,9 +277,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     else:
         print("specify a figure id, --all, or --list", file=sys.stderr)
         return 2
+    from repro.core.executor import execution_env
+
     for figure_id in figure_ids:
         spec = figure_spec(figure_id, scale=args.scale)
-        result = run_experiment(spec, seed=args.seed)
+        # Every Tends the harness builds inside this block picks up the
+        # requested backend through the environment fallbacks.
+        with execution_env(executor=args.executor, n_jobs=args.n_jobs):
+            result = run_experiment(spec, seed=args.seed)
         print(format_result_table(result))
         print()
         print(format_series(result))
@@ -313,6 +349,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="greedy-rescoring",
     )
     infer.add_argument("--max-combination-size", type=int, default=1)
+    _add_executor_arguments(infer)
+    infer.add_argument("--chunk-size", type=int, default=None)
+    infer.add_argument(
+        "--verbose-timing",
+        action="store_true",
+        help="print per-stage and per-worker timing breakdowns",
+    )
     infer.add_argument("-o", "--output", type=Path, required=True)
     infer.set_defaults(func=_cmd_infer)
 
@@ -368,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--seed", type=int, default=0)
     figure.add_argument("--list", action="store_true")
     figure.add_argument("--all", action="store_true", help="run every figure")
+    _add_executor_arguments(figure)
     figure.add_argument(
         "--out", type=Path, default=None, help="archive results (JSON) here"
     )

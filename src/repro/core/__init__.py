@@ -5,6 +5,13 @@ from repro.core.edge_probabilities import (
     attributable_risk,
     estimate_edge_probabilities,
 )
+from repro.core.executor import (
+    ExecutionPlan,
+    ParallelExecutor,
+    WorkerStats,
+    execution_env,
+    split_chunks,
+)
 from repro.core.imi import (
     infection_mi_matrix,
     pointwise_mi_terms,
@@ -33,6 +40,11 @@ __all__ = [
     "TendsConfig",
     "attributable_risk",
     "estimate_edge_probabilities",
+    "ExecutionPlan",
+    "ParallelExecutor",
+    "WorkerStats",
+    "execution_env",
+    "split_chunks",
     "pointwise_mi_terms",
     "infection_mi_matrix",
     "traditional_mi_matrix",

@@ -12,6 +12,7 @@ __all__ = ["TendsConfig"]
 
 MiKind = Literal["infection", "traditional"]
 SearchStrategy = Literal["greedy-rescoring", "ranked-union"]
+ExecutorStrategy = Literal["serial", "thread", "process"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,18 @@ class TendsConfig:
     min_improvement:
         Minimum score gain required to accept a greedy extension
         (``greedy-rescoring`` only).  0 is the paper behaviour.
+    executor:
+        Stage-3 execution backend: ``"serial"`` (the reference loop),
+        ``"thread"``, or ``"process"`` (see :mod:`repro.core.executor`).
+        ``None`` (default) falls back to the ``REPRO_EXECUTOR``
+        environment variable, then to ``"serial"``.  All backends produce
+        bit-identical results; only wall-clock changes.
+    n_jobs:
+        Worker count for the parallel backends.  ``-1`` means all CPUs;
+        ``None`` (default) falls back to ``REPRO_N_JOBS``, then to 1.
+    chunk_size:
+        Nodes per parallel task.  ``None`` (default) picks a size that
+        oversubscribes each worker ~4× for load balancing.
     """
 
     mi_kind: MiKind = "infection"
@@ -58,6 +71,9 @@ class TendsConfig:
     max_combination_size: int = 1
     max_candidates: int | None = None
     min_improvement: float = 0.0
+    executor: ExecutorStrategy | None = None
+    n_jobs: int | None = None
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.mi_kind not in ("infection", "traditional"):
@@ -71,6 +87,16 @@ class TendsConfig:
             check_non_negative("threshold", self.threshold)
         if self.max_candidates is not None:
             check_positive_int("max_candidates", self.max_candidates)
+        if self.executor is not None and self.executor not in (
+            "serial",
+            "thread",
+            "process",
+        ):
+            raise ConfigurationError(f"unknown executor: {self.executor!r}")
+        if self.n_jobs is not None and self.n_jobs != -1:
+            check_positive_int("n_jobs", self.n_jobs)
+        if self.chunk_size is not None:
+            check_positive_int("chunk_size", self.chunk_size)
 
     def with_overrides(self, **changes) -> "TendsConfig":
         """Functional update helper (dataclass ``replace`` wrapper)."""

@@ -1,0 +1,369 @@
+"""Pluggable execution backends for the per-node parent searches.
+
+The TENDS score is decomposable (DESIGN.md §1), so stage 3 of
+:meth:`~repro.core.tends.Tends.fit` — one parent search per node — is
+embarrassingly parallel.  This module turns that observation into a
+backend abstraction:
+
+* :class:`ExecutionPlan` resolves the user-facing knobs (``executor``,
+  ``n_jobs``, ``chunk_size``; ``None`` falls back to the
+  ``REPRO_EXECUTOR`` / ``REPRO_N_JOBS`` environment variables, then to
+  serial) into a concrete strategy;
+* :class:`ParallelExecutor` maps a pure chunk function over an item list
+  under that plan, with three strategies:
+
+  ``serial``
+      The plain loop — zero overhead, the reference behaviour.
+  ``thread``
+      A :class:`~concurrent.futures.ThreadPoolExecutor`.  The searches
+      are numpy-heavy, so some of the work releases the GIL; threads
+      share the context for free.
+  ``process``
+      A :class:`~concurrent.futures.ProcessPoolExecutor`.  The shared
+      context (for TENDS: the :class:`~repro.core.search.ParentSearch`,
+      i.e. the status matrix plus config) is shipped **once per worker**
+      through the pool initializer, not once per task — tasks then carry
+      only their chunk of items.
+
+Determinism is structural, not incidental: items are split into
+contiguous chunks, chunk results are collected in submission order, and
+the flattened output preserves item order exactly.  Whatever the worker
+count, the merged result is identical to the serial one — the test
+suites under ``tests/unit/test_executor.py`` and
+``tests/integration/test_parallel_determinism.py`` hold the backends to
+that contract.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence, TypeVar
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ExecutionPlan",
+    "ParallelExecutor",
+    "WorkerStats",
+    "execution_env",
+    "split_chunks",
+    "EXECUTOR_STRATEGIES",
+    "ENV_EXECUTOR",
+    "ENV_N_JOBS",
+]
+
+ContextT = TypeVar("ContextT")
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: A chunk function consumes the shared context and a contiguous slice of
+#: the item list, returning one result per item, in order.
+ChunkFn = Callable[[ContextT, Sequence[ItemT]], Sequence[ResultT]]
+
+EXECUTOR_STRATEGIES = ("serial", "thread", "process")
+
+#: Environment fallbacks consulted when the config leaves the knobs unset —
+#: the same pattern as ``REPRO_BENCH_SCALE``: one variable flips every
+#: ``Tends`` instance in the process (CLI figure runs, benches, harness).
+ENV_EXECUTOR = "REPRO_EXECUTOR"
+ENV_N_JOBS = "REPRO_N_JOBS"
+
+#: Chunks per worker when ``chunk_size`` is left automatic: small enough to
+#: amortise per-task overhead, large enough to rebalance uneven nodes.
+_OVERSUBSCRIPTION = 4
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """Per-worker accounting of one parallel map.
+
+    Attributes
+    ----------
+    worker:
+        Stable label — ``"serial"``, ``"thread-3"``, ``"process-0"``.
+    n_chunks / n_items:
+        How many chunks and items this worker processed.
+    seconds:
+        Wall-clock spent inside the chunk function (excludes queueing and
+        result transport, so the sum over workers can exceed the stage
+        wall-clock when workers overlap).
+    """
+
+    worker: str
+    n_chunks: int
+    n_items: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A fully resolved execution strategy.
+
+    Attributes
+    ----------
+    strategy:
+        One of :data:`EXECUTOR_STRATEGIES`.
+    n_jobs:
+        Worker count, already resolved (``>= 1``; serial is always 1).
+    chunk_size:
+        Items per task, already resolved (``>= 1``).
+    """
+
+    strategy: str
+    n_jobs: int
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in EXECUTOR_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown executor strategy {self.strategy!r}; "
+                f"available: {EXECUTOR_STRATEGIES}"
+            )
+        if self.n_jobs < 1:
+            raise ConfigurationError(f"n_jobs must resolve to >= 1, got {self.n_jobs}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be a positive integer, got {self.chunk_size}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def resolve(
+        cls,
+        executor: str | None = None,
+        n_jobs: int | None = None,
+        chunk_size: int | None = None,
+    ) -> "ExecutionPlan":
+        """Resolve user-facing knobs into a concrete plan.
+
+        ``None`` values fall back to ``REPRO_EXECUTOR`` / ``REPRO_N_JOBS``
+        and finally to the serial single-worker default.  ``n_jobs = -1``
+        means "all available CPUs".  A serial strategy forces
+        ``n_jobs = 1``; conversely ``n_jobs = 1`` with no explicit
+        strategy stays serial rather than paying pool overhead.
+        """
+        if executor is None:
+            executor = os.environ.get(ENV_EXECUTOR) or "serial"
+        if executor not in EXECUTOR_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown executor strategy {executor!r}; "
+                f"available: {EXECUTOR_STRATEGIES}"
+            )
+        if n_jobs is None:
+            raw = os.environ.get(ENV_N_JOBS)
+            if raw:
+                try:
+                    n_jobs = int(raw)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{ENV_N_JOBS} must be an integer, got {raw!r}"
+                    ) from None
+            else:
+                n_jobs = 1
+        if n_jobs == -1:
+            n_jobs = os.cpu_count() or 1
+        if n_jobs < 1:
+            raise ConfigurationError(
+                f"n_jobs must be a positive integer or -1 (all CPUs), got {n_jobs}"
+            )
+        if executor == "serial":
+            n_jobs = 1
+        return cls(strategy=executor, n_jobs=n_jobs, chunk_size=chunk_size)
+
+    def effective_chunk_size(self, n_items: int) -> int:
+        """Items per task for an ``n_items`` workload under this plan."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if self.n_jobs <= 1:
+            return max(n_items, 1)
+        spread = self.n_jobs * _OVERSUBSCRIPTION
+        return max(1, -(-n_items // spread))
+
+
+def split_chunks(n_items: int, chunk_size: int) -> list[range]:
+    """Partition ``range(n_items)`` into contiguous chunks of
+    ``chunk_size`` (the last may be shorter).  The chunks cover every
+    index exactly once, in ascending order — the invariant the
+    determinism guarantee rests on."""
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        range(start, min(start + chunk_size, n_items))
+        for start in range(0, n_items, chunk_size)
+    ]
+
+
+@contextmanager
+def execution_env(
+    executor: str | None = None, n_jobs: int | None = None
+) -> Iterator[None]:
+    """Temporarily pin the environment fallbacks (CLI figure runs use this
+    so every ``Tends`` built inside the harness picks up the backend)."""
+    saved = {
+        name: os.environ.get(name) for name in (ENV_EXECUTOR, ENV_N_JOBS)
+    }
+    try:
+        if executor is not None:
+            os.environ[ENV_EXECUTOR] = executor
+        if n_jobs is not None:
+            os.environ[ENV_N_JOBS] = str(n_jobs)
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+# ----------------------------------------------------------------------
+# process-backend plumbing (module level so it pickles by reference)
+# ----------------------------------------------------------------------
+
+_WORKER_STATE: dict[str, object] = {}
+
+
+def _process_initializer(chunk_fn: ChunkFn, context: object) -> None:
+    """Runs once per worker process: receives the shared context a single
+    time, however many chunks the worker later executes."""
+    _WORKER_STATE["chunk_fn"] = chunk_fn
+    _WORKER_STATE["context"] = context
+
+
+def _process_chunk(items: Sequence[object]) -> tuple[list[object], int, float]:
+    chunk_fn = _WORKER_STATE["chunk_fn"]
+    context = _WORKER_STATE["context"]
+    start = time.perf_counter()
+    results = list(chunk_fn(context, items))
+    return results, os.getpid(), time.perf_counter() - start
+
+
+class ParallelExecutor:
+    """Map a chunk function over items under an :class:`ExecutionPlan`.
+
+    Parameters
+    ----------
+    plan:
+        Resolved strategy/worker-count/chunking; see
+        :meth:`ExecutionPlan.resolve`.
+
+    Examples
+    --------
+    >>> plan = ExecutionPlan.resolve("thread", n_jobs=2, chunk_size=3)
+    >>> executor = ParallelExecutor(plan)
+    >>> results, stats = executor.map(lambda ctx, chunk: [ctx * i for i in chunk],
+    ...                               10, list(range(7)))
+    >>> results
+    [0, 10, 20, 30, 40, 50, 60]
+    """
+
+    def __init__(self, plan: ExecutionPlan) -> None:
+        self.plan = plan
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        chunk_fn: ChunkFn,
+        context: ContextT,
+        items: Sequence[ItemT],
+    ) -> tuple[list[ResultT], list[WorkerStats]]:
+        """Apply ``chunk_fn(context, chunk)`` to contiguous chunks of
+        ``items`` and return ``(results, worker_stats)``.
+
+        ``results`` preserves item order exactly — position ``i`` holds the
+        result for ``items[i]`` under every strategy and worker count.
+        For the ``process`` strategy both ``chunk_fn`` and ``context``
+        must be picklable, and ``chunk_fn`` must be a module-level
+        function (it is shipped to workers by reference).
+        """
+        items = list(items)
+        if not items:
+            return [], []
+        chunk_size = self.plan.effective_chunk_size(len(items))
+        chunks = [
+            [items[i] for i in chunk] for chunk in split_chunks(len(items), chunk_size)
+        ]
+        if self.plan.strategy == "thread" and self.plan.n_jobs > 1:
+            return self._map_threads(chunk_fn, context, chunks)
+        if self.plan.strategy == "process":
+            return self._map_processes(chunk_fn, context, chunks)
+        return self._map_serial(chunk_fn, context, chunks)
+
+    # ------------------------------------------------------------------
+    # strategies
+    # ------------------------------------------------------------------
+    def _map_serial(
+        self, chunk_fn: ChunkFn, context: ContextT, chunks: list[list[ItemT]]
+    ) -> tuple[list[ResultT], list[WorkerStats]]:
+        results: list[ResultT] = []
+        start = time.perf_counter()
+        for chunk in chunks:
+            results.extend(chunk_fn(context, chunk))
+        elapsed = time.perf_counter() - start
+        stats = WorkerStats(
+            worker="serial",
+            n_chunks=len(chunks),
+            n_items=len(results),
+            seconds=elapsed,
+        )
+        return results, [stats]
+
+    def _map_threads(
+        self, chunk_fn: ChunkFn, context: ContextT, chunks: list[list[ItemT]]
+    ) -> tuple[list[ResultT], list[WorkerStats]]:
+        def timed(chunk: list[ItemT]) -> tuple[list[ResultT], str, float]:
+            import threading
+
+            start = time.perf_counter()
+            results = list(chunk_fn(context, chunk))
+            return results, threading.current_thread().name, time.perf_counter() - start
+
+        with ThreadPoolExecutor(
+            max_workers=self.plan.n_jobs, thread_name_prefix="tends"
+        ) as pool:
+            futures = [pool.submit(timed, chunk) for chunk in chunks]
+            outcomes = [future.result() for future in futures]
+        return self._merge(outcomes, label_prefix="thread")
+
+    def _map_processes(
+        self, chunk_fn: ChunkFn, context: ContextT, chunks: list[list[ItemT]]
+    ) -> tuple[list[ResultT], list[WorkerStats]]:
+        with ProcessPoolExecutor(
+            max_workers=self.plan.n_jobs,
+            initializer=_process_initializer,
+            initargs=(chunk_fn, context),
+        ) as pool:
+            futures = [pool.submit(_process_chunk, chunk) for chunk in chunks]
+            outcomes = [future.result() for future in futures]
+        return self._merge(outcomes, label_prefix="process")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge(
+        outcomes: Sequence[tuple[list[ResultT], object, float]],
+        *,
+        label_prefix: str,
+    ) -> tuple[list[ResultT], list[WorkerStats]]:
+        """Flatten chunk results (in submission order) and aggregate the
+        raw worker labels into stable ``prefix-K`` names."""
+        results: list[ResultT] = []
+        raw: dict[object, list[tuple[int, float]]] = {}
+        for chunk_results, label, seconds in outcomes:
+            results.extend(chunk_results)
+            raw.setdefault(label, []).append((len(chunk_results), seconds))
+        stats: list[WorkerStats] = []
+        for index, label in enumerate(sorted(raw, key=str)):
+            cells = raw[label]
+            stats.append(
+                WorkerStats(
+                    worker=f"{label_prefix}-{index}",
+                    n_chunks=len(cells),
+                    n_items=sum(n for n, _ in cells),
+                    seconds=sum(s for _, s in cells),
+                )
+            )
+        return results, stats

@@ -41,7 +41,12 @@ from repro.core.scoring import (
 )
 from repro.simulation.statuses import StatusMatrix
 
-__all__ = ["ParentSearch", "SearchDiagnostics", "MAX_PARENT_SET_SIZE"]
+__all__ = [
+    "ParentSearch",
+    "SearchDiagnostics",
+    "MAX_PARENT_SET_SIZE",
+    "search_chunk",
+]
 
 #: Hard cap on |F_i|.  Theorem 2's bound |F| <= log2(phi + delta) is
 #: self-satisfying once 2^|F| dwarfs beta (phi ~ 2^|F|), so on weak-signal
@@ -83,8 +88,26 @@ class SearchDiagnostics:
     bound_hits: int = 0
 
 
+def search_chunk(
+    search: "ParentSearch",
+    items: Sequence[tuple[int, Sequence[int]]],
+) -> list[tuple[list[int], SearchDiagnostics]]:
+    """Run :meth:`ParentSearch.find_parents` over a chunk of
+    ``(node, candidates)`` pairs, preserving their order.
+
+    Module-level so the process execution backend can ship it to workers
+    by reference (see :mod:`repro.core.executor`); the ``search`` context
+    travels once per worker, the chunks once per task.
+    """
+    return [search.find_parents(node, candidates) for node, candidates in items]
+
+
 class ParentSearch:
     """Search for the most probable parent set of each node.
+
+    Instances are picklable (the status matrix plus the frozen config),
+    which is what lets the process execution backend share one search
+    object per worker instead of re-serialising it per node.
 
     Parameters
     ----------

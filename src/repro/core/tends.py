@@ -26,9 +26,10 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.config import TendsConfig
+from repro.core.executor import ExecutionPlan, ParallelExecutor, WorkerStats
 from repro.core.imi import infection_mi_matrix, traditional_mi_matrix
 from repro.core.kmeans import TwoMeansResult, fixed_zero_two_means
-from repro.core.search import ParentSearch, SearchDiagnostics
+from repro.core.search import ParentSearch, SearchDiagnostics, search_chunk
 from repro.exceptions import DataError
 from repro.graphs.digraph import DiffusionGraph
 from repro.simulation.statuses import StatusMatrix
@@ -57,7 +58,13 @@ class TendsResult:
     diagnostics:
         Per-node :class:`~repro.core.search.SearchDiagnostics`.
     stage_seconds:
-        Wall-clock per pipeline stage: ``imi``, ``threshold``, ``search``.
+        Wall-clock per pipeline stage: ``imi``, ``threshold``, ``search``,
+        plus one ``search/<worker>`` entry per stage-3 worker (e.g.
+        ``search/serial``, ``search/process-0``) holding the time that
+        worker spent inside the parent searches.
+    worker_stats:
+        Per-worker :class:`~repro.core.executor.WorkerStats` for stage 3
+        (chunk and node counts per worker, for load-balance diagnosis).
     """
 
     graph: DiffusionGraph
@@ -67,6 +74,7 @@ class TendsResult:
     clustering: TwoMeansResult | None
     diagnostics: tuple[SearchDiagnostics, ...]
     stage_seconds: Mapping[str, float]
+    worker_stats: tuple[WorkerStats, ...] = ()
 
     @property
     def n_edges(self) -> int:
@@ -134,19 +142,35 @@ class Tends:
         stage_seconds["threshold"] = watch.elapsed
 
         # Stage 3: candidate pruning + per-node parent search (lines 6-21).
+        # The local score is decomposable, so the n searches are
+        # independent; the executor backend fans them out and the merge
+        # below reassembles results in node order, keeping the output
+        # bit-identical to the serial loop for every backend/worker count.
         with Stopwatch() as watch:
             search = ParentSearch(statuses, self.config)
+            items = [
+                (node, self._candidates_for(mi, node, threshold))
+                for node in range(n)
+            ]
+            plan = ExecutionPlan.resolve(
+                executor=self.config.executor,
+                n_jobs=self.config.n_jobs,
+                chunk_size=self.config.chunk_size,
+            )
+            outcomes, worker_stats = ParallelExecutor(plan).map(
+                search_chunk, search, items
+            )
             parent_sets: list[tuple[int, ...]] = []
             diagnostics: list[SearchDiagnostics] = []
             graph = DiffusionGraph(n)
-            for node in range(n):
-                candidates = self._candidates_for(mi, node, threshold)
-                parents, diag = search.find_parents(node, candidates)
+            for node, (parents, diag) in enumerate(outcomes):
                 parent_sets.append(tuple(parents))
                 diagnostics.append(diag)
                 for parent in parents:
                     graph.add_edge(parent, node)
         stage_seconds["search"] = watch.elapsed
+        for stats in worker_stats:
+            stage_seconds[f"search/{stats.worker}"] = stats.seconds
 
         return TendsResult(
             graph=graph.freeze(),
@@ -156,6 +180,7 @@ class Tends:
             clustering=clustering,
             diagnostics=tuple(diagnostics),
             stage_seconds=stage_seconds,
+            worker_stats=tuple(worker_stats),
         )
 
     # ------------------------------------------------------------------
@@ -169,6 +194,10 @@ class Tends:
         candidates = candidates[candidates != node]
         cap = self.config.max_candidates
         if cap is not None and candidates.size > cap:
-            order = np.argsort(row[candidates])[::-1]
+            # Stable sort on the negated MI: equal-MI candidates keep their
+            # ascending-index order, so the cap is deterministic across
+            # numpy versions (plain argsort[::-1] reverses tie order and
+            # the default introsort is not even stable to begin with).
+            order = np.argsort(-row[candidates], kind="stable")
             candidates = candidates[order[:cap]]
         return sorted(int(c) for c in candidates)

@@ -214,15 +214,22 @@ def default_methods(
     *,
     include: Iterable[str] = ("TENDS", "NetRate", "MulTree", "LIFT"),
     netrate_iterations: int = 60,
+    tends_overrides: Mapping[str, object] | None = None,
 ) -> tuple[MethodSpec, ...]:
     """The paper's §V-A roster (plus optional NetInf / CORR extensions).
 
     MulTree, LIFT, NetInf and CORR receive the true edge count ``m`` via
     the :class:`MethodContext`, per the paper's protocol; NetRate gets the
-    best-threshold treatment.
+    best-threshold treatment.  ``tends_overrides`` forwards
+    :class:`~repro.core.config.TendsConfig` fields to the TENDS entry —
+    e.g. ``{"executor": "process", "n_jobs": 4}`` to parallelise the
+    parent searches (figure runs additionally honour the
+    ``REPRO_EXECUTOR`` / ``REPRO_N_JOBS`` environment fallbacks even
+    without overrides; see :mod:`repro.core.executor`).
     """
+    tends_kwargs = dict(tends_overrides or {})
     registry: dict[str, MethodSpec] = {
-        "TENDS": MethodSpec("TENDS", lambda ctx: TendsInferrer()),
+        "TENDS": MethodSpec("TENDS", lambda ctx: TendsInferrer(**tends_kwargs)),
         "NetRate": MethodSpec(
             "NetRate",
             lambda ctx: NetRate(max_iterations=netrate_iterations),

@@ -189,6 +189,17 @@ class StatusMatrix:
     # ------------------------------------------------------------------
     # dunders
     # ------------------------------------------------------------------
+    def __getstate__(self) -> np.ndarray:
+        # Slots classes need explicit pickle support; the array is the
+        # whole state.  Used by the process execution backend, which ships
+        # one StatusMatrix per worker (repro.core.executor).
+        return self._data
+
+    def __setstate__(self, state: np.ndarray) -> None:
+        data = np.ascontiguousarray(state, dtype=np.uint8)
+        data.setflags(write=False)  # unpickling drops the read-only flag
+        object.__setattr__(self, "_data", data)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, StatusMatrix):
             return NotImplemented

@@ -141,6 +141,37 @@ class TestInferOptions:
         )
         assert code == 0
 
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_executor_flags_do_not_change_the_graph(
+        self, workspace, executor, capsys
+    ):
+        truth = workspace / "t.txt"
+        statuses = workspace / "s.csv"
+        serial_out = workspace / "serial.txt"
+        parallel_out = workspace / f"{executor}.txt"
+        assert main(["generate", "lfr", "--n", "40", "-o", str(truth)]) == 0
+        assert main(["simulate", str(truth), "--beta", "60", "-o", str(statuses)]) == 0
+        assert main(["infer", str(statuses), "-o", str(serial_out)]) == 0
+        code = main(
+            [
+                "infer",
+                str(statuses),
+                "--executor",
+                executor,
+                "--n-jobs",
+                "2",
+                "--chunk-size",
+                "8",
+                "--verbose-timing",
+                "-o",
+                str(parallel_out),
+            ]
+        )
+        assert code == 0
+        assert parallel_out.read_text() == serial_out.read_text()
+        out = capsys.readouterr().out
+        assert "search" in out  # verbose timing breakdown printed
+
 
 class TestReport:
     def test_report_from_archive(self, workspace, capsys):

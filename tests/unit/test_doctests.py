@@ -8,6 +8,7 @@ import doctest
 import pytest
 
 import repro
+import repro.core.executor
 import repro.core.imi
 import repro.core.kmeans
 import repro.core.scoring
@@ -20,6 +21,7 @@ import repro.utils.timing
 
 MODULES = [
     repro,
+    repro.core.executor,
     repro.core.imi,
     repro.core.kmeans,
     repro.core.scoring,

@@ -1,0 +1,175 @@
+"""The stage-3 execution backend: plans, chunking, and strategy equivalence."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.executor import (
+    ENV_EXECUTOR,
+    ENV_N_JOBS,
+    EXECUTOR_STRATEGIES,
+    ExecutionPlan,
+    ParallelExecutor,
+    WorkerStats,
+    execution_env,
+    split_chunks,
+)
+from repro.exceptions import ConfigurationError
+
+
+def _square_chunk(offset: int, items: list[int]) -> list[int]:
+    """Module-level so the process backend can pickle it by reference."""
+    return [offset + item * item for item in items]
+
+
+class TestExecutionPlan:
+    def test_defaults_are_serial(self):
+        plan = ExecutionPlan.resolve()
+        assert plan.strategy == "serial"
+        assert plan.n_jobs == 1
+
+    def test_serial_forces_single_worker(self):
+        plan = ExecutionPlan.resolve("serial", n_jobs=8)
+        assert plan.n_jobs == 1
+
+    def test_all_cpus_sentinel(self):
+        plan = ExecutionPlan.resolve("thread", n_jobs=-1)
+        assert plan.n_jobs == (os.cpu_count() or 1)
+
+    def test_env_fallbacks(self, monkeypatch):
+        monkeypatch.setenv(ENV_EXECUTOR, "thread")
+        monkeypatch.setenv(ENV_N_JOBS, "3")
+        plan = ExecutionPlan.resolve()
+        assert plan.strategy == "thread"
+        assert plan.n_jobs == 3
+
+    def test_explicit_arguments_beat_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_EXECUTOR, "process")
+        monkeypatch.setenv(ENV_N_JOBS, "8")
+        plan = ExecutionPlan.resolve("serial", n_jobs=1)
+        assert plan.strategy == "serial"
+        assert plan.n_jobs == 1
+
+    def test_malformed_env_n_jobs_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_N_JOBS, "four")
+        with pytest.raises(ConfigurationError, match="REPRO_N_JOBS"):
+            ExecutionPlan.resolve()
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPlan.resolve("gpu")
+        with pytest.raises(ConfigurationError):
+            ExecutionPlan(strategy="gpu", n_jobs=1)
+
+    def test_bad_n_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPlan.resolve("thread", n_jobs=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionPlan.resolve("thread", n_jobs=-2)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPlan(strategy="serial", n_jobs=1, chunk_size=0)
+
+    def test_effective_chunk_size_explicit(self):
+        plan = ExecutionPlan("thread", n_jobs=4, chunk_size=5)
+        assert plan.effective_chunk_size(100) == 5
+
+    def test_effective_chunk_size_auto_oversubscribes(self):
+        plan = ExecutionPlan("thread", n_jobs=4)
+        size = plan.effective_chunk_size(160)
+        assert 1 <= size <= 160
+        # ~4 chunks per worker for load balancing
+        assert -(-160 // size) >= 4
+
+    def test_effective_chunk_size_single_worker_is_one_chunk(self):
+        plan = ExecutionPlan("serial", n_jobs=1)
+        assert plan.effective_chunk_size(50) == 50
+        assert plan.effective_chunk_size(0) == 1
+
+
+class TestSplitChunks:
+    def test_exact_partition(self):
+        chunks = split_chunks(10, 3)
+        assert [list(c) for c in chunks] == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_covers_every_index_once(self):
+        for n_items in (0, 1, 7, 32):
+            for chunk_size in (1, 2, 5, 100):
+                flat = [i for chunk in split_chunks(n_items, chunk_size) for i in chunk]
+                assert flat == list(range(n_items))
+
+    def test_rejects_nonpositive_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            split_chunks(10, 0)
+
+
+class TestExecutionEnv:
+    def test_sets_and_restores(self, monkeypatch):
+        monkeypatch.delenv(ENV_EXECUTOR, raising=False)
+        monkeypatch.setenv(ENV_N_JOBS, "7")
+        with execution_env(executor="thread", n_jobs=2):
+            assert os.environ[ENV_EXECUTOR] == "thread"
+            assert os.environ[ENV_N_JOBS] == "2"
+        assert ENV_EXECUTOR not in os.environ
+        assert os.environ[ENV_N_JOBS] == "7"
+
+    def test_none_leaves_env_alone(self, monkeypatch):
+        monkeypatch.setenv(ENV_EXECUTOR, "process")
+        with execution_env():
+            assert os.environ[ENV_EXECUTOR] == "process"
+
+
+class TestParallelExecutorMap:
+    @pytest.mark.parametrize("strategy", EXECUTOR_STRATEGIES)
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_strategies_agree_with_serial(self, strategy, n_jobs):
+        items = list(range(23))
+        expected = [100 + i * i for i in items]
+        plan = ExecutionPlan.resolve(strategy, n_jobs=n_jobs, chunk_size=4)
+        results, stats = ParallelExecutor(plan).map(_square_chunk, 100, items)
+        assert results == expected
+        assert sum(s.n_items for s in stats) == len(items)
+        assert sum(s.n_chunks for s in stats) == 6
+        assert all(isinstance(s, WorkerStats) for s in stats)
+        assert all(s.seconds >= 0.0 for s in stats)
+
+    @pytest.mark.parametrize("strategy", EXECUTOR_STRATEGIES)
+    def test_empty_items(self, strategy):
+        plan = ExecutionPlan.resolve(strategy, n_jobs=2)
+        results, stats = ParallelExecutor(plan).map(_square_chunk, 0, [])
+        assert results == []
+        assert stats == []
+
+    def test_serial_worker_label(self):
+        plan = ExecutionPlan.resolve()
+        _, stats = ParallelExecutor(plan).map(_square_chunk, 0, [1, 2, 3])
+        assert [s.worker for s in stats] == ["serial"]
+
+    def test_thread_worker_labels_are_stable(self):
+        plan = ExecutionPlan.resolve("thread", n_jobs=3, chunk_size=1)
+        _, stats = ParallelExecutor(plan).map(_square_chunk, 0, list(range(9)))
+        assert all(s.worker.startswith("thread-") for s in stats)
+        assert len({s.worker for s in stats}) == len(stats)
+
+    def test_process_worker_labels_are_stable(self):
+        plan = ExecutionPlan.resolve("process", n_jobs=2, chunk_size=2)
+        _, stats = ParallelExecutor(plan).map(_square_chunk, 0, list(range(8)))
+        assert all(s.worker.startswith("process-") for s in stats)
+        assert len({s.worker for s in stats}) == len(stats)
+
+    def test_worker_exception_propagates(self):
+        def boom(context, items):
+            raise ValueError("worker failed")
+
+        plan = ExecutionPlan.resolve("thread", n_jobs=2)
+        with pytest.raises(ValueError, match="worker failed"):
+            ParallelExecutor(plan).map(boom, None, [1, 2, 3])
+
+    def test_results_preserve_order_with_uneven_chunks(self):
+        items = list(range(31))
+        plan = ExecutionPlan.resolve("thread", n_jobs=4, chunk_size=3)
+        results, _ = ParallelExecutor(plan).map(_square_chunk, 0, items)
+        assert results == [i * i for i in items]

@@ -1,0 +1,66 @@
+"""Golden regression: a frozen status matrix must reproduce its frozen graph.
+
+The fixture under ``tests/data/`` (see its README) pins the exact output
+of ``Tends().fit`` on one committed input.  Any refactor of the IMI,
+thresholding, candidate pruning, or search stages that silently changes
+the inferred topology — including tie-breaking drift across numpy
+versions — fails here first.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.tends import Tends
+from repro.graphs import io as graph_io
+from repro.simulation import io as sim_io
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+
+
+@pytest.fixture(scope="module")
+def golden_result():
+    statuses = sim_io.read_statuses_csv(DATA_DIR / "golden_statuses.csv")
+    return statuses, Tends().fit(statuses)
+
+
+def test_fixture_files_exist():
+    for name in ("golden_statuses.csv", "golden_edges.txt", "golden_threshold.txt"):
+        assert (DATA_DIR / name).is_file(), f"missing fixture {name}"
+
+
+def test_reproduces_frozen_edge_list(golden_result):
+    _, result = golden_result
+    frozen = graph_io.read_edge_list(DATA_DIR / "golden_edges.txt")
+    assert result.graph.n_nodes == frozen.n_nodes
+    assert result.graph.edge_set() == frozen.edge_set()
+
+
+def test_reproduces_frozen_threshold(golden_result):
+    _, result = golden_result
+    frozen = float((DATA_DIR / "golden_threshold.txt").read_text().strip())
+    # repr round-trip is exact; approx only cushions cross-platform libm
+    # differences in the last ulp of the MI logs.
+    assert result.threshold == pytest.approx(frozen, rel=1e-12, abs=0.0)
+
+
+def test_parent_sets_match_frozen_edges(golden_result):
+    _, result = golden_result
+    frozen = graph_io.read_edge_list(DATA_DIR / "golden_edges.txt")
+    rebuilt = {
+        (parent, child)
+        for child, parents in enumerate(result.parent_sets)
+        for parent in parents
+    }
+    assert rebuilt == frozen.edge_set()
+
+
+@pytest.mark.parametrize("executor,n_jobs", [("thread", 4), ("process", 2)])
+def test_parallel_backends_reproduce_golden(golden_result, executor, n_jobs):
+    statuses, reference = golden_result
+    result = Tends(executor=executor, n_jobs=n_jobs).fit(statuses)
+    assert result.graph.edge_set() == reference.graph.edge_set()
+    assert result.parent_sets == reference.parent_sets
+    assert result.threshold == reference.threshold

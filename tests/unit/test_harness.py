@@ -74,6 +74,30 @@ class TestDefaultMethods:
         with pytest.raises(ConfigurationError):
             default_methods(include=("Photoshop",))
 
+    def test_tends_overrides_forwarded(self):
+        from repro.graphs.digraph import DiffusionGraph
+        from repro.evaluation.harness import MethodContext
+        from repro.baselines.base import Observations
+        from repro.simulation.statuses import StatusMatrix
+
+        methods = {
+            m.name: m
+            for m in default_methods(
+                include=("TENDS",),
+                tends_overrides={"executor": "thread", "n_jobs": 2, "mi_kind": "traditional"},
+            )
+        }
+        context = MethodContext(
+            truth=DiffusionGraph(3).freeze(),
+            observations=Observations.from_statuses(
+                StatusMatrix([[0, 1, 0], [1, 0, 1]])
+            ),
+        )
+        inferrer = methods["TENDS"].factory(context)
+        assert inferrer._estimator.config.executor == "thread"
+        assert inferrer._estimator.config.n_jobs == 2
+        assert inferrer._estimator.config.mi_kind == "traditional"
+
 
 class TestRunExperiment:
     def test_result_count(self):

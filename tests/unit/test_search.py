@@ -146,3 +146,30 @@ class TestStrategyComparison:
         g_parents, _ = greedy.find_parents(0, [1, 2, 3, 4, 5])
         r_parents, _ = ranked.find_parents(0, [1, 2, 3, 4, 5])
         assert len(g_parents) <= max(len(r_parents), 1)
+
+
+class TestSearchChunk:
+    def test_matches_individual_calls_in_order(self):
+        from repro.core.search import search_chunk
+
+        statuses = _copy_noise_statuses(beta=100, seed=7)
+        search = ParentSearch(statuses, TendsConfig())
+        items = [(1, [0, 2, 3]), (0, [1, 2]), (3, [])]
+        chunked = search_chunk(search, items)
+        assert len(chunked) == len(items)
+        for (node, candidates), (parents, diag) in zip(items, chunked):
+            expected_parents, expected_diag = search.find_parents(node, candidates)
+            assert parents == expected_parents
+            assert diag.node == node
+            assert diag.n_evaluations == expected_diag.n_evaluations
+
+    def test_search_is_picklable_with_results_intact(self):
+        import pickle
+
+        statuses = _copy_noise_statuses(beta=100, seed=7)
+        search = ParentSearch(statuses, TendsConfig())
+        clone = pickle.loads(pickle.dumps(search))
+        original, _ = search.find_parents(1, [0, 2, 3])
+        restored, _ = clone.find_parents(1, [0, 2, 3])
+        assert restored == original
+        assert clone.config == search.config

@@ -170,3 +170,13 @@ class TestDunders:
 
     def test_repr(self, tiny_statuses):
         assert "beta=6" in repr(tiny_statuses)
+
+    def test_pickle_round_trip_preserves_data_and_immutability(self, tiny_statuses):
+        # The process execution backend ships StatusMatrix to workers;
+        # the copy must be equal AND keep the read-only invariant.
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(tiny_statuses))
+        assert clone == tiny_statuses
+        assert hash(clone) == hash(tiny_statuses)
+        assert not clone.values.flags.writeable

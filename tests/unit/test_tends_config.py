@@ -17,6 +17,14 @@ class TestDefaults:
         assert config.max_candidates is None
         assert config.min_improvement == 0.0
 
+    def test_executor_defaults_defer_resolution(self):
+        # None = "resolve at fit time" (env fallbacks, then serial), so a
+        # pickled config never bakes in one machine's CPU count.
+        config = TendsConfig()
+        assert config.executor is None
+        assert config.n_jobs is None
+        assert config.chunk_size is None
+
 
 class TestValidation:
     @pytest.mark.parametrize(
@@ -29,11 +37,21 @@ class TestValidation:
             {"min_improvement": -0.1},
             {"threshold": -0.5},
             {"max_candidates": 0},
+            {"executor": "gpu"},
+            {"n_jobs": 0},
+            {"n_jobs": -2},
+            {"chunk_size": 0},
         ],
     )
     def test_rejects(self, kwargs):
         with pytest.raises(ConfigurationError):
             TendsConfig(**kwargs)
+
+    def test_accepts_executor_settings(self):
+        config = TendsConfig(executor="process", n_jobs=-1, chunk_size=16)
+        assert config.executor == "process"
+        assert config.n_jobs == -1
+        assert config.chunk_size == 16
 
     def test_accepts_traditional_mi(self):
         assert TendsConfig(mi_kind="traditional").mi_kind == "traditional"
