@@ -64,6 +64,13 @@ class NetRate(NetworkInferrer):
         Rates above this become edges in the standalone :meth:`infer`
         topology (the harness sweeps thresholds instead, matching the
         paper's preferential treatment of NetRate).
+    strict:
+        When ``True``, raise :class:`~repro.exceptions.ConvergenceError`
+        if any node's EM exhausts ``max_iterations`` without the rate
+        change dropping below ``tolerance``.  ``False`` (default, the
+        historical behaviour) returns the best rates found so far — the
+        EM update is monotone, so they are still usable, just not at the
+        requested precision.
     """
 
     name = "NetRate"
@@ -75,10 +82,12 @@ class NetRate(NetworkInferrer):
         max_iterations: int = 60,
         tolerance: float = 1e-5,
         rate_threshold: float = 0.05,
+        strict: bool = False,
     ) -> None:
         self.max_iterations = check_positive_int("max_iterations", max_iterations)
         self.tolerance = check_positive("tolerance", tolerance)
         self.rate_threshold = check_non_negative("rate_threshold", rate_threshold)
+        self.strict = bool(strict)
 
     # ------------------------------------------------------------------
     def rate_matrix(self, observations: Observations) -> np.ndarray:
@@ -92,8 +101,23 @@ class NetRate(NetworkInferrer):
         finite = np.isfinite(times)
 
         rates = np.zeros((n, n))
+        unconverged: list[tuple[int, float]] = []
         for target in range(n):
-            rates[:, target] = self._solve_node(times, finite, horizon, target)
+            rates[:, target], residual = self._solve_node(
+                times, finite, horizon, target
+            )
+            if residual is not None:
+                unconverged.append((target, residual))
+        if unconverged and self.strict:
+            worst_node, worst_residual = max(unconverged, key=lambda nr: nr[1])
+            raise ConvergenceError(
+                f"NetRate EM did not converge for {len(unconverged)}/{n} nodes "
+                f"within {self.max_iterations} iterations "
+                f"(worst: node {worst_node}, residual {worst_residual:.3g} "
+                f"> tolerance {self.tolerance:.3g})",
+                iterations=self.max_iterations,
+                residual=worst_residual,
+            )
         return rates
 
     def _solve_node(
@@ -102,8 +126,12 @@ class NetRate(NetworkInferrer):
         finite: np.ndarray,
         horizon: float,
         target: int,
-    ) -> np.ndarray:
-        """EM for one target node's incoming rates."""
+    ) -> tuple[np.ndarray, float | None]:
+        """EM for one target node's incoming rates.
+
+        Returns the rate vector and the final residual when the iteration
+        budget ran out before reaching ``tolerance`` (``None`` when the
+        node converged or had nothing to solve)."""
         beta, n = times.shape
         t_target = times[:, target]
         # Effective end of exposure per cascade: infection time if infected,
@@ -123,12 +151,14 @@ class NetRate(NetworkInferrer):
         active = (g > 0) & (d_float.sum(axis=0) > 0)
         alpha = np.zeros(n)
         if not active.any():
-            return alpha
+            return alpha, None
         alpha[active] = 1.0 / max(horizon, 1.0)
 
         d_active = d_float[:, active]
         g_active = g[active]
         a = alpha[active]
+        change = 0.0
+        converged = False
         for _ in range(self.max_iterations):
             hazard = d_active @ a + _HAZARD_EPS
             responsibilities = d_active.T @ (1.0 / hazard)
@@ -136,9 +166,10 @@ class NetRate(NetworkInferrer):
             change = float(np.max(np.abs(updated - a))) if a.size else 0.0
             a = updated
             if change < self.tolerance:
+                converged = True
                 break
         alpha[active] = a
-        return alpha
+        return alpha, None if converged else change
 
     def infer(self, observations: Observations) -> InferenceOutput:
         rates = self.rate_matrix(observations)

@@ -70,6 +70,20 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="parallel workers; -1 = all CPUs (default: REPRO_N_JOBS or 1)",
     )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="executions per parallel chunk before its failure is permanent "
+        "(default: REPRO_MAX_ATTEMPTS or 3)",
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help="per-chunk wall-clock budget in seconds for the pool backends "
+        "(default: REPRO_CHUNK_TIMEOUT or unlimited)",
+    )
 
 
 def _read_statuses(path: Path) -> StatusMatrix:
@@ -158,6 +172,9 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         executor=args.executor,
         n_jobs=args.n_jobs,
         chunk_size=args.chunk_size,
+        max_attempts=args.max_attempts,
+        chunk_timeout=args.chunk_timeout,
+        audit=args.audit,
     )
     result = estimator.fit(statuses)
     _write_graph(result.graph, args.output)
@@ -278,13 +295,42 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print("specify a figure id, --all, or --list", file=sys.stderr)
         return 2
     from repro.core.executor import execution_env
+    from repro.evaluation.checkpoint import checkpoint_path_for
 
+    if (args.resume or args.retry_failed) and args.checkpoint_dir is None:
+        print("--resume/--retry-failed require --checkpoint-dir", file=sys.stderr)
+        return 2
     for figure_id in figure_ids:
         spec = figure_spec(figure_id, scale=args.scale)
+        checkpoint = resume = None
+        if args.checkpoint_dir is not None:
+            checkpoint = checkpoint_path_for(args.checkpoint_dir, spec.experiment_id)
+            if args.resume:
+                resume = checkpoint
         # Every Tends the harness builds inside this block picks up the
         # requested backend through the environment fallbacks.
-        with execution_env(executor=args.executor, n_jobs=args.n_jobs):
-            result = run_experiment(spec, seed=args.seed)
+        with execution_env(
+            executor=args.executor,
+            n_jobs=args.n_jobs,
+            max_attempts=args.max_attempts,
+            chunk_timeout=args.chunk_timeout,
+        ):
+            result = run_experiment(
+                spec,
+                seed=args.seed,
+                on_error=args.on_error,
+                method_timeout=args.method_timeout,
+                checkpoint_path=checkpoint,
+                resume_from=resume,
+                retry_failed=args.retry_failed,
+            )
+        failures = result.failures()
+        if failures:
+            print(
+                f"warning: {len(failures)} cell(s) failed "
+                f"(on_error={args.on_error})",
+                file=sys.stderr,
+            )
         print(format_result_table(result))
         print()
         print(format_series(result))
@@ -352,6 +398,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_arguments(infer)
     infer.add_argument("--chunk-size", type=int, default=None)
     infer.add_argument(
+        "--audit",
+        choices=("warn", "strict", "ignore"),
+        default="warn",
+        help="degenerate-observation policy: warn (default), strict "
+        "(refuse), or ignore",
+    )
+    infer.add_argument(
         "--verbose-timing",
         action="store_true",
         help="print per-stage and per-worker timing breakdowns",
@@ -414,6 +467,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_arguments(figure)
     figure.add_argument(
         "--out", type=Path, default=None, help="archive results (JSON) here"
+    )
+    figure.add_argument(
+        "--on-error",
+        choices=("raise", "skip", "retry"),
+        default="raise",
+        help="per-method failure boundary: raise (default, fail fast), "
+        "skip (record the failure, keep sweeping), retry (re-run, then skip)",
+    )
+    figure.add_argument(
+        "--method-timeout",
+        type=float,
+        default=None,
+        help="per-method wall-clock budget in seconds "
+        "(a timeout counts as a failure under --on-error)",
+    )
+    figure.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="journal completed cells to DIR/<figure>.checkpoint.jsonl",
+    )
+    figure.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already journaled under --checkpoint-dir",
+    )
+    figure.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="with --resume: re-run journaled cells that recorded a failure",
     )
     figure.set_defaults(func=_cmd_figure)
 

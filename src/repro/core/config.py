@@ -62,6 +62,26 @@ class TendsConfig:
     chunk_size:
         Nodes per parallel task.  ``None`` (default) picks a size that
         oversubscribes each worker ~4× for load balancing.
+    max_attempts:
+        Execution attempts per parallel chunk before its failure is
+        permanent (see :class:`repro.core.executor.RetryPolicy`).
+        ``None`` (default) falls back to ``REPRO_MAX_ATTEMPTS``, then 3.
+    chunk_timeout:
+        Per-chunk wall-clock budget in seconds for the pool backends.
+        ``None`` (default) falls back to ``REPRO_CHUNK_TIMEOUT``, then
+        unlimited.
+    executor_fallback:
+        Whether an unusable backend may fall back along
+        ``process → thread → serial`` instead of failing the fit.
+        ``None`` (default) enables the fallback.
+    audit:
+        Observation-audit policy applied at the top of :meth:`Tends.fit`:
+        ``"warn"`` (default) emits a
+        :class:`~repro.exceptions.DataQualityWarning` on degenerate
+        observations (all-zero / all-one cascades, never- or
+        always-infected nodes), ``"strict"`` raises
+        :class:`~repro.exceptions.DataError`, ``"ignore"`` skips the
+        audit.
     """
 
     mi_kind: MiKind = "infection"
@@ -74,6 +94,10 @@ class TendsConfig:
     executor: ExecutorStrategy | None = None
     n_jobs: int | None = None
     chunk_size: int | None = None
+    max_attempts: int | None = None
+    chunk_timeout: float | None = None
+    executor_fallback: bool | None = None
+    audit: Literal["warn", "strict", "ignore"] = "warn"
 
     def __post_init__(self) -> None:
         if self.mi_kind not in ("infection", "traditional"):
@@ -97,6 +121,14 @@ class TendsConfig:
             check_positive_int("n_jobs", self.n_jobs)
         if self.chunk_size is not None:
             check_positive_int("chunk_size", self.chunk_size)
+        if self.max_attempts is not None:
+            check_positive_int("max_attempts", self.max_attempts)
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ConfigurationError(
+                f"chunk_timeout must be positive, got {self.chunk_timeout}"
+            )
+        if self.audit not in ("warn", "strict", "ignore"):
+            raise ConfigurationError(f"unknown audit policy: {self.audit!r}")
 
     def with_overrides(self, **changes) -> "TendsConfig":
         """Functional update helper (dataclass ``replace`` wrapper)."""

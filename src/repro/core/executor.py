@@ -1,4 +1,4 @@
-"""Pluggable execution backends for the per-node parent searches.
+"""Pluggable, fault-tolerant execution backends for the parent searches.
 
 The TENDS score is decomposable (DESIGN.md §1), so stage 3 of
 :meth:`~repro.core.tends.Tends.fit` — one parent search per node — is
@@ -9,6 +9,8 @@ backend abstraction:
   ``n_jobs``, ``chunk_size``; ``None`` falls back to the
   ``REPRO_EXECUTOR`` / ``REPRO_N_JOBS`` environment variables, then to
   serial) into a concrete strategy;
+* :class:`RetryPolicy` resolves the recovery knobs (``max_attempts``,
+  ``backoff_seconds``, ``chunk_timeout``, ``fallback``);
 * :class:`ParallelExecutor` maps a pure chunk function over an item list
   under that plan, with three strategies:
 
@@ -25,11 +27,43 @@ backend abstraction:
       through the pool initializer, not once per task — tasks then carry
       only their chunk of items.
 
+Fault tolerance (the recovery contract)
+---------------------------------------
+A long sweep must not lose every finished chunk to one fault.  The
+executor therefore recovers from three fault classes:
+
+* **Transient chunk errors** — a chunk raising an exception is retried
+  up to ``max_attempts`` times with exponential backoff; the original
+  exception propagates only once the budget is exhausted.
+* **Dead workers** — a ``BrokenProcessPool`` (worker killed, segfaulted,
+  OOM-reaped, or unpicklable context) tears down and rebuilds the pool
+  and re-runs the unfinished chunks.  If the pool keeps breaking, the
+  executor *falls back* along ``process → thread → serial`` (disable
+  with ``fallback=False``), raising
+  :class:`~repro.exceptions.WorkerCrashError` only when the last
+  backend fails too.
+* **Hung chunks** — with ``chunk_timeout`` set, a chunk whose result
+  does not arrive in time is charged a failed attempt, the (possibly
+  hung) pool is replaced, and the chunk re-runs; exhausting the budget
+  raises :class:`~repro.exceptions.MethodTimeoutError`.  The serial
+  backend cannot preempt a running chunk, so timeouts do not apply
+  there, and a timeout never falls back to a backend that could not
+  interrupt the same hang.
+
+``KeyboardInterrupt`` / ``SystemExit`` are never swallowed: pending
+futures are cancelled, worker processes are terminated (no orphans), and
+the signal re-raises to the caller.
+
+Because recovery may run the same chunk more than once (a timed-out
+thread keeps running while its replacement starts), chunk functions must
+be **pure**: same chunk in, same results out, no side effects.
+
 Determinism is structural, not incidental: items are split into
-contiguous chunks, chunk results are collected in submission order, and
-the flattened output preserves item order exactly.  Whatever the worker
-count, the merged result is identical to the serial one — the test
-suites under ``tests/unit/test_executor.py`` and
+contiguous chunks, chunk results are keyed by chunk index whatever order
+(or attempt) they complete in, and the flattened output preserves item
+order exactly.  Whatever the worker count, backend, or fault sequence,
+the merged result is identical to the serial one — the suites under
+``tests/unit/test_executor.py``, ``tests/faults/`` and
 ``tests/integration/test_parallel_determinism.py`` hold the backends to
 that contract.
 """
@@ -38,22 +72,36 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence, TypeVar
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConfigurationError,
+    MethodTimeoutError,
+    WorkerCrashError,
+)
 
 __all__ = [
     "ExecutionPlan",
     "ParallelExecutor",
+    "RetryPolicy",
+    "RecoveryReport",
     "WorkerStats",
     "execution_env",
     "split_chunks",
     "EXECUTOR_STRATEGIES",
     "ENV_EXECUTOR",
     "ENV_N_JOBS",
+    "ENV_MAX_ATTEMPTS",
+    "ENV_CHUNK_TIMEOUT",
 ]
 
 ContextT = TypeVar("ContextT")
@@ -66,15 +114,46 @@ ChunkFn = Callable[[ContextT, Sequence[ItemT]], Sequence[ResultT]]
 
 EXECUTOR_STRATEGIES = ("serial", "thread", "process")
 
+#: Fallback chain per starting strategy: each step can absorb the fault
+#: classes of the previous one (threads survive worker-process crashes,
+#: serial survives pool construction failure).
+_FALLBACK_CHAIN = {
+    "process": ("process", "thread", "serial"),
+    "thread": ("thread", "serial"),
+    "serial": ("serial",),
+}
+
 #: Environment fallbacks consulted when the config leaves the knobs unset —
 #: the same pattern as ``REPRO_BENCH_SCALE``: one variable flips every
 #: ``Tends`` instance in the process (CLI figure runs, benches, harness).
 ENV_EXECUTOR = "REPRO_EXECUTOR"
 ENV_N_JOBS = "REPRO_N_JOBS"
+ENV_MAX_ATTEMPTS = "REPRO_MAX_ATTEMPTS"
+ENV_CHUNK_TIMEOUT = "REPRO_CHUNK_TIMEOUT"
 
 #: Chunks per worker when ``chunk_size`` is left automatic: small enough to
 #: amortise per-task overhead, large enough to rebalance uneven nodes.
 _OVERSUBSCRIPTION = 4
+
+
+def _env_float(name: str) -> float | None:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name} must be a number, got {raw!r}") from None
+
+
+def _env_int(name: str) -> int | None:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name} must be an integer, got {raw!r}") from None
 
 
 @dataclass(frozen=True)
@@ -100,6 +179,99 @@ class WorkerStats:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor recovers from chunk failures.
+
+    Attributes
+    ----------
+    max_attempts:
+        Execution attempts per chunk (and pool rebuilds per backend)
+        before the failure is considered permanent.  1 disables retries.
+    backoff_seconds:
+        Sleep before the first retry; subsequent retries multiply it by
+        ``backoff_multiplier`` (exponential backoff).
+    backoff_multiplier:
+        Growth factor of the backoff sequence.
+    timeout:
+        Per-chunk wall-clock budget in seconds (``None`` = unlimited).
+        Applies to the pool backends only; serial cannot preempt.
+    fallback:
+        Whether an unusable backend may fall back along
+        ``process → thread → serial``.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    timeout: float | None = None
+    fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_seconds < 0:
+            raise ConfigurationError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive, got {self.timeout}"
+            )
+
+    @classmethod
+    def resolve(
+        cls,
+        max_attempts: int | None = None,
+        backoff_seconds: float | None = None,
+        timeout: float | None = None,
+        fallback: bool | None = None,
+    ) -> "RetryPolicy":
+        """Resolve recovery knobs; ``None`` falls back to
+        ``REPRO_MAX_ATTEMPTS`` / ``REPRO_CHUNK_TIMEOUT`` and then to the
+        class defaults."""
+        if max_attempts is None:
+            max_attempts = _env_int(ENV_MAX_ATTEMPTS)
+        if timeout is None:
+            timeout = _env_float(ENV_CHUNK_TIMEOUT)
+        defaults = cls()
+        return cls(
+            max_attempts=defaults.max_attempts if max_attempts is None else max_attempts,
+            backoff_seconds=(
+                defaults.backoff_seconds if backoff_seconds is None else backoff_seconds
+            ),
+            timeout=timeout,
+            fallback=defaults.fallback if fallback is None else fallback,
+        )
+
+    def delay(self, failures: int) -> float:
+        """Backoff before the retry following the ``failures``-th failure."""
+        if failures < 1 or self.backoff_seconds == 0:
+            return 0.0
+        return self.backoff_seconds * self.backoff_multiplier ** (failures - 1)
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What the recovery machinery had to do during one map.
+
+    All-zero (with ``strategy`` equal to the planned one) means the run
+    was fault-free.
+    """
+
+    strategy: str  # backend that completed the work
+    retries: int = 0  # chunk re-executions (errors + timeouts)
+    timeouts: int = 0  # chunk attempts that exceeded the budget
+    pool_rebuilds: int = 0  # pools torn down and replaced
+    fallbacks: int = 0  # backend downgrades taken
+
+
+@dataclass(frozen=True)
 class ExecutionPlan:
     """A fully resolved execution strategy.
 
@@ -111,11 +283,14 @@ class ExecutionPlan:
         Worker count, already resolved (``>= 1``; serial is always 1).
     chunk_size:
         Items per task, already resolved (``>= 1``).
+    retry:
+        The :class:`RetryPolicy` governing fault recovery.
     """
 
     strategy: str
     n_jobs: int
     chunk_size: int | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.strategy not in EXECUTOR_STRATEGIES:
@@ -137,13 +312,19 @@ class ExecutionPlan:
         executor: str | None = None,
         n_jobs: int | None = None,
         chunk_size: int | None = None,
+        *,
+        max_attempts: int | None = None,
+        backoff_seconds: float | None = None,
+        chunk_timeout: float | None = None,
+        fallback: bool | None = None,
     ) -> "ExecutionPlan":
         """Resolve user-facing knobs into a concrete plan.
 
         ``None`` values fall back to ``REPRO_EXECUTOR`` / ``REPRO_N_JOBS``
-        and finally to the serial single-worker default.  ``n_jobs = -1``
-        means "all available CPUs".  A serial strategy forces
-        ``n_jobs = 1``; conversely ``n_jobs = 1`` with no explicit
+        (and ``REPRO_MAX_ATTEMPTS`` / ``REPRO_CHUNK_TIMEOUT`` for the
+        recovery knobs) and finally to the serial single-worker default.
+        ``n_jobs = -1`` means "all available CPUs".  A serial strategy
+        forces ``n_jobs = 1``; conversely ``n_jobs = 1`` with no explicit
         strategy stays serial rather than paying pool overhead.
         """
         if executor is None:
@@ -172,7 +353,15 @@ class ExecutionPlan:
             )
         if executor == "serial":
             n_jobs = 1
-        return cls(strategy=executor, n_jobs=n_jobs, chunk_size=chunk_size)
+        retry = RetryPolicy.resolve(
+            max_attempts=max_attempts,
+            backoff_seconds=backoff_seconds,
+            timeout=chunk_timeout,
+            fallback=fallback,
+        )
+        return cls(
+            strategy=executor, n_jobs=n_jobs, chunk_size=chunk_size, retry=retry
+        )
 
     def effective_chunk_size(self, n_items: int) -> int:
         """Items per task for an ``n_items`` workload under this plan."""
@@ -199,18 +388,27 @@ def split_chunks(n_items: int, chunk_size: int) -> list[range]:
 
 @contextmanager
 def execution_env(
-    executor: str | None = None, n_jobs: int | None = None
+    executor: str | None = None,
+    n_jobs: int | None = None,
+    max_attempts: int | None = None,
+    chunk_timeout: float | None = None,
 ) -> Iterator[None]:
     """Temporarily pin the environment fallbacks (CLI figure runs use this
-    so every ``Tends`` built inside the harness picks up the backend)."""
+    so every ``Tends`` built inside the harness picks up the backend and
+    recovery knobs)."""
     saved = {
-        name: os.environ.get(name) for name in (ENV_EXECUTOR, ENV_N_JOBS)
+        name: os.environ.get(name)
+        for name in (ENV_EXECUTOR, ENV_N_JOBS, ENV_MAX_ATTEMPTS, ENV_CHUNK_TIMEOUT)
     }
     try:
         if executor is not None:
             os.environ[ENV_EXECUTOR] = executor
         if n_jobs is not None:
             os.environ[ENV_N_JOBS] = str(n_jobs)
+        if max_attempts is not None:
+            os.environ[ENV_MAX_ATTEMPTS] = str(max_attempts)
+        if chunk_timeout is not None:
+            os.environ[ENV_CHUNK_TIMEOUT] = str(chunk_timeout)
         yield
     finally:
         for name, value in saved.items():
@@ -242,14 +440,26 @@ def _process_chunk(items: Sequence[object]) -> tuple[list[object], int, float]:
     return results, os.getpid(), time.perf_counter() - start
 
 
+class _BackendUnusable(Exception):
+    """Internal signal: this backend cannot make progress; fall back."""
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+
+
 class ParallelExecutor:
     """Map a chunk function over items under an :class:`ExecutionPlan`.
 
     Parameters
     ----------
     plan:
-        Resolved strategy/worker-count/chunking; see
+        Resolved strategy/worker-count/chunking/recovery; see
         :meth:`ExecutionPlan.resolve`.
+
+    After each :meth:`map`, :attr:`last_report` holds a
+    :class:`RecoveryReport` describing retries, timeouts, pool rebuilds,
+    and backend fallbacks taken during the run.
 
     Examples
     --------
@@ -263,6 +473,10 @@ class ParallelExecutor:
 
     def __init__(self, plan: ExecutionPlan) -> None:
         self.plan = plan
+        self.last_report: RecoveryReport | None = None
+        self._retries = 0
+        self._timeouts = 0
+        self._pool_rebuilds = 0
 
     # ------------------------------------------------------------------
     def map(
@@ -275,95 +489,339 @@ class ParallelExecutor:
         ``items`` and return ``(results, worker_stats)``.
 
         ``results`` preserves item order exactly — position ``i`` holds the
-        result for ``items[i]`` under every strategy and worker count.
-        For the ``process`` strategy both ``chunk_fn`` and ``context``
-        must be picklable, and ``chunk_fn`` must be a module-level
-        function (it is shipped to workers by reference).
+        result for ``items[i]`` under every strategy, worker count, and
+        fault/recovery sequence.  For the ``process`` strategy both
+        ``chunk_fn`` and ``context`` must be picklable, and ``chunk_fn``
+        must be a module-level function (it is shipped to workers by
+        reference); an unpicklable payload triggers the thread fallback.
+        Chunk functions must be pure — recovery may execute a chunk more
+        than once.
         """
         items = list(items)
+        self._retries = self._timeouts = self._pool_rebuilds = 0
         if not items:
+            self.last_report = RecoveryReport(strategy=self.plan.strategy)
             return [], []
         chunk_size = self.plan.effective_chunk_size(len(items))
         chunks = [
             [items[i] for i in chunk] for chunk in split_chunks(len(items), chunk_size)
         ]
-        if self.plan.strategy == "thread" and self.plan.n_jobs > 1:
-            return self._map_threads(chunk_fn, context, chunks)
-        if self.plan.strategy == "process":
-            return self._map_processes(chunk_fn, context, chunks)
-        return self._map_serial(chunk_fn, context, chunks)
+        if self.plan.retry.fallback:
+            chain = _FALLBACK_CHAIN[self.plan.strategy]
+        else:
+            chain = (self.plan.strategy,)
+
+        results: dict[int, list[ResultT]] = {}
+        outcomes: list[tuple[str, object, int, float]] = []
+        used_strategy = chain[0]
+        fallbacks = 0
+        for position, strategy in enumerate(chain):
+            used_strategy = strategy
+            fallbacks = position
+            pending = [i for i in range(len(chunks)) if i not in results]
+            if not pending:
+                break
+            try:
+                if strategy == "thread" and self.plan.n_jobs > 1:
+                    self._run_pool("thread", chunk_fn, context, chunks, pending,
+                                   results, outcomes)
+                elif strategy == "process":
+                    self._run_pool("process", chunk_fn, context, chunks, pending,
+                                   results, outcomes)
+                else:
+                    self._run_serial(chunk_fn, context, chunks, pending,
+                                     results, outcomes)
+                break
+            except _BackendUnusable as failure:
+                if position == len(chain) - 1:
+                    raise failure.cause from None
+                continue  # fall back to the next backend for unfinished chunks
+
+        self.last_report = RecoveryReport(
+            strategy=used_strategy,
+            retries=self._retries,
+            timeouts=self._timeouts,
+            pool_rebuilds=self._pool_rebuilds,
+            fallbacks=fallbacks,
+        )
+        merged = [value for index in range(len(chunks)) for value in results[index]]
+        return merged, self._aggregate_stats(outcomes)
 
     # ------------------------------------------------------------------
     # strategies
     # ------------------------------------------------------------------
-    def _map_serial(
-        self, chunk_fn: ChunkFn, context: ContextT, chunks: list[list[ItemT]]
-    ) -> tuple[list[ResultT], list[WorkerStats]]:
-        results: list[ResultT] = []
-        start = time.perf_counter()
-        for chunk in chunks:
-            results.extend(chunk_fn(context, chunk))
-        elapsed = time.perf_counter() - start
-        stats = WorkerStats(
-            worker="serial",
-            n_chunks=len(chunks),
-            n_items=len(results),
-            seconds=elapsed,
-        )
-        return results, [stats]
+    def _run_serial(
+        self,
+        chunk_fn: ChunkFn,
+        context: ContextT,
+        chunks: list[list[ItemT]],
+        pending: list[int],
+        results: dict[int, list[ResultT]],
+        outcomes: list[tuple[str, object, int, float]],
+    ) -> None:
+        retry = self.plan.retry
+        for index in pending:
+            failures = 0
+            while True:
+                start = time.perf_counter()
+                try:
+                    chunk_results = list(chunk_fn(context, chunks[index]))
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception:
+                    failures += 1
+                    if failures >= retry.max_attempts:
+                        raise
+                    self._retries += 1
+                    time.sleep(retry.delay(failures))
+                    continue
+                results[index] = chunk_results
+                outcomes.append(
+                    ("serial", "serial", len(chunk_results),
+                     time.perf_counter() - start)
+                )
+                break
 
-    def _map_threads(
-        self, chunk_fn: ChunkFn, context: ContextT, chunks: list[list[ItemT]]
-    ) -> tuple[list[ResultT], list[WorkerStats]]:
-        def timed(chunk: list[ItemT]) -> tuple[list[ResultT], str, float]:
+    def _new_pool(
+        self, strategy: str, chunk_fn: ChunkFn, context: ContextT
+    ):
+        try:
+            if strategy == "process":
+                return ProcessPoolExecutor(
+                    max_workers=self.plan.n_jobs,
+                    initializer=_process_initializer,
+                    initargs=(chunk_fn, context),
+                )
+            return ThreadPoolExecutor(
+                max_workers=self.plan.n_jobs, thread_name_prefix="tends"
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:  # pool construction itself failed
+            raise _BackendUnusable(
+                WorkerCrashError(
+                    f"could not start {strategy} pool: {exc}", attempts=1
+                )
+            ) from exc
+
+    @staticmethod
+    def _shutdown_pool(pool, *, kill: bool = False) -> None:
+        """Shut a pool down without leaving orphans.
+
+        ``kill=True`` is the fault path: signal shutdown first (so the
+        pool's management machinery stops feeding work), then terminate
+        the workers — they may be hung or already dead — and reap them,
+        escalating to ``SIGKILL`` for anything that ignores the first
+        signal.  The ordering matters: terminating before shutdown can
+        wedge the executor's manager thread on its queues.
+        """
+        # Snapshot before shutdown: the pool clears its bookkeeping.
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        try:
+            pool.shutdown(wait=not kill, cancel_futures=True)
+        except Exception:
+            pass
+        if kill:
+            for process in processes:
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+            for process in processes:
+                try:
+                    process.join(timeout=1.0)
+                    if process.is_alive():
+                        process.kill()
+                        process.join(timeout=1.0)
+                except Exception:
+                    pass
+
+    def _submit(self, pool, strategy: str, chunk_fn: ChunkFn,
+                context: ContextT, chunk: list[ItemT]) -> Future:
+        if strategy == "process":
+            return pool.submit(_process_chunk, chunk)
+
+        def timed(chunk: list[ItemT] = chunk) -> tuple[list[ResultT], str, float]:
             import threading
 
             start = time.perf_counter()
-            results = list(chunk_fn(context, chunk))
-            return results, threading.current_thread().name, time.perf_counter() - start
+            chunk_results = list(chunk_fn(context, chunk))
+            return (
+                chunk_results,
+                threading.current_thread().name,
+                time.perf_counter() - start,
+            )
 
-        with ThreadPoolExecutor(
-            max_workers=self.plan.n_jobs, thread_name_prefix="tends"
-        ) as pool:
-            futures = [pool.submit(timed, chunk) for chunk in chunks]
-            outcomes = [future.result() for future in futures]
-        return self._merge(outcomes, label_prefix="thread")
+        return pool.submit(timed)
 
-    def _map_processes(
-        self, chunk_fn: ChunkFn, context: ContextT, chunks: list[list[ItemT]]
-    ) -> tuple[list[ResultT], list[WorkerStats]]:
-        with ProcessPoolExecutor(
-            max_workers=self.plan.n_jobs,
-            initializer=_process_initializer,
-            initargs=(chunk_fn, context),
-        ) as pool:
-            futures = [pool.submit(_process_chunk, chunk) for chunk in chunks]
-            outcomes = [future.result() for future in futures]
-        return self._merge(outcomes, label_prefix="process")
+    def _run_pool(
+        self,
+        strategy: str,
+        chunk_fn: ChunkFn,
+        context: ContextT,
+        chunks: list[list[ItemT]],
+        pending: list[int],
+        results: dict[int, list[ResultT]],
+        outcomes: list[tuple[str, object, int, float]],
+    ) -> None:
+        """Run ``pending`` chunks on a (re)buildable pool with retries.
+
+        Results land in ``results`` keyed by chunk index, so the caller's
+        merge order never depends on completion order, attempt count, or
+        which backend finally produced each chunk.
+        """
+        retry = self.plan.retry
+        failures: dict[int, int] = {index: 0 for index in pending}
+        pool_breaks = 0
+        pool = self._new_pool(strategy, chunk_fn, context)
+        try:
+            unfinished = list(pending)
+            while unfinished:
+                submitted = [
+                    (self._submit(pool, strategy, chunk_fn, context, chunks[index]),
+                     index)
+                    for index in unfinished
+                ]
+                resubmit: list[int] = []
+                rebuild = False
+                for position, (future, index) in enumerate(submitted):
+                    if index in results:
+                        continue
+                    try:
+                        chunk_results, label, seconds = future.result(
+                            timeout=retry.timeout
+                        )
+                    except FutureTimeoutError:
+                        self._timeouts += 1
+                        failures[index] += 1
+                        if failures[index] >= retry.max_attempts:
+                            raise MethodTimeoutError(
+                                f"chunk {index} ({len(chunks[index])} items) "
+                                f"exceeded its {retry.timeout}s budget "
+                                f"{failures[index]} time(s)",
+                                timeout=retry.timeout,
+                            ) from None
+                        resubmit.append(index)
+                        rebuild = True  # a worker may be wedged on this chunk
+                        resubmit.extend(
+                            self._drain_after_fault(
+                                submitted[position + 1:], results, outcomes,
+                                strategy, failures, retry,
+                            )
+                        )
+                        break
+                    except BrokenExecutor as exc:
+                        # The whole pool is dead; every unfinished chunk is
+                        # collateral.  Rebuild and re-run them.
+                        pool_breaks += 1
+                        if pool_breaks >= retry.max_attempts:
+                            raise _BackendUnusable(
+                                WorkerCrashError(
+                                    f"{strategy} pool broke {pool_breaks} "
+                                    f"time(s); giving up on this backend "
+                                    f"({exc})",
+                                    attempts=pool_breaks,
+                                )
+                            ) from exc
+                        resubmit = [
+                            i for _, i in submitted if i not in results
+                        ]
+                        rebuild = True
+                        break
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception:
+                        failures[index] += 1
+                        if failures[index] >= retry.max_attempts:
+                            raise
+                        resubmit.append(index)
+                        continue
+                    else:
+                        results[index] = chunk_results
+                        outcomes.append(
+                            (strategy, label, len(chunk_results), seconds)
+                        )
+                if rebuild:
+                    self._shutdown_pool(pool, kill=True)
+                    self._pool_rebuilds += 1
+                    pool = self._new_pool(strategy, chunk_fn, context)
+                if resubmit:
+                    self._retries += len(resubmit)
+                    time.sleep(retry.delay(max(failures[i] for i in resubmit)
+                                           if any(failures[i] for i in resubmit)
+                                           else 1))
+                unfinished = resubmit
+        except (KeyboardInterrupt, SystemExit):
+            # Cancel what never started, kill what did, leave no orphans,
+            # and hand the signal straight back to the caller.
+            self._shutdown_pool(pool, kill=True)
+            raise
+        except BaseException:
+            self._shutdown_pool(pool, kill=True)
+            raise
+        else:
+            self._shutdown_pool(pool)
+
+    def _drain_after_fault(
+        self,
+        remaining: list[tuple[Future, int]],
+        results: dict[int, list[ResultT]],
+        outcomes: list[tuple[str, object, int, float]],
+        strategy: str,
+        failures: dict[int, int],
+        retry: RetryPolicy,
+    ) -> list[int]:
+        """After a timeout, harvest sibling futures that already finished
+        and mark the rest for re-execution on the rebuilt pool."""
+        resubmit: list[int] = []
+        for future, index in remaining:
+            if index in results:
+                continue
+            if future.done() and not future.cancelled():
+                try:
+                    chunk_results, label, seconds = future.result(timeout=0)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception:
+                    failures[index] += 1
+                    if failures[index] >= retry.max_attempts:
+                        raise
+                    resubmit.append(index)
+                else:
+                    results[index] = chunk_results
+                    outcomes.append((strategy, label, len(chunk_results), seconds))
+            else:
+                future.cancel()
+                resubmit.append(index)
+        return resubmit
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _merge(
-        outcomes: Sequence[tuple[list[ResultT], object, float]],
-        *,
-        label_prefix: str,
-    ) -> tuple[list[ResultT], list[WorkerStats]]:
-        """Flatten chunk results (in submission order) and aggregate the
-        raw worker labels into stable ``prefix-K`` names."""
-        results: list[ResultT] = []
-        raw: dict[object, list[tuple[int, float]]] = {}
-        for chunk_results, label, seconds in outcomes:
-            results.extend(chunk_results)
-            raw.setdefault(label, []).append((len(chunk_results), seconds))
+    def _aggregate_stats(
+        outcomes: Sequence[tuple[str, object, int, float]],
+    ) -> list[WorkerStats]:
+        """Aggregate per-chunk ``(strategy, raw label, n_items, seconds)``
+        records into stable ``prefix-K`` worker names (plain ``serial``
+        for the serial backend)."""
+        raw: dict[tuple[str, str], list[tuple[int, float]]] = {}
+        for prefix, label, n_items, seconds in outcomes:
+            raw.setdefault((prefix, str(label)), []).append((n_items, seconds))
         stats: list[WorkerStats] = []
-        for index, label in enumerate(sorted(raw, key=str)):
-            cells = raw[label]
+        indices: dict[str, int] = {}
+        for prefix, label in sorted(raw):
+            cells = raw[(prefix, label)]
+            if prefix == "serial":
+                name = "serial"
+            else:
+                index = indices.get(prefix, 0)
+                indices[prefix] = index + 1
+                name = f"{prefix}-{index}"
             stats.append(
                 WorkerStats(
-                    worker=f"{label_prefix}-{index}",
+                    worker=name,
                     n_chunks=len(cells),
                     n_items=sum(n for n, _ in cells),
                     seconds=sum(s for _, s in cells),
                 )
             )
-        return results, stats
+        return stats

@@ -32,7 +32,7 @@ from repro.core.kmeans import TwoMeansResult, fixed_zero_two_means
 from repro.core.search import ParentSearch, SearchDiagnostics, search_chunk
 from repro.exceptions import DataError
 from repro.graphs.digraph import DiffusionGraph
-from repro.simulation.statuses import StatusMatrix
+from repro.simulation.statuses import StatusMatrix, validate_observations
 from repro.utils.timing import Stopwatch
 
 __all__ = ["Tends", "TendsResult"]
@@ -117,6 +117,16 @@ class Tends:
             raise DataError(
                 f"TENDS needs at least 2 diffusion processes, got {statuses.beta}"
             )
+        if self.config.audit != "ignore":
+            # Degenerate observations (all-zero cascades, constant nodes)
+            # are handled gracefully downstream — the Eq. 16-17 / 24-25
+            # limits contribute their documented values — but they carry
+            # no signal, so surface them instead of silently inferring an
+            # empty neighbourhood.
+            validate_observations(
+                statuses,
+                on_degenerate="strict" if self.config.audit == "strict" else "warn",
+            )
         n = statuses.n_nodes
         stage_seconds: dict[str, float] = {}
 
@@ -156,6 +166,9 @@ class Tends:
                 executor=self.config.executor,
                 n_jobs=self.config.n_jobs,
                 chunk_size=self.config.chunk_size,
+                max_attempts=self.config.max_attempts,
+                chunk_timeout=self.config.chunk_timeout,
+                fallback=self.config.executor_fallback,
             )
             outcomes, worker_stats = ParallelExecutor(plan).map(
                 search_chunk, search, items

@@ -44,7 +44,7 @@ def result_to_json(result: ExperimentResult) -> dict:
     spec = result.spec
     return {
         "format": _FORMAT,
-        "version": 1,
+        "version": 2,
         "spec": {
             "experiment_id": spec.experiment_id,
             "title": spec.title,
@@ -73,6 +73,8 @@ def result_to_json(result: ExperimentResult) -> dict:
                 "fn": r.metrics.false_negatives,
                 "runtime_seconds": r.runtime_seconds,
                 "threshold": r.threshold,
+                "error": r.error,
+                "attempts": r.attempts,
             }
             for r in result.results
         ],
@@ -131,6 +133,9 @@ def result_from_json(document: dict) -> ExperimentResult:
                 metrics=EdgeMetrics(int(r["tp"]), int(r["fp"]), int(r["fn"])),
                 runtime_seconds=float(r["runtime_seconds"]),
                 threshold=(None if r["threshold"] is None else float(r["threshold"])),
+                # Absent in version-1 archives: every cell was a success.
+                error=r.get("error"),
+                attempts=int(r.get("attempts", 1)),
             )
             for r in document["results"]
         )

@@ -1,0 +1,212 @@
+"""Append-only sweep checkpoints: journal cells, resume after a crash.
+
+A paper-scale sweep is many ``(sweep point, method, trial)`` cells, each
+potentially minutes of work.  The harness journals every completed cell
+to a JSONL file as soon as it is measured, so a crash (or Ctrl-C)
+anywhere in the sweep loses at most the cell in flight;
+``run_experiment(..., resume_from=...)`` then skips every journaled cell
+and recomputes only the missing ones.  Because cell seeds are derived
+independently per ``(point, replicate)``, a resumed run is bit-identical
+to an uninterrupted one.
+
+Design constraints the format serves:
+
+* **append-only** — a crash mid-write corrupts at most the final line;
+  :func:`load_checkpoint` tolerates (and drops) a truncated last line,
+  while corruption anywhere *else* raises
+  :class:`~repro.exceptions.CheckpointError` (that is not a partial
+  write — the file is damaged).
+* **idempotent** — duplicate cells (e.g. a cell journaled by both a
+  crashed run and its resume) are deduplicated on load, last write wins.
+* **self-describing** — every line carries the experiment id, so loading
+  against the wrong experiment fails loudly instead of silently mixing
+  sweeps.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Union
+
+from repro.exceptions import CheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.evaluation.harness import MethodResult
+
+__all__ = [
+    "CellKey",
+    "CheckpointJournal",
+    "cell_key",
+    "checkpoint_path_for",
+    "load_checkpoint",
+    "method_result_to_json",
+    "method_result_from_json",
+]
+
+PathLike = Union[str, Path]
+
+#: Identity of one sweep cell: (point label, replicate, method name).
+CellKey = tuple[str, int, str]
+
+_FORMAT = "repro.method_result"
+
+
+def cell_key(point_label: str, replicate: int, method: str) -> CellKey:
+    """The journal key of one ``(sweep point, trial, method)`` cell."""
+    return (str(point_label), int(replicate), str(method))
+
+
+def checkpoint_path_for(directory: PathLike, experiment_id: str) -> Path:
+    """Canonical checkpoint location for one experiment under ``directory``
+    (used by ``repro figure --checkpoint-dir/--resume``)."""
+    return Path(directory) / f"{experiment_id}.checkpoint.jsonl"
+
+
+def method_result_to_json(result: "MethodResult") -> dict:
+    """Serialise one measurement to a journal line payload."""
+    return {
+        "format": _FORMAT,
+        "experiment_id": result.experiment_id,
+        "point_label": result.point_label,
+        "point_value": result.point_value,
+        "method": result.method,
+        "replicate": result.replicate,
+        "tp": result.metrics.true_positives,
+        "fp": result.metrics.false_positives,
+        "fn": result.metrics.false_negatives,
+        "runtime_seconds": result.runtime_seconds,
+        "threshold": result.threshold,
+        "error": result.error,
+        "attempts": result.attempts,
+    }
+
+
+def method_result_from_json(document: Mapping) -> "MethodResult":
+    """Rebuild a :class:`~repro.evaluation.harness.MethodResult` from a
+    journal line; raises :class:`CheckpointError` on malformed payloads."""
+    from repro.evaluation.harness import MethodResult
+    from repro.evaluation.metrics import EdgeMetrics
+
+    if document.get("format") != _FORMAT:
+        raise CheckpointError(
+            f"not a checkpoint record: format={document.get('format')!r}"
+        )
+    try:
+        threshold = document["threshold"]
+        return MethodResult(
+            experiment_id=str(document["experiment_id"]),
+            point_label=str(document["point_label"]),
+            # JSON round-trips int/float faithfully; coercing to float here
+            # would make a resumed archive differ from the original on
+            # integer sweep axes (e.g. network size).
+            point_value=document["point_value"],
+            method=str(document["method"]),
+            replicate=int(document["replicate"]),
+            metrics=EdgeMetrics(
+                int(document["tp"]), int(document["fp"]), int(document["fn"])
+            ),
+            runtime_seconds=float(document["runtime_seconds"]),
+            threshold=None if threshold is None else float(threshold),
+            error=document.get("error"),
+            attempts=int(document.get("attempts", 1)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed checkpoint record: {exc}") from exc
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed sweep cells.
+
+    Opens lazily on the first :meth:`record`, appends one JSON line per
+    measurement, and flushes to the OS after every line so a crash loses
+    at most the line being written.  Usable as a context manager.
+
+    Parameters
+    ----------
+    path:
+        Journal location; parent directories are created on first write.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._handle: io.TextIOWrapper | None = None
+
+    def record(self, result: "MethodResult") -> None:
+        """Append one measurement and flush it to disk."""
+        if self._handle is None:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            except OSError as exc:
+                raise CheckpointError(
+                    f"cannot open checkpoint {self.path}: {exc}"
+                ) from exc
+        line = json.dumps(method_result_to_json(result), separators=(",", ":"))
+        try:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot append to checkpoint {self.path}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_checkpoint(
+    path: PathLike, *, experiment_id: str | None = None
+) -> dict[CellKey, "MethodResult"]:
+    """Load a journal into ``{cell key: MethodResult}``.
+
+    A missing file is an empty checkpoint (first run).  A truncated or
+    corrupt **final** line — the partial-write signature of a crash — is
+    dropped silently; corruption on any earlier line raises
+    :class:`CheckpointError`.  Duplicate cells keep the last occurrence.
+    When ``experiment_id`` is given, a record from a different experiment
+    raises :class:`CheckpointError` instead of contaminating the resume.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        raw_lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    lines = [(i, line) for i, line in enumerate(raw_lines) if line.strip()]
+    cells: dict[CellKey, "MethodResult"] = {}
+    for position, (line_number, line) in enumerate(lines):
+        try:
+            document = json.loads(line)
+            result = method_result_from_json(document)
+        except (json.JSONDecodeError, CheckpointError) as exc:
+            if position == len(lines) - 1:
+                # Partial write of the line in flight when the run died.
+                continue
+            raise CheckpointError(
+                f"{path}:{line_number + 1}: corrupt checkpoint line "
+                f"(not a trailing partial write): {exc}"
+            ) from exc
+        if experiment_id is not None and result.experiment_id != experiment_id:
+            raise CheckpointError(
+                f"{path}:{line_number + 1}: record belongs to experiment "
+                f"{result.experiment_id!r}, expected {experiment_id!r}"
+            )
+        cells[cell_key(result.point_label, result.replicate, result.method)] = (
+            result
+        )
+    return cells

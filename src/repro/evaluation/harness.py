@@ -6,13 +6,27 @@ threshold), simulate ``β`` diffusion processes per sweep point, run every
 algorithm on the *same* observations, and report per-algorithm F-score and
 running time.  :func:`run_experiment` implements that protocol once;
 ``repro.evaluation.figures`` instantiates it per figure.
+
+Fault tolerance
+---------------
+A sweep is many ``(point, method, trial)`` cells and a single fragile
+baseline must not discard the finished ones.  Each method run therefore
+executes inside a failure boundary: ``on_error="skip"`` records the
+captured exception as a failed :class:`MethodResult` (F-score ``nan``)
+and moves on, ``"retry"`` re-runs the method up to ``method_attempts``
+times first, and ``"raise"`` (the default) preserves the historical
+fail-fast behaviour.  A ``method_timeout`` bounds each method's
+wall-clock; completed cells can be journaled to an append-only JSONL
+checkpoint and skipped on a resumed run (``checkpoint_path`` /
+``resume_from`` — see :mod:`repro.evaluation.checkpoint`).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
 
 from repro.baselines.base import (
     InferenceOutput,
@@ -25,13 +39,13 @@ from repro.baselines.lift import Lift
 from repro.baselines.multree import MulTree
 from repro.baselines.netinf import NetInf
 from repro.baselines.netrate import NetRate
-from repro.baselines.path import Path
+from repro.baselines.path import Path as PathBaseline
 from repro.evaluation.metrics import (
     EdgeMetrics,
     best_threshold_metrics,
     evaluate_edges,
 )
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, MethodTimeoutError
 from repro.graphs.digraph import DiffusionGraph
 from repro.simulation.engine import DiffusionSimulator
 from repro.utils.rng import derive_seed
@@ -46,6 +60,7 @@ __all__ = [
     "ExperimentSpec",
     "MethodResult",
     "ExperimentResult",
+    "ON_ERROR_POLICIES",
     "default_methods",
     "run_experiment",
 ]
@@ -137,7 +152,13 @@ class ExperimentSpec:
 
 @dataclass(frozen=True)
 class MethodResult:
-    """One (sweep point, method, replicate) measurement."""
+    """One (sweep point, method, replicate) measurement.
+
+    A *failed* cell (the method raised or timed out inside the harness
+    failure boundary) carries ``error`` — the captured exception message —
+    zeroed metrics, and an F-score of ``nan`` so failures can never be
+    mistaken for a legitimate 0.0.
+    """
 
     experiment_id: str
     point_label: str
@@ -147,10 +168,44 @@ class MethodResult:
     metrics: EdgeMetrics
     runtime_seconds: float
     threshold: float | None = None  # best-threshold operating point, if used
+    error: str | None = None  # captured exception when the method failed
+    attempts: int = 1  # executions inside the failure boundary
+
+    @property
+    def ok(self) -> bool:
+        """True when the method produced a real measurement."""
+        return self.error is None
 
     @property
     def f_score(self) -> float:
+        if self.error is not None:
+            return math.nan
         return self.metrics.f_score
+
+    @classmethod
+    def failed(
+        cls,
+        spec: "ExperimentSpec",
+        point: "SweepPoint",
+        replicate: int,
+        method: str,
+        exception: BaseException,
+        runtime_seconds: float,
+        attempts: int,
+    ) -> "MethodResult":
+        """Record a method crash/timeout as data instead of killing the sweep."""
+        return cls(
+            experiment_id=spec.experiment_id,
+            point_label=point.label,
+            point_value=point.value,
+            method=method,
+            replicate=replicate,
+            metrics=EdgeMetrics(0, 0, 0),
+            runtime_seconds=runtime_seconds,
+            threshold=None,
+            error=f"{type(exception).__name__}: {exception}",
+            attempts=attempts,
+        )
 
 
 @dataclass(frozen=True)
@@ -166,8 +221,18 @@ class ExperimentResult:
             seen.setdefault(r.method, None)
         return list(seen)
 
+    def failures(self) -> list[MethodResult]:
+        """Cells whose method crashed or timed out (``error`` set)."""
+        return [r for r in self.results if not r.ok]
+
     def aggregated(self) -> list[dict[str, float | str]]:
-        """One row per (point, method): mean F-score and mean runtime."""
+        """One row per (point, method): mean F-score and mean runtime.
+
+        Failed replicates are excluded from the means (their F-score is
+        ``nan`` and would poison the aggregate) but reported in the
+        ``failed`` column; a cell whose every replicate failed keeps its
+        row with ``nan`` aggregates so the failure stays visible.
+        """
         groups: dict[tuple[str, float, str], list[MethodResult]] = {}
         for r in self.results:
             groups.setdefault((r.point_label, r.point_value, r.method), []).append(r)
@@ -175,18 +240,24 @@ class ExperimentResult:
         for (label, value, method), cell in sorted(
             groups.items(), key=lambda kv: (kv[0][1], kv[0][2])
         ):
-            f_scores = [r.f_score for r in cell]
-            runtimes = [r.runtime_seconds for r in cell]
+            good = [r for r in cell if r.ok]
+            f_scores = [r.f_score for r in good]
+            runtimes = [r.runtime_seconds for r in good]
             rows.append(
                 {
                     "point": label,
                     "value": value,
                     "method": method,
-                    "f_score": sum(f_scores) / len(f_scores),
-                    "f_score_min": min(f_scores),
-                    "f_score_max": max(f_scores),
-                    "runtime_s": sum(runtimes) / len(runtimes),
+                    "f_score": (
+                        sum(f_scores) / len(f_scores) if f_scores else math.nan
+                    ),
+                    "f_score_min": min(f_scores) if f_scores else math.nan,
+                    "f_score_max": max(f_scores) if f_scores else math.nan,
+                    "runtime_s": (
+                        sum(runtimes) / len(runtimes) if runtimes else math.nan
+                    ),
                     "replicates": len(cell),
+                    "failed": len(cell) - len(good),
                 }
             )
         return rows
@@ -243,7 +314,7 @@ def default_methods(
         "CORR": MethodSpec(
             "CORR", lambda ctx: CorrelationRanker(ctx.true_edge_count)
         ),
-        "PATH": MethodSpec("PATH", lambda ctx: Path(ctx.true_edge_count)),
+        "PATH": MethodSpec("PATH", lambda ctx: PathBaseline(ctx.true_edge_count)),
     }
     chosen: list[MethodSpec] = []
     for name in include:
@@ -259,42 +330,178 @@ def default_methods(
 # runner
 # ----------------------------------------------------------------------
 
+ON_ERROR_POLICIES = ("raise", "skip", "retry")
+
+
 def run_experiment(
     spec: ExperimentSpec,
     *,
     seed: int = 0,
     progress: Callable[[str], None] | None = None,
+    on_error: str = "raise",
+    method_attempts: int = 2,
+    method_timeout: float | None = None,
+    checkpoint_path: "str | Path | None" = None,
+    resume_from: "str | Path | None" = None,
+    retry_failed: bool = False,
 ) -> ExperimentResult:
     """Execute an experiment spec and collect every measurement.
 
     Seeding is deterministic: each (point, replicate) derives its own seed
     from ``seed`` and the point label, so adding methods or reordering
-    points never changes the simulated data.
+    points never changes the simulated data — and a resumed run is
+    bit-identical to an uninterrupted one.
+
+    Parameters
+    ----------
+    spec / seed / progress:
+        As before: the sweep definition, master seed, and an optional
+        progress callback.
+    on_error:
+        Failure boundary around each method run.  ``"raise"`` (default)
+        propagates the first method exception — the historical fail-fast
+        behaviour.  ``"skip"`` records the captured exception as a failed
+        :class:`MethodResult` (F-score ``nan``) and continues the sweep.
+        ``"retry"`` re-runs the failing method up to ``method_attempts``
+        times, then records the failure like ``"skip"``.
+    method_attempts:
+        Executions per method under ``on_error="retry"`` (>= 1).
+    method_timeout:
+        Per-method wall-clock budget in seconds.  A method exceeding it is
+        treated as having raised
+        :class:`~repro.exceptions.MethodTimeoutError` (so ``on_error``
+        decides what happens).  The method runs on a worker thread when a
+        timeout is set; a timed-out method cannot be preempted, only
+        abandoned — its thread finishes in the background.
+    checkpoint_path:
+        Journal every completed cell to this append-only JSONL file (see
+        :mod:`repro.evaluation.checkpoint`).  May equal ``resume_from``.
+    resume_from:
+        Load this checkpoint and skip every journaled cell; sweep points
+        whose cells are all journaled are not even re-simulated.
+    retry_failed:
+        When resuming, re-run journaled cells that recorded a failure
+        instead of carrying the failure over.
     """
+    if on_error not in ON_ERROR_POLICIES:
+        raise ConfigurationError(
+            f"unknown on_error policy {on_error!r}; available: {ON_ERROR_POLICIES}"
+        )
+    check_positive_int("method_attempts", method_attempts)
+    if method_timeout is not None and method_timeout <= 0:
+        raise ConfigurationError(
+            f"method_timeout must be positive, got {method_timeout}"
+        )
+
+    from repro.evaluation.checkpoint import CheckpointJournal, cell_key, load_checkpoint
+
+    completed: dict[tuple[str, int, str], MethodResult] = {}
+    if resume_from is not None:
+        completed = load_checkpoint(resume_from, experiment_id=spec.experiment_id)
+        if retry_failed:
+            completed = {key: r for key, r in completed.items() if r.ok}
+
+    journal = CheckpointJournal(checkpoint_path) if checkpoint_path is not None else None
     results: list[MethodResult] = []
-    for point in spec.points:
-        for replicate in range(spec.replicates):
-            cell_seed = derive_seed(seed, spec.experiment_id, point.label, replicate)
-            truth = point.graph_factory(cell_seed)
-            simulator = DiffusionSimulator(
-                truth,
-                mu=point.mu,
-                alpha=point.alpha,
-                seed=derive_seed(cell_seed, "simulation"),
-            )
-            observations = Observations.from_simulation(simulator.run(point.beta))
-            context = MethodContext(
-                truth=truth, observations=observations, point=point
-            )
-            for method in spec.methods:
-                if progress is not None:
-                    progress(
-                        f"[{spec.experiment_id}] {point.label} rep={replicate} {method.name}"
+    try:
+        for point in spec.points:
+            for replicate in range(spec.replicates):
+                missing = [
+                    method
+                    for method in spec.methods
+                    if cell_key(point.label, replicate, method.name) not in completed
+                ]
+                if not missing:
+                    # Every cell of this (point, replicate) is journaled:
+                    # skip the simulation entirely.  Cell seeds are derived
+                    # independently, so other cells are unaffected.
+                    results.extend(
+                        completed[cell_key(point.label, replicate, m.name)]
+                        for m in spec.methods
                     )
-                results.append(
-                    _run_method(spec, point, replicate, method, context)
+                    continue
+                cell_seed = derive_seed(
+                    seed, spec.experiment_id, point.label, replicate
                 )
+                truth = point.graph_factory(cell_seed)
+                simulator = DiffusionSimulator(
+                    truth,
+                    mu=point.mu,
+                    alpha=point.alpha,
+                    seed=derive_seed(cell_seed, "simulation"),
+                )
+                observations = Observations.from_simulation(simulator.run(point.beta))
+                context = MethodContext(
+                    truth=truth, observations=observations, point=point
+                )
+                for method in spec.methods:
+                    key = cell_key(point.label, replicate, method.name)
+                    if key in completed:
+                        results.append(completed[key])
+                        continue
+                    if progress is not None:
+                        progress(
+                            f"[{spec.experiment_id}] {point.label} "
+                            f"rep={replicate} {method.name}"
+                        )
+                    result = _run_method_guarded(
+                        spec,
+                        point,
+                        replicate,
+                        method,
+                        context,
+                        on_error=on_error,
+                        method_attempts=method_attempts,
+                        method_timeout=method_timeout,
+                    )
+                    results.append(result)
+                    if journal is not None:
+                        journal.record(result)
+    finally:
+        if journal is not None:
+            journal.close()
     return ExperimentResult(spec=spec, results=tuple(results))
+
+
+def _run_method_guarded(
+    spec: ExperimentSpec,
+    point: SweepPoint,
+    replicate: int,
+    method: MethodSpec,
+    context: MethodContext,
+    *,
+    on_error: str,
+    method_attempts: int,
+    method_timeout: float | None,
+) -> MethodResult:
+    """The failure boundary: one method run, isolated from the sweep.
+
+    ``KeyboardInterrupt``/``SystemExit`` always propagate — a Ctrl-C must
+    stop the sweep (the checkpoint preserves finished cells), never be
+    recorded as a method failure.
+    """
+    attempts = 1 if on_error != "retry" else method_attempts
+    last_error: BaseException | None = None
+    with Stopwatch() as watch:
+        for attempt in range(1, attempts + 1):
+            try:
+                return replace(
+                    _run_method(
+                        spec, point, replicate, method, context,
+                        timeout=method_timeout,
+                    ),
+                    attempts=attempt,
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                last_error = exc
+                if on_error == "raise":
+                    raise
+    assert last_error is not None
+    return MethodResult.failed(
+        spec, point, replicate, method.name, last_error, watch.elapsed, attempts
+    )
 
 
 def _run_method(
@@ -303,10 +510,12 @@ def _run_method(
     replicate: int,
     method: MethodSpec,
     context: MethodContext,
+    *,
+    timeout: float | None = None,
 ) -> MethodResult:
     inferrer = method.factory(context)
     with Stopwatch() as watch:
-        output = inferrer.infer(context.observations)
+        output = _infer_with_timeout(inferrer, context.observations, timeout)
     threshold: float | None = None
     if method.best_threshold and output.edge_scores:
         metrics, threshold = best_threshold_metrics(context.truth, output.edge_scores)
@@ -322,3 +531,35 @@ def _run_method(
         runtime_seconds=watch.elapsed,
         threshold=threshold,
     )
+
+
+def _infer_with_timeout(
+    inferrer: NetworkInferrer, observations: Observations, timeout: float | None
+) -> InferenceOutput:
+    """Run ``inferrer.infer`` with an optional wall-clock budget.
+
+    Without a timeout the call runs inline (zero overhead, the historical
+    code path).  With one, it runs on a single worker thread and a missed
+    deadline raises :class:`~repro.exceptions.MethodTimeoutError`; the
+    abandoned thread finishes in the background (Python cannot kill it),
+    so method factories should produce side-effect-free inferrers.
+    """
+    if timeout is None:
+        return inferrer.infer(observations)
+    from concurrent.futures import ThreadPoolExecutor
+    from concurrent.futures import TimeoutError as FutureTimeoutError
+
+    pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix="method")
+    try:
+        future = pool.submit(inferrer.infer, observations)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise MethodTimeoutError(
+                f"{type(inferrer).__name__}.infer exceeded its "
+                f"{timeout}s budget",
+                timeout=timeout,
+            ) from None
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

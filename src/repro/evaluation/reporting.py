@@ -50,17 +50,30 @@ def format_rows(
 
 
 def format_result_table(result: ExperimentResult) -> str:
-    """Full report for one experiment: title plus aggregated rows."""
+    """Full report for one experiment: title plus aggregated rows.
+
+    The ``failed`` column appears only when some cell actually failed, so
+    clean runs render exactly as before; a trailing note lists the failed
+    cells with their captured errors."""
     spec = result.spec
+    failures = result.failures()
+    columns = ["point", "method", "f_score", "runtime_s", "replicates"]
+    if failures:
+        columns.append("failed")
     lines = [
         f"{spec.experiment_id}: {spec.title}",
         f"x-axis: {spec.x_label}; replicates: {spec.replicates}",
         "",
-        format_rows(
-            result.aggregated(),
-            columns=["point", "method", "f_score", "runtime_s", "replicates"],
-        ),
+        format_rows(result.aggregated(), columns=columns),
     ]
+    if failures:
+        lines.append("")
+        lines.append(f"failed cells ({len(failures)}):")
+        for r in failures:
+            lines.append(
+                f"  {r.point_label} rep={r.replicate} {r.method} "
+                f"[attempts={r.attempts}]: {r.error}"
+            )
     return "\n".join(lines)
 
 

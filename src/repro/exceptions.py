@@ -17,6 +17,11 @@ __all__ = [
     "SimulationError",
     "InferenceError",
     "ConvergenceError",
+    "ExecutionError",
+    "WorkerCrashError",
+    "MethodTimeoutError",
+    "CheckpointError",
+    "DataQualityWarning",
 ]
 
 
@@ -65,3 +70,59 @@ class ConvergenceError(InferenceError):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A parallel execution backend could not complete the requested work.
+
+    Base class for the fault-tolerance layer: raised only after the
+    executor's recovery machinery (retries, backend fallback) is
+    exhausted, so catching it means the work genuinely could not be done.
+    """
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died (killed, segfaulted, or OOM-reaped) and the
+    crash persisted through every retry and fallback backend.
+
+    Attributes
+    ----------
+    attempts:
+        Number of execution attempts made before giving up.
+    """
+
+    def __init__(self, message: str, *, attempts: int | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class MethodTimeoutError(ExecutionError, TimeoutError):
+    """A unit of work — an executor chunk or a harness method run —
+    exceeded its wall-clock budget.
+
+    Also a :class:`TimeoutError` so generic timeout handling
+    (``except TimeoutError``) keeps working.
+
+    Attributes
+    ----------
+    timeout:
+        The budget, in seconds, that was exceeded.
+    """
+
+    def __init__(self, message: str, *, timeout: float | None = None) -> None:
+        super().__init__(message)
+        self.timeout = timeout
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A sweep checkpoint journal is unreadable or internally inconsistent
+    beyond the tolerated partial-write truncation of its final line."""
+
+
+class DataQualityWarning(UserWarning):
+    """Observed data is usable but degenerate (all-zero / all-one cascades,
+    never- or always-infected nodes); results may carry little signal.
+
+    Emitted by :func:`repro.simulation.statuses.validate_observations` and
+    by :meth:`repro.core.tends.Tends.fit` when auditing is enabled.
+    """

@@ -9,13 +9,123 @@ helpers the scoring and IMI code build on.
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.exceptions import DataError
+from repro.exceptions import DataError, DataQualityWarning
 
-__all__ = ["StatusMatrix"]
+__all__ = ["StatusMatrix", "StatusAudit", "validate_observations"]
+
+
+@dataclass(frozen=True)
+class StatusAudit:
+    """Data-quality findings for one :class:`StatusMatrix`.
+
+    Real observation sets are noisy and incomplete: diffusion processes
+    that never took off (all-zero rows), saturated ones (all-one rows),
+    and nodes that are never or always infected all carry no pairwise
+    signal, which is exactly where the degenerate ``N₁ = 0`` / ``N₂ = 0``
+    limits of Eq. 16–17 and the zero-marginal IMI terms of Eq. 24–25
+    arise.  The estimators handle those limits gracefully (they
+    contribute the documented limit value, never ``-inf``/``nan``), but
+    a sweep built on such data deserves a warning — that is what this
+    audit provides.
+
+    Attributes
+    ----------
+    beta / n_nodes:
+        Matrix shape.
+    empty_processes:
+        Indices of all-zero rows (the diffusion never spread).
+    saturated_processes:
+        Indices of all-one rows (the diffusion reached every node).
+    never_infected_nodes:
+        Columns that are 0 in every process (``N₂ = 0``).
+    always_infected_nodes:
+        Columns that are 1 in every process (``N₁ = 0``).
+    """
+
+    beta: int
+    n_nodes: int
+    empty_processes: tuple[int, ...]
+    saturated_processes: tuple[int, ...]
+    never_infected_nodes: tuple[int, ...]
+    always_infected_nodes: tuple[int, ...]
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when any finding is present."""
+        return bool(
+            self.empty_processes
+            or self.saturated_processes
+            or self.never_infected_nodes
+            or self.always_infected_nodes
+        )
+
+    def findings(self) -> list[str]:
+        """Human-readable description of each finding (empty when clean)."""
+        messages: list[str] = []
+        for label, items in (
+            ("all-zero (never spread) processes", self.empty_processes),
+            ("all-one (saturated) processes", self.saturated_processes),
+            ("never-infected nodes (N2=0)", self.never_infected_nodes),
+            ("always-infected nodes (N1=0)", self.always_infected_nodes),
+        ):
+            if items:
+                head = ", ".join(str(i) for i in items[:8])
+                suffix = ", ..." if len(items) > 8 else ""
+                messages.append(f"{len(items)} {label}: [{head}{suffix}]")
+        return messages
+
+
+def validate_observations(
+    statuses: "StatusMatrix", *, on_degenerate: str = "warn"
+) -> StatusAudit:
+    """Audit a status matrix for degenerate-but-valid observations.
+
+    Shape, dtype, and NaN/value checks already happen in the
+    :class:`StatusMatrix` constructor (malformed data never gets this
+    far); this audit flags *statistically* degenerate content.
+
+    Parameters
+    ----------
+    statuses:
+        The observations to audit.
+    on_degenerate:
+        ``"warn"`` (default) emits one
+        :class:`~repro.exceptions.DataQualityWarning` summarising all
+        findings; ``"strict"`` raises :class:`~repro.exceptions.DataError`
+        instead; ``"ignore"`` only returns the audit.
+    """
+    if on_degenerate not in ("warn", "strict", "ignore"):
+        raise DataError(f"unknown on_degenerate policy: {on_degenerate!r}")
+    values = statuses.values
+    row_sums = values.sum(axis=1, dtype=np.int64)
+    column_sums = values.sum(axis=0, dtype=np.int64)
+    audit = StatusAudit(
+        beta=statuses.beta,
+        n_nodes=statuses.n_nodes,
+        empty_processes=tuple(np.nonzero(row_sums == 0)[0].tolist()),
+        saturated_processes=tuple(
+            np.nonzero(row_sums == statuses.n_nodes)[0].tolist()
+        ),
+        never_infected_nodes=tuple(np.nonzero(column_sums == 0)[0].tolist()),
+        always_infected_nodes=tuple(
+            np.nonzero(column_sums == statuses.beta)[0].tolist()
+        ),
+    )
+    if audit.is_degenerate and on_degenerate != "ignore":
+        message = (
+            f"degenerate observations (beta={audit.beta}, n={audit.n_nodes}): "
+            + "; ".join(audit.findings())
+        )
+        if on_degenerate == "strict":
+            raise DataError(message)
+        warnings.warn(message, DataQualityWarning, stacklevel=2)
+    return audit
 
 
 class StatusMatrix:

@@ -1,0 +1,96 @@
+"""Picklable fault-injection chunk functions for the executor tests.
+
+Every function here is module-level (the process backend ships chunk
+functions by reference) and coordinates "fail once, then succeed"
+behaviour through sentinel files in a directory passed via the context —
+worker processes share no memory with the test, but they do share the
+filesystem.
+
+The context is a plain dict::
+
+    {"dir": <sentinel directory>, "main_pid": <test process pid>}
+
+Crash helpers only kill *worker* processes (``os.getpid() != main_pid``),
+so the thread/serial fallbacks — which run in the test process — compute
+normally instead of killing the test runner.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Sequence
+
+#: Bounded sleep for hang simulations: long enough to trip sub-second
+#: chunk timeouts, short enough that abandoned (non-preemptible) threads
+#: drain before the interpreter exits.
+HANG_SECONDS = 1.0
+
+
+def expected(items: Sequence[int]) -> list[int]:
+    """The ground truth every fault function converges to."""
+    return [item * 2 for item in items]
+
+
+def _sentinel(context: dict, kind: str, items: Sequence[int]) -> Path:
+    return Path(context["dir"]) / f"{kind}-{items[0]}"
+
+
+def echo_chunk(context: dict, items: Sequence[int]) -> list[int]:
+    """The no-fault control."""
+    return expected(items)
+
+
+def raise_once_chunk(context: dict, items: Sequence[int]) -> list[int]:
+    """Transient failure: raise on the first attempt, succeed after."""
+    sentinel = _sentinel(context, "raise", items)
+    if not sentinel.exists():
+        sentinel.touch()
+        raise RuntimeError(f"transient failure on chunk starting at {items[0]}")
+    return expected(items)
+
+
+def always_raise_chunk(context: dict, items: Sequence[int]) -> list[int]:
+    """Deterministic failure: every attempt raises (retry exhaustion)."""
+    raise ValueError(f"permanent failure on chunk starting at {items[0]}")
+
+
+def crash_once_chunk(context: dict, items: Sequence[int]) -> list[int]:
+    """Kill the worker process once for the chunk containing item 0."""
+    if 0 in items and os.getpid() != context["main_pid"]:
+        sentinel = _sentinel(context, "crash", items)
+        if not sentinel.exists():
+            sentinel.touch()
+            os._exit(13)
+    return expected(items)
+
+
+def crash_always_chunk(context: dict, items: Sequence[int]) -> list[int]:
+    """Kill every worker process that touches any chunk — the process
+    backend can never finish; thread/serial fallback computes normally."""
+    if os.getpid() != context["main_pid"]:
+        os._exit(13)
+    return expected(items)
+
+
+def hang_once_chunk(context: dict, items: Sequence[int]) -> list[int]:
+    """Hang (bounded) on the first attempt of the chunk containing item 0."""
+    sentinel = _sentinel(context, "hang", items)
+    if 0 in items and not sentinel.exists():
+        sentinel.touch()
+        time.sleep(HANG_SECONDS)
+    return expected(items)
+
+
+def hang_always_chunk(context: dict, items: Sequence[int]) -> list[int]:
+    """Every attempt of every chunk hangs (bounded) — timeout exhaustion."""
+    time.sleep(HANG_SECONDS)
+    return expected(items)
+
+
+def slow_chunk(context: dict, items: Sequence[int]) -> list[int]:
+    """Slow but healthy — used by the interrupt test to guarantee the
+    map is still in flight when the signal arrives."""
+    time.sleep(0.2)
+    return expected(items)

@@ -1,0 +1,206 @@
+"""Checkpoint journal round-trips and crash-resume determinism."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.baselines.base import TendsInferrer
+from repro.evaluation.checkpoint import (
+    CheckpointJournal,
+    cell_key,
+    checkpoint_path_for,
+    load_checkpoint,
+    method_result_from_json,
+    method_result_to_json,
+)
+from repro.evaluation.harness import (
+    ExperimentSpec,
+    MethodSpec,
+    SweepPoint,
+    run_experiment,
+)
+from repro.exceptions import CheckpointError
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+
+
+class BoomInferrer:
+    def infer(self, observations):
+        raise ValueError("kaboom")
+
+
+def golden_spec(replicates: int = 2) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id="golden",
+        title="checkpoint fixture",
+        x_label="n",
+        points=tuple(
+            SweepPoint(
+                f"n={n}",
+                float(n),
+                (lambda n: lambda seed: erdos_renyi_digraph(n, 0.1, seed=seed))(n),
+                beta=40,
+            )
+            for n in (15, 20)
+        ),
+        methods=(
+            MethodSpec("TENDS", lambda ctx: TendsInferrer()),
+            MethodSpec("BOOM", lambda ctx: BoomInferrer()),
+        ),
+        replicates=replicates,
+    )
+
+
+def strip_runtimes(results):
+    """Wall-clock is the one legitimately non-deterministic field."""
+    return tuple(replace(r, runtime_seconds=0.0) for r in results)
+
+
+class TestJournalRoundTrip:
+    def test_every_cell_round_trips(self, tmp_path):
+        spec = golden_spec()
+        path = tmp_path / "golden.jsonl"
+        result = run_experiment(
+            spec, seed=7, on_error="skip", checkpoint_path=path
+        )
+        cells = load_checkpoint(path, experiment_id="golden")
+        assert len(cells) == len(result.results)
+        for r in result.results:
+            loaded = cells[cell_key(r.point_label, r.replicate, r.method)]
+            assert loaded == r
+            # 15 == 15.0 would pass equality but desync a resumed archive
+            # on integer sweep axes — the loader must keep the JSON type.
+            assert type(loaded.point_value) is type(r.point_value)
+
+    def test_record_serialisation_is_lossless(self, tmp_path):
+        spec = golden_spec(replicates=1)
+        path = tmp_path / "golden.jsonl"
+        result = run_experiment(
+            spec, seed=7, on_error="skip", checkpoint_path=path
+        )
+        for r in result.results:
+            assert method_result_from_json(method_result_to_json(r)) == r
+
+    def test_journal_is_append_only_across_runs(self, tmp_path):
+        spec = golden_spec(replicates=1)
+        path = tmp_path / "golden.jsonl"
+        run_experiment(spec, seed=7, on_error="skip", checkpoint_path=path)
+        first = len(path.read_text().splitlines())
+        run_experiment(spec, seed=7, on_error="skip", checkpoint_path=path)
+        assert len(path.read_text().splitlines()) == 2 * first
+
+    def test_missing_file_is_an_empty_checkpoint(self, tmp_path):
+        assert load_checkpoint(tmp_path / "never-written.jsonl") == {}
+
+    def test_journal_context_manager_closes(self, tmp_path):
+        spec = golden_spec(replicates=1)
+        result = run_experiment(spec, seed=7, on_error="skip")
+        path = tmp_path / "ctx.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.record(result.results[0])
+        assert journal._handle is None
+        assert len(load_checkpoint(path)) == 1
+
+    def test_checkpoint_path_for_is_per_experiment(self, tmp_path):
+        path = checkpoint_path_for(tmp_path, "fig3")
+        assert path == tmp_path / "fig3.checkpoint.jsonl"
+
+
+class TestCorruptionTolerance:
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        spec = golden_spec(replicates=1)
+        path = tmp_path / "golden.jsonl"
+        run_experiment(spec, seed=7, on_error="skip", checkpoint_path=path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        cells = load_checkpoint(path, experiment_id="golden")
+        assert len(cells) == len(lines) - 1
+
+    def test_corruption_before_the_end_raises(self, tmp_path):
+        spec = golden_spec(replicates=1)
+        path = tmp_path / "golden.jsonl"
+        run_experiment(spec, seed=7, on_error="skip", checkpoint_path=path)
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:20]  # damage a non-final line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt checkpoint line"):
+            load_checkpoint(path)
+
+    def test_duplicate_cells_keep_the_last_write(self, tmp_path):
+        spec = golden_spec(replicates=1)
+        path = tmp_path / "golden.jsonl"
+        result = run_experiment(spec, seed=7, on_error="skip", checkpoint_path=path)
+        target = result.results[0]
+        doctored = method_result_to_json(replace(target, runtime_seconds=123.0))
+        with path.open("a") as handle:
+            handle.write(json.dumps(doctored) + "\n")
+        cells = load_checkpoint(path)
+        key = cell_key(target.point_label, target.replicate, target.method)
+        assert cells[key].runtime_seconds == 123.0
+
+    def test_wrong_experiment_id_raises(self, tmp_path):
+        spec = golden_spec(replicates=1)
+        path = tmp_path / "golden.jsonl"
+        run_experiment(spec, seed=7, on_error="skip", checkpoint_path=path)
+        with pytest.raises(CheckpointError, match="belongs to experiment"):
+            load_checkpoint(path, experiment_id="other")
+
+
+class TestResumeDeterminism:
+    def test_full_checkpoint_resume_is_bit_identical(self, tmp_path):
+        spec = golden_spec()
+        path = tmp_path / "golden.jsonl"
+        full = run_experiment(spec, seed=7, on_error="skip", checkpoint_path=path)
+        resumed = run_experiment(spec, seed=7, on_error="skip", resume_from=path)
+        # Every cell loads from the journal, so even runtimes round-trip.
+        assert resumed.results == full.results
+
+    def test_partial_checkpoint_resume_matches_uninterrupted_run(self, tmp_path):
+        spec = golden_spec()
+        path = tmp_path / "golden.jsonl"
+        full = run_experiment(spec, seed=7, on_error="skip", checkpoint_path=path)
+        # Simulate a crash: keep roughly half the journal, with the last
+        # kept line torn mid-write.
+        lines = path.read_text().splitlines()
+        keep = len(lines) // 2
+        path.write_text("\n".join(lines[:keep]) + "\n" + lines[keep][:30])
+        resumed = run_experiment(spec, seed=7, on_error="skip", resume_from=path)
+        assert strip_runtimes(resumed.results) == strip_runtimes(full.results)
+
+    def test_resume_preserves_journaled_failures(self, tmp_path):
+        spec = golden_spec(replicates=1)
+        path = tmp_path / "golden.jsonl"
+        run_experiment(spec, seed=7, on_error="skip", checkpoint_path=path)
+        resumed = run_experiment(spec, seed=7, on_error="skip", resume_from=path)
+        assert [r.method for r in resumed.failures()] == ["BOOM", "BOOM"]
+
+    def test_retry_failed_reruns_only_the_failed_cells(self, tmp_path):
+        spec = golden_spec(replicates=1)
+        path = tmp_path / "golden.jsonl"
+        full = run_experiment(spec, seed=7, on_error="skip", checkpoint_path=path)
+        resumed = run_experiment(
+            spec, seed=7, on_error="skip", resume_from=path, retry_failed=True
+        )
+        # BOOM still fails deterministically; TENDS cells load untouched.
+        assert strip_runtimes(resumed.results) == strip_runtimes(full.results)
+        for r in resumed.results:
+            if r.method == "TENDS":
+                assert r in full.results  # loaded, not recomputed
+
+    def test_resume_skips_simulation_for_complete_points(self, tmp_path, monkeypatch):
+        spec = golden_spec()
+        path = tmp_path / "golden.jsonl"
+        run_experiment(spec, seed=7, on_error="skip", checkpoint_path=path)
+
+        import repro.evaluation.harness as harness_module
+
+        def exploding_simulator(*args, **kwargs):
+            raise AssertionError("simulation should have been skipped")
+
+        monkeypatch.setattr(
+            harness_module, "DiffusionSimulator", exploding_simulator
+        )
+        resumed = run_experiment(spec, seed=7, on_error="skip", resume_from=path)
+        assert len(resumed.results) == len(spec.points) * 2 * len(spec.methods)
