@@ -163,9 +163,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_infer(args: argparse.Namespace) -> int:
     statuses = _read_statuses(args.statuses)
+    # Optional observation corruption before inference (robustness
+    # stress-testing from the command line; deterministic per seed).
+    if args.flip_rate is not None or args.missing_rate is not None:
+        from repro.robustness import apply_corruptions
+
+        steps = []
+        if args.flip_rate is not None:
+            steps.append(("flip", args.flip_rate))
+        if args.missing_rate is not None:
+            steps.append(("missing", args.missing_rate))
+        records = apply_corruptions(statuses, steps, seed=args.corruption_seed)
+        for record in records:
+            print(
+                f"corrupted: kind={record.kind} rate={record.rate:g} "
+                f"realised={record.realised_fraction:.3f}"
+            )
+        statuses = records[-1].statuses
     estimator = Tends(
         mi_kind=args.mi_kind,
-        threshold=args.threshold,
+        threshold="stable" if args.stable_threshold else args.threshold,
         threshold_scale=args.threshold_scale,
         search_strategy=args.search_strategy,
         max_combination_size=args.max_combination_size,
@@ -175,9 +192,20 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         chunk_timeout=args.chunk_timeout,
         audit=args.audit,
+        missing=args.missing,
+        bootstrap_samples=args.bootstrap,
+        bootstrap_seed=args.bootstrap_seed,
     )
     result = estimator.fit(statuses)
     _write_graph(result.graph, args.output)
+    if result.edge_confidence:
+        confidences = sorted(result.edge_confidence.values())
+        print(
+            f"edge confidence over {result.imi_bootstrap.n_samples} bootstrap "
+            f"resamples: min={confidences[0]:.2f} "
+            f"median={confidences[len(confidences) // 2]:.2f} "
+            f"max={confidences[-1]:.2f}"
+        )
     total = sum(
         seconds
         for stage, seconds in result.stage_seconds.items()
@@ -285,8 +313,15 @@ def _cmd_influence(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     if args.list:
+        from repro.evaluation.robustness import list_robustness_figures
+
         print("available figures:", ", ".join(list_figures()))
+        print("robustness benchmarks:", ", ".join(list_robustness_figures()))
         return 0
+    if args.figure is not None and (
+        args.figure == "robustness" or args.figure.startswith("robustness-")
+    ):
+        return _run_robustness_figure(args)
     if args.all:
         figure_ids = list_figures()
     elif args.figure is not None:
@@ -342,6 +377,65 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             print(f"archived to {args.out / (figure_id + '.json')}")
         if len(figure_ids) > 1:
             print()
+    return 0
+
+
+def _run_robustness_figure(args: argparse.Namespace) -> int:
+    """``repro figure robustness[-<kind>]``: the degradation benchmark.
+
+    Bare ``robustness`` sweeps the default corruption kinds; a suffixed id
+    runs one kind.  Results archive per kind (JSON) and render as a single
+    SVG degradation chart when ``--out`` is given; checkpoint/resume works
+    per kind through the standard harness journal.
+    """
+    from repro.core.executor import execution_env
+    from repro.evaluation.robustness import DEFAULT_KINDS, run_robustness_experiment
+
+    if (args.resume or args.retry_failed) and args.checkpoint_dir is None:
+        print("--resume/--retry-failed require --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.figure == "robustness":
+        kinds: tuple[str, ...] = DEFAULT_KINDS
+    else:
+        kinds = (args.figure[len("robustness-"):],)
+    with execution_env(
+        executor=args.executor,
+        n_jobs=args.n_jobs,
+        max_attempts=args.max_attempts,
+        chunk_timeout=args.chunk_timeout,
+    ):
+        results = run_robustness_experiment(
+            kinds=kinds,
+            scale=args.scale,
+            seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            retry_failed=args.retry_failed,
+            on_error=args.on_error,
+            method_timeout=args.method_timeout,
+        )
+    failures = [f for result in results.values() for f in result.failures()]
+    if failures:
+        print(
+            f"warning: {len(failures)} cell(s) failed (on_error={args.on_error})",
+            file=sys.stderr,
+        )
+    for kind, result in results.items():
+        print(format_result_table(result))
+        print()
+        print(format_series(result))
+        print()
+    if args.out is not None:
+        from repro.evaluation.archive import save_result
+        from repro.evaluation.plotting import robustness_chart
+
+        args.out.mkdir(parents=True, exist_ok=True)
+        for kind, result in results.items():
+            save_result(result, args.out / f"robustness-{kind}.json")
+            print(f"archived to {args.out / f'robustness-{kind}.json'}")
+        figure_path = args.out / "robustness.svg"
+        figure_path.write_text(robustness_chart(results), encoding="utf-8")
+        print(f"figure written to {figure_path}")
     return 0
 
 
@@ -403,6 +497,54 @@ def build_parser() -> argparse.ArgumentParser:
         default="warn",
         help="degenerate-observation policy: warn (default), strict "
         "(refuse), or ignore",
+    )
+    infer.add_argument(
+        "--missing",
+        choices=("pairwise", "refuse", "zero-fill"),
+        default="pairwise",
+        help="missing-data policy for masked observations: pairwise "
+        "(default, mask-aware counts), refuse, or zero-fill",
+    )
+    infer.add_argument(
+        "--flip-rate",
+        type=float,
+        default=None,
+        help="corrupt the observations first: flip each status with this "
+        "probability (robustness stress test)",
+    )
+    infer.add_argument(
+        "--missing-rate",
+        type=float,
+        default=None,
+        help="corrupt the observations first: mark each status unobserved "
+        "with this probability (applied after --flip-rate)",
+    )
+    infer.add_argument(
+        "--corruption-seed",
+        type=int,
+        default=0,
+        help="seed for --flip-rate/--missing-rate corruption (default 0)",
+    )
+    infer.add_argument(
+        "--bootstrap",
+        type=int,
+        default=None,
+        metavar="B",
+        help="bootstrap the IMI matrix with B resamples and report "
+        "per-edge confidence scores",
+    )
+    infer.add_argument(
+        "--bootstrap-seed",
+        type=int,
+        default=0,
+        help="seed for the bootstrap resampling streams (default 0)",
+    )
+    infer.add_argument(
+        "--stable-threshold",
+        action="store_true",
+        help="stability-screened pruning: keep only pairs whose bootstrap "
+        "IMI confidence interval clears the auto-selected tau "
+        "(implies a bootstrap; overrides --threshold)",
     )
     infer.add_argument(
         "--verbose-timing",

@@ -13,6 +13,7 @@ __all__ = ["TendsConfig"]
 MiKind = Literal["infection", "traditional"]
 SearchStrategy = Literal["greedy-rescoring", "ranked-union"]
 ExecutorStrategy = Literal["serial", "thread", "process"]
+MissingPolicy = Literal["pairwise", "refuse", "zero-fill"]
 
 
 @dataclass(frozen=True)
@@ -27,7 +28,13 @@ class TendsConfig:
         positive from negative infection correlation).
     threshold:
         Explicit pruning threshold ``τ``.  ``None`` (default) selects it
-        with the fixed-zero 2-means of Algorithm 1 line 5.
+        with the fixed-zero 2-means of Algorithm 1 line 5.  The string
+        ``"stable"`` also auto-selects ``τ`` but additionally
+        stability-screens the candidates: bootstrap resampling over the
+        diffusion processes yields per-pair IMI confidence intervals, and
+        only pairs whose CI **lower bound** clears ``τ`` survive pruning
+        (pairs whose interval straddles ``τ`` are too noise-sensitive to
+        trust).  See :mod:`repro.robustness.bootstrap`.
     threshold_scale:
         Multiplier applied to the auto-selected ``τ`` — the knob of the
         Fig. 10–11 sweeps (0.4τ … 2τ).  Ignored when ``threshold`` is set.
@@ -82,10 +89,34 @@ class TendsConfig:
         always-infected nodes), ``"strict"`` raises
         :class:`~repro.exceptions.DataError`, ``"ignore"`` skips the
         audit.
+    missing:
+        Policy for status matrices whose observation mask marks entries
+        unobserved.  ``"pairwise"`` (default): estimate IMI, the scoring
+        counts ``N_ij``, and the Theorem-2 bound over pairwise/family-
+        complete processes with per-pair effective sample sizes — missing
+        data degrades estimates gracefully instead of biasing them.
+        ``"zero-fill"``: drop the mask and treat unobserved entries as 0
+        (the legacy, biased behaviour, kept for comparison).
+        ``"refuse"``: raise :class:`~repro.exceptions.DataError` on any
+        missing entry.  Fully-observed matrices take the identical code
+        path under every policy.
+    bootstrap_samples:
+        Number of bootstrap resamples ``B`` for IMI uncertainty
+        quantification.  ``None`` (default) disables the bootstrap unless
+        ``threshold="stable"`` requires it (then 100 is used).  Setting a
+        value always computes per-edge confidence scores
+        (:attr:`~repro.core.tends.TendsResult.edge_confidence`).
+    bootstrap_seed:
+        Seed for the bootstrap resampling streams.  Defaults to 0 so fits
+        are deterministic out of the box; pass another int to vary the
+        resampling.
+    ci_level:
+        Two-sided confidence level of the bootstrap intervals used by the
+        ``threshold="stable"`` screening (default 0.95).
     """
 
     mi_kind: MiKind = "infection"
-    threshold: float | None = None
+    threshold: float | Literal["stable"] | None = None
     threshold_scale: float = 1.0
     search_strategy: SearchStrategy = "greedy-rescoring"
     max_combination_size: int = 1
@@ -98,6 +129,10 @@ class TendsConfig:
     chunk_timeout: float | None = None
     executor_fallback: bool | None = None
     audit: Literal["warn", "strict", "ignore"] = "warn"
+    missing: MissingPolicy = "pairwise"
+    bootstrap_samples: int | None = None
+    bootstrap_seed: int = 0
+    ci_level: float = 0.95
 
     def __post_init__(self) -> None:
         if self.mi_kind not in ("infection", "traditional"):
@@ -107,7 +142,13 @@ class TendsConfig:
         check_positive_int("max_combination_size", self.max_combination_size)
         check_non_negative("threshold_scale", self.threshold_scale)
         check_non_negative("min_improvement", self.min_improvement)
-        if self.threshold is not None:
+        if isinstance(self.threshold, str):
+            if self.threshold != "stable":
+                raise ConfigurationError(
+                    f"threshold must be a number, None, or 'stable', "
+                    f"got {self.threshold!r}"
+                )
+        elif self.threshold is not None:
             check_non_negative("threshold", self.threshold)
         if self.max_candidates is not None:
             check_positive_int("max_candidates", self.max_candidates)
@@ -129,6 +170,15 @@ class TendsConfig:
             )
         if self.audit not in ("warn", "strict", "ignore"):
             raise ConfigurationError(f"unknown audit policy: {self.audit!r}")
+        if self.missing not in ("pairwise", "refuse", "zero-fill"):
+            raise ConfigurationError(f"unknown missing policy: {self.missing!r}")
+        if self.bootstrap_samples is not None:
+            check_positive_int("bootstrap_samples", self.bootstrap_samples)
+        check_non_negative("bootstrap_seed", self.bootstrap_seed)
+        if not 0.0 < self.ci_level < 1.0:
+            raise ConfigurationError(
+                f"ci_level must be in (0, 1), got {self.ci_level}"
+            )
 
     def with_overrides(self, **changes) -> "TendsConfig":
         """Functional update helper (dataclass ``replace`` wrapper)."""

@@ -49,9 +49,20 @@ def pointwise_mi_terms(statuses: StatusMatrix) -> dict[str, np.ndarray]:
     observed statuses.  Outcomes that never occur contribute 0 (the usual
     ``0 · log 0 = 0`` convention), as do outcomes whose marginals are
     degenerate.
+
+    When the matrix carries an observation mask with missing entries,
+    every pair ``(i, j)`` is estimated over its *pairwise-complete*
+    processes only — the rows where both statuses were observed — with
+    per-pair effective sample size ``β_ij`` and per-pair marginals.  This
+    keeps the estimate unbiased under missing-at-random corruption
+    instead of counting unobserved entries as "uninfected".  Pairs with
+    ``β_ij = 0`` contribute 0.  For fully-observed matrices the code path
+    (and hence every floating-point operation) is unchanged.
     """
     if statuses.beta == 0:
         raise DataError("cannot estimate MI from zero diffusion processes")
+    if statuses.has_missing:
+        return _pairwise_complete_mi_terms(statuses)
     beta = float(statuses.beta)
     joints = statuses.joint_counts()
     p1 = statuses.infection_rates()
@@ -63,6 +74,36 @@ def pointwise_mi_terms(statuses: StatusMatrix) -> dict[str, np.ndarray]:
         a, b = key[0], key[1]
         p_joint = counts / beta
         denominator = np.outer(marginal[a], marginal[b])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(denominator > 0, p_joint / denominator, 1.0)
+            logs = np.where((p_joint > 0) & (ratio > 0), np.log2(ratio), 0.0)
+        terms[key] = p_joint * logs
+    return terms
+
+
+def _pairwise_complete_mi_terms(statuses: StatusMatrix) -> dict[str, np.ndarray]:
+    """Pointwise MI terms over pairwise-complete processes (masked data).
+
+    Identical in structure to the clean path, except every quantity is an
+    ``(n, n)`` matrix: joint probabilities divide by the per-pair ``β_ij``
+    and the marginals are recomputed per pair from the same complete rows
+    (``P̂^{(ij)}(X_i = 1) = (n11 + n10) / β_ij``), so joint and marginal
+    estimates always refer to the same sample.
+    """
+    counts = statuses.pairwise_complete_counts()
+    beta_ij = counts["obs"].astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p1_row = np.where(beta_ij > 0, (counts["11"] + counts["10"]) / beta_ij, 0.0)
+        p1_col = np.where(beta_ij > 0, (counts["11"] + counts["01"]) / beta_ij, 0.0)
+    marginal_row = {"1": p1_row, "0": np.where(beta_ij > 0, 1.0 - p1_row, 0.0)}
+    marginal_col = {"1": p1_col, "0": np.where(beta_ij > 0, 1.0 - p1_col, 0.0)}
+
+    terms: dict[str, np.ndarray] = {}
+    for key in ("11", "10", "01", "00"):
+        a, b = key[0], key[1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p_joint = np.where(beta_ij > 0, counts[key] / beta_ij, 0.0)
+        denominator = marginal_row[a] * marginal_col[b]
         with np.errstate(divide="ignore", invalid="ignore"):
             ratio = np.where(denominator > 0, p_joint / denominator, 1.0)
             logs = np.where((p_joint > 0) & (ratio > 0), np.log2(ratio), 0.0)

@@ -129,14 +129,30 @@ def family_counts(
     Parent patterns are bit-packed (first parent = least-significant bit);
     only the observed patterns are materialised (see
     :class:`FamilyCounts`).
+
+    When the matrix carries an observation mask with missing entries, the
+    counts run over the *family-complete* processes only — the rows in
+    which the child and every parent were all observed — so ``beta``
+    becomes the family's effective sample size.  A family with no
+    complete rows degrades to all-zero counts (score 0, like an empty
+    observation set) rather than raising.
     """
     parent_list = [int(p) for p in parents]
     if child in parent_list:
         raise DataError(f"node {child} cannot be its own parent")
     if len(set(parent_list)) != len(parent_list):
         raise DataError(f"duplicate parents in {parent_list}")
-    _, inverse, totals = statuses.observed_pattern_counts(parent_list)
-    child_states = statuses.column(child).astype(np.float64)
+    if statuses.has_missing:
+        rows = statuses.complete_rows([child, *parent_list])
+        _, inverse, totals = statuses.observed_pattern_counts(
+            parent_list, rows=rows
+        )
+        child_states = statuses.column(child)[rows].astype(np.float64)
+        beta = int(rows.shape[0])
+    else:
+        _, inverse, totals = statuses.observed_pattern_counts(parent_list)
+        child_states = statuses.column(child).astype(np.float64)
+        beta = statuses.beta
     infected = np.bincount(
         inverse, weights=child_states, minlength=totals.shape[0]
     ).astype(np.int64)
@@ -144,7 +160,7 @@ def family_counts(
         n_parents=len(parent_list),
         totals=totals,
         infected=infected,
-        beta=statuses.beta,
+        beta=beta,
     )
 
 
@@ -209,11 +225,23 @@ def delta_i(statuses: StatusMatrix, child: int) -> float:
     Uses the convention ``N · log2(β / N) = 0`` when ``N = 0`` (the child is
     always, or never, infected), consistent with the entropy limits behind
     the derivation.
+
+    Under an observation mask, ``β``/``N₁``/``N₂`` count only the
+    processes in which the child was observed; a never-observed child
+    gets ``δ_i = log2(0 + 1) = 0`` (no parents allowed) rather than an
+    error — missing data degrades the bound, it does not abort inference.
     """
     beta = statuses.beta
     if beta == 0:
         raise DataError("delta_i undefined for zero processes")
-    n2 = int(statuses.column(child).sum())
+    if statuses.has_missing:
+        rows = statuses.complete_rows([child])
+        beta = int(rows.shape[0])
+        if beta == 0:
+            return 0.0
+        n2 = int(statuses.column(child)[rows].sum())
+    else:
+        n2 = int(statuses.column(child).sum())
     n1 = beta - n2
     value = math.log2(beta + 1)
     for count in (n1, n2):

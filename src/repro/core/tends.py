@@ -21,7 +21,7 @@ Usage
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -34,6 +34,9 @@ from repro.exceptions import DataError
 from repro.graphs.digraph import DiffusionGraph
 from repro.simulation.statuses import StatusMatrix, validate_observations
 from repro.utils.timing import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (robustness → imi)
+    from repro.robustness.bootstrap import ImiBootstrap
 
 __all__ = ["Tends", "TendsResult"]
 
@@ -65,6 +68,16 @@ class TendsResult:
     worker_stats:
         Per-worker :class:`~repro.core.executor.WorkerStats` for stage 3
         (chunk and node counts per worker, for load-balance diagnosis).
+    edge_confidence:
+        Per-edge bootstrap confidence — ``edge_confidence[(u, v)]`` is
+        the fraction of IMI bootstrap resamples in which the pair's IMI
+        exceeded the pruning threshold ``τ`` (1.0 = the relation survived
+        every resample).  ``None`` unless the fit ran a bootstrap
+        (``threshold="stable"`` or ``bootstrap_samples=`` set).
+    imi_bootstrap:
+        The full :class:`~repro.robustness.bootstrap.ImiBootstrap`
+        distribution behind :attr:`edge_confidence` (``None`` when no
+        bootstrap ran) — per-pair CIs via ``.ci()``.
     """
 
     graph: DiffusionGraph
@@ -75,6 +88,8 @@ class TendsResult:
     diagnostics: tuple[SearchDiagnostics, ...]
     stage_seconds: Mapping[str, float]
     worker_stats: tuple[WorkerStats, ...] = ()
+    edge_confidence: Mapping[tuple[int, int], float] | None = None
+    imi_bootstrap: "ImiBootstrap | None" = None
 
     @property
     def n_edges(self) -> int:
@@ -117,6 +132,18 @@ class Tends:
             raise DataError(
                 f"TENDS needs at least 2 diffusion processes, got {statuses.beta}"
             )
+        if statuses.has_missing:
+            # Missing-data policy (config.missing).  "pairwise" leaves the
+            # mask in place — imi/scoring then count over pairwise- and
+            # family-complete processes with per-pair effective β.
+            if self.config.missing == "refuse":
+                missing_count = int((~statuses.mask).sum())
+                raise DataError(
+                    f"observations contain {missing_count} unobserved entries "
+                    "and missing='refuse' is set"
+                )
+            if self.config.missing == "zero-fill":
+                statuses = statuses.filled(0)
         if self.config.audit != "ignore":
             # Degenerate observations (all-zero cascades, constant nodes)
             # are handled gracefully downstream — the Eq. 16-17 / 24-25
@@ -139,9 +166,10 @@ class Tends:
         stage_seconds["imi"] = watch.elapsed
 
         # Stage 2: threshold via fixed-zero 2-means (line 5).
+        stable_mode = self.config.threshold == "stable"
         with Stopwatch() as watch:
             clustering: TwoMeansResult | None
-            if self.config.threshold is not None:
+            if self.config.threshold is not None and not stable_mode:
                 threshold = float(self.config.threshold)
                 clustering = None
             else:
@@ -151,6 +179,28 @@ class Tends:
                 threshold = clustering.threshold * self.config.threshold_scale
         stage_seconds["threshold"] = watch.elapsed
 
+        # Stage 2b (optional): bootstrap the IMI distribution for per-edge
+        # confidence and, in stable mode, CI-based candidate screening.
+        bootstrap = None
+        stable_pairs: np.ndarray | None = None
+        n_boot = self.config.bootstrap_samples
+        if stable_mode and n_boot is None:
+            n_boot = 100
+        if n_boot:
+            from repro.robustness.bootstrap import bootstrap_imi
+
+            with Stopwatch() as watch:
+                bootstrap = bootstrap_imi(
+                    statuses,
+                    n_boot,
+                    seed=self.config.bootstrap_seed,
+                    ci_level=self.config.ci_level,
+                    mi_kind=self.config.mi_kind,
+                )
+                if stable_mode:
+                    stable_pairs = bootstrap.stable_above(threshold)
+            stage_seconds["bootstrap"] = watch.elapsed
+
         # Stage 3: candidate pruning + per-node parent search (lines 6-21).
         # The local score is decomposable, so the n searches are
         # independent; the executor backend fans them out and the merge
@@ -159,7 +209,7 @@ class Tends:
         with Stopwatch() as watch:
             search = ParentSearch(statuses, self.config)
             items = [
-                (node, self._candidates_for(mi, node, threshold))
+                (node, self._candidates_for(mi, node, threshold, stable_pairs))
                 for node in range(n)
             ]
             plan = ExecutionPlan.resolve(
@@ -185,6 +235,15 @@ class Tends:
         for stats in worker_stats:
             stage_seconds[f"search/{stats.worker}"] = stats.seconds
 
+        edge_confidence: dict[tuple[int, int], float] | None = None
+        if bootstrap is not None:
+            exceed = bootstrap.exceed_fraction(threshold)
+            edge_confidence = {
+                (parent, child): float(exceed[parent, child])
+                for child, parents in enumerate(parent_sets)
+                for parent in parents
+            }
+
         return TendsResult(
             graph=graph.freeze(),
             parent_sets=tuple(parent_sets),
@@ -194,16 +253,27 @@ class Tends:
             diagnostics=tuple(diagnostics),
             stage_seconds=stage_seconds,
             worker_stats=tuple(worker_stats),
+            edge_confidence=edge_confidence,
+            imi_bootstrap=bootstrap,
         )
 
     # ------------------------------------------------------------------
     def _candidates_for(
-        self, mi: np.ndarray, node: int, threshold: float
+        self,
+        mi: np.ndarray,
+        node: int,
+        threshold: float,
+        stable_pairs: np.ndarray | None = None,
     ) -> list[int]:
         """``P_i``: nodes whose MI with ``node`` strictly exceeds ``τ``,
-        optionally capped to the strongest ``max_candidates``."""
+        optionally capped to the strongest ``max_candidates``.  In stable
+        mode, candidates must additionally have their bootstrap-CI lower
+        bound above ``τ`` (``stable_pairs`` row)."""
         row = mi[node]
-        candidates = np.nonzero(row > threshold)[0]
+        above = row > threshold
+        if stable_pairs is not None:
+            above &= stable_pairs[node]
+        candidates = np.nonzero(above)[0]
         candidates = candidates[candidates != node]
         cap = self.config.max_candidates
         if cap is not None and candidates.size > cap:

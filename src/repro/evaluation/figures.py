@@ -326,13 +326,28 @@ def figure_spec(
 ) -> ExperimentSpec:
     """Look up a figure's experiment spec by id (``"fig1"`` … ``"fig11"``).
 
+    The robustness degradation-benchmark family is addressable here too:
+    ``"robustness-<kind>"`` (e.g. ``"robustness-missing"``) resolves via
+    :func:`repro.evaluation.robustness.robustness_spec`.  Those ids are
+    deliberately *not* part of :func:`list_figures`, which stays pinned to
+    the paper's eleven figures.
+
     ``replicates`` reruns every sweep cell with independent seeds and lets
     the harness report mean/min/max F-scores (the paper reports single
     runs; replicates > 1 smooth seed noise for shape checks).
     """
+    if figure_id.startswith("robustness-"):
+        from repro.evaluation.robustness import robustness_spec
+
+        return robustness_spec(
+            figure_id[len("robustness-"):], scale, replicates=replicates
+        )
     if figure_id not in FIGURES:
+        from repro.evaluation.robustness import list_robustness_figures
+
         raise ConfigurationError(
-            f"unknown figure {figure_id!r}; available: {list_figures()}"
+            f"unknown figure {figure_id!r}; available: "
+            f"{list_figures() + list_robustness_figures()}"
         )
     spec = FIGURES[figure_id](scale)
     if replicates != 1:

@@ -121,6 +121,14 @@ class SweepPoint:
         Ground-truth network builder for this point.
     mu / alpha / beta:
         Simulation parameters (paper defaults 0.3 / 0.15 / 150).
+    observation_transform:
+        Optional hook applied to the simulated observations before any
+        method sees them, as ``transform(observations, seed)`` with a
+        seed derived from the cell seed (so the transform is
+        deterministic per cell and independent of method order).  The
+        robustness degradation benchmark injects observation corruption
+        here; every method at the point still sees the *same* corrupted
+        data.  Scoring remains against the clean ground-truth graph.
     """
 
     label: str
@@ -129,6 +137,9 @@ class SweepPoint:
     mu: float = 0.3
     alpha: float = 0.15
     beta: int = 150
+    observation_transform: (
+        "Callable[[Observations, int], Observations] | None"
+    ) = None
 
 
 @dataclass(frozen=True)
@@ -431,6 +442,10 @@ def run_experiment(
                     seed=derive_seed(cell_seed, "simulation"),
                 )
                 observations = Observations.from_simulation(simulator.run(point.beta))
+                if point.observation_transform is not None:
+                    observations = point.observation_transform(
+                        observations, derive_seed(cell_seed, "corruption")
+                    )
                 context = MethodContext(
                     truth=truth, observations=observations, point=point
                 )

@@ -1,0 +1,231 @@
+"""Dependency-free SVG line charts for experiment results.
+
+The container this library targets has no plotting stack, so figures are
+rendered as hand-built SVG: a titled axes box, per-series polylines with
+point markers, and a legend.  The output is a plain-text SVG document —
+viewable in any browser, diffable in review, and writable next to the
+JSON archives without new dependencies.
+
+Two layers:
+
+* :func:`render_line_chart` — generic ``{name: [(x, y), ...]}`` chart;
+* :func:`robustness_chart` — the degradation benchmark's figure: one
+  line per (corruption kind, method) over the corruption-rate sweep,
+  built from :func:`repro.evaluation.robustness.run_robustness_experiment`
+  output.  ``NaN`` points (failed cells) are skipped, so a partially
+  failed sweep still renders.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Mapping, Sequence
+from xml.sax.saxutils import escape
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["render_line_chart", "save_line_chart", "robustness_chart"]
+
+Series = Mapping[str, Sequence[tuple[float, float]]]
+
+#: Colour-blind-safe palette (Okabe–Ito), cycled per series.
+_PALETTE = (
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#E69F00",
+    "#56B4E9",
+    "#F0E442",
+    "#000000",
+)
+
+_MARKERS = ("circle", "square", "diamond", "triangle")
+
+
+def _finite_points(points: Sequence[tuple[float, float]]) -> list[tuple[float, float]]:
+    return [
+        (float(x), float(y))
+        for x, y in points
+        if math.isfinite(float(x)) and math.isfinite(float(y))
+    ]
+
+
+def _ticks(low: float, high: float, count: int = 5) -> list[float]:
+    if high <= low:
+        return [low]
+    step = (high - low) / (count - 1)
+    return [low + step * i for i in range(count)]
+
+
+def _marker_svg(shape: str, x: float, y: float, colour: str) -> str:
+    if shape == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" fill="{colour}"/>'
+    if shape == "square":
+        return (
+            f'<rect x="{x - 3:.1f}" y="{y - 3:.1f}" width="6" height="6" '
+            f'fill="{colour}"/>'
+        )
+    if shape == "diamond":
+        return (
+            f'<path d="M {x:.1f} {y - 4:.1f} L {x + 4:.1f} {y:.1f} '
+            f'L {x:.1f} {y + 4:.1f} L {x - 4:.1f} {y:.1f} Z" fill="{colour}"/>'
+        )
+    return (  # triangle
+        f'<path d="M {x:.1f} {y - 4:.1f} L {x + 4:.1f} {y + 3:.1f} '
+        f'L {x - 4:.1f} {y + 3:.1f} Z" fill="{colour}"/>'
+    )
+
+
+def render_line_chart(
+    series: Series,
+    *,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 720,
+    height: int = 460,
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Render named point series as an SVG line chart (returns SVG text).
+
+    ``series`` maps a legend label to ``(x, y)`` points; non-finite points
+    are dropped per series.  ``y_range`` pins the y axis (e.g. ``(0, 1)``
+    for F-scores); by default both axes fit the data with a small margin.
+    """
+    cleaned = {name: _finite_points(pts) for name, pts in series.items()}
+    cleaned = {name: pts for name, pts in cleaned.items() if pts}
+    if not cleaned:
+        raise ConfigurationError("no finite data points to plot")
+
+    xs = [x for pts in cleaned.values() for x, _ in pts]
+    ys = [y for pts in cleaned.values() for _, y in pts]
+    x_low, x_high = min(xs), max(xs)
+    if x_high == x_low:
+        x_low, x_high = x_low - 0.5, x_high + 0.5
+    if y_range is not None:
+        y_low, y_high = y_range
+    else:
+        y_low, y_high = min(ys), max(ys)
+        pad = 0.05 * (y_high - y_low or 1.0)
+        y_low, y_high = y_low - pad, y_high + pad
+
+    margin_left, margin_right = 64, 180
+    margin_top, margin_bottom = 44, 56
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    def px(x: float) -> float:
+        return margin_left + (x - x_low) / (x_high - x_low) * plot_w
+
+    def py(y: float) -> float:
+        return margin_top + (1.0 - (y - y_low) / (y_high - y_low)) * plot_h
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<rect x="{margin_left}" y="{margin_top}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{margin_left + plot_w / 2:.1f}" y="24" '
+            f'text-anchor="middle" font-size="15">{escape(title)}</text>'
+        )
+    # Axis ticks, grid lines, labels.
+    for tick in _ticks(x_low, x_high):
+        x = px(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_top + plot_h}" x2="{x:.1f}" '
+            f'y2="{margin_top + plot_h + 5}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin_top + plot_h + 20}" '
+            f'text-anchor="middle">{tick:g}</text>'
+        )
+    for tick in _ticks(y_low, y_high):
+        y = py(tick)
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" '
+            f'x2="{margin_left + plot_w}" y2="{y:.1f}" '
+            f'stroke="#ddd" stroke-dasharray="3,3"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{tick:.2f}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{margin_left + plot_w / 2:.1f}" y="{height - 12}" '
+            f'text-anchor="middle">{escape(x_label)}</text>'
+        )
+    if y_label:
+        y_mid = margin_top + plot_h / 2
+        parts.append(
+            f'<text x="16" y="{y_mid:.1f}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {y_mid:.1f})">{escape(y_label)}</text>'
+        )
+    # Series lines + legend.
+    for index, (name, pts) in enumerate(cleaned.items()):
+        colour = _PALETTE[index % len(_PALETTE)]
+        marker = _MARKERS[index % len(_MARKERS)]
+        ordered = sorted(pts)
+        coords = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in ordered)
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{colour}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y in ordered:
+            parts.append(_marker_svg(marker, px(x), py(y), colour))
+        legend_y = margin_top + 10 + index * 20
+        legend_x = margin_left + plot_w + 14
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y}" x2="{legend_x + 22}" '
+            f'y2="{legend_y}" stroke="{colour}" stroke-width="2"/>'
+        )
+        parts.append(_marker_svg(marker, legend_x + 11, legend_y, colour))
+        parts.append(
+            f'<text x="{legend_x + 28}" y="{legend_y + 4}">{escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_line_chart(series: Series, path: "str | Path", **kwargs) -> Path:
+    """Render and write a chart; returns the written path."""
+    path = Path(path)
+    path.write_text(render_line_chart(series, **kwargs), encoding="utf-8")
+    return path
+
+
+def robustness_chart(
+    results: Mapping[str, "object"],
+    *,
+    metric: str = "f_score",
+    title: str = "F-score vs observation corruption",
+) -> str:
+    """The degradation-benchmark figure from per-kind experiment results.
+
+    ``results`` is the ``{kind: ExperimentResult}`` mapping produced by
+    :func:`repro.evaluation.robustness.run_robustness_experiment`.  Each
+    (kind, method) pair becomes one line over the corruption-rate sweep;
+    failed cells (``nan``) are skipped.
+    """
+    series: dict[str, list[tuple[float, float]]] = {}
+    for kind, result in results.items():
+        for row in result.aggregated():
+            name = f"{row['method']} [{kind}]"
+            series.setdefault(name, []).append(
+                (float(row["value"]), float(row[metric]))
+            )
+    y_range = (0.0, 1.0) if metric == "f_score" else None
+    return render_line_chart(
+        series,
+        title=title,
+        x_label="corruption rate",
+        y_label=metric.replace("_", " "),
+        y_range=y_range,
+    )

@@ -1,0 +1,218 @@
+"""Degradation benchmark: F-score vs observation-corruption rate.
+
+The paper's evaluation assumes exact final statuses; this benchmark
+measures how inference quality degrades when they are corrupted.  Each
+corruption kind gets its own experiment spec — a sweep over corruption
+*rate* on a fixed small benchmark graph — whose observations are
+corrupted through the :class:`~repro.evaluation.harness.SweepPoint`
+``observation_transform`` hook.  Everything else (method isolation,
+checkpoint/resume, archives, reports) is the standard harness machinery,
+so a robustness run survives crashes and resumes bit-identically like
+any figure run.
+
+The default method roster contrasts the missing-data policies directly:
+
+* ``TENDS`` — the mask-aware default (``missing="pairwise"``);
+* ``TENDS(zero-fill)`` — the legacy biased policy (unobserved = 0);
+* ``CORR`` — the φ-correlation floor (mask-unaware, sees zero-filled
+  values implicitly).
+
+Only status-consuming methods participate: the corruption models operate
+on the status matrix, and handing un-corrupted cascades to timestamp
+methods would silently benchmark them on clean data.
+
+Run via :func:`run_robustness_experiment` or ``repro figure robustness``
+(CLI; ``--checkpoint-dir``/``--resume`` supported).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.baselines.base import Observations, TendsInferrer
+from repro.baselines.correlation import CorrelationRanker
+from repro.evaluation.harness import (
+    ExperimentResult,
+    ExperimentSpec,
+    MethodSpec,
+    SweepPoint,
+    run_experiment,
+)
+from repro.exceptions import ConfigurationError
+from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+
+__all__ = [
+    "DEFAULT_KINDS",
+    "corruption_transform",
+    "list_robustness_figures",
+    "robustness_methods",
+    "robustness_spec",
+    "run_robustness_experiment",
+]
+
+#: Corruption kinds benchmarked by the bare ``robustness`` figure id.
+DEFAULT_KINDS: tuple[str, ...] = ("flip", "missing")
+
+#: Benchmark substrate: a small LFR graph (Table II style, n = 100).
+_BENCH_PARAMS = LFRParams(n=100, avg_degree=4, tau=2)
+
+_FULL_RATES: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3)
+_QUICK_RATES: tuple[float, ...] = (0.0, 0.15, 0.3)
+
+
+def corruption_transform(
+    kind: str, rate: float
+) -> Callable[[Observations, int], Observations]:
+    """Build a harness observation transform applying one corruption.
+
+    The returned callable matches the
+    :class:`~repro.evaluation.harness.SweepPoint` ``observation_transform``
+    signature: it corrupts the simulated status matrix with the
+    harness-derived cell seed (deterministic per cell, shared by every
+    method at the point) and returns a **status-only** observation bundle
+    — corrupting statuses while passing clean cascades through would
+    silently benchmark timestamp methods on clean data.
+    """
+    from repro.robustness.corruption import corrupt
+
+    def transform(observations: Observations, seed: int) -> Observations:
+        record = corrupt(observations.statuses, kind, rate, seed=seed)
+        return Observations.from_statuses(record.statuses)
+
+    return transform
+
+
+def robustness_methods(
+    *, include: Sequence[str] = ("TENDS", "TENDS(zero-fill)", "CORR")
+) -> tuple[MethodSpec, ...]:
+    """The status-only roster of the degradation benchmark.
+
+    ``TENDS`` runs the mask-aware ``missing="pairwise"`` default;
+    ``TENDS(zero-fill)`` the legacy biased policy (the gap between the two
+    is the benchmark's headline result); ``CORR`` is the mask-unaware
+    correlation floor.
+    """
+    registry: dict[str, MethodSpec] = {
+        "TENDS": MethodSpec("TENDS", lambda ctx: TendsInferrer(audit="ignore")),
+        "TENDS(zero-fill)": MethodSpec(
+            "TENDS(zero-fill)",
+            lambda ctx: TendsInferrer(missing="zero-fill", audit="ignore"),
+        ),
+        "CORR": MethodSpec(
+            "CORR", lambda ctx: CorrelationRanker(ctx.true_edge_count)
+        ),
+    }
+    chosen: list[MethodSpec] = []
+    for name in include:
+        if name not in registry:
+            raise ConfigurationError(
+                f"unknown robustness method {name!r}; available: {sorted(registry)}"
+            )
+        chosen.append(registry[name])
+    return tuple(chosen)
+
+
+def _rates_for(scale: str) -> tuple[float, ...]:
+    if scale not in ("full", "quick"):
+        raise ConfigurationError(f"scale must be 'full' or 'quick', got {scale!r}")
+    return _FULL_RATES if scale == "full" else _QUICK_RATES
+
+
+def robustness_spec(
+    kind: str,
+    scale: str = "full",
+    *,
+    replicates: int = 1,
+    rates: Sequence[float] | None = None,
+    methods: tuple[MethodSpec, ...] | None = None,
+) -> ExperimentSpec:
+    """Experiment spec for one corruption kind's rate sweep.
+
+    ``kind`` is a :data:`repro.robustness.CORRUPTION_KINDS` name; the
+    experiment id is ``robustness-<kind>``.  Rate 0.0 (included by
+    default) is the clean baseline every curve starts from.
+    """
+    from repro.robustness.corruption import CORRUPTION_KINDS
+
+    if kind not in CORRUPTION_KINDS:
+        raise ConfigurationError(
+            f"unknown corruption kind {kind!r}; "
+            f"expected one of {sorted(CORRUPTION_KINDS)}"
+        )
+    rate_values = tuple(rates) if rates is not None else _rates_for(scale)
+    beta = 150 if scale == "full" else 60
+    points = tuple(
+        SweepPoint(
+            label=f"{kind}={rate:g}",
+            value=rate,
+            graph_factory=lambda seed: lfr_benchmark_graph(_BENCH_PARAMS, seed=seed),
+            beta=beta,
+            observation_transform=corruption_transform(kind, rate),
+        )
+        for rate in rate_values
+    )
+    return ExperimentSpec(
+        experiment_id=f"robustness-{kind}",
+        title=f"F-score degradation under '{kind}' corruption",
+        x_label=f"{kind} corruption rate",
+        points=points,
+        methods=methods if methods is not None else robustness_methods(),
+        replicates=replicates,
+    )
+
+
+def list_robustness_figures() -> list[str]:
+    """Robustness figure ids (the family behind ``repro figure robustness``)."""
+    from repro.robustness.corruption import CORRUPTION_KINDS
+
+    return ["robustness"] + [f"robustness-{kind}" for kind in CORRUPTION_KINDS]
+
+
+def run_robustness_experiment(
+    *,
+    kinds: Sequence[str] = DEFAULT_KINDS,
+    scale: str = "quick",
+    seed: int = 0,
+    replicates: int = 1,
+    rates: Sequence[float] | None = None,
+    methods: tuple[MethodSpec, ...] | None = None,
+    checkpoint_dir: "str | Path | None" = None,
+    resume: bool = False,
+    retry_failed: bool = False,
+    on_error: str = "raise",
+    method_timeout: float | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run the degradation benchmark: corruption kind × rate sweeps.
+
+    One harness experiment per kind (each with its own checkpoint file
+    under ``checkpoint_dir``, named by experiment id), sharing the seed
+    derivation, failure boundary, and resume semantics of
+    :func:`~repro.evaluation.harness.run_experiment`.  Returns
+    ``{kind: ExperimentResult}``; feed it to
+    :func:`repro.evaluation.plotting.robustness_chart` for the figure.
+    """
+    from repro.evaluation.checkpoint import checkpoint_path_for
+
+    results: dict[str, ExperimentResult] = {}
+    for kind in kinds:
+        spec = robustness_spec(
+            kind, scale, replicates=replicates, rates=rates, methods=methods
+        )
+        checkpoint = resume_from = None
+        if checkpoint_dir is not None:
+            checkpoint = checkpoint_path_for(checkpoint_dir, spec.experiment_id)
+            if resume:
+                resume_from = checkpoint
+        results[kind] = run_experiment(
+            spec,
+            seed=seed,
+            progress=progress,
+            on_error=on_error,
+            method_timeout=method_timeout,
+            checkpoint_path=checkpoint,
+            resume_from=resume_from,
+            retry_failed=retry_failed,
+        )
+    return results

@@ -1,0 +1,48 @@
+"""Observation-corruption robustness tools.
+
+TENDS assumes the final-status matrix is observed exactly; real cascade
+data is noisy and partially observed.  This package provides the two
+halves of coping with that:
+
+* :mod:`repro.robustness.corruption` — composable, seed-deterministic
+  corruption models (bit-flip noise, missing-at-random entries, node
+  dropout, cascade subsampling) that turn a clean
+  :class:`~repro.simulation.statuses.StatusMatrix` into a
+  :class:`CorruptedObservations` record carrying the clean reference,
+  the observation mask, and the corruption metadata.  Used by the
+  degradation benchmark (``repro figure robustness``) and available for
+  ad-hoc stress tests.
+* :mod:`repro.robustness.bootstrap` — uncertainty quantification:
+  bootstrap resampling over diffusion processes yields per-pair IMI
+  confidence intervals and per-edge stability scores, which back
+  ``Tends(threshold="stable")`` and ``TendsResult.edge_confidence``.
+
+All randomness routes through :mod:`repro.utils.rng` seed sequences, so
+the same seed produces bit-identical corruption on every platform and
+under every execution backend.
+"""
+
+from repro.robustness.bootstrap import ImiBootstrap, bootstrap_imi
+from repro.robustness.corruption import (
+    CORRUPTION_KINDS,
+    CorruptedObservations,
+    apply_corruptions,
+    cascade_subsample,
+    corrupt,
+    flip_noise,
+    missing_at_random,
+    node_dropout,
+)
+
+__all__ = [
+    "CORRUPTION_KINDS",
+    "CorruptedObservations",
+    "ImiBootstrap",
+    "apply_corruptions",
+    "bootstrap_imi",
+    "cascade_subsample",
+    "corrupt",
+    "flip_noise",
+    "missing_at_random",
+    "node_dropout",
+]

@@ -1,0 +1,338 @@
+"""Seed-deterministic corruption models for status observations.
+
+Each model maps a clean :class:`~repro.simulation.statuses.StatusMatrix`
+to a :class:`CorruptedObservations` record: the corrupted matrix (with an
+observation mask where entries went missing), the clean reference, and
+metadata describing exactly what was done.  The models compose — apply
+one to the ``.statuses`` of another's record, or hand a whole recipe to
+:func:`apply_corruptions`, which derives one independent stream per step
+from a single seed via ``SeedSequence`` spawning (platform- and
+executor-independent).
+
+The four models mirror the observation-error taxonomy of the
+uncertain-diffusion literature:
+
+========================  ====================================================
+:func:`flip_noise`        reporting errors — observed statuses are wrong
+                          (symmetric rate, or asymmetric false-positive /
+                          false-negative rates)
+:func:`missing_at_random` sensor gaps — individual statuses unobserved,
+                          encoded in the mask (never silently as 0/1)
+:func:`node_dropout`      unmonitored nodes — whole columns unobserved
+:func:`cascade_subsample` lost processes — whole rows removed
+========================  ====================================================
+
+>>> from repro.simulation.statuses import StatusMatrix
+>>> clean = StatusMatrix([[1, 0, 1], [0, 1, 1], [1, 1, 0], [0, 0, 0]])
+>>> record = missing_at_random(clean, 0.25, seed=7)
+>>> record.kind, record.rate
+('missing', 0.25)
+>>> record.statuses.has_missing
+True
+>>> record == missing_at_random(clean, 0.25, seed=7)   # deterministic
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.simulation.statuses import StatusMatrix
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "CORRUPTION_KINDS",
+    "CorruptedObservations",
+    "apply_corruptions",
+    "cascade_subsample",
+    "corrupt",
+    "flip_noise",
+    "missing_at_random",
+    "node_dropout",
+]
+
+
+@dataclass(frozen=True)
+class CorruptedObservations:
+    """One corruption step applied to a status matrix.
+
+    Attributes
+    ----------
+    statuses:
+        The corrupted observations (mask included when entries went
+        missing) — what an estimator under test gets to see.
+    clean:
+        The matrix the corruption was applied to, untouched.  For chained
+        corruptions this is the *input* of this step, so the original
+        observations are reachable by walking the chain.
+    kind:
+        Registry name of the model (``"flip"``, ``"missing"``,
+        ``"dropout"``, ``"subsample"``).
+    rate:
+        The headline corruption rate (meaning depends on ``kind`` — see
+        each model's docstring).
+    seed:
+        The seed the step ran under (``None`` if entropy-seeded).
+    details:
+        Model-specific metadata: realised corruption counts, asymmetric
+        rates, dropped node/process indices — everything needed to audit
+        or reproduce the step without re-running it.
+    """
+
+    statuses: StatusMatrix
+    clean: StatusMatrix
+    kind: str
+    rate: float
+    seed: int | None = None
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def mask(self) -> np.ndarray | None:
+        """Observation mask of the corrupted matrix (``None`` = complete)."""
+        return self.statuses.mask
+
+    @property
+    def realised_fraction(self) -> float:
+        """Fraction of entries the step actually corrupted/removed."""
+        value = self.details.get("realised_fraction")
+        return float(value) if value is not None else 0.0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CorruptedObservations):
+            return NotImplemented
+        return (
+            self.statuses == other.statuses
+            and self.clean == other.clean
+            and self.kind == other.kind
+            and self.rate == other.rate
+            and self.seed == other.seed
+            and dict(self.details) == dict(other.details)
+        )
+
+
+def _seed_of(seed: RandomState) -> int | None:
+    """Record-keeping form of a seed-like input (ints only; streams are
+    position-dependent so their state is not meaningfully recordable)."""
+    return seed if isinstance(seed, int) else None
+
+
+def flip_noise(
+    statuses: StatusMatrix,
+    rate: float | None = None,
+    *,
+    rate_01: float | None = None,
+    rate_10: float | None = None,
+    seed: RandomState = None,
+) -> CorruptedObservations:
+    """Flip observed statuses independently at random (reporting noise).
+
+    Parameters
+    ----------
+    rate:
+        Symmetric flip probability applied to every observed entry.
+        Mutually exclusive with the asymmetric pair.
+    rate_01 / rate_10:
+        Asymmetric rates: ``rate_01`` is the false-positive probability
+        (a true 0 reported as 1), ``rate_10`` the false-negative
+        probability (a true 1 reported as 0).  Either may be given alone
+        (the other defaults to 0).
+    seed:
+        Seed-like input (``repro.utils.rng`` conventions).
+
+    Entries an existing observation mask marks missing are left missing —
+    noise applies to what was observed, not to what wasn't.
+    """
+    if rate is not None and (rate_01 is not None or rate_10 is not None):
+        raise DataError("pass either rate= or rate_01=/rate_10=, not both")
+    if rate is None and rate_01 is None and rate_10 is None:
+        raise DataError("flip_noise needs rate= or rate_01=/rate_10=")
+    p01 = rate if rate is not None else (rate_01 or 0.0)
+    p10 = rate if rate is not None else (rate_10 or 0.0)
+    check_probability("rate_01", p01)
+    check_probability("rate_10", p10)
+    rng = as_generator(seed)
+    draws = rng.random(statuses.values.shape)
+    flip_probability = np.where(statuses.values == 1, p10, p01)
+    flips = draws < flip_probability
+    if statuses.mask is not None:
+        flips &= statuses.mask  # only observed entries can be misreported
+    corrupted = StatusMatrix(
+        np.where(flips, 1 - statuses.values, statuses.values), statuses.mask
+    )
+    observed = statuses.mask.sum() if statuses.mask is not None else statuses.values.size
+    return CorruptedObservations(
+        statuses=corrupted,
+        clean=statuses,
+        kind="flip",
+        rate=float(rate if rate is not None else max(p01, p10)),
+        seed=_seed_of(seed),
+        details={
+            "rate_01": float(p01),
+            "rate_10": float(p10),
+            "n_flipped": int(flips.sum()),
+            "realised_fraction": float(flips.sum() / observed) if observed else 0.0,
+        },
+    )
+
+
+def missing_at_random(
+    statuses: StatusMatrix, rate: float, *, seed: RandomState = None
+) -> CorruptedObservations:
+    """Mark entries unobserved independently with probability ``rate``.
+
+    Missingness is encoded in the observation mask — the corrupted
+    matrix's ``values`` hold 0 at missing entries but its ``mask`` says
+    they were never seen, and the mask-aware estimators
+    (``missing="pairwise"``) count accordingly.  Composes with an
+    existing mask (already-missing entries stay missing).
+    """
+    check_probability("rate", rate)
+    rng = as_generator(seed)
+    missing = rng.random(statuses.values.shape) < rate
+    mask = ~missing
+    if statuses.mask is not None:
+        mask &= statuses.mask
+    corrupted = StatusMatrix(np.where(mask, statuses.values, 0), mask)
+    return CorruptedObservations(
+        statuses=corrupted,
+        clean=statuses,
+        kind="missing",
+        rate=float(rate),
+        seed=_seed_of(seed),
+        details={
+            "n_missing": int((~mask).sum()),
+            "realised_fraction": float((~mask).mean()),
+        },
+    )
+
+
+def node_dropout(
+    statuses: StatusMatrix, rate: float, *, seed: RandomState = None
+) -> CorruptedObservations:
+    """Drop whole nodes from observation (unmonitored sensors).
+
+    Each node is independently unmonitored with probability ``rate``; a
+    dropped node's column becomes fully unobserved in the mask.  The
+    matrix keeps its shape so node indices stay aligned with the ground
+    truth — use :meth:`StatusMatrix.select_nodes` instead if you want the
+    columns physically removed.
+    """
+    check_probability("rate", rate)
+    rng = as_generator(seed)
+    dropped = rng.random(statuses.n_nodes) < rate
+    mask = np.ones(statuses.values.shape, dtype=bool)
+    mask[:, dropped] = False
+    if statuses.mask is not None:
+        mask &= statuses.mask
+    corrupted = StatusMatrix(np.where(mask, statuses.values, 0), mask)
+    dropped_nodes = tuple(np.nonzero(dropped)[0].tolist())
+    return CorruptedObservations(
+        statuses=corrupted,
+        clean=statuses,
+        kind="dropout",
+        rate=float(rate),
+        seed=_seed_of(seed),
+        details={
+            "dropped_nodes": dropped_nodes,
+            "n_dropped": len(dropped_nodes),
+            "realised_fraction": len(dropped_nodes) / statuses.n_nodes
+            if statuses.n_nodes
+            else 0.0,
+        },
+    )
+
+
+def cascade_subsample(
+    statuses: StatusMatrix, rate: float, *, seed: RandomState = None
+) -> CorruptedObservations:
+    """Remove whole diffusion processes (lost cascades).
+
+    Each process row is independently dropped with probability ``rate``;
+    the surviving rows keep their original order (and their mask entries,
+    if any).  At least one process always survives — an estimator can
+    degrade on little data, but zero rows is a different error class and
+    the record would be useless.
+    """
+    check_probability("rate", rate)
+    if statuses.beta == 0:
+        raise DataError("cannot subsample a matrix with zero processes")
+    rng = as_generator(seed)
+    keep = rng.random(statuses.beta) >= rate
+    if not keep.any():
+        keep[int(rng.integers(statuses.beta))] = True
+    kept_rows = np.nonzero(keep)[0]
+    corrupted = statuses.subset(kept_rows)
+    return CorruptedObservations(
+        statuses=corrupted,
+        clean=statuses,
+        kind="subsample",
+        rate=float(rate),
+        seed=_seed_of(seed),
+        details={
+            "n_kept": int(kept_rows.size),
+            "n_dropped": int(statuses.beta - kept_rows.size),
+            "realised_fraction": float(1.0 - kept_rows.size / statuses.beta),
+        },
+    )
+
+
+#: Registry of corruption models by kind name (the ``corrupt()`` and CLI
+#: vocabulary).
+CORRUPTION_KINDS: dict[str, object] = {
+    "flip": flip_noise,
+    "missing": missing_at_random,
+    "dropout": node_dropout,
+    "subsample": cascade_subsample,
+}
+
+
+def corrupt(
+    statuses: StatusMatrix,
+    kind: str,
+    rate: float,
+    *,
+    seed: RandomState = None,
+    **kwargs,
+) -> CorruptedObservations:
+    """Apply one corruption model by registry name.
+
+    ``kind`` is one of :data:`CORRUPTION_KINDS`; extra keyword arguments
+    are forwarded to the model (e.g. ``rate_01=`` for asymmetric flips).
+    """
+    try:
+        model = CORRUPTION_KINDS[kind]
+    except KeyError:
+        raise DataError(
+            f"unknown corruption kind {kind!r}; "
+            f"expected one of {sorted(CORRUPTION_KINDS)}"
+        ) from None
+    return model(statuses, rate, seed=seed, **kwargs)
+
+
+def apply_corruptions(
+    statuses: StatusMatrix,
+    steps: Sequence[tuple[str, float]],
+    *,
+    seed: RandomState = None,
+) -> list[CorruptedObservations]:
+    """Chain corruption steps, each on the previous step's output.
+
+    ``steps`` is a sequence of ``(kind, rate)`` pairs.  One independent
+    generator per step is spawned from ``seed`` (``SeedSequence.spawn``),
+    so the recipe is deterministic as a whole and editing a later step
+    never perturbs an earlier one.  Returns the per-step records in
+    order; the final corrupted matrix is ``result[-1].statuses``.
+    """
+    streams = spawn_generators(seed, len(steps))
+    records: list[CorruptedObservations] = []
+    current = statuses
+    for (kind, rate), stream in zip(steps, streams):
+        record = corrupt(current, kind, rate, seed=stream)
+        records.append(record)
+        current = record.statuses
+    return records

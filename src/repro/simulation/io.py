@@ -37,8 +37,23 @@ PathLike = Union[str, Path]
 
 
 def write_statuses_csv(statuses: StatusMatrix, path: PathLike) -> None:
-    """Write a status matrix as comma-separated 0/1 rows with a header."""
+    """Write a status matrix as comma-separated 0/1 rows with a header.
+
+    The CSV format has no mask column; writing a masked matrix warns that
+    the missing-data information is lost (use NPZ to round-trip masks).
+    """
     path = Path(path)
+    if statuses.mask is not None:
+        import warnings
+
+        from repro.exceptions import DataQualityWarning
+
+        warnings.warn(
+            f"{path}: CSV cannot encode the observation mask; unobserved "
+            "entries are written as 0 (use NPZ to preserve the mask)",
+            DataQualityWarning,
+            stacklevel=2,
+        )
     with path.open("w", encoding="utf-8") as handle:
         handle.write(f"# beta: {statuses.beta}, nodes: {statuses.n_nodes}\n")
         for row in statuses.values:
@@ -68,8 +83,15 @@ def read_statuses_csv(path: PathLike) -> StatusMatrix:
 
 
 def write_statuses_npz(statuses: StatusMatrix, path: PathLike) -> None:
-    """Write a status matrix as a compressed NPZ archive."""
-    np.savez_compressed(Path(path), statuses=statuses.values)
+    """Write a status matrix as a compressed NPZ archive.
+
+    An observation mask, when present, is stored under the ``mask`` key so
+    missing-data information round-trips (pre-mask files simply lack it).
+    """
+    arrays: dict[str, np.ndarray] = {"statuses": statuses.values}
+    if statuses.mask is not None:
+        arrays["mask"] = statuses.mask
+    np.savez_compressed(Path(path), **arrays)
 
 
 def read_statuses_npz(path: PathLike) -> StatusMatrix:
@@ -77,7 +99,8 @@ def read_statuses_npz(path: PathLike) -> StatusMatrix:
     with np.load(Path(path)) as archive:
         if "statuses" not in archive:
             raise DataError(f"{path}: missing 'statuses' array")
-        return StatusMatrix(archive["statuses"])
+        mask = archive["mask"] if "mask" in archive else None
+        return StatusMatrix(archive["statuses"], mask)
 
 
 def write_cascades_jsonl(cascades: CascadeSet, path: PathLike) -> None:

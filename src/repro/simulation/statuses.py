@@ -5,6 +5,15 @@ A :class:`StatusMatrix` is the ``β × n`` binary matrix ``S`` from the paper
 of the ``ℓ``-th diffusion process.  It is the *only* observation TENDS
 consumes, so this class also hosts the vectorised marginal/joint counting
 helpers the scoring and IMI code build on.
+
+Real observation sets are incomplete as well as noisy, so a matrix may
+carry an optional **observation mask**: a boolean ``β × n`` array whose
+``True`` entries mark statuses that were actually observed.  Missing
+entries are encoded explicitly in the mask — never silently as 0 or 1 —
+and the estimators (``repro.core.imi``, ``repro.core.scoring``) switch to
+pairwise-complete counting whenever unobserved entries are present.  A
+matrix without a mask (or with an all-``True`` mask) behaves exactly as
+before; every clean-data code path is unchanged.
 """
 
 from __future__ import annotations
@@ -46,6 +55,15 @@ class StatusAudit:
         Columns that are 0 in every process (``N₂ = 0``).
     always_infected_nodes:
         Columns that are 1 in every process (``N₁ = 0``).
+    missing_fraction:
+        Fraction of entries the observation mask marks unobserved
+        (0.0 for unmasked matrices).
+    unobserved_nodes:
+        Columns with **no** observed entry at all — such a node can never
+        contribute pairwise signal under any missing-data policy.
+    unobserved_processes:
+        Rows with no observed entry at all (the diffusion process was
+        recorded but every status is missing).
     """
 
     beta: int
@@ -54,6 +72,14 @@ class StatusAudit:
     saturated_processes: tuple[int, ...]
     never_infected_nodes: tuple[int, ...]
     always_infected_nodes: tuple[int, ...]
+    missing_fraction: float = 0.0
+    unobserved_nodes: tuple[int, ...] = ()
+    unobserved_processes: tuple[int, ...] = ()
+
+    #: Missing-entry fraction above which the audit flags mask density
+    #: itself as a finding (pairwise-complete estimates then rest on less
+    #: than half the processes per pair).
+    DENSITY_WARNING_FRACTION = 0.5
 
     @property
     def is_degenerate(self) -> bool:
@@ -63,6 +89,9 @@ class StatusAudit:
             or self.saturated_processes
             or self.never_infected_nodes
             or self.always_infected_nodes
+            or self.unobserved_nodes
+            or self.unobserved_processes
+            or self.missing_fraction > self.DENSITY_WARNING_FRACTION
         )
 
     def findings(self) -> list[str]:
@@ -73,11 +102,18 @@ class StatusAudit:
             ("all-one (saturated) processes", self.saturated_processes),
             ("never-infected nodes (N2=0)", self.never_infected_nodes),
             ("always-infected nodes (N1=0)", self.always_infected_nodes),
+            ("fully-unobserved nodes", self.unobserved_nodes),
+            ("fully-unobserved processes", self.unobserved_processes),
         ):
             if items:
                 head = ", ".join(str(i) for i in items[:8])
                 suffix = ", ..." if len(items) > 8 else ""
                 messages.append(f"{len(items)} {label}: [{head}{suffix}]")
+        if self.missing_fraction > self.DENSITY_WARNING_FRACTION:
+            messages.append(
+                f"{self.missing_fraction:.1%} of entries unobserved "
+                "(pairwise-complete estimates rest on a minority of processes)"
+            )
         return messages
 
 
@@ -88,7 +124,10 @@ def validate_observations(
 
     Shape, dtype, and NaN/value checks already happen in the
     :class:`StatusMatrix` constructor (malformed data never gets this
-    far); this audit flags *statistically* degenerate content.
+    far); this audit flags *statistically* degenerate content, including
+    observation-mask density: the overall missing fraction is always
+    reported, and fully-unobserved nodes/processes or a majority-missing
+    mask count as findings.
 
     Parameters
     ----------
@@ -105,6 +144,17 @@ def validate_observations(
     values = statuses.values
     row_sums = values.sum(axis=1, dtype=np.int64)
     column_sums = values.sum(axis=0, dtype=np.int64)
+    mask = statuses.mask
+    if mask is None:
+        missing_fraction = 0.0
+        unobserved_nodes: tuple[int, ...] = ()
+        unobserved_processes: tuple[int, ...] = ()
+    else:
+        observed = int(mask.sum())
+        total = mask.size
+        missing_fraction = 1.0 - (observed / total) if total else 0.0
+        unobserved_nodes = tuple(np.nonzero(~mask.any(axis=0))[0].tolist())
+        unobserved_processes = tuple(np.nonzero(~mask.any(axis=1))[0].tolist())
     audit = StatusAudit(
         beta=statuses.beta,
         n_nodes=statuses.n_nodes,
@@ -116,6 +166,9 @@ def validate_observations(
         always_infected_nodes=tuple(
             np.nonzero(column_sums == statuses.beta)[0].tolist()
         ),
+        missing_fraction=missing_fraction,
+        unobserved_nodes=unobserved_nodes,
+        unobserved_processes=unobserved_processes,
     )
     if audit.is_degenerate and on_degenerate != "ignore":
         message = (
@@ -128,6 +181,23 @@ def validate_observations(
     return audit
 
 
+def _describe_invalid_rows(array: np.ndarray) -> str:
+    """Name the first cascade rows whose entries are not 0/1 (NaN included)."""
+    valid = np.isin(array, (0, 1))
+    bad_rows = np.nonzero(~valid.all(axis=1))[0]
+    samples: list[str] = []
+    for row in bad_rows[:3].tolist():
+        column = int(np.nonzero(~valid[row])[0][0])
+        samples.append(f"row {row} column {column} = {array[row, column]!r}")
+    suffix = ", ..." if bad_rows.size > 3 else ""
+    return (
+        f"status matrix entries must be 0 or 1; "
+        f"{bad_rows.size} offending cascade row(s): "
+        + "; ".join(samples)
+        + suffix
+    )
+
+
 class StatusMatrix:
     """Immutable wrapper around a ``(beta, n)`` uint8 array of {0, 1}.
 
@@ -135,6 +205,12 @@ class StatusMatrix:
     ----------
     data:
         Array-like of shape ``(beta, n)`` containing only 0/1 values.
+    mask:
+        Optional boolean array of the same shape; ``True`` marks entries
+        that were actually observed.  ``None`` (default) means fully
+        observed.  An all-``True`` mask is normalised to ``None`` so that
+        equality, hashing, and the estimator fast paths treat "no mask"
+        and "nothing missing" identically.
 
     Examples
     --------
@@ -145,24 +221,67 @@ class StatusMatrix:
     [1, 0, 2]
     """
 
-    __slots__ = ("_data",)
+    __slots__ = ("_data", "_mask")
 
-    def __init__(self, data: Iterable[Sequence[int]] | np.ndarray) -> None:
+    def __init__(
+        self,
+        data: Iterable[Sequence[int]] | np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> None:
         array = np.asarray(data)
         if array.ndim != 2:
             raise DataError(f"status matrix must be 2-D (beta, n), got shape {array.shape}")
         if array.size and not np.isin(array, (0, 1)).all():
-            raise DataError("status matrix entries must be 0 or 1")
+            raise DataError(_describe_invalid_rows(array))
         self._data = np.ascontiguousarray(array, dtype=np.uint8)
         self._data.setflags(write=False)
+        self._mask = self._normalise_mask(mask, self._data.shape)
+
+    @staticmethod
+    def _normalise_mask(
+        mask: np.ndarray | None, shape: tuple[int, int]
+    ) -> np.ndarray | None:
+        if mask is None:
+            return None
+        mask_array = np.asarray(mask)
+        if mask_array.shape != shape:
+            raise DataError(
+                f"observation mask shape {mask_array.shape} does not match "
+                f"status matrix shape {shape}"
+            )
+        if mask_array.dtype != np.bool_:
+            if mask_array.size and not np.isin(mask_array, (0, 1)).all():
+                raise DataError("observation mask entries must be boolean (0/1)")
+            mask_array = mask_array.astype(np.bool_)
+        if mask_array.all():
+            return None  # fully observed == unmasked
+        mask_array = np.ascontiguousarray(mask_array)
+        mask_array.setflags(write=False)
+        return mask_array
 
     # ------------------------------------------------------------------
     # basic shape
     # ------------------------------------------------------------------
     @property
     def values(self) -> np.ndarray:
-        """Read-only ``(beta, n)`` uint8 view."""
+        """Read-only ``(beta, n)`` uint8 view.
+
+        For masked matrices, unobserved entries hold the stored
+        placeholder value (0 for corruption-produced matrices) — consult
+        :attr:`mask` before treating them as observations.
+        """
         return self._data
+
+    @property
+    def mask(self) -> np.ndarray | None:
+        """Read-only boolean observation mask (``True`` = observed), or
+        ``None`` when every entry was observed."""
+        return self._mask
+
+    @property
+    def has_missing(self) -> bool:
+        """True when an observation mask marks at least one entry missing."""
+        return self._mask is not None
 
     @property
     def beta(self) -> int:
@@ -183,11 +302,57 @@ class StatusMatrix:
         return self._data[index, :]
 
     # ------------------------------------------------------------------
+    # mask helpers
+    # ------------------------------------------------------------------
+    def with_mask(self, mask: np.ndarray | None) -> "StatusMatrix":
+        """New matrix with the given observation mask over the same data.
+
+        Entries the mask marks unobserved are zeroed in the stored data,
+        so no stale placeholder value can leak through ``values``.
+        """
+        if mask is None:
+            return StatusMatrix(self._data)
+        normalised = self._normalise_mask(np.asarray(mask), self._data.shape)
+        if normalised is None:
+            return StatusMatrix(self._data)
+        return StatusMatrix(np.where(normalised, self._data, 0), normalised)
+
+    def filled(self, value: int = 0) -> "StatusMatrix":
+        """Unmasked copy with unobserved entries replaced by ``value``
+        (the explicit, auditable form of the ``zero-fill`` policy)."""
+        if value not in (0, 1):
+            raise DataError(f"fill value must be 0 or 1, got {value!r}")
+        if self._mask is None:
+            return self
+        return StatusMatrix(np.where(self._mask, self._data, value))
+
+    def observed_counts(self) -> np.ndarray:
+        """Per-node count of processes in which the node was observed
+        (``beta`` everywhere for unmasked matrices)."""
+        if self._mask is None:
+            return np.full(self.n_nodes, self.beta, dtype=np.int64)
+        return self._mask.sum(axis=0, dtype=np.int64)
+
+    def complete_rows(self, columns: Sequence[int]) -> np.ndarray:
+        """Indices of processes in which **every** given column was
+        observed — the pairwise/family-complete row set the missing-data
+        estimators count over."""
+        if self._mask is None:
+            return np.arange(self.beta, dtype=np.int64)
+        cols = list(columns)
+        if not cols:
+            return np.arange(self.beta, dtype=np.int64)
+        return np.nonzero(self._mask[:, cols].all(axis=1))[0].astype(np.int64)
+
+    # ------------------------------------------------------------------
     # counting helpers (used by scoring and IMI)
     # ------------------------------------------------------------------
     def infection_counts(self) -> np.ndarray:
         """Per-node count of processes in which the node ended infected
-        (the paper's ``N₂`` per node; ``N₁ = beta - N₂``)."""
+        (the paper's ``N₂`` per node; ``N₁ = beta - N₂``).
+
+        Masked matrices count only observed infections (unobserved
+        entries are stored as 0)."""
         return self._data.sum(axis=0, dtype=np.int64)
 
     def infection_rates(self) -> np.ndarray:
@@ -211,6 +376,33 @@ class StatusMatrix:
         n01 = zeros.T @ ones
         n00 = zeros.T @ zeros
         return {"11": n11, "10": n10, "01": n01, "00": n00}
+
+    def pairwise_complete_counts(self) -> dict[str, np.ndarray]:
+        """Joint counts over pairwise-complete processes only.
+
+        Like :meth:`joint_counts`, but each pair ``(i, j)`` is counted
+        only over the processes in which **both** statuses were observed;
+        the extra key ``"obs"`` holds the per-pair effective process
+        count ``β_ij``.  For unmasked matrices this equals
+        :meth:`joint_counts` with ``obs ≡ beta``.  Cost is four
+        ``(n × β) @ (β × n)`` products — the same ``O(β n²)`` stage.
+        """
+        if self._mask is None:
+            counts = self.joint_counts()
+            counts["obs"] = np.full(
+                (self.n_nodes, self.n_nodes), self.beta, dtype=np.int64
+            )
+            return counts
+        observed = self._mask.astype(np.int64)
+        ones = self._data.astype(np.int64) * observed
+        zeros = (1 - self._data.astype(np.int64)) * observed
+        return {
+            "11": ones.T @ ones,
+            "10": ones.T @ zeros,
+            "01": zeros.T @ ones,
+            "00": zeros.T @ zeros,
+            "obs": observed.T @ observed,
+        }
 
     def pattern_counts(self, columns: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
         """Group rows by the joint pattern of ``columns`` (dense variant).
@@ -241,7 +433,7 @@ class StatusMatrix:
         return codes, counts
 
     def observed_pattern_counts(
-        self, columns: Sequence[int]
+        self, columns: Sequence[int], rows: np.ndarray | None = None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Group rows by the joint pattern of ``columns`` (sparse variant).
 
@@ -252,29 +444,45 @@ class StatusMatrix:
         is self-satisfying for large parent sets (``φ`` grows like
         ``2^|F|``), so the literal Algorithm-1 search can reach parent
         sets far beyond dense-counting territory.
+
+        ``rows`` restricts the grouping to the given process indices —
+        the missing-data scoring path passes the family-complete row set
+        (:meth:`complete_rows`) here.
         """
         cols = list(columns)
         if len(cols) > 62:
             raise DataError(f"too many columns for bit-packing: {len(cols)}")
+        data = self._data if rows is None else self._data[rows, :]
+        n_rows = data.shape[0]
         if len(cols) == 0:
             return (
                 np.zeros(1, dtype=np.int64),
-                np.zeros(self.beta, dtype=np.int64),
-                np.array([self.beta], dtype=np.int64),
+                np.zeros(n_rows, dtype=np.int64),
+                np.array([n_rows], dtype=np.int64),
             )
         weights = (1 << np.arange(len(cols), dtype=np.int64))
-        codes = self._data[:, cols].astype(np.int64) @ weights
+        codes = data[:, cols].astype(np.int64) @ weights
         pattern_ids, inverse, counts = np.unique(
             codes, return_inverse=True, return_counts=True
         )
-        return pattern_ids, inverse.astype(np.int64), counts.astype(np.int64)
+        if pattern_ids.size == 0:  # zero rows selected
+            pattern_ids = np.zeros(1, dtype=np.int64)
+            counts = np.zeros(1, dtype=np.int64)
+        return (
+            pattern_ids.astype(np.int64),
+            inverse.astype(np.int64).reshape(-1),
+            counts.astype(np.int64),
+        )
 
     # ------------------------------------------------------------------
     # transforms
     # ------------------------------------------------------------------
     def subset(self, processes: Sequence[int] | np.ndarray) -> "StatusMatrix":
-        """New matrix containing only the selected process rows."""
-        return StatusMatrix(self._data[np.asarray(processes, dtype=np.int64), :])
+        """New matrix containing only the selected process rows (the
+        observation mask, when present, travels with them)."""
+        index = np.asarray(processes, dtype=np.int64)
+        mask = None if self._mask is None else self._mask[index, :]
+        return StatusMatrix(self._data[index, :], mask)
 
     def select_nodes(self, nodes: Sequence[int] | np.ndarray) -> "StatusMatrix":
         """New matrix containing only the selected node columns (in the
@@ -283,42 +491,69 @@ class StatusMatrix:
         index = np.asarray(nodes, dtype=np.int64)
         if index.size != np.unique(index).size:
             raise DataError("selected nodes must be distinct")
-        return StatusMatrix(self._data[:, index])
+        mask = None if self._mask is None else self._mask[:, index]
+        return StatusMatrix(self._data[:, index], mask)
 
     def with_flip_noise(self, flip_probability: float, *, seed=None) -> "StatusMatrix":
         """Return a copy where each entry is flipped independently with the
-        given probability (observation-noise robustness experiments)."""
+        given probability (observation-noise robustness experiments).
+
+        Kept for API compatibility; :func:`repro.robustness.flip_noise`
+        is the richer form (asymmetric rates, corruption metadata).
+        """
         from repro.utils.rng import as_generator
         from repro.utils.validation import check_probability
 
         check_probability("flip_probability", flip_probability)
         rng = as_generator(seed)
         flips = rng.random(self._data.shape) < flip_probability
-        return StatusMatrix(np.where(flips, 1 - self._data, self._data))
+        return StatusMatrix(np.where(flips, 1 - self._data, self._data), self._mask)
 
     # ------------------------------------------------------------------
     # dunders
     # ------------------------------------------------------------------
-    def __getstate__(self) -> np.ndarray:
-        # Slots classes need explicit pickle support; the array is the
-        # whole state.  Used by the process execution backend, which ships
-        # one StatusMatrix per worker (repro.core.executor).
-        return self._data
+    def __getstate__(self) -> tuple[np.ndarray, np.ndarray | None]:
+        # Slots classes need explicit pickle support; the array (and the
+        # optional mask) is the whole state.  Used by the process
+        # execution backend, which ships one StatusMatrix per worker
+        # (repro.core.executor).
+        return (self._data, self._mask)
 
-    def __setstate__(self, state: np.ndarray) -> None:
-        data = np.ascontiguousarray(state, dtype=np.uint8)
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):
+            data, mask = state
+        else:  # pre-mask pickles carried the bare array
+            data, mask = state, None
+        data = np.ascontiguousarray(data, dtype=np.uint8)
         data.setflags(write=False)  # unpickling drops the read-only flag
+        if mask is not None:
+            mask = np.ascontiguousarray(mask, dtype=np.bool_)
+            mask.setflags(write=False)
         object.__setattr__(self, "_data", data)
+        object.__setattr__(self, "_mask", mask)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, StatusMatrix):
             return NotImplemented
-        return self._data.shape == other._data.shape and bool(
-            (self._data == other._data).all()
-        )
+        if self._data.shape != other._data.shape:
+            return False
+        if not bool((self._data == other._data).all()):
+            return False
+        if (self._mask is None) != (other._mask is None):
+            return False
+        if self._mask is None:
+            return True
+        return bool((self._mask == other._mask).all())
 
     def __hash__(self) -> int:
-        return hash((self._data.shape, self._data.tobytes()))
+        mask_bytes = b"" if self._mask is None else self._mask.tobytes()
+        return hash((self._data.shape, self._data.tobytes(), mask_bytes))
 
     def __repr__(self) -> str:
-        return f"StatusMatrix(beta={self.beta}, n_nodes={self.n_nodes})"
+        if self._mask is None:
+            return f"StatusMatrix(beta={self.beta}, n_nodes={self.n_nodes})"
+        missing = 1.0 - self._mask.mean()
+        return (
+            f"StatusMatrix(beta={self.beta}, n_nodes={self.n_nodes}, "
+            f"missing={missing:.1%})"
+        )

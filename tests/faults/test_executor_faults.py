@@ -22,7 +22,11 @@ EXPECTED = fault_lib.expected(ITEMS)
 
 @pytest.fixture
 def fault_context(tmp_path):
-    return {"dir": str(tmp_path), "main_pid": os.getpid()}
+    context = {"dir": str(tmp_path), "main_pid": os.getpid()}
+    yield context
+    # Wake any abandoned hang simulations so they drain now, not after
+    # sleeping out their full bound.
+    fault_lib.release_workers(context)
 
 
 def make_executor(

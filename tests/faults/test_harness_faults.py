@@ -8,6 +8,7 @@ cells and the aggregation keeps them visible without poisoning the means.
 from __future__ import annotations
 
 import math
+import threading
 
 import pytest
 
@@ -41,11 +42,27 @@ class FlakyInferrer:
 
 
 class SlowInferrer:
-    def infer(self, observations):
-        import time
+    """Blocks until released (event-based, bounded) to trip the method
+    timeout deterministically.
 
-        time.sleep(1.0)
+    The harness runs the method in a worker thread it abandons on
+    timeout; waiting on an event the test sets afterwards lets that
+    thread exit immediately instead of sleeping out a fixed delay, and
+    guarantees the timeout fires first however slow the runner is.
+    """
+
+    release = threading.Event()
+
+    def infer(self, observations):
+        type(self).release.wait(timeout=10.0)
         return TendsInferrer().infer(observations)
+
+
+@pytest.fixture
+def slow_release():
+    SlowInferrer.release.clear()
+    yield
+    SlowInferrer.release.set()
 
 
 def make_spec(*methods: MethodSpec, replicates: int = 1) -> ExperimentSpec:
@@ -129,7 +146,7 @@ class TestOnErrorPolicies:
 
 
 class TestMethodTimeout:
-    def test_timeout_is_recorded_as_a_failure(self):
+    def test_timeout_is_recorded_as_a_failure(self, slow_release):
         spec = make_spec(MethodSpec("SLOW", lambda ctx: SlowInferrer()), TENDS)
         result = run_experiment(
             spec, seed=1, on_error="skip", method_timeout=0.2
@@ -140,7 +157,7 @@ class TestMethodTimeout:
         tends = next(r for r in result.results if r.method == "TENDS")
         assert tends.ok
 
-    def test_timeout_under_raise_propagates(self):
+    def test_timeout_under_raise_propagates(self, slow_release):
         from repro.exceptions import MethodTimeoutError
 
         spec = make_spec(MethodSpec("SLOW", lambda ctx: SlowInferrer()))

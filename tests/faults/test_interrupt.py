@@ -39,7 +39,11 @@ plan = ExecutionPlan(
 )
 
 def shoot():
-    time.sleep(0.4)  # let the pool spin up and chunks start
+    # Event-based arming: wait for a chunk to announce it is running
+    # instead of guessing how long pool spin-up takes on this machine.
+    if not fault_lib.wait_for_chunk_start(context["dir"], timeout=30.0):
+        print("NO-CHUNK-START")
+        os._exit(2)
     os.kill(os.getpid(), getattr(signal, signal_name))
 
 threading.Thread(target=shoot, daemon=True).start()

@@ -1,0 +1,101 @@
+"""Property-based checks of corruption models and masked estimation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.imi import infection_mi_matrix
+from repro.robustness import corrupt, missing_at_random
+from repro.simulation.statuses import StatusMatrix
+
+status_matrices = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(2, 40), st.integers(2, 7)),
+    elements=st.integers(0, 1),
+).map(StatusMatrix)
+
+masked_matrices = st.builds(
+    lambda statuses, rate, seed: missing_at_random(
+        statuses, rate, seed=seed
+    ).statuses,
+    status_matrices,
+    st.floats(0.0, 0.6),
+    st.integers(0, 2**16),
+)
+
+
+@given(statuses=masked_matrices)
+@settings(max_examples=60, deadline=None)
+def test_masked_imi_symmetric(statuses):
+    imi = infection_mi_matrix(statuses)
+    assert np.allclose(imi, imi.T, atol=1e-12)
+
+
+@given(statuses=masked_matrices)
+@settings(max_examples=60, deadline=None)
+def test_masked_imi_finite_and_bounded(statuses):
+    imi = infection_mi_matrix(statuses)
+    assert np.isfinite(imi).all()
+    assert imi.max() <= 1.0 + 1e-9
+    assert imi.min() >= -1.0 - 1e-9
+
+
+@given(statuses=masked_matrices, seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_masked_imi_invariant_under_cascade_permutation(statuses, seed):
+    # The IMI is a function of the (status, mask) multiset of rows, so
+    # shuffling the processes must not change it.
+    order = np.random.default_rng(seed).permutation(statuses.beta)
+    shuffled = statuses.subset(order)
+    np.testing.assert_allclose(
+        infection_mi_matrix(shuffled), infection_mi_matrix(statuses), atol=1e-12
+    )
+
+
+@given(statuses=status_matrices)
+@settings(max_examples=60, deadline=None)
+def test_all_observed_mask_equals_clean_path(statuses):
+    # missing="pairwise" with nothing actually missing must be the clean
+    # path — an all-True mask is normalised away entirely.
+    mask = np.ones(statuses.values.shape, dtype=bool)
+    masked = StatusMatrix(statuses.values, mask)
+    assert masked.mask is None
+    np.testing.assert_array_equal(
+        infection_mi_matrix(masked), infection_mi_matrix(statuses)
+    )
+
+
+@given(
+    statuses=status_matrices,
+    kind=st.sampled_from(["flip", "missing", "dropout", "subsample"]),
+    rate=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_corruption_deterministic_and_well_formed(statuses, kind, rate, seed):
+    first = corrupt(statuses, kind, rate, seed=seed)
+    second = corrupt(statuses, kind, rate, seed=seed)
+    assert first == second
+    # Output is always a valid status matrix with >= 1 process.
+    assert first.statuses.beta >= 1
+    assert first.statuses.n_nodes == statuses.n_nodes
+    assert set(np.unique(first.statuses.values)) <= {0, 1}
+
+
+@given(
+    statuses=status_matrices,
+    rate=st.floats(0.0, 0.9),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_missingness_never_alters_observed_entries(statuses, rate, seed):
+    record = missing_at_random(statuses, rate, seed=seed)
+    mask = record.mask
+    if mask is None:  # nothing went missing
+        assert record.statuses == statuses
+    else:
+        assert (
+            record.statuses.values[mask] == statuses.values[mask]
+        ).all()
+        assert (record.statuses.values[~mask] == 0).all()

@@ -1,0 +1,99 @@
+"""Bootstrap IMI uncertainty: CI sanity, determinism, stability rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.imi import infection_mi_matrix, traditional_mi_matrix
+from repro.exceptions import DataError
+from repro.robustness import bootstrap_imi, missing_at_random
+from repro.simulation.statuses import StatusMatrix
+
+
+@pytest.fixture(scope="module")
+def statuses() -> StatusMatrix:
+    rng = np.random.default_rng(3)
+    base = (rng.random((80, 8)) < 0.35).astype(int)
+    # Couple node 1 to node 0 so at least one pair has real signal.
+    base[:, 1] = np.where(rng.random(80) < 0.8, base[:, 0], base[:, 1])
+    return StatusMatrix(base)
+
+
+@pytest.fixture(scope="module")
+def boot(statuses):
+    return bootstrap_imi(statuses, 60, seed=5)
+
+
+class TestBootstrapImi:
+    def test_point_matches_direct_estimate(self, statuses, boot):
+        np.testing.assert_array_equal(boot.point, infection_mi_matrix(statuses))
+
+    def test_sample_stack_shape(self, statuses, boot):
+        assert boot.samples.shape == (60, statuses.n_nodes, statuses.n_nodes)
+        assert boot.n_samples == 60
+
+    def test_deterministic_under_seed(self, statuses, boot):
+        again = bootstrap_imi(statuses, 60, seed=5)
+        np.testing.assert_array_equal(boot.samples, again.samples)
+        assert again.seed == 5
+
+    def test_different_seed_resamples_differently(self, statuses, boot):
+        other = bootstrap_imi(statuses, 60, seed=6)
+        assert not np.array_equal(boot.samples, other.samples)
+
+    def test_traditional_kind_uses_traditional_mi(self, statuses):
+        boot = bootstrap_imi(statuses, 5, seed=1, mi_kind="traditional")
+        np.testing.assert_array_equal(boot.point, traditional_mi_matrix(statuses))
+
+    def test_masked_input_is_accepted(self, statuses):
+        masked = missing_at_random(statuses, 0.2, seed=9).statuses
+        boot = bootstrap_imi(masked, 10, seed=2)
+        assert np.isfinite(boot.samples).all()
+
+    def test_invalid_arguments(self, statuses):
+        with pytest.raises(DataError, match="n_samples"):
+            bootstrap_imi(statuses, 0)
+        with pytest.raises(DataError, match="ci_level"):
+            bootstrap_imi(statuses, 5, ci_level=1.0)
+        with pytest.raises(DataError, match="mi_kind"):
+            bootstrap_imi(statuses, 5, mi_kind="mutual")
+        with pytest.raises(DataError, match="zero diffusion"):
+            bootstrap_imi(StatusMatrix(np.empty((0, 4))), 5)
+
+
+class TestIntervalsAndStability:
+    def test_ci_bounds_ordered_and_bracket_quantiles(self, boot):
+        lower, upper = boot.ci()
+        assert (lower <= upper).all()
+        wider_lower, wider_upper = boot.ci(0.5)
+        assert (wider_lower >= lower).all()
+        assert (wider_upper <= upper).all()
+
+    def test_ci_level_validated(self, boot):
+        with pytest.raises(DataError, match="ci level"):
+            boot.ci(0.0)
+
+    def test_exceed_fraction_bounds(self, boot):
+        frac = boot.exceed_fraction(0.01)
+        assert ((0.0 <= frac) & (frac <= 1.0)).all()
+        # Below the global minimum, every resample exceeds.
+        assert (boot.exceed_fraction(boot.samples.min() - 1.0) == 1.0).all()
+        assert (boot.exceed_fraction(boot.samples.max() + 1.0) == 0.0).all()
+
+    def test_stable_above_matches_ci_lower_bound(self, boot):
+        threshold = float(np.median(boot.point))
+        lower, _ = boot.ci()
+        np.testing.assert_array_equal(
+            boot.stable_above(threshold), lower > threshold
+        )
+
+    def test_stable_is_stricter_than_point_threshold(self, boot):
+        threshold = float(np.median(boot.point))
+        stable = boot.stable_above(threshold)
+        # Stability can only remove pairs relative to point-thresholding,
+        # up to resampling noise on pairs already above threshold; it must
+        # never certify a pair whose CI straddles the threshold.
+        lower, upper = boot.ci()
+        straddles = (lower <= threshold) & (upper > threshold)
+        assert not (stable & straddles).any()

@@ -1,0 +1,182 @@
+"""Corruption models: record contents, mask semantics, determinism."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.robustness import (
+    CORRUPTION_KINDS,
+    CorruptedObservations,
+    apply_corruptions,
+    cascade_subsample,
+    corrupt,
+    flip_noise,
+    missing_at_random,
+    node_dropout,
+)
+from repro.simulation.statuses import StatusMatrix
+
+
+@pytest.fixture
+def clean() -> StatusMatrix:
+    rng = np.random.default_rng(7)
+    return StatusMatrix((rng.random((60, 12)) < 0.4).astype(int))
+
+
+class TestFlipNoise:
+    def test_flips_only_where_recorded(self, clean):
+        record = flip_noise(clean, 0.2, seed=1)
+        changed = record.statuses.values != clean.values
+        assert changed.sum() == record.details["n_flipped"]
+        assert 0 < record.details["n_flipped"] < clean.values.size
+
+    def test_zero_rate_is_identity(self, clean):
+        record = flip_noise(clean, 0.0, seed=1)
+        assert record.statuses == clean
+
+    def test_asymmetric_rates_flip_one_direction(self, clean):
+        record = flip_noise(clean, rate_10=1.0, seed=2)
+        # Every 1 became 0 and no 0 became 1.
+        assert record.statuses.values.sum() == 0
+        assert record.details["rate_01"] == 0.0
+
+    def test_symmetric_and_asymmetric_are_exclusive(self, clean):
+        with pytest.raises(DataError, match="not both"):
+            flip_noise(clean, 0.1, rate_01=0.2, seed=0)
+        with pytest.raises(DataError, match="needs rate"):
+            flip_noise(clean, seed=0)
+
+    def test_does_not_touch_masked_entries(self, clean):
+        masked = missing_at_random(clean, 0.3, seed=5).statuses
+        record = flip_noise(masked, 1.0, seed=6)
+        # Unobserved entries keep their stored placeholder (0) and stay masked.
+        assert (record.statuses.values[~masked.mask] == 0).all()
+        assert (record.statuses.mask == masked.mask).all()
+
+    def test_clean_reference_preserved(self, clean):
+        record = flip_noise(clean, 0.5, seed=3)
+        assert record.clean == clean
+        assert record.kind == "flip"
+        assert record.seed == 3
+
+
+class TestMissingAtRandom:
+    def test_encodes_missingness_in_mask(self, clean):
+        record = missing_at_random(clean, 0.25, seed=4)
+        assert record.statuses.has_missing
+        assert record.mask is not None
+        assert record.details["n_missing"] == int((~record.mask).sum())
+        # Observed entries are untouched.
+        assert (
+            record.statuses.values[record.mask] == clean.values[record.mask]
+        ).all()
+
+    def test_masked_values_are_zeroed_not_stale(self, clean):
+        record = missing_at_random(clean, 0.5, seed=9)
+        assert (record.statuses.values[~record.mask] == 0).all()
+
+    def test_zero_rate_yields_unmasked_matrix(self, clean):
+        record = missing_at_random(clean, 0.0, seed=4)
+        assert not record.statuses.has_missing
+        assert record.statuses == clean
+
+    def test_composes_with_existing_mask(self, clean):
+        first = missing_at_random(clean, 0.3, seed=1)
+        second = missing_at_random(first.statuses, 0.3, seed=2)
+        # Already-missing entries stay missing.
+        assert (~second.mask[~first.mask]).all()
+
+
+class TestNodeDropout:
+    def test_dropped_columns_fully_unobserved(self, clean):
+        record = node_dropout(clean, 0.4, seed=3)
+        dropped = record.details["dropped_nodes"]
+        assert record.details["n_dropped"] == len(dropped)
+        for node in dropped:
+            assert not record.mask[:, node].any()
+        kept = [n for n in range(clean.n_nodes) if n not in dropped]
+        for node in kept:
+            assert record.mask[:, node].all()
+
+    def test_shape_is_preserved(self, clean):
+        record = node_dropout(clean, 0.5, seed=8)
+        assert record.statuses.beta == clean.beta
+        assert record.statuses.n_nodes == clean.n_nodes
+
+
+class TestCascadeSubsample:
+    def test_drops_whole_rows_in_order(self, clean):
+        record = cascade_subsample(clean, 0.5, seed=2)
+        assert record.statuses.beta == record.details["n_kept"]
+        assert record.statuses.beta + record.details["n_dropped"] == clean.beta
+        # Surviving rows appear in the clean matrix, in order.
+        kept_iter = iter(range(clean.beta))
+        for row in record.statuses.values:
+            assert any((clean.values[i] == row).all() for i in kept_iter)
+
+    def test_at_least_one_row_survives(self, clean):
+        record = cascade_subsample(clean, 1.0, seed=0)
+        assert record.statuses.beta >= 1
+
+    def test_zero_processes_rejected(self):
+        with pytest.raises(DataError, match="zero processes"):
+            cascade_subsample(StatusMatrix(np.empty((0, 3))), 0.5, seed=0)
+
+
+class TestRegistryAndChaining:
+    def test_registry_covers_all_models(self):
+        assert set(CORRUPTION_KINDS) == {"flip", "missing", "dropout", "subsample"}
+
+    def test_corrupt_dispatches_identically(self, clean):
+        assert corrupt(clean, "missing", 0.2, seed=5) == missing_at_random(
+            clean, 0.2, seed=5
+        )
+
+    def test_unknown_kind_is_an_error(self, clean):
+        with pytest.raises(DataError, match="unknown corruption kind"):
+            corrupt(clean, "gamma-rays", 0.2, seed=5)
+
+    def test_chain_applies_in_sequence(self, clean):
+        records = apply_corruptions(
+            clean, [("flip", 0.1), ("missing", 0.2)], seed=11
+        )
+        assert [r.kind for r in records] == ["flip", "missing"]
+        assert records[0].clean == clean
+        assert records[1].clean == records[0].statuses
+        assert records[-1].statuses.has_missing
+
+    def test_chain_is_deterministic(self, clean):
+        steps = [("flip", 0.1), ("dropout", 0.2), ("missing", 0.1)]
+        first = apply_corruptions(clean, steps, seed=13)
+        second = apply_corruptions(clean, steps, seed=13)
+        assert [r.statuses for r in first] == [r.statuses for r in second]
+
+    def test_editing_later_step_keeps_earlier_streams(self, clean):
+        base = apply_corruptions(clean, [("flip", 0.1), ("missing", 0.2)], seed=13)
+        edited = apply_corruptions(clean, [("flip", 0.1), ("missing", 0.4)], seed=13)
+        # SeedSequence spawning: step 0's stream is independent of step 1.
+        assert base[0].statuses == edited[0].statuses
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", sorted(CORRUPTION_KINDS))
+    def test_same_seed_same_output(self, clean, kind):
+        first = corrupt(clean, kind, 0.3, seed=21)
+        second = corrupt(clean, kind, 0.3, seed=21)
+        assert first == second
+
+    @pytest.mark.parametrize("kind", sorted(CORRUPTION_KINDS))
+    def test_different_seeds_differ(self, clean, kind):
+        first = corrupt(clean, kind, 0.3, seed=21)
+        second = corrupt(clean, kind, 0.3, seed=22)
+        assert first.statuses != second.statuses
+
+    def test_records_pickle(self, clean):
+        record = corrupt(clean, "missing", 0.3, seed=21)
+        restored = pickle.loads(pickle.dumps(record))
+        assert restored == record
+        assert isinstance(restored, CorruptedObservations)
