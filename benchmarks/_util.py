@@ -22,6 +22,7 @@ from repro.evaluation.figures import figure_spec
 from repro.evaluation.harness import ExperimentResult, ExperimentSpec, run_experiment
 from repro.evaluation.reporting import format_result_table, format_rows, format_series
 from repro.evaluation.shapes import check_figure_shapes
+from repro.obs.manifest import manifest_for_experiment, write_manifest
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -60,6 +61,14 @@ def report(name: str, result: ExperimentResult) -> str:
     archive_result(name, text)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     save_result(result, RESULTS_DIR / f"{name}.json")
+    # A run manifest rides along with every archive so `repro perf-check`
+    # can diff this bench run against any previous one.
+    manifest = manifest_for_experiment(
+        result,
+        seeds={"seed": bench_seed()},
+        extra={"scale": bench_scale(), "bench": name},
+    )
+    write_manifest(manifest, RESULTS_DIR / f"{name}.manifest.json")
     return text
 
 

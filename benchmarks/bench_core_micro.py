@@ -56,3 +56,52 @@ def test_full_tends_fit_200_nodes(benchmark, observations):
         lambda: Tends().fit(statuses), rounds=3, iterations=1
     )
     assert result.graph.n_nodes == 200
+
+
+def test_disabled_tracing_overhead_under_two_percent(observations):
+    """The no-op tracer hooks must stay free when tracing is off.
+
+    A fit cannot be compared against an uninstrumented build, so measure
+    the disabled path directly: (per-call cost of a no-op span + counter)
+    × (number of hook sites a traced fit actually hits) must stay below
+    2% of the untraced fit time.  A failure means the NULL_TRACER /
+    NULL_METRICS fast path grew real work.
+    """
+    import time
+
+    from repro.obs.metrics import NULL_METRICS
+    from repro.obs.trace import NULL_TRACER
+
+    statuses = observations.statuses
+
+    def fit_seconds() -> float:
+        start = time.perf_counter()
+        Tends(executor="serial").fit(statuses)
+        return time.perf_counter() - start
+
+    fit_seconds()  # warm caches before timing
+    fit_time = sorted(fit_seconds() for _ in range(3))[1]
+
+    # Every hook a traced serial fit fires on this input.
+    telemetry = Tends(executor="serial", trace=True).fit(statuses).telemetry
+    n_spans = len(telemetry.spans)
+    n_metric_ops = (
+        len(telemetry.metrics["counters"])
+        + len(telemetry.metrics["gauges"])
+        + telemetry.metrics["histograms"]["tends_greedy_iterations"]["count"]
+    )
+
+    rounds = 100_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        with NULL_TRACER.span("bench", node=0) as span:
+            span.set(done=True)
+        NULL_METRICS.inc("bench_total")
+    per_hook = (time.perf_counter() - start) / rounds
+
+    overhead = per_hook * (n_spans + n_metric_ops)
+    assert overhead <= 0.02 * fit_time, (
+        f"{n_spans} spans + {n_metric_ops} metric ops at {per_hook * 1e6:.2f}µs "
+        f"per disabled hook = {overhead * 1e3:.1f}ms, over 2% of the "
+        f"{fit_time:.3f}s fit"
+    )

@@ -19,6 +19,7 @@ Graphs travel as edge lists (``repro.graphs.io``), statuses as CSV or NPZ
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
@@ -48,8 +49,17 @@ from repro.graphs.metrics import summarize_graph
 from repro.simulation import io as sim_io
 from repro.simulation.engine import DiffusionSimulator
 from repro.simulation.statuses import StatusMatrix
+from repro.utils.logging import enable_console_logging
 
 __all__ = ["main", "build_parser"]
+
+#: ``--log-level`` choices → :mod:`logging` levels.
+_LOG_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
 
 
 # ----------------------------------------------------------------------
@@ -110,6 +120,82 @@ def _write_graph(graph: DiffusionGraph, path: Path) -> None:
         graph_io.write_json(graph, path)
     else:
         graph_io.write_edge_list(graph, path)
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Observability outputs shared by ``infer`` (see docs/OBSERVABILITY.md)."""
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans/metrics during the fit even without an output "
+        "file (inference results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the span trace here: .jsonl = one span per line, "
+        "anything else = Chrome trace_event JSON (chrome://tracing, "
+        "ui.perfetto.dev); implies tracing",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the metrics snapshot as a Prometheus-style text dump; "
+        "implies tracing",
+    )
+    parser.add_argument(
+        "--manifest-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a run manifest (config, seeds, environment, git "
+        "revision, metrics, stage timings) as JSON; implies tracing — "
+        "feed it to `repro perf-check`",
+    )
+
+
+def _write_fit_observability(
+    args: argparse.Namespace, estimator: Tends, result
+) -> None:
+    """Emit ``repro infer`` trace / metrics / manifest outputs."""
+    telemetry = result.telemetry
+    if telemetry is None:
+        return
+    if args.trace_out is not None:
+        from repro.obs import write_chrome_trace, write_spans_jsonl
+
+        if args.trace_out.suffix == ".jsonl":
+            write_spans_jsonl(telemetry.spans, args.trace_out)
+        else:
+            write_chrome_trace(
+                telemetry.spans,
+                args.trace_out,
+                epoch_offset=telemetry.epoch_offset,
+            )
+        print(f"trace ({len(telemetry.spans)} spans) written to {args.trace_out}")
+    if args.metrics_out is not None:
+        from repro.obs import write_prometheus
+
+        write_prometheus(telemetry.metrics, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.manifest_out is not None:
+        from repro.obs import manifest_for_fit, write_manifest
+
+        manifest = manifest_for_fit(
+            result,
+            config=estimator.config,
+            seeds={
+                "bootstrap_seed": args.bootstrap_seed,
+                "corruption_seed": args.corruption_seed,
+            },
+            extra={"statuses": str(args.statuses), "output": str(args.output)},
+        )
+        write_manifest(manifest, args.manifest_out)
+        print(f"run manifest written to {args.manifest_out}")
 
 
 # ----------------------------------------------------------------------
@@ -180,6 +266,12 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                 f"realised={record.realised_fraction:.3f}"
             )
         statuses = records[-1].statuses
+    # Any observability output implies a traced fit (tracing never
+    # changes the inference result, only records it).
+    want_telemetry = args.trace or any(
+        value is not None
+        for value in (args.trace_out, args.metrics_out, args.manifest_out)
+    )
     estimator = Tends(
         mi_kind=args.mi_kind,
         threshold="stable" if args.stable_threshold else args.threshold,
@@ -195,9 +287,11 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         missing=args.missing,
         bootstrap_samples=args.bootstrap,
         bootstrap_seed=args.bootstrap_seed,
+        trace=want_telemetry,
     )
     result = estimator.fit(statuses)
     _write_graph(result.graph, args.output)
+    _write_fit_observability(args, estimator, result)
     if result.edge_confidence:
         confidences = sorted(result.edge_confidence.values())
         print(
@@ -342,6 +436,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             checkpoint = checkpoint_path_for(args.checkpoint_dir, spec.experiment_id)
             if args.resume:
                 resume = checkpoint
+        harness_metrics = None
+        if args.manifest_out is not None:
+            from repro.obs import MetricsRegistry
+
+            harness_metrics = MetricsRegistry()
         # Every Tends the harness builds inside this block picks up the
         # requested backend through the environment fallbacks.
         with execution_env(
@@ -358,7 +457,24 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 checkpoint_path=checkpoint,
                 resume_from=resume,
                 retry_failed=args.retry_failed,
+                **({"metrics": harness_metrics} if harness_metrics else {}),
             )
+        if args.manifest_out is not None:
+            from repro.obs import manifest_for_experiment, write_manifest
+
+            manifest_path = args.manifest_out
+            if len(figure_ids) > 1:
+                manifest_path = manifest_path.with_name(
+                    f"{manifest_path.stem}-{figure_id}{manifest_path.suffix}"
+                )
+            manifest = manifest_for_experiment(
+                result,
+                seeds={"seed": args.seed},
+                metrics=harness_metrics.snapshot(),
+                extra={"scale": args.scale},
+            )
+            write_manifest(manifest, manifest_path)
+            print(f"run manifest written to {manifest_path}")
         failures = result.failures()
         if failures:
             print(
@@ -439,6 +555,27 @@ def _run_robustness_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf_check(args: argparse.Namespace) -> int:
+    """``repro perf-check``: 0 = within budget, 1 = regression, 2 = bad input."""
+    from repro.exceptions import DataError
+    from repro.obs import compare_profiles, format_report, load_timing_profile
+
+    try:
+        current = load_timing_profile(args.subject)
+        baseline = load_timing_profile(args.baseline)
+        report = compare_profiles(
+            current,
+            baseline,
+            max_slowdown=args.max_slowdown,
+            min_seconds=args.min_seconds,
+        )
+    except DataError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+    return 0 if report.ok else 1
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -447,6 +584,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TENDS diffusion-network reconstruction toolkit",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="enable console logging on the repro logger: -v = INFO, "
+        "-vv = DEBUG (recovery events always log at WARNING)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=tuple(_LOG_LEVELS),
+        default=None,
+        help="explicit console log level (overrides -v)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -551,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-stage and per-worker timing breakdowns",
     )
+    _add_obs_arguments(infer)
     infer.add_argument("-o", "--output", type=Path, required=True)
     infer.set_defaults(func=_cmd_infer)
 
@@ -640,7 +792,45 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --resume: re-run journaled cells that recorded a failure",
     )
+    figure.add_argument(
+        "--manifest-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write one run manifest per figure (method timings, harness "
+        "counters); with --all the figure id is appended to the stem",
+    )
     figure.set_defaults(func=_cmd_figure)
+
+    perf_check = subparsers.add_parser(
+        "perf-check",
+        help="fail when a run manifest regressed against a baseline",
+        description="Compare the timing profile of a run manifest (or "
+        "benchmark archive) against a baseline one and exit non-zero on "
+        "slowdowns beyond the budget.",
+    )
+    perf_check.add_argument(
+        "subject", type=Path, help="current run manifest / benchmark archive"
+    )
+    perf_check.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        help="baseline manifest / archive to compare against",
+    )
+    perf_check.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=1.5,
+        help="permitted current/baseline ratio per timing entry (default 1.5)",
+    )
+    perf_check.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.01,
+        help="skip entries faster than this on both sides (default 0.01s)",
+    )
+    perf_check.set_defaults(func=_cmd_perf_check)
 
     return parser
 
@@ -648,6 +838,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        enable_console_logging(_LOG_LEVELS[args.log_level])
+    elif args.verbose:
+        enable_console_logging(
+            logging.DEBUG if args.verbose >= 2 else logging.INFO
+        )
     try:
         return args.func(args)
     except ReproError as error:

@@ -113,6 +113,14 @@ class TendsConfig:
     ci_level:
         Two-sided confidence level of the bootstrap intervals used by the
         ``threshold="stable"`` screening (default 0.95).
+    trace:
+        Observability switch.  ``True`` records nested spans and an
+        algorithm-metrics snapshot during :meth:`~repro.core.tends.Tends.fit`
+        (including worker spans shipped back from parallel backends) and
+        attaches them as :attr:`~repro.core.tends.TendsResult.telemetry`.
+        ``False`` (default) runs the zero-overhead no-op instrumentation
+        path; inference results are bit-identical either way.  See
+        :mod:`repro.obs` and docs/OBSERVABILITY.md.
     """
 
     mi_kind: MiKind = "infection"
@@ -133,6 +141,7 @@ class TendsConfig:
     bootstrap_samples: int | None = None
     bootstrap_seed: int = 0
     ci_level: float = 0.95
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.mi_kind not in ("infection", "traditional"):
@@ -178,6 +187,10 @@ class TendsConfig:
         if not 0.0 < self.ci_level < 1.0:
             raise ConfigurationError(
                 f"ci_level must be in (0, 1), got {self.ci_level}"
+            )
+        if not isinstance(self.trace, bool):
+            raise ConfigurationError(
+                f"trace must be a boolean, got {self.trace!r}"
             )
 
     def with_overrides(self, **changes) -> "TendsConfig":

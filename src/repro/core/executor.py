@@ -88,6 +88,14 @@ from repro.exceptions import (
     MethodTimeoutError,
     WorkerCrashError,
 )
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    ambient_tracer,
+    current_span,
+)
+from repro.utils.logging import get_logger
 
 __all__ = [
     "ExecutionPlan",
@@ -134,6 +142,10 @@ ENV_CHUNK_TIMEOUT = "REPRO_CHUNK_TIMEOUT"
 #: Chunks per worker when ``chunk_size`` is left automatic: small enough to
 #: amortise per-task overhead, large enough to rebalance uneven nodes.
 _OVERSUBSCRIPTION = 4
+
+#: Recovery events (retries, backoff sleeps, pool rebuilds, fallbacks,
+#: timeouts) log here at WARNING — degraded-mode runs must be visible.
+_LOGGER = get_logger("core.executor")
 
 
 def _env_float(name: str) -> float | None:
@@ -425,19 +437,54 @@ def execution_env(
 _WORKER_STATE: dict[str, object] = {}
 
 
-def _process_initializer(chunk_fn: ChunkFn, context: object) -> None:
+def _process_initializer(
+    chunk_fn: ChunkFn, context: object, trace: bool = False
+) -> None:
     """Runs once per worker process: receives the shared context a single
     time, however many chunks the worker later executes."""
     _WORKER_STATE["chunk_fn"] = chunk_fn
     _WORKER_STATE["context"] = context
+    _WORKER_STATE["trace"] = trace
 
 
-def _process_chunk(items: Sequence[object]) -> tuple[list[object], int, float]:
+def _traced_chunk(
+    chunk_fn: ChunkFn,
+    context: object,
+    items: Sequence[object],
+    index: int,
+    strategy: str,
+    trace: bool,
+) -> tuple[list[object], tuple[dict, ...]]:
+    """Execute one chunk, recording worker-local spans when tracing.
+
+    The worker cannot see the dispatcher's tracer (threads and processes
+    start with fresh contexts), so a traced chunk records into a local
+    :class:`~repro.obs.trace.Tracer` — installed as the ambient tracer so
+    the chunk function's own spans nest under the chunk span — and ships
+    the finished spans back as dicts for :meth:`Tracer.adopt`.
+    """
+    if not trace:
+        return list(chunk_fn(context, items)), ()
+    tracer = Tracer()
+    with ambient_tracer(tracer):
+        with tracer.span(
+            "executor.chunk", chunk=index, items=len(items), strategy=strategy
+        ):
+            results = list(chunk_fn(context, items))
+    return results, tuple(span.to_dict() for span in tracer.finished())
+
+
+def _process_chunk(
+    items: Sequence[object], index: int = 0
+) -> tuple[list[object], int, float, tuple[dict, ...]]:
     chunk_fn = _WORKER_STATE["chunk_fn"]
     context = _WORKER_STATE["context"]
+    trace = bool(_WORKER_STATE.get("trace", False))
     start = time.perf_counter()
-    results = list(chunk_fn(context, items))
-    return results, os.getpid(), time.perf_counter() - start
+    results, spans = _traced_chunk(
+        chunk_fn, context, items, index, "process", trace
+    )
+    return results, os.getpid(), time.perf_counter() - start, spans
 
 
 class _BackendUnusable(Exception):
@@ -456,10 +503,19 @@ class ParallelExecutor:
     plan:
         Resolved strategy/worker-count/chunking/recovery; see
         :meth:`ExecutionPlan.resolve`.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When given (and
+        enabled), every chunk execution records an ``executor.chunk``
+        span — in the worker for the pool backends, shipped back with
+        the chunk outcome and merged under the span that was current
+        when :meth:`map` was called.  The default
+        :data:`~repro.obs.trace.NULL_TRACER` is the zero-overhead path.
 
     After each :meth:`map`, :attr:`last_report` holds a
     :class:`RecoveryReport` describing retries, timeouts, pool rebuilds,
-    and backend fallbacks taken during the run.
+    and backend fallbacks taken during the run.  Recovery events are
+    additionally logged at WARNING level on the ``repro.core.executor``
+    logger, so degraded-mode runs leave evidence even untraced.
 
     Examples
     --------
@@ -471,9 +527,14 @@ class ParallelExecutor:
     [0, 10, 20, 30, 40, 50, 60]
     """
 
-    def __init__(self, plan: ExecutionPlan) -> None:
+    def __init__(
+        self, plan: ExecutionPlan, tracer: "Tracer | NullTracer" = NULL_TRACER
+    ) -> None:
         self.plan = plan
         self.last_report: RecoveryReport | None = None
+        self._tracer = tracer
+        self._trace = bool(getattr(tracer, "enabled", False))
+        self._parent_span_id: int | None = None
         self._retries = 0
         self._timeouts = 0
         self._pool_rebuilds = 0
@@ -499,6 +560,10 @@ class ParallelExecutor:
         """
         items = list(items)
         self._retries = self._timeouts = self._pool_rebuilds = 0
+        dispatch_span = current_span()
+        self._parent_span_id = (
+            dispatch_span.span_id if dispatch_span is not None else None
+        )
         if not items:
             self.last_report = RecoveryReport(strategy=self.plan.strategy)
             return [], []
@@ -535,6 +600,14 @@ class ParallelExecutor:
             except _BackendUnusable as failure:
                 if position == len(chain) - 1:
                     raise failure.cause from None
+                _LOGGER.warning(
+                    "executor backend %r unusable (%s); falling back to %r "
+                    "for %d unfinished chunk(s)",
+                    strategy,
+                    failure.cause,
+                    chain[position + 1],
+                    len([i for i in range(len(chunks)) if i not in results]),
+                )
                 continue  # fall back to the next backend for unfinished chunks
 
         self.last_report = RecoveryReport(
@@ -565,15 +638,30 @@ class ParallelExecutor:
             while True:
                 start = time.perf_counter()
                 try:
-                    chunk_results = list(chunk_fn(context, chunks[index]))
+                    # The serial backend runs in the dispatching thread,
+                    # so the ambient tracer/current span are already in
+                    # scope — chunk spans nest without shipping.
+                    with self._tracer.span(
+                        "executor.chunk",
+                        chunk=index,
+                        items=len(chunks[index]),
+                        strategy="serial",
+                    ):
+                        chunk_results = list(chunk_fn(context, chunks[index]))
                 except (KeyboardInterrupt, SystemExit):
                     raise
-                except Exception:
+                except Exception as exc:
                     failures += 1
                     if failures >= retry.max_attempts:
                         raise
                     self._retries += 1
-                    time.sleep(retry.delay(failures))
+                    delay = retry.delay(failures)
+                    _LOGGER.warning(
+                        "serial chunk %d failed (attempt %d/%d): %s; "
+                        "retrying after %.3gs backoff",
+                        index, failures, retry.max_attempts, exc, delay,
+                    )
+                    time.sleep(delay)
                     continue
                 results[index] = chunk_results
                 outcomes.append(
@@ -590,7 +678,7 @@ class ParallelExecutor:
                 return ProcessPoolExecutor(
                     max_workers=self.plan.n_jobs,
                     initializer=_process_initializer,
-                    initargs=(chunk_fn, context),
+                    initargs=(chunk_fn, context, self._trace),
                 )
             return ThreadPoolExecutor(
                 max_workers=self.plan.n_jobs, thread_name_prefix="tends"
@@ -637,19 +725,26 @@ class ParallelExecutor:
                     pass
 
     def _submit(self, pool, strategy: str, chunk_fn: ChunkFn,
-                context: ContextT, chunk: list[ItemT]) -> Future:
+                context: ContextT, chunk: list[ItemT], index: int) -> Future:
         if strategy == "process":
-            return pool.submit(_process_chunk, chunk)
+            return pool.submit(_process_chunk, chunk, index)
 
-        def timed(chunk: list[ItemT] = chunk) -> tuple[list[ResultT], str, float]:
+        trace = self._trace
+
+        def timed(
+            chunk: list[ItemT] = chunk, index: int = index
+        ) -> tuple[list[ResultT], str, float, tuple[dict, ...]]:
             import threading
 
             start = time.perf_counter()
-            chunk_results = list(chunk_fn(context, chunk))
+            chunk_results, spans = _traced_chunk(
+                chunk_fn, context, chunk, index, "thread", trace
+            )
             return (
                 chunk_results,
                 threading.current_thread().name,
                 time.perf_counter() - start,
+                spans,
             )
 
         return pool.submit(timed)
@@ -678,7 +773,8 @@ class ParallelExecutor:
             unfinished = list(pending)
             while unfinished:
                 submitted = [
-                    (self._submit(pool, strategy, chunk_fn, context, chunks[index]),
+                    (self._submit(pool, strategy, chunk_fn, context,
+                                  chunks[index], index),
                      index)
                     for index in unfinished
                 ]
@@ -688,7 +784,7 @@ class ParallelExecutor:
                     if index in results:
                         continue
                     try:
-                        chunk_results, label, seconds = future.result(
+                        chunk_results, label, seconds, spans = future.result(
                             timeout=retry.timeout
                         )
                     except FutureTimeoutError:
@@ -701,6 +797,13 @@ class ParallelExecutor:
                                 f"{failures[index]} time(s)",
                                 timeout=retry.timeout,
                             ) from None
+                        _LOGGER.warning(
+                            "chunk %d (%d items) exceeded its %gs budget "
+                            "(attempt %d/%d); rebuilding the %s pool and "
+                            "re-running it",
+                            index, len(chunks[index]), retry.timeout,
+                            failures[index], retry.max_attempts, strategy,
+                        )
                         resubmit.append(index)
                         rebuild = True  # a worker may be wedged on this chunk
                         resubmit.extend(
@@ -726,14 +829,26 @@ class ParallelExecutor:
                         resubmit = [
                             i for _, i in submitted if i not in results
                         ]
+                        _LOGGER.warning(
+                            "%s pool broke (%s); rebuilding it and "
+                            "re-running %d chunk(s) (break %d/%d)",
+                            strategy, exc, len(resubmit),
+                            pool_breaks, retry.max_attempts,
+                        )
                         rebuild = True
                         break
                     except (KeyboardInterrupt, SystemExit):
                         raise
-                    except Exception:
+                    except Exception as exc:
                         failures[index] += 1
                         if failures[index] >= retry.max_attempts:
                             raise
+                        _LOGGER.warning(
+                            "%s chunk %d failed (attempt %d/%d): %s; "
+                            "will retry",
+                            strategy, index, failures[index],
+                            retry.max_attempts, exc,
+                        )
                         resubmit.append(index)
                         continue
                     else:
@@ -741,15 +856,25 @@ class ParallelExecutor:
                         outcomes.append(
                             (strategy, label, len(chunk_results), seconds)
                         )
+                        if spans:
+                            self._tracer.adopt(
+                                spans, parent_id=self._parent_span_id
+                            )
                 if rebuild:
                     self._shutdown_pool(pool, kill=True)
                     self._pool_rebuilds += 1
                     pool = self._new_pool(strategy, chunk_fn, context)
                 if resubmit:
                     self._retries += len(resubmit)
-                    time.sleep(retry.delay(max(failures[i] for i in resubmit)
-                                           if any(failures[i] for i in resubmit)
-                                           else 1))
+                    delay = retry.delay(max(failures[i] for i in resubmit)
+                                        if any(failures[i] for i in resubmit)
+                                        else 1)
+                    if delay:
+                        _LOGGER.warning(
+                            "backing off %.3gs before re-running %d chunk(s)",
+                            delay, len(resubmit),
+                        )
+                    time.sleep(delay)
                 unfinished = resubmit
         except (KeyboardInterrupt, SystemExit):
             # Cancel what never started, kill what did, leave no orphans,
@@ -779,7 +904,9 @@ class ParallelExecutor:
                 continue
             if future.done() and not future.cancelled():
                 try:
-                    chunk_results, label, seconds = future.result(timeout=0)
+                    chunk_results, label, seconds, spans = future.result(
+                        timeout=0
+                    )
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except Exception:
@@ -790,6 +917,10 @@ class ParallelExecutor:
                 else:
                     results[index] = chunk_results
                     outcomes.append((strategy, label, len(chunk_results), seconds))
+                    if spans:
+                        self._tracer.adopt(
+                            spans, parent_id=self._parent_span_id
+                        )
             else:
                 future.cancel()
                 resubmit.append(index)

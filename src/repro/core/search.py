@@ -39,6 +39,7 @@ from repro.core.scoring import (
     penalty,
     size_bound,
 )
+from repro.obs.trace import current_tracer
 from repro.simulation.statuses import StatusMatrix
 
 __all__ = [
@@ -98,8 +99,26 @@ def search_chunk(
     Module-level so the process execution backend can ship it to workers
     by reference (see :mod:`repro.core.executor`); the ``search`` context
     travels once per worker, the chunks once per task.
+
+    On a traced run (the executor installs an ambient tracer in its
+    worker wrappers — see :func:`repro.obs.trace.current_tracer`) each
+    node's search records a ``search.node`` span; untraced runs hit the
+    shared null tracer, whose span is a do-nothing context manager.
     """
-    return [search.find_parents(node, candidates) for node, candidates in items]
+    tracer = current_tracer()
+    results: list[tuple[list[int], SearchDiagnostics]] = []
+    for node, candidates in items:
+        with tracer.span(
+            "search.node", node=node, candidates=len(candidates)
+        ) as span:
+            parents, diag = search.find_parents(node, candidates)
+            span.set(
+                n_parents=len(parents),
+                evaluations=diag.n_evaluations,
+                iterations=diag.iterations,
+            )
+        results.append((parents, diag))
+    return results
 
 
 class ParentSearch:

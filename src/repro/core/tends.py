@@ -20,7 +20,7 @@ Usage
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
@@ -32,6 +32,9 @@ from repro.core.kmeans import TwoMeansResult, fixed_zero_two_means
 from repro.core.search import ParentSearch, SearchDiagnostics, search_chunk
 from repro.exceptions import DataError
 from repro.graphs.digraph import DiffusionGraph
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, ambient_tracer
 from repro.simulation.statuses import StatusMatrix, validate_observations
 from repro.utils.timing import Stopwatch
 
@@ -64,7 +67,11 @@ class TendsResult:
         Wall-clock per pipeline stage: ``imi``, ``threshold``, ``search``,
         plus one ``search/<worker>`` entry per stage-3 worker (e.g.
         ``search/serial``, ``search/process-0``) holding the time that
-        worker spent inside the parent searches.
+        worker spent inside the parent searches.  The flat
+        ``search/<worker>`` keys are kept for backwards compatibility;
+        prefer :attr:`stage_times` (stage names only) and
+        :attr:`worker_seconds` (per-worker view) — stage names never
+        contain ``/``, so the two namespaces cannot collide.
     worker_stats:
         Per-worker :class:`~repro.core.executor.WorkerStats` for stage 3
         (chunk and node counts per worker, for load-balance diagnosis).
@@ -78,6 +85,10 @@ class TendsResult:
         The full :class:`~repro.robustness.bootstrap.ImiBootstrap`
         distribution behind :attr:`edge_confidence` (``None`` when no
         bootstrap ran) — per-pair CIs via ``.ci()``.
+    telemetry:
+        :class:`~repro.obs.telemetry.Telemetry` (spans + metrics
+        snapshot) recorded during the fit; ``None`` unless the fit ran
+        with ``trace=True``.  Export with :mod:`repro.obs.export`.
     """
 
     graph: DiffusionGraph
@@ -90,10 +101,29 @@ class TendsResult:
     worker_stats: tuple[WorkerStats, ...] = ()
     edge_confidence: Mapping[tuple[int, int], float] | None = None
     imi_bootstrap: "ImiBootstrap | None" = None
+    telemetry: Telemetry | None = None
 
     @property
     def n_edges(self) -> int:
         return self.graph.n_edges
+
+    @property
+    def stage_times(self) -> dict[str, float]:
+        """Per-stage wall-clock only — :attr:`stage_seconds` without the
+        flat ``search/<worker>`` back-compat entries (stage names never
+        contain ``/``)."""
+        return {
+            stage: seconds
+            for stage, seconds in self.stage_seconds.items()
+            if "/" not in stage
+        }
+
+    @property
+    def worker_seconds(self) -> dict[str, float]:
+        """Stage-3 wall-clock per worker, keyed by worker label — the
+        structured view of the ``search/<worker>`` entries, derived from
+        :attr:`worker_stats`."""
+        return {stats.worker: stats.seconds for stats in self.worker_stats}
 
     def candidate_counts(self) -> np.ndarray:
         """``|P_i|`` per node — how aggressive the pruning was."""
@@ -155,29 +185,71 @@ class Tends:
                 on_degenerate="strict" if self.config.audit == "strict" else "warn",
             )
         n = statuses.n_nodes
+
+        # Observability: a traced fit records nested spans and algorithm
+        # metrics; untraced fits run through the shared no-op singletons
+        # (one attribute lookup per site).  Either way the inference is
+        # bit-identical — instrumentation only observes.
+        trace = self.config.trace
+        tracer: Tracer | NullTracer = Tracer() if trace else NULL_TRACER
+        metrics: MetricsRegistry | NullMetrics = (
+            MetricsRegistry() if trace else NULL_METRICS
+        )
+        if statuses.has_missing:
+            metrics.set_gauge("tends_mask_density", float(statuses.mask.mean()))
+        else:
+            metrics.set_gauge("tends_mask_density", 1.0)
+        with ambient_tracer(tracer):
+            with tracer.span("tends.fit", n_nodes=n, beta=statuses.beta):
+                result = self._run_pipeline(statuses, n, tracer, metrics)
+        if trace:
+            result = replace(
+                result,
+                telemetry=Telemetry(
+                    spans=tracer.finished(),
+                    metrics=metrics.snapshot(),
+                    epoch_offset=tracer.epoch_offset,
+                ),
+            )
+        return result
+
+    def _run_pipeline(
+        self,
+        statuses: StatusMatrix,
+        n: int,
+        tracer: "Tracer | NullTracer",
+        metrics: "MetricsRegistry | NullMetrics",
+    ) -> TendsResult:
+        """Stages 1-3 of Algorithm 1 (validation already done by
+        :meth:`fit`, which also owns the ambient tracer install)."""
         stage_seconds: dict[str, float] = {}
 
         # Stage 1: pairwise MI matrix (Algorithm 1 lines 2-4).
-        with Stopwatch() as watch:
-            if self.config.mi_kind == "infection":
-                mi = infection_mi_matrix(statuses)
-            else:
-                mi = traditional_mi_matrix(statuses)
-        stage_seconds["imi"] = watch.elapsed
+        with tracer.span("tends.imi", kind=self.config.mi_kind):
+            with Stopwatch() as watch:
+                if self.config.mi_kind == "infection":
+                    mi = infection_mi_matrix(statuses)
+                else:
+                    mi = traditional_mi_matrix(statuses)
+            stage_seconds["imi"] = watch.elapsed
+        metrics.inc("tends_imi_pairs_total", n * (n - 1) // 2)
 
         # Stage 2: threshold via fixed-zero 2-means (line 5).
         stable_mode = self.config.threshold == "stable"
-        with Stopwatch() as watch:
-            clustering: TwoMeansResult | None
-            if self.config.threshold is not None and not stable_mode:
-                threshold = float(self.config.threshold)
-                clustering = None
-            else:
-                off_diagonal = mi[~np.eye(n, dtype=bool)]
-                non_negative = off_diagonal[off_diagonal >= 0.0]
-                clustering = fixed_zero_two_means(non_negative)
-                threshold = clustering.threshold * self.config.threshold_scale
-        stage_seconds["threshold"] = watch.elapsed
+        with tracer.span("tends.threshold") as threshold_span:
+            with Stopwatch() as watch:
+                clustering: TwoMeansResult | None
+                if self.config.threshold is not None and not stable_mode:
+                    threshold = float(self.config.threshold)
+                    clustering = None
+                else:
+                    off_diagonal = mi[~np.eye(n, dtype=bool)]
+                    non_negative = off_diagonal[off_diagonal >= 0.0]
+                    clustering = fixed_zero_two_means(non_negative)
+                    threshold = clustering.threshold * self.config.threshold_scale
+            stage_seconds["threshold"] = watch.elapsed
+            threshold_span.set(tau=threshold)
+        metrics.set_gauge("tends_threshold_tau", threshold)
 
         # Stage 2b (optional): bootstrap the IMI distribution for per-edge
         # confidence and, in stable mode, CI-based candidate screening.
@@ -189,51 +261,71 @@ class Tends:
         if n_boot:
             from repro.robustness.bootstrap import bootstrap_imi
 
-            with Stopwatch() as watch:
-                bootstrap = bootstrap_imi(
-                    statuses,
-                    n_boot,
-                    seed=self.config.bootstrap_seed,
-                    ci_level=self.config.ci_level,
-                    mi_kind=self.config.mi_kind,
-                )
-                if stable_mode:
-                    stable_pairs = bootstrap.stable_above(threshold)
-            stage_seconds["bootstrap"] = watch.elapsed
+            with tracer.span("tends.bootstrap", samples=n_boot):
+                with Stopwatch() as watch:
+                    bootstrap = bootstrap_imi(
+                        statuses,
+                        n_boot,
+                        seed=self.config.bootstrap_seed,
+                        ci_level=self.config.ci_level,
+                        mi_kind=self.config.mi_kind,
+                    )
+                    if stable_mode:
+                        stable_pairs = bootstrap.stable_above(threshold)
+                stage_seconds["bootstrap"] = watch.elapsed
 
         # Stage 3: candidate pruning + per-node parent search (lines 6-21).
         # The local score is decomposable, so the n searches are
         # independent; the executor backend fans them out and the merge
         # below reassembles results in node order, keeping the output
         # bit-identical to the serial loop for every backend/worker count.
-        with Stopwatch() as watch:
-            search = ParentSearch(statuses, self.config)
-            items = [
-                (node, self._candidates_for(mi, node, threshold, stable_pairs))
-                for node in range(n)
-            ]
-            plan = ExecutionPlan.resolve(
-                executor=self.config.executor,
-                n_jobs=self.config.n_jobs,
-                chunk_size=self.config.chunk_size,
-                max_attempts=self.config.max_attempts,
-                chunk_timeout=self.config.chunk_timeout,
-                fallback=self.config.executor_fallback,
-            )
-            outcomes, worker_stats = ParallelExecutor(plan).map(
-                search_chunk, search, items
-            )
-            parent_sets: list[tuple[int, ...]] = []
-            diagnostics: list[SearchDiagnostics] = []
-            graph = DiffusionGraph(n)
-            for node, (parents, diag) in enumerate(outcomes):
-                parent_sets.append(tuple(parents))
-                diagnostics.append(diag)
-                for parent in parents:
-                    graph.add_edge(parent, node)
-        stage_seconds["search"] = watch.elapsed
+        with tracer.span(
+            "tends.search", strategy=self.config.search_strategy
+        ) as search_span:
+            with Stopwatch() as watch:
+                search = ParentSearch(statuses, self.config)
+                items = [
+                    (node, self._candidates_for(mi, node, threshold, stable_pairs))
+                    for node in range(n)
+                ]
+                kept_pairs = sum(len(candidates) for _, candidates in items)
+                metrics.inc(
+                    "tends_candidate_pairs_pruned_total",
+                    n * (n - 1) - kept_pairs,
+                )
+                metrics.inc("tends_candidate_pairs_kept_total", kept_pairs)
+                plan = ExecutionPlan.resolve(
+                    executor=self.config.executor,
+                    n_jobs=self.config.n_jobs,
+                    chunk_size=self.config.chunk_size,
+                    max_attempts=self.config.max_attempts,
+                    chunk_timeout=self.config.chunk_timeout,
+                    fallback=self.config.executor_fallback,
+                )
+                executor = ParallelExecutor(plan, tracer=tracer)
+                outcomes, worker_stats = executor.map(search_chunk, search, items)
+                parent_sets: list[tuple[int, ...]] = []
+                diagnostics: list[SearchDiagnostics] = []
+                graph = DiffusionGraph(n)
+                for node, (parents, diag) in enumerate(outcomes):
+                    parent_sets.append(tuple(parents))
+                    diagnostics.append(diag)
+                    for parent in parents:
+                        graph.add_edge(parent, node)
+            stage_seconds["search"] = watch.elapsed
+            search_span.set(executor=plan.strategy, n_jobs=plan.n_jobs)
         for stats in worker_stats:
             stage_seconds[f"search/{stats.worker}"] = stats.seconds
+        for diag in diagnostics:
+            metrics.inc("tends_score_evaluations_total", diag.n_evaluations)
+            metrics.inc("tends_bound_terminations_total", diag.bound_hits)
+            metrics.observe("tends_greedy_iterations", diag.iterations)
+        report = executor.last_report
+        if report is not None:
+            metrics.inc("executor_retries_total", report.retries)
+            metrics.inc("executor_timeouts_total", report.timeouts)
+            metrics.inc("executor_pool_rebuilds_total", report.pool_rebuilds)
+            metrics.inc("executor_fallbacks_total", report.fallbacks)
 
         edge_confidence: dict[tuple[int, int], float] | None = None
         if bootstrap is not None:

@@ -32,9 +32,11 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Union
 
 from repro.exceptions import CheckpointError
+from repro.obs.metrics import NULL_METRICS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.evaluation.harness import MethodResult
+    from repro.obs.metrics import MetricsRegistry, NullMetrics
 
 __all__ = [
     "CellKey",
@@ -128,11 +130,20 @@ class CheckpointJournal:
     ----------
     path:
         Journal location; parent directories are created on first write.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; every
+        successful append increments ``checkpoint_writes_total``.
+        Defaults to the no-op registry.
     """
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        metrics: "MetricsRegistry | NullMetrics" = NULL_METRICS,
+    ) -> None:
         self.path = Path(path)
         self._handle: io.TextIOWrapper | None = None
+        self._metrics = metrics
 
     def record(self, result: "MethodResult") -> None:
         """Append one measurement and flush it to disk."""
@@ -153,6 +164,7 @@ class CheckpointJournal:
             raise CheckpointError(
                 f"cannot append to checkpoint {self.path}: {exc}"
             ) from exc
+        self._metrics.inc("checkpoint_writes_total")
 
     def close(self) -> None:
         if self._handle is not None:

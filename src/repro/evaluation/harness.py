@@ -47,6 +47,9 @@ from repro.evaluation.metrics import (
 )
 from repro.exceptions import ConfigurationError, MethodTimeoutError
 from repro.graphs.digraph import DiffusionGraph
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, ambient_tracer
 from repro.simulation.engine import DiffusionSimulator
 from repro.utils.rng import derive_seed
 from repro.utils.timing import Stopwatch
@@ -169,6 +172,11 @@ class MethodResult:
     failure boundary) carries ``error`` — the captured exception message —
     zeroed metrics, and an F-score of ``nan`` so failures can never be
     mistaken for a legitimate 0.0.
+
+    ``telemetry`` holds the :class:`~repro.obs.telemetry.Telemetry` the
+    method's inferrer recorded, when it recorded any (TENDS with
+    ``trace=True``).  It is in-memory only: checkpoints and archives do
+    not serialise it, so a resumed cell always carries ``None``.
     """
 
     experiment_id: str
@@ -181,6 +189,7 @@ class MethodResult:
     threshold: float | None = None  # best-threshold operating point, if used
     error: str | None = None  # captured exception when the method failed
     attempts: int = 1  # executions inside the failure boundary
+    telemetry: Telemetry | None = None  # per-fit spans/metrics (not journaled)
 
     @property
     def ok(self) -> bool:
@@ -355,6 +364,8 @@ def run_experiment(
     checkpoint_path: "str | Path | None" = None,
     resume_from: "str | Path | None" = None,
     retry_failed: bool = False,
+    tracer: "Tracer | NullTracer" = NULL_TRACER,
+    metrics: "MetricsRegistry | NullMetrics" = NULL_METRICS,
 ) -> ExperimentResult:
     """Execute an experiment spec and collect every measurement.
 
@@ -393,6 +404,16 @@ def run_experiment(
     retry_failed:
         When resuming, re-run journaled cells that recorded a failure
         instead of carrying the failure over.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When enabled, the
+        sweep records a ``harness.run`` span with one ``harness.cell``
+        span per method run, installed as the ambient tracer for the
+        duration (so executor/search spans of traced methods nest
+        underneath).  Defaults to the zero-overhead null tracer.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        harness counters (cells run / failed / resumed, method retries,
+        checkpoint writes).  Defaults to the no-op registry.
     """
     if on_error not in ON_ERROR_POLICIES:
         raise ConfigurationError(
@@ -412,66 +433,97 @@ def run_experiment(
         if retry_failed:
             completed = {key: r for key, r in completed.items() if r.ok}
 
-    journal = CheckpointJournal(checkpoint_path) if checkpoint_path is not None else None
+    journal = (
+        CheckpointJournal(checkpoint_path, metrics=metrics)
+        if checkpoint_path is not None
+        else None
+    )
     results: list[MethodResult] = []
     try:
-        for point in spec.points:
-            for replicate in range(spec.replicates):
-                missing = [
-                    method
-                    for method in spec.methods
-                    if cell_key(point.label, replicate, method.name) not in completed
-                ]
-                if not missing:
-                    # Every cell of this (point, replicate) is journaled:
-                    # skip the simulation entirely.  Cell seeds are derived
-                    # independently, so other cells are unaffected.
-                    results.extend(
-                        completed[cell_key(point.label, replicate, m.name)]
-                        for m in spec.methods
-                    )
-                    continue
-                cell_seed = derive_seed(
-                    seed, spec.experiment_id, point.label, replicate
-                )
-                truth = point.graph_factory(cell_seed)
-                simulator = DiffusionSimulator(
-                    truth,
-                    mu=point.mu,
-                    alpha=point.alpha,
-                    seed=derive_seed(cell_seed, "simulation"),
-                )
-                observations = Observations.from_simulation(simulator.run(point.beta))
-                if point.observation_transform is not None:
-                    observations = point.observation_transform(
-                        observations, derive_seed(cell_seed, "corruption")
-                    )
-                context = MethodContext(
-                    truth=truth, observations=observations, point=point
-                )
-                for method in spec.methods:
-                    key = cell_key(point.label, replicate, method.name)
-                    if key in completed:
-                        results.append(completed[key])
-                        continue
-                    if progress is not None:
-                        progress(
-                            f"[{spec.experiment_id}] {point.label} "
-                            f"rep={replicate} {method.name}"
+        with ambient_tracer(tracer), tracer.span(
+            "harness.run", experiment=spec.experiment_id
+        ):
+            for point in spec.points:
+                for replicate in range(spec.replicates):
+                    missing = [
+                        method
+                        for method in spec.methods
+                        if cell_key(point.label, replicate, method.name)
+                        not in completed
+                    ]
+                    if not missing:
+                        # Every cell of this (point, replicate) is journaled:
+                        # skip the simulation entirely.  Cell seeds are derived
+                        # independently, so other cells are unaffected.
+                        results.extend(
+                            completed[cell_key(point.label, replicate, m.name)]
+                            for m in spec.methods
                         )
-                    result = _run_method_guarded(
-                        spec,
-                        point,
-                        replicate,
-                        method,
-                        context,
-                        on_error=on_error,
-                        method_attempts=method_attempts,
-                        method_timeout=method_timeout,
+                        metrics.inc(
+                            "harness_cells_resumed_total", len(spec.methods)
+                        )
+                        continue
+                    cell_seed = derive_seed(
+                        seed, spec.experiment_id, point.label, replicate
                     )
-                    results.append(result)
-                    if journal is not None:
-                        journal.record(result)
+                    with tracer.span(
+                        "harness.simulate", point=point.label, replicate=replicate
+                    ):
+                        truth = point.graph_factory(cell_seed)
+                        simulator = DiffusionSimulator(
+                            truth,
+                            mu=point.mu,
+                            alpha=point.alpha,
+                            seed=derive_seed(cell_seed, "simulation"),
+                        )
+                        observations = Observations.from_simulation(
+                            simulator.run(point.beta)
+                        )
+                        if point.observation_transform is not None:
+                            observations = point.observation_transform(
+                                observations, derive_seed(cell_seed, "corruption")
+                            )
+                    context = MethodContext(
+                        truth=truth, observations=observations, point=point
+                    )
+                    for method in spec.methods:
+                        key = cell_key(point.label, replicate, method.name)
+                        if key in completed:
+                            results.append(completed[key])
+                            metrics.inc("harness_cells_resumed_total")
+                            continue
+                        if progress is not None:
+                            progress(
+                                f"[{spec.experiment_id}] {point.label} "
+                                f"rep={replicate} {method.name}"
+                            )
+                        with tracer.span(
+                            "harness.cell",
+                            point=point.label,
+                            replicate=replicate,
+                            method=method.name,
+                        ):
+                            result = _run_method_guarded(
+                                spec,
+                                point,
+                                replicate,
+                                method,
+                                context,
+                                on_error=on_error,
+                                method_attempts=method_attempts,
+                                method_timeout=method_timeout,
+                            )
+                        results.append(result)
+                        metrics.inc("harness_cells_total")
+                        if not result.ok:
+                            metrics.inc("harness_cells_failed_total")
+                        if result.attempts > 1:
+                            metrics.inc(
+                                "harness_method_retries_total",
+                                result.attempts - 1,
+                            )
+                        if journal is not None:
+                            journal.record(result)
     finally:
         if journal is not None:
             journal.close()
@@ -531,6 +583,9 @@ def _run_method(
     inferrer = method.factory(context)
     with Stopwatch() as watch:
         output = _infer_with_timeout(inferrer, context.observations, timeout)
+    # Inferrers that keep their last fit result around (TendsInferrer)
+    # may have recorded telemetry; surface it on the measurement.
+    telemetry = getattr(getattr(inferrer, "last_result", None), "telemetry", None)
     threshold: float | None = None
     if method.best_threshold and output.edge_scores:
         metrics, threshold = best_threshold_metrics(context.truth, output.edge_scores)
@@ -545,6 +600,7 @@ def _run_method(
         metrics=metrics,
         runtime_seconds=watch.elapsed,
         threshold=threshold,
+        telemetry=telemetry if isinstance(telemetry, Telemetry) else None,
     )
 
 

@@ -1,0 +1,101 @@
+"""repro.obs — tracing, metrics, exporters, and run manifests.
+
+The observability layer of the reproduction (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.trace` — nested span tracing with a zero-cost
+  disabled path (:data:`NULL_TRACER`);
+* :mod:`repro.obs.metrics` — counters / gauges / summary histograms;
+* :mod:`repro.obs.export` — JSONL span logs, Chrome ``trace_event``
+  JSON, Prometheus text dumps;
+* :mod:`repro.obs.manifest` — per-run JSON manifests (config, seeds,
+  environment, git revision, metrics, stage timings);
+* :mod:`repro.obs.perfcheck` — manifest-vs-baseline slowdown checks
+  (the ``repro perf-check`` command).
+
+This package is a leaf: it never imports ``repro.core`` or
+``repro.evaluation``, so every layer of the library can instrument
+itself without import cycles.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    spans_jsonl,
+    write_chrome_trace,
+    write_prometheus,
+    write_spans_jsonl,
+)
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    collect_environment,
+    git_revision,
+    load_manifest,
+    manifest_for_experiment,
+    manifest_for_fit,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetrics,
+    metric_key,
+)
+from repro.obs.perfcheck import (
+    PerfCheckReport,
+    TimingComparison,
+    compare_profiles,
+    format_report,
+    load_timing_profile,
+    timing_profile,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    ambient_tracer,
+    current_span,
+    current_tracer,
+)
+
+__all__ = [
+    # tracing
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "current_span",
+    "ambient_tracer",
+    "Telemetry",
+    # metrics
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "metric_key",
+    # exporters
+    "spans_jsonl",
+    "write_spans_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus",
+    # manifests
+    "MANIFEST_FORMAT",
+    "collect_environment",
+    "git_revision",
+    "manifest_for_fit",
+    "manifest_for_experiment",
+    "validate_manifest",
+    "write_manifest",
+    "load_manifest",
+    # perf-check
+    "TimingComparison",
+    "PerfCheckReport",
+    "timing_profile",
+    "load_timing_profile",
+    "compare_profiles",
+    "format_report",
+]

@@ -1,0 +1,176 @@
+"""Exporters: JSONL span logs, Chrome ``trace_event`` JSON, Prometheus text.
+
+Three output formats cover the three consumption modes:
+
+* :func:`write_spans_jsonl` — one JSON object per line per span; easy to
+  grep, diff, and post-process.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` format (``{"traceEvents": [...]}``), loadable in
+  ``chrome://tracing`` and https://ui.perfetto.dev for a flame view of
+  the pipeline, including per-worker lanes under the process executor.
+* :func:`prometheus_text` / :func:`write_prometheus` — a Prometheus
+  exposition-format dump of a metrics snapshot, scrape-compatible enough
+  for ad-hoc ingestion and diffable in perf-check workflows.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence, Union
+
+from repro.obs.trace import Span
+
+__all__ = [
+    "spans_jsonl",
+    "write_spans_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus",
+]
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# spans → JSONL
+# ----------------------------------------------------------------------
+
+def spans_jsonl(spans: Iterable[Span]) -> str:
+    """One compact JSON object per line per span."""
+    return "\n".join(
+        json.dumps(span.to_dict(), separators=(",", ":")) for span in spans
+    )
+
+
+def write_spans_jsonl(spans: Iterable[Span], path: PathLike) -> Path:
+    """Write :func:`spans_jsonl` output (trailing newline included)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = spans_jsonl(spans)
+    path.write_text(text + "\n" if text else "", encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# spans → Chrome trace_event JSON
+# ----------------------------------------------------------------------
+
+def chrome_trace(spans: Sequence[Span], *, epoch_offset: float = 0.0) -> dict:
+    """Render spans as a Chrome ``trace_event`` document.
+
+    Each span becomes one complete (``"ph": "X"``) event with
+    microsecond timestamps rebased so the trace starts at 0.  Distinct
+    ``(pid, thread)`` pairs map to stable integer lanes with
+    ``thread_name`` metadata events, so worker threads and processes
+    show as named rows in the viewer.
+
+    ``epoch_offset`` (a tracer's :attr:`~repro.obs.trace.Tracer.epoch_offset`)
+    is recorded in ``otherData`` so wall-clock time is recoverable.
+    """
+    closed = [s for s in spans if s.end]
+    base = min((s.start for s in closed), default=0.0)
+    lanes: dict[tuple[int, str], int] = {}
+    events: list[dict] = []
+    for span in closed:
+        lane = lanes.setdefault((span.pid, span.thread), len(lanes) + 1)
+        args = {k: v for k, v in span.attrs.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": round((span.start - base) * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": span.pid,
+                "tid": lane,
+                "cat": span.name.split(".", 1)[0],
+                "args": args,
+            }
+        )
+    for (pid, thread), lane in lanes.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": lane,
+                "args": {"name": thread},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "time_base": base,
+            "epoch_offset": epoch_offset,
+        },
+    }
+
+
+def write_chrome_trace(
+    spans: Sequence[Span], path: PathLike, *, epoch_offset: float = 0.0
+) -> Path:
+    """Write :func:`chrome_trace` output as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = chrome_trace(spans, epoch_offset=epoch_offset)
+    path.write_text(json.dumps(document, indent=1), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# metrics snapshot → Prometheus text
+# ----------------------------------------------------------------------
+
+def _split_key(key: str) -> tuple[str, str]:
+    """``'name{k="v"}'`` → ``('name', '{k="v"}')``; bare names pass through."""
+    brace = key.find("{")
+    if brace == -1:
+        return key, ""
+    return key[:brace], key[brace:]
+
+
+def prometheus_text(snapshot: Mapping, *, prefix: str = "repro_") -> str:
+    """Render a metrics snapshot in Prometheus exposition format.
+
+    Counters and gauges emit ``# TYPE`` headers; summary histograms emit
+    ``_count`` / ``_sum`` / ``_min`` / ``_max`` series.  Metric names are
+    prefixed with ``prefix`` (namespace hygiene for real scrapers).
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def emit(kind: str, key: str, value: float) -> None:
+        name, labels = _split_key(key)
+        full = prefix + name
+        if full not in typed:
+            lines.append(f"# TYPE {full} {kind}")
+            typed.add(full)
+        rendered = value if isinstance(value, int) else repr(float(value))
+        lines.append(f"{full}{labels} {rendered}")
+
+    for key in sorted(snapshot.get("counters", {})):
+        emit("counter", key, snapshot["counters"][key])
+    for key in sorted(snapshot.get("gauges", {})):
+        emit("gauge", key, snapshot["gauges"][key])
+    for key in sorted(snapshot.get("histograms", {})):
+        cell = snapshot["histograms"][key]
+        name, labels = _split_key(key)
+        for stat in ("count", "sum", "min", "max"):
+            emit("gauge", f"{name}_{stat}{labels}", cell.get(stat, 0))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    snapshot: Mapping, path: PathLike, *, prefix: str = "repro_"
+) -> Path:
+    """Write :func:`prometheus_text` output."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(snapshot, prefix=prefix), encoding="utf-8")
+    return path

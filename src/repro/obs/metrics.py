@@ -1,0 +1,167 @@
+"""Metrics registry: counters, gauges, and summary histograms.
+
+The registry captures algorithm-level telemetry — IMI pairs computed,
+pairs pruned by τ, score evaluations, Theorem-2 bound rejections,
+executor retries/rebuilds/fallbacks, checkpoint writes — as plain
+numbers that travel in run manifests and export to a Prometheus-style
+text dump (:func:`repro.obs.export.prometheus_text`).
+
+Metric identity is ``(name, labels)``; labels are an optional frozen
+mapping rendered Prometheus-style (``name{k="v"}``) in snapshots.
+Histograms are summary-style (count / sum / min / max), which is all the
+perf-check workflow needs without baking in bucket boundaries.
+
+The disabled path mirrors tracing: :data:`NULL_METRICS` is a shared
+no-op registry, so instrumentation left in hot loops costs one method
+call when metrics are off.  Snapshots are plain dicts so they serialise
+straight into manifests; :meth:`MetricsRegistry.merge` folds one
+snapshot into another (counters add, gauges last-write-wins, histograms
+combine), which is how per-fit telemetry aggregates into an
+experiment-level manifest.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Mapping
+
+__all__ = [
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "metric_key",
+]
+
+MetricKey = str
+
+
+def metric_key(name: str, labels: Mapping[str, object] | None = None) -> MetricKey:
+    """Render a metric identity Prometheus-style.
+
+    >>> metric_key("executor_retries_total", {"strategy": "process"})
+    'executor_retries_total{strategy="process"}'
+    >>> metric_key("tends_threshold_tau")
+    'tends_threshold_tau'
+    """
+    if not labels:
+        return name
+    rendered = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Thread-safe collection of counters, gauges, and histograms.
+
+    >>> metrics = MetricsRegistry()
+    >>> metrics.inc("tends_score_evaluations_total", 12)
+    >>> metrics.set_gauge("tends_threshold_tau", 0.025)
+    >>> metrics.observe("tends_greedy_iterations", 3)
+    >>> snap = metrics.snapshot()
+    >>> snap["counters"]["tends_score_evaluations_total"]
+    12
+    >>> snap["histograms"]["tends_greedy_iterations"]["count"]
+    1
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[MetricKey, float] = {}
+        self._gauges: dict[MetricKey, float] = {}
+        self._histograms: dict[MetricKey, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        """Add ``value`` (>= 0) to a counter."""
+        key = metric_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Set a gauge to ``value`` (last write wins)."""
+        key = metric_key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one observation into a summary histogram."""
+        key = metric_key(name, labels)
+        with self._lock:
+            cell = self._histograms.get(key)
+            if cell is None:
+                cell = self._histograms[key] = {
+                    "count": 0,
+                    "sum": 0.0,
+                    "min": math.inf,
+                    "max": -math.inf,
+                }
+            cell["count"] += 1
+            cell["sum"] += value
+            cell["min"] = min(cell["min"], value)
+            cell["max"] = max(cell["max"], value)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of every metric."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {k: dict(v) for k, v in self._histograms.items()},
+            }
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters add, gauges take the incoming value, histograms combine
+        count/sum/min/max — the aggregation used when per-fit telemetry
+        rolls up into an experiment-level registry.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            with self._lock:
+                self._counters[key] = self._counters.get(key, 0) + value
+        for key, value in snapshot.get("gauges", {}).items():
+            with self._lock:
+                self._gauges[key] = value
+        for key, cell in snapshot.get("histograms", {}).items():
+            with self._lock:
+                mine = self._histograms.get(key)
+                if mine is None:
+                    mine = self._histograms[key] = {
+                        "count": 0,
+                        "sum": 0.0,
+                        "min": math.inf,
+                        "max": -math.inf,
+                    }
+                mine["count"] += cell.get("count", 0)
+                mine["sum"] += cell.get("sum", 0.0)
+                mine["min"] = min(mine["min"], cell.get("min", math.inf))
+                mine["max"] = max(mine["max"], cell.get("max", -math.inf))
+
+
+class NullMetrics:
+    """No-op registry (the disabled fast path); snapshots are empty."""
+
+    enabled: bool = False
+
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        """Discard."""
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Discard."""
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Discard."""
+
+    def snapshot(self) -> dict:
+        """Always the empty snapshot."""
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Discard."""
+
+
+#: Process-wide disabled registry.
+NULL_METRICS = NullMetrics()

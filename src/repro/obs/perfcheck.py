@@ -1,0 +1,211 @@
+"""Performance regression checks over run manifests and bench archives.
+
+``repro perf-check current.json --baseline old.json`` compares the
+timing profile of a run against a baseline and **fails** (non-zero exit)
+when any shared timing slowed down beyond a configurable ratio — the
+guard-rail the paper's running-time panels deserve in CI.
+
+Both sides may be either a run manifest (:mod:`repro.obs.manifest`) or
+an experiment archive from ``benchmarks/results/*.json``
+(:mod:`repro.evaluation.archive` format).  Each is reduced to a flat
+``{entry: seconds}`` profile:
+
+* manifest → ``total`` plus one ``stage:<name>`` entry per pipeline
+  stage (or ``method:<name>`` means for experiment manifests);
+* experiment archive → ``total`` plus mean ok-cell runtime per method
+  (``method:<name>``).
+
+Only entries present in **both** profiles are compared; timings below
+``min_seconds`` are skipped (micro-stage noise dwarfs any signal).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Union
+
+from repro.exceptions import DataError
+from repro.obs.manifest import MANIFEST_FORMAT, validate_manifest
+
+__all__ = [
+    "TimingComparison",
+    "PerfCheckReport",
+    "timing_profile",
+    "load_timing_profile",
+    "compare_profiles",
+    "format_report",
+]
+
+PathLike = Union[str, Path]
+
+_ARCHIVE_FORMAT = "repro.experiment_result"
+
+
+@dataclass(frozen=True)
+class TimingComparison:
+    """One compared timing entry."""
+
+    entry: str
+    baseline_seconds: float
+    current_seconds: float
+    max_slowdown: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (``inf`` when the baseline is 0)."""
+        if self.baseline_seconds <= 0:
+            return math.inf if self.current_seconds > 0 else 1.0
+        return self.current_seconds / self.baseline_seconds
+
+    @property
+    def ok(self) -> bool:
+        return self.ratio <= self.max_slowdown
+
+
+@dataclass(frozen=True)
+class PerfCheckReport:
+    """Outcome of one perf-check: per-entry verdicts plus skip notes."""
+
+    comparisons: tuple[TimingComparison, ...]
+    skipped: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when every compared entry is within budget."""
+        return all(c.ok for c in self.comparisons)
+
+    def regressions(self) -> list[TimingComparison]:
+        return [c for c in self.comparisons if not c.ok]
+
+
+def timing_profile(document: Mapping) -> dict[str, float]:
+    """Reduce a manifest or experiment-archive document to
+    ``{entry: seconds}``."""
+    fmt = document.get("format")
+    if fmt == MANIFEST_FORMAT:
+        validate_manifest(document)
+        profile = {"total": float(document["total_seconds"])}
+        for stage, seconds in document["stages"].items():
+            # Experiment manifests already use method:<name> keys; fit
+            # manifests carry bare stage names.
+            key = stage if ":" in stage else f"stage:{stage}"
+            profile[key] = float(seconds)
+        return profile
+    if fmt == _ARCHIVE_FORMAT:
+        per_method: dict[str, list[float]] = {}
+        total = 0.0
+        for row in document.get("results", []):
+            runtime = float(row["runtime_seconds"])
+            total += runtime
+            if row.get("error") is None:
+                per_method.setdefault(str(row["method"]), []).append(runtime)
+        profile = {"total": total}
+        for method, values in per_method.items():
+            profile[f"method:{method}"] = sum(values) / len(values)
+        return profile
+    raise DataError(
+        f"cannot build a timing profile from format={fmt!r}; expected "
+        f"{MANIFEST_FORMAT!r} or {_ARCHIVE_FORMAT!r}"
+    )
+
+
+def load_timing_profile(path: PathLike) -> dict[str, float]:
+    """Load a JSON file and reduce it with :func:`timing_profile`."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise DataError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(document, Mapping):
+        raise DataError(f"{path}: expected a JSON object")
+    return timing_profile(document)
+
+
+def compare_profiles(
+    current: Mapping[str, float],
+    baseline: Mapping[str, float],
+    *,
+    max_slowdown: float = 1.5,
+    min_seconds: float = 0.01,
+    entry_budgets: Mapping[str, float] | None = None,
+) -> PerfCheckReport:
+    """Compare two timing profiles entry by entry.
+
+    Parameters
+    ----------
+    current / baseline:
+        ``{entry: seconds}`` profiles (see :func:`timing_profile`).
+    max_slowdown:
+        Default permitted ``current / baseline`` ratio (> 0).
+    min_seconds:
+        Entries whose baseline **and** current timings are both below
+        this are skipped — sub-centisecond stages are all noise.
+    entry_budgets:
+        Per-entry ratio overrides, e.g. ``{"stage:search": 1.2}``.
+
+    Raises
+    ------
+    DataError
+        When the profiles share no comparable entry (a silent pass
+        would be meaningless).
+    """
+    if max_slowdown <= 0:
+        raise DataError(f"max_slowdown must be positive, got {max_slowdown}")
+    budgets = dict(entry_budgets or {})
+    comparisons: list[TimingComparison] = []
+    skipped: list[str] = []
+    shared = sorted(set(current) & set(baseline))
+    for entry in shared:
+        base_s = float(baseline[entry])
+        cur_s = float(current[entry])
+        if base_s < min_seconds and cur_s < min_seconds:
+            skipped.append(f"{entry}: below {min_seconds}s noise floor")
+            continue
+        comparisons.append(
+            TimingComparison(
+                entry=entry,
+                baseline_seconds=base_s,
+                current_seconds=cur_s,
+                max_slowdown=budgets.get(entry, max_slowdown),
+            )
+        )
+    for entry in sorted(set(current) ^ set(baseline)):
+        skipped.append(f"{entry}: present on one side only")
+    if not comparisons and not any(
+        s.endswith("noise floor") for s in skipped
+    ):
+        raise DataError(
+            "no comparable timing entries between the two profiles "
+            f"(current: {sorted(current)}, baseline: {sorted(baseline)})"
+        )
+    return PerfCheckReport(
+        comparisons=tuple(comparisons), skipped=tuple(skipped)
+    )
+
+
+def format_report(report: PerfCheckReport) -> str:
+    """Human-readable verdict table for the CLI."""
+    lines = [
+        f"{'entry':<24} {'baseline':>10} {'current':>10} "
+        f"{'ratio':>7} {'budget':>7}  verdict"
+    ]
+    for c in report.comparisons:
+        ratio = "inf" if math.isinf(c.ratio) else f"{c.ratio:.2f}x"
+        lines.append(
+            f"{c.entry:<24} {c.baseline_seconds:>9.3f}s {c.current_seconds:>9.3f}s "
+            f"{ratio:>7} {c.max_slowdown:>6.2f}x  "
+            f"{'ok' if c.ok else 'REGRESSION'}"
+        )
+    for note in report.skipped:
+        lines.append(f"skipped: {note}")
+    lines.append(
+        "perf-check: PASS"
+        if report.ok
+        else f"perf-check: FAIL ({len(report.regressions())} regression(s))"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""The telemetry bundle a traced run attaches to its result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.obs.trace import Span
+
+__all__ = ["Telemetry"]
+
+
+@dataclass(frozen=True)
+class Telemetry:
+    """Spans and metrics captured during one traced run.
+
+    Attributes
+    ----------
+    spans:
+        Every finished :class:`~repro.obs.trace.Span`, including worker
+        spans merged back from executor backends.
+    metrics:
+        A :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict
+        (``counters`` / ``gauges`` / ``histograms``).
+    epoch_offset:
+        The recording tracer's wall-clock anchor (see
+        :class:`~repro.obs.trace.Tracer`), forwarded to exporters.
+    """
+
+    spans: tuple[Span, ...] = ()
+    metrics: Mapping = field(
+        default_factory=lambda: {"counters": {}, "gauges": {}, "histograms": {}}
+    )
+    epoch_offset: float = 0.0
+
+    def counter(self, key: str, default: float = 0) -> float:
+        """Convenience read of one counter from the snapshot."""
+        return self.metrics.get("counters", {}).get(key, default)
+
+    def span_names(self) -> tuple[str, ...]:
+        """Distinct span names, in first-seen order."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.name, None)
+        return tuple(seen)

@@ -1,0 +1,289 @@
+"""Span-based tracing for the inference pipeline.
+
+The tracing model is deliberately small: a :class:`Span` is a named,
+nestable wall-clock interval with free-form attributes; a :class:`Tracer`
+records finished spans; exporters (:mod:`repro.obs.export`) turn them
+into JSONL, Chrome ``trace_event`` JSON, or human-readable trees.
+
+Design constraints the implementation serves:
+
+* **zero cost when disabled** — the default tracer is the process-wide
+  :data:`NULL_TRACER`, whose ``span()`` returns a shared no-op context
+  manager; instrumentation sites pay one attribute lookup and one
+  dict construction, nothing else.  ``tests/property/test_prop_obs.py``
+  and the micro-benchmark guard in ``benchmarks/bench_core_micro.py``
+  hold the null path to that promise.
+* **thread- and process-safety** — span ids are salted with the pid and
+  drawn from a locked counter; finished spans are appended under a lock;
+  the *current* span is a :class:`contextvars.ContextVar`, so every
+  thread nests independently.
+* **worker spans travel with results** — spans recorded inside executor
+  workers are serialised (:meth:`Span.to_dict`), shipped back with the
+  chunk outcome, and grafted into the parent trace via
+  :meth:`Tracer.adopt`, yielding one merged trace whatever the backend.
+
+Timestamps come from :func:`time.perf_counter` (monotonic).  Each tracer
+also records an epoch anchor (``time.time() - time.perf_counter()`` at
+construction) so exporters can map monotonic spans onto wall-clock time.
+On Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, which is shared across
+processes, so worker spans align with the parent timeline; on platforms
+with per-process clock bases the merged trace may show small skews.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "current_span",
+    "ambient_tracer",
+]
+
+
+@dataclass
+class Span:
+    """One named, nestable interval of work.
+
+    Attributes
+    ----------
+    name:
+        Dotted span name, e.g. ``"tends.fit"`` or ``"stage.search"``.
+    span_id / parent_id:
+        Trace-unique ids (pid-salted); ``parent_id`` is ``None`` for
+        root spans.
+    start / end:
+        :func:`time.perf_counter` timestamps; ``end`` is 0.0 while the
+        span is still open.
+    pid / thread:
+        Recording process id and thread name (worker attribution).
+    attrs:
+        Free-form scalar attributes (:meth:`set` merges more in).
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float = 0.0
+    pid: int = field(default_factory=os.getpid)
+    thread: str = field(default_factory=lambda: threading.current_thread().name)
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while open)."""
+        return max(self.end - self.start, 0.0) if self.end else 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Merge attributes into the span; returns the span for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> dict:
+        """Serialise for shipping across process boundaries / JSONL."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "pid": self.pid,
+            "thread": self.thread,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output."""
+        return cls(
+            name=str(document["name"]),
+            span_id=int(document["span_id"]),
+            parent_id=(
+                None
+                if document.get("parent_id") is None
+                else int(document["parent_id"])
+            ),
+            start=float(document["start"]),
+            end=float(document["end"]),
+            pid=int(document.get("pid", 0)),
+            thread=str(document.get("thread", "")),
+            attrs=dict(document.get("attrs", {})),
+        )
+
+
+#: The span currently open in this thread/context (nesting parent).
+_CURRENT_SPAN: ContextVar[Span | None] = ContextVar("repro_obs_span", default=None)
+
+
+def current_span() -> Span | None:
+    """The innermost open span in the current context, if any."""
+    return _CURRENT_SPAN.get()
+
+
+class Tracer:
+    """Collects finished spans; thread-safe; pid-salted span ids.
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("outer") as outer:
+    ...     with tracer.span("inner", node=3):
+    ...         pass
+    >>> [s.name for s in tracer.finished()]
+    ['inner', 'outer']
+    >>> tracer.finished()[0].parent_id == outer.span_id
+    True
+    """
+
+    #: Instrumentation sites may branch on this to skip attribute
+    #: computation that only matters when spans are recorded.
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        #: wall-clock epoch minus the monotonic clock at construction;
+        #: exporters add it to span timestamps to recover wall time.
+        self.epoch_offset = time.time() - time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def _next_id(self) -> int:
+        with self._lock:
+            counter = next(self._ids)
+        # pid-salted so ids from worker-process tracers never collide
+        # with the parent's when adopted into one trace.
+        return (os.getpid() << 24) + counter
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a span nested under the context's current span."""
+        parent = _CURRENT_SPAN.get()
+        span = Span(
+            name=name,
+            span_id=self._next_id(),
+            parent_id=None if parent is None else parent.span_id,
+            start=time.perf_counter(),
+            attrs=dict(attrs),
+        )
+        token = _CURRENT_SPAN.set(span)
+        try:
+            yield span
+        finally:
+            _CURRENT_SPAN.reset(token)
+            span.end = time.perf_counter()
+            with self._lock:
+                self._spans.append(span)
+
+    # ------------------------------------------------------------------
+    def finished(self) -> tuple[Span, ...]:
+        """All spans closed so far, in completion order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def adopt(
+        self,
+        spans: Iterable[Span | Mapping],
+        parent_id: int | None = None,
+    ) -> None:
+        """Graft spans shipped back from a worker into this trace.
+
+        Dict payloads (the cross-process wire format) are rebuilt into
+        :class:`Span` objects; spans without a parent (the worker's
+        roots) are re-parented under ``parent_id`` so the merged trace
+        nests them where the work was dispatched from.
+        """
+        rebuilt: list[Span] = []
+        for span in spans:
+            if not isinstance(span, Span):
+                span = Span.from_dict(span)
+            if span.parent_id is None and parent_id is not None:
+                span.parent_id = parent_id
+            rebuilt.append(span)
+        with self._lock:
+            self._spans.extend(rebuilt)
+
+
+class _NullSpan:
+    """Shared do-nothing span/context-manager (the disabled fast path)."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer: ``span()`` hands back one shared null span.
+
+    Every method is side-effect-free and allocation-free, so leaving
+    instrumentation calls in hot loops costs only the call itself.
+    """
+
+    enabled: bool = False
+    epoch_offset: float = 0.0
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        """Return the shared no-op span (usable as a context manager)."""
+        return _NULL_SPAN
+
+    def finished(self) -> tuple[Span, ...]:
+        """Always empty."""
+        return ()
+
+    def adopt(
+        self,
+        spans: Iterable[Span | Mapping],
+        parent_id: int | None = None,
+    ) -> None:
+        """Discard shipped spans."""
+
+
+#: Process-wide disabled tracer; the default ambient tracer.
+NULL_TRACER = NullTracer()
+
+#: The tracer instrumentation sites should record into.  Defaults to the
+#: null tracer; ``Tends.fit`` (and the executor's worker wrappers)
+#: install a real tracer for the duration of a traced run.
+_AMBIENT: ContextVar[Tracer | NullTracer] = ContextVar(
+    "repro_obs_tracer", default=NULL_TRACER
+)
+
+
+def current_tracer() -> Tracer | NullTracer:
+    """The ambient tracer of the calling context (null when untraced)."""
+    return _AMBIENT.get()
+
+
+@contextmanager
+def ambient_tracer(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
+    """Install ``tracer`` as the ambient tracer for the ``with`` block.
+
+    New threads and worker processes do **not** inherit the ambient
+    tracer (contexts are per-thread); the executor re-installs it inside
+    its worker wrappers.
+    """
+    token = _AMBIENT.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _AMBIENT.reset(token)

@@ -28,13 +28,25 @@ def get_logger(name: str | None = None) -> logging.Logger:
 
 
 def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
-    """Attach a simple stderr handler to the package logger (idempotent)."""
+    """Attach a simple stderr handler to the package logger (idempotent).
+
+    Repeated calls re-level the existing handler instead of stacking a
+    second one, and only the ``"repro"`` root logger is ever touched —
+    child loggers (``repro.core.executor`` et al.) keep their default
+    level and ``propagate`` flag, so their records flow into this handler
+    whatever order the calls happened in.
+    """
     logger = get_logger()
     logger.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+    handler = next(
+        (h for h in logger.handlers if isinstance(h, logging.StreamHandler)),
+        None,
+    )
+    if handler is None:
         handler = logging.StreamHandler()
         handler.setFormatter(
             logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
         )
         logger.addHandler(handler)
+    handler.setLevel(level)
     return logger

@@ -64,3 +64,18 @@ def test_parallel_backends_reproduce_golden(golden_result, executor, n_jobs):
     assert result.graph.edge_set() == reference.graph.edge_set()
     assert result.parent_sets == reference.parent_sets
     assert result.threshold == reference.threshold
+
+
+@pytest.mark.parametrize(
+    "executor,n_jobs", [("serial", 1), ("thread", 4), ("process", 2)]
+)
+def test_traced_fit_reproduces_golden(golden_result, executor, n_jobs):
+    # Tracing must be a pure observer: spans and counters ride along,
+    # the inferred topology stays bit-identical to the frozen fixture.
+    statuses, reference = golden_result
+    result = Tends(executor=executor, n_jobs=n_jobs, trace=True).fit(statuses)
+    assert result.graph.edge_set() == reference.graph.edge_set()
+    assert result.parent_sets == reference.parent_sets
+    assert result.threshold == reference.threshold
+    assert result.telemetry is not None
+    assert "tends.fit" in result.telemetry.span_names()

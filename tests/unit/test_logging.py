@@ -28,3 +28,28 @@ def test_enable_console_logging_is_idempotent():
 def test_enable_console_logging_sets_level():
     logger = enable_console_logging(logging.DEBUG)
     assert logger.level == logging.DEBUG
+
+
+def test_repeated_calls_relevel_the_existing_handler():
+    # A second call with a different level must re-level the handler it
+    # already installed, not leave it stuck at the first level (a DEBUG
+    # handler behind a WARNING one would silently drop -vv output).
+    enable_console_logging(logging.WARNING)
+    logger = enable_console_logging(logging.DEBUG)
+    handlers = [
+        h for h in logger.handlers if isinstance(h, logging.StreamHandler)
+    ]
+    assert len(handlers) == 1
+    assert handlers[0].level == logging.DEBUG
+    assert logger.level == logging.DEBUG
+
+
+def test_child_loggers_left_untouched():
+    child = get_logger("core.executor")
+    child_level, child_propagate = child.level, child.propagate
+    enable_console_logging(logging.INFO)
+    assert child.level == child_level
+    assert child.propagate is child_propagate
+    assert not any(
+        isinstance(h, logging.StreamHandler) for h in child.handlers
+    )

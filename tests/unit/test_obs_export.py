@@ -1,0 +1,157 @@
+"""Exporters: JSONL spans, Chrome trace_event JSON, Prometheus text."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    spans_jsonl,
+    write_chrome_trace,
+    write_prometheus,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+
+def _sample_spans():
+    return [
+        Span(name="tends.fit", span_id=1, parent_id=None, start=1.0, end=4.0,
+             pid=100, thread="MainThread"),
+        Span(name="tends.imi", span_id=2, parent_id=1, start=1.5, end=2.0,
+             pid=100, thread="MainThread", attrs={"kind": "pairwise"}),
+        Span(name="executor.chunk", span_id=3, parent_id=1, start=2.0, end=3.0,
+             pid=101, thread="MainThread", attrs={"index": 0}),
+    ]
+
+
+class TestSpansJsonl:
+    def test_one_object_per_line_roundtrip(self):
+        spans = _sample_spans()
+        lines = spans_jsonl(spans).splitlines()
+        assert len(lines) == 3
+        rebuilt = [Span.from_dict(json.loads(line)) for line in lines]
+        assert rebuilt == spans
+
+    def test_empty_input_is_empty_string(self):
+        assert spans_jsonl([]) == ""
+
+    def test_write_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "trace.jsonl"
+        write_spans_jsonl(_sample_spans(), target)
+        assert target.exists()
+        assert len(target.read_text().splitlines()) == 3
+
+    def test_write_empty_produces_empty_file(self, tmp_path):
+        target = write_spans_jsonl([], tmp_path / "empty.jsonl")
+        assert target.read_text() == ""
+
+
+class TestChromeTrace:
+    def test_complete_events_with_rebased_microseconds(self):
+        document = chrome_trace(_sample_spans())
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 3
+        fit = next(e for e in events if e["name"] == "tends.fit")
+        assert fit["ts"] == 0.0  # earliest span rebased to zero
+        assert fit["dur"] == pytest.approx(3e6)
+        imi = next(e for e in events if e["name"] == "tends.imi")
+        assert imi["ts"] == pytest.approx(0.5e6)
+
+    def test_category_is_name_prefix(self):
+        document = chrome_trace(_sample_spans())
+        cats = {e["name"]: e["cat"] for e in document["traceEvents"]
+                if e["ph"] == "X"}
+        assert cats["tends.fit"] == "tends"
+        assert cats["executor.chunk"] == "executor"
+
+    def test_args_carry_attrs_and_span_identity(self):
+        document = chrome_trace(_sample_spans())
+        imi = next(e for e in document["traceEvents"] if e.get("name") == "tends.imi")
+        assert imi["args"]["kind"] == "pairwise"
+        assert imi["args"]["span_id"] == 2
+        assert imi["args"]["parent_id"] == 1
+
+    def test_distinct_pids_get_distinct_lanes_and_names(self):
+        document = chrome_trace(_sample_spans())
+        metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in metadata} == {"thread_name"}
+        assert {(e["pid"], e["args"]["name"]) for e in metadata} == {
+            (100, "MainThread"),
+            (101, "MainThread"),
+        }
+        lanes = {(e["pid"], e["tid"]) for e in metadata}
+        assert len(lanes) == 2
+
+    def test_open_spans_are_dropped(self):
+        open_span = Span(name="open", span_id=9, parent_id=None, start=5.0)
+        document = chrome_trace(_sample_spans() + [open_span])
+        assert all(e.get("name") != "open" for e in document["traceEvents"])
+
+    def test_epoch_offset_recorded(self):
+        document = chrome_trace(_sample_spans(), epoch_offset=123.5)
+        assert document["otherData"]["epoch_offset"] == 123.5
+        assert document["otherData"]["time_base"] == 1.0
+
+    def test_empty_trace_is_valid(self):
+        document = chrome_trace([])
+        assert document["traceEvents"] == []
+
+    def test_write_is_json_loadable(self, tmp_path):
+        target = write_chrome_trace(_sample_spans(), tmp_path / "trace.json")
+        document = json.loads(target.read_text())
+        assert "traceEvents" in document
+
+    def test_real_tracer_output_exports(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("a.b"):
+                pass
+        document = chrome_trace(tracer.finished(),
+                                epoch_offset=tracer.epoch_offset)
+        names = [e["name"] for e in document["traceEvents"] if e["ph"] == "X"]
+        assert sorted(names) == ["a", "a.b"]
+
+
+class TestPrometheusText:
+    def _snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.inc("tends_score_evaluations_total", 12)
+        metrics.inc("executor_retries_total", 2, strategy="process")
+        metrics.set_gauge("tends_threshold_tau", 0.025)
+        metrics.observe("tends_greedy_iterations", 3)
+        metrics.observe("tends_greedy_iterations", 5)
+        return metrics.snapshot()
+
+    def test_type_headers_and_prefix(self):
+        text = prometheus_text(self._snapshot())
+        assert "# TYPE repro_tends_score_evaluations_total counter" in text
+        assert "# TYPE repro_tends_threshold_tau gauge" in text
+        assert "repro_tends_score_evaluations_total 12" in text
+
+    def test_labels_preserved(self):
+        text = prometheus_text(self._snapshot())
+        assert 'repro_executor_retries_total{strategy="process"} 2' in text
+
+    def test_histogram_expands_to_summary_series(self):
+        text = prometheus_text(self._snapshot())
+        for stat, value in (("count", "2"), ("sum", "8.0"),
+                            ("min", "3"), ("max", "5")):
+            assert f"repro_tends_greedy_iterations_{stat} {value}" in text
+
+    def test_custom_prefix(self):
+        text = prometheus_text(self._snapshot(), prefix="x_")
+        assert "# TYPE x_tends_threshold_tau gauge" in text
+        assert "repro_" not in text
+
+    def test_empty_snapshot_is_empty(self):
+        empty = {"counters": {}, "gauges": {}, "histograms": {}}
+        assert prometheus_text(empty) == ""
+
+    def test_write_round_trips(self, tmp_path):
+        target = write_prometheus(self._snapshot(), tmp_path / "metrics.prom")
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert text == prometheus_text(self._snapshot())

@@ -1,0 +1,150 @@
+"""Run manifests: builders, schema validation, file round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.tends import Tends
+from repro.exceptions import DataError
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    collect_environment,
+    git_revision,
+    load_manifest,
+    manifest_for_fit,
+    validate_manifest,
+    write_manifest,
+)
+from repro.simulation.statuses import StatusMatrix
+
+
+def _statuses(beta: int = 120, seed: int = 0) -> StatusMatrix:
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 2, beta)
+    b = np.where(rng.random(beta) < 0.08, 1 - a, a)
+    c = rng.integers(0, 2, beta)
+    d = np.where(rng.random(beta) < 0.08, 1 - c, c)
+    return StatusMatrix(np.column_stack([a, b, c, d]))
+
+
+@pytest.fixture(scope="module")
+def traced_fit():
+    estimator = Tends(executor="serial", trace=True)
+    return estimator, estimator.fit(_statuses())
+
+
+class TestEnvironment:
+    def test_collect_environment_keys(self):
+        env = collect_environment()
+        assert env["python"]
+        assert env["numpy"]
+        assert isinstance(env["cpu_count"], int)
+
+    def test_git_revision_in_repo(self):
+        info = git_revision()
+        assert info is not None
+        assert len(info["revision"]) == 40
+        assert isinstance(info["dirty"], bool)
+
+    def test_git_revision_outside_repo(self, tmp_path):
+        assert git_revision(tmp_path) is None
+
+
+class TestManifestForFit:
+    def test_schema_and_contents(self, traced_fit):
+        estimator, result = traced_fit
+        document = manifest_for_fit(
+            result,
+            config=estimator.config,
+            seeds={"bootstrap_seed": None},
+            extra={"statuses": "in.csv"},
+        )
+        validate_manifest(document)
+        assert document["format"] == MANIFEST_FORMAT
+        assert document["kind"] == "tends.fit"
+        assert {"imi", "threshold", "search"} <= set(document["stages"])
+        assert all("/" not in stage for stage in document["stages"])
+        assert document["workers"] == {"serial": pytest.approx(
+            result.stage_seconds["search/serial"])}
+        assert document["config"]["executor"] == "serial"
+        assert document["config"]["trace"] is True
+        assert document["result"]["n_nodes"] == 4
+        assert document["result"]["n_edges"] == result.graph.n_edges
+        assert document["result"]["threshold"] == result.threshold
+        assert document["total_seconds"] == pytest.approx(
+            sum(document["stages"].values()))
+        assert document["extra"] == {"statuses": "in.csv"}
+
+    def test_metrics_come_from_telemetry(self, traced_fit):
+        _, result = traced_fit
+        document = manifest_for_fit(result)
+        counters = document["metrics"]["counters"]
+        assert counters["tends_imi_pairs_total"] == 6
+        assert "tends_score_evaluations_total" in counters
+
+    def test_untraced_fit_gets_empty_metrics(self):
+        result = Tends(executor="serial").fit(_statuses())
+        document = manifest_for_fit(result)
+        assert document["metrics"] == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        validate_manifest(document)
+
+    def test_json_serialisable(self, traced_fit):
+        estimator, result = traced_fit
+        document = manifest_for_fit(result, config=estimator.config)
+        json.dumps(document)  # must not raise
+
+
+class TestValidation:
+    def _valid(self, traced_fit):
+        _, result = traced_fit
+        return manifest_for_fit(result)
+
+    def test_wrong_format_rejected(self, traced_fit):
+        document = self._valid(traced_fit)
+        document["format"] = "something.else"
+        with pytest.raises(DataError, match="not a run manifest"):
+            validate_manifest(document)
+
+    def test_missing_key_rejected(self, traced_fit):
+        document = self._valid(traced_fit)
+        del document["stages"]
+        with pytest.raises(DataError, match="missing required keys"):
+            validate_manifest(document)
+
+    def test_non_numeric_stage_rejected(self, traced_fit):
+        document = self._valid(traced_fit)
+        document["stages"]["imi"] = "fast"
+        with pytest.raises(DataError, match="must be a number"):
+            validate_manifest(document)
+
+    def test_metrics_sections_required(self, traced_fit):
+        document = self._valid(traced_fit)
+        del document["metrics"]["histograms"]
+        with pytest.raises(DataError, match="histograms"):
+            validate_manifest(document)
+
+
+class TestFileRoundTrip:
+    def test_write_load_roundtrip(self, traced_fit, tmp_path):
+        _, result = traced_fit
+        document = manifest_for_fit(result)
+        target = write_manifest(document, tmp_path / "nested" / "run.json")
+        assert load_manifest(target) == json.loads(json.dumps(document))
+
+    def test_write_validates_first(self, tmp_path):
+        with pytest.raises(DataError):
+            write_manifest({"format": "nope"}, tmp_path / "run.json")
+        assert not (tmp_path / "run.json").exists()
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(DataError, match="invalid JSON"):
+            load_manifest(bad)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="cannot read"):
+            load_manifest(tmp_path / "absent.json")

@@ -1,0 +1,121 @@
+"""Metrics registry: counters, gauges, histograms, merge, null path."""
+
+import math
+import threading
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics, metric_key
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("tends_threshold_tau") == "tends_threshold_tau"
+
+    def test_labels_sorted_and_rendered(self):
+        key = metric_key("executor_retries_total", {"b": 2, "a": "x"})
+        assert key == 'executor_retries_total{a="x",b="2"}'
+
+    def test_empty_labels_is_bare(self):
+        assert metric_key("n", {}) == "n"
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.inc("hits")
+        metrics.inc("hits", 4)
+        assert metrics.snapshot()["counters"]["hits"] == 5
+
+    def test_counter_labels_are_distinct_series(self):
+        metrics = MetricsRegistry()
+        metrics.inc("retries", strategy="process")
+        metrics.inc("retries", strategy="thread")
+        counters = metrics.snapshot()["counters"]
+        assert counters['retries{strategy="process"}'] == 1
+        assert counters['retries{strategy="thread"}'] == 1
+
+    def test_gauge_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("tau", 0.1)
+        metrics.set_gauge("tau", 0.025)
+        assert metrics.snapshot()["gauges"]["tau"] == 0.025
+
+    def test_histogram_summary_stats(self):
+        metrics = MetricsRegistry()
+        for value in (3, 1, 2):
+            metrics.observe("iters", value)
+        cell = metrics.snapshot()["histograms"]["iters"]
+        assert cell == {"count": 3, "sum": 6.0, "min": 1, "max": 3}
+
+    def test_snapshot_is_a_copy(self):
+        metrics = MetricsRegistry()
+        metrics.inc("hits")
+        snap = metrics.snapshot()
+        snap["counters"]["hits"] = 99
+        assert metrics.snapshot()["counters"]["hits"] == 1
+
+    def test_empty_snapshot_shape(self):
+        assert MetricsRegistry().snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_merge_semantics(self):
+        a = MetricsRegistry()
+        a.inc("hits", 2)
+        a.set_gauge("tau", 0.1)
+        a.observe("iters", 5)
+        b = MetricsRegistry()
+        b.inc("hits", 3)
+        b.inc("misses")
+        b.set_gauge("tau", 0.2)
+        b.observe("iters", 1)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"] == {"hits": 5, "misses": 1}
+        assert snap["gauges"]["tau"] == 0.2  # incoming wins
+        assert snap["histograms"]["iters"] == {
+            "count": 2, "sum": 6.0, "min": 1, "max": 5,
+        }
+
+    def test_merge_empty_snapshot_is_noop(self):
+        metrics = MetricsRegistry()
+        metrics.inc("hits")
+        metrics.merge({})
+        assert metrics.snapshot()["counters"] == {"hits": 1}
+
+    def test_thread_safety_of_counters(self):
+        metrics = MetricsRegistry()
+
+        def bump():
+            for _ in range(1000):
+                metrics.inc("hits")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.snapshot()["counters"]["hits"] == 4000
+
+    def test_fresh_histogram_bounds_are_infinite(self):
+        metrics = MetricsRegistry()
+        metrics.observe("x", 7)
+        cell = metrics.snapshot()["histograms"]["x"]
+        assert cell["min"] == 7 and cell["max"] == 7
+        assert math.isfinite(cell["min"])
+
+
+class TestNullMetrics:
+    def test_disabled_and_discarding(self):
+        null = NullMetrics()
+        null.inc("hits", 10, strategy="process")
+        null.set_gauge("tau", 0.5)
+        null.observe("iters", 3)
+        null.merge({"counters": {"hits": 1}, "gauges": {}, "histograms": {}})
+        assert null.enabled is False
+        assert null.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_shared_singleton(self):
+        assert isinstance(NULL_METRICS, NullMetrics)
+        assert NULL_METRICS.enabled is False

@@ -1,0 +1,181 @@
+"""perf-check: timing profiles, comparisons, report formatting."""
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.obs.perfcheck import (
+    PerfCheckReport,
+    TimingComparison,
+    compare_profiles,
+    format_report,
+    load_timing_profile,
+    timing_profile,
+)
+
+
+def _fit_manifest(stages):
+    return {
+        "format": "repro.run_manifest",
+        "version": 1,
+        "kind": "tends.fit",
+        "created_unix": 0.0,
+        "config": {},
+        "seeds": {},
+        "environment": {},
+        "git": None,
+        "stages": dict(stages),
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        "result": {},
+        "total_seconds": float(sum(stages.values())),
+    }
+
+
+def _archive(rows):
+    return {
+        "format": "repro.experiment_result",
+        "results": [
+            {"method": m, "runtime_seconds": s, "error": e} for m, s, e in rows
+        ],
+    }
+
+
+class TestTimingProfile:
+    def test_fit_manifest_stages_namespaced(self):
+        profile = timing_profile(_fit_manifest({"imi": 1.0, "search": 2.0}))
+        assert profile == {"total": 3.0, "stage:imi": 1.0, "stage:search": 2.0}
+
+    def test_experiment_manifest_keys_kept_verbatim(self):
+        profile = timing_profile(_fit_manifest({"method:TENDS": 4.0}))
+        assert profile == {"total": 4.0, "method:TENDS": 4.0}
+
+    def test_archive_means_exclude_failed_cells(self):
+        document = _archive([
+            ("TENDS", 1.0, None),
+            ("TENDS", 3.0, None),
+            ("NetRate", 5.0, None),
+            ("NetRate", 99.0, "boom"),  # counts toward total, not the mean
+        ])
+        profile = timing_profile(document)
+        assert profile["total"] == 108.0
+        assert profile["method:TENDS"] == 2.0
+        assert profile["method:NetRate"] == 5.0
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(DataError, match="cannot build a timing profile"):
+            timing_profile({"format": "mystery"})
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps(_fit_manifest({"imi": 1.0})))
+        assert load_timing_profile(path)["stage:imi"] == 1.0
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(DataError, match="JSON object"):
+            load_timing_profile(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="cannot read"):
+            load_timing_profile(tmp_path / "absent.json")
+
+
+class TestTimingComparison:
+    def test_ratio_and_verdict(self):
+        c = TimingComparison("total", 2.0, 3.0, max_slowdown=1.5)
+        assert c.ratio == 1.5
+        assert c.ok
+
+    def test_zero_baseline_with_growth_is_infinite(self):
+        c = TimingComparison("total", 0.0, 1.0, max_slowdown=10.0)
+        assert math.isinf(c.ratio)
+        assert not c.ok
+
+    def test_zero_both_sides_is_flat(self):
+        c = TimingComparison("total", 0.0, 0.0, max_slowdown=1.5)
+        assert c.ratio == 1.0
+        assert c.ok
+
+
+class TestCompareProfiles:
+    def test_identical_profiles_pass(self):
+        profile = {"total": 3.0, "stage:imi": 1.0}
+        report = compare_profiles(profile, profile)
+        assert report.ok
+        assert {c.entry for c in report.comparisons} == {"total", "stage:imi"}
+
+    def test_regression_detected(self):
+        report = compare_profiles(
+            {"total": 4.0}, {"total": 2.0}, max_slowdown=1.5
+        )
+        assert not report.ok
+        assert [c.entry for c in report.regressions()] == ["total"]
+
+    def test_speedup_passes(self):
+        report = compare_profiles({"total": 1.0}, {"total": 2.0})
+        assert report.ok
+
+    def test_noise_floor_skips(self):
+        report = compare_profiles(
+            {"total": 5.0, "stage:imi": 0.001},
+            {"total": 5.0, "stage:imi": 0.0001},
+            min_seconds=0.01,
+        )
+        assert report.ok
+        assert any("noise floor" in s for s in report.skipped)
+        assert all(c.entry != "stage:imi" for c in report.comparisons)
+
+    def test_one_sided_entries_noted_not_compared(self):
+        report = compare_profiles(
+            {"total": 1.0, "stage:new": 1.0}, {"total": 1.0}
+        )
+        assert any("present on one side only" in s for s in report.skipped)
+
+    def test_entry_budget_overrides_default(self):
+        current, baseline = {"stage:search": 2.6}, {"stage:search": 2.0}
+        assert not compare_profiles(current, baseline, max_slowdown=1.2).ok
+        assert compare_profiles(
+            current, baseline, max_slowdown=1.2,
+            entry_budgets={"stage:search": 1.4},
+        ).ok
+
+    def test_disjoint_profiles_raise(self):
+        with pytest.raises(DataError, match="no comparable timing entries"):
+            compare_profiles({"a": 1.0}, {"b": 1.0})
+
+    def test_all_noise_floor_does_not_raise(self):
+        report = compare_profiles({"a": 0.001}, {"a": 0.002})
+        assert report.ok
+        assert not report.comparisons
+
+    def test_invalid_slowdown_rejected(self):
+        with pytest.raises(DataError, match="max_slowdown"):
+            compare_profiles({"a": 1.0}, {"a": 1.0}, max_slowdown=0)
+
+
+class TestFormatReport:
+    def test_pass_verdict(self):
+        report = compare_profiles({"total": 1.0}, {"total": 1.0})
+        text = format_report(report)
+        assert "perf-check: PASS" in text
+        assert "total" in text
+
+    def test_fail_verdict_counts_regressions(self):
+        report = compare_profiles(
+            {"total": 9.0, "stage:imi": 9.0},
+            {"total": 1.0, "stage:imi": 1.0},
+        )
+        text = format_report(report)
+        assert "perf-check: FAIL (2 regression(s))" in text
+        assert "REGRESSION" in text
+
+    def test_skips_listed(self):
+        report = PerfCheckReport(comparisons=(), skipped=("x: noise floor",))
+        assert "skipped: x: noise floor" in format_report(report)
+
+    def test_infinite_ratio_rendered(self):
+        report = compare_profiles({"total": 1.0}, {"total": 0.0})
+        assert " inf " in format_report(report)

@@ -1,0 +1,179 @@
+"""Span tracing: nesting, ids, adoption, the null fast path."""
+
+import os
+import threading
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    ambient_tracer,
+    current_span,
+    current_tracer,
+)
+
+
+class TestSpan:
+    def test_duration_zero_while_open(self):
+        span = Span(name="s", span_id=1, parent_id=None, start=10.0)
+        assert span.duration == 0.0
+        span.end = 12.5
+        assert span.duration == 2.5
+
+    def test_set_merges_and_chains(self):
+        span = Span(name="s", span_id=1, parent_id=None, start=0.0)
+        assert span.set(a=1).set(b=2) is span
+        assert span.attrs == {"a": 1, "b": 2}
+
+    def test_dict_roundtrip(self):
+        span = Span(
+            name="x.y", span_id=7, parent_id=3, start=1.0, end=2.0,
+            attrs={"node": 4},
+        )
+        rebuilt = Span.from_dict(span.to_dict())
+        assert rebuilt == span
+
+    def test_from_dict_tolerates_missing_optionals(self):
+        rebuilt = Span.from_dict(
+            {"name": "s", "span_id": 1, "parent_id": None, "start": 0.0, "end": 1.0}
+        )
+        assert rebuilt.attrs == {}
+        assert rebuilt.parent_id is None
+
+
+class TestTracer:
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # completion order: inner closes first
+        assert [s.name for s in tracer.finished()] == ["inner", "outer"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_span_ids_unique_and_pid_salted(self):
+        tracer = Tracer()
+        with tracer.span("a") as a, tracer.span("b") as b:
+            pass
+        assert a.span_id != b.span_id
+        assert a.span_id >> 24 == os.getpid()
+
+    def test_attrs_recorded(self):
+        tracer = Tracer()
+        with tracer.span("s", node=3) as span:
+            span.set(extra=True)
+        assert tracer.finished()[0].attrs == {"node": 3, "extra": True}
+
+    def test_timestamps_ordered(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        span = tracer.finished()[0]
+        assert span.end >= span.start
+        assert span.duration >= 0.0
+
+    def test_threads_nest_independently(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(label):
+            with tracer.span(label) as span:
+                seen[label] = span
+
+        with tracer.span("main"):
+            threads = [
+                threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # New threads have a fresh context: no inherited parent.
+        assert all(span.parent_id is None for span in seen.values())
+        ids = [span.span_id for span in seen.values()]
+        assert len(set(ids)) == len(ids)
+
+    def test_adopt_reparents_roots_only(self):
+        worker = Tracer()
+        with worker.span("root"):
+            with worker.span("child"):
+                pass
+        shipped = [s.to_dict() for s in worker.finished()]
+
+        parent = Tracer()
+        with parent.span("dispatch") as dispatch:
+            pass
+        parent.adopt(shipped, parent_id=dispatch.span_id)
+        by_name = {s.name: s for s in parent.finished()}
+        assert by_name["root"].parent_id == dispatch.span_id
+        assert by_name["child"].parent_id == by_name["root"].span_id
+
+    def test_adopt_accepts_span_objects(self):
+        tracer = Tracer()
+        span = Span(name="s", span_id=99, parent_id=None, start=0.0, end=1.0)
+        tracer.adopt([span])
+        assert tracer.finished() == (span,)
+
+    def test_span_closed_even_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert tracer.finished()[0].end > 0.0
+        assert current_span() is None
+
+
+class TestNullTracer:
+    def test_disabled_and_empty(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.finished() == ()
+
+    def test_span_is_shared_noop_context(self):
+        a = NULL_TRACER.span("x", attr=1)
+        b = NULL_TRACER.span("y")
+        assert a is b
+        with a as span:
+            assert span.set(z=2) is span
+        assert NULL_TRACER.finished() == ()
+
+    def test_adopt_discards(self):
+        tracer = NullTracer()
+        tracer.adopt([{"name": "s", "span_id": 1, "parent_id": None,
+                       "start": 0.0, "end": 1.0}])
+        assert tracer.finished() == ()
+
+
+class TestAmbient:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_install_and_reset(self):
+        tracer = Tracer()
+        with ambient_tracer(tracer) as installed:
+            assert installed is tracer
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_current_span_tracks_nesting(self):
+        tracer = Tracer()
+        assert current_span() is None
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None

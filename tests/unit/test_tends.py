@@ -46,10 +46,18 @@ class TestFit:
         assert result.clustering is not None
         assert len(result.parent_sets) == 4
         assert len(result.diagnostics) == 4
-        assert {"imi", "threshold", "search"} <= set(result.stage_seconds)
-        assert "search/serial" in result.stage_seconds
+        # Pin the full key namespace: bare stage names plus one
+        # search/<worker> entry per worker, and nothing else.
+        assert set(result.stage_seconds) == {
+            "imi", "threshold", "search", "search/serial",
+        }
+        assert set(result.stage_times) == {"imi", "threshold", "search"}
+        assert result.worker_seconds == {
+            "serial": result.stage_seconds["search/serial"]
+        }
         assert [w.worker for w in result.worker_stats] == ["serial"]
         assert result.worker_stats[0].n_items == 4
+        assert result.telemetry is None  # tracing is opt-in
 
     def test_parent_sets_match_graph(self):
         result = Tends().fit(_two_block_statuses())
@@ -123,3 +131,44 @@ class TestConfigEffects:
     def test_total_evaluations_positive(self):
         result = Tends().fit(_two_block_statuses())
         assert result.total_evaluations() > 0
+
+
+class TestTelemetry:
+    """trace=True attaches spans/metrics without perturbing inference."""
+
+    def test_traced_fit_matches_untraced(self):
+        statuses = _two_block_statuses()
+        plain = Tends(executor="serial").fit(statuses)
+        traced = Tends(executor="serial", trace=True).fit(statuses)
+        assert traced.parent_sets == plain.parent_sets
+        assert traced.threshold == plain.threshold
+        assert np.array_equal(traced.mi_matrix, plain.mi_matrix)
+
+    def test_telemetry_contents(self):
+        result = Tends(executor="serial", trace=True).fit(_two_block_statuses())
+        telemetry = result.telemetry
+        assert telemetry is not None
+        names = set(telemetry.span_names())
+        assert {"tends.fit", "tends.imi", "tends.threshold",
+                "tends.search", "search.node"} <= names
+        counters = telemetry.metrics["counters"]
+        assert counters["tends_imi_pairs_total"] == 6  # C(4, 2)
+        assert (counters["tends_candidate_pairs_pruned_total"]
+                + counters["tends_candidate_pairs_kept_total"]) == 12
+        assert counters["tends_score_evaluations_total"] == (
+            result.total_evaluations()
+        )
+        assert telemetry.metrics["gauges"]["tends_threshold_tau"] == (
+            result.threshold
+        )
+        iters = telemetry.metrics["histograms"]["tends_greedy_iterations"]
+        assert iters["count"] == 4  # one observation per node
+
+    def test_threshold_span_records_tau(self):
+        result = Tends(executor="serial", threshold=0.5, trace=True).fit(
+            _two_block_statuses()
+        )
+        span = next(
+            s for s in result.telemetry.spans if s.name == "tends.threshold"
+        )
+        assert span.attrs["tau"] == 0.5
