@@ -1,0 +1,146 @@
+"""Incremental update vs. full refit on a streaming-scale workload.
+
+``Tends.partial_fit`` exists so a long-running service can absorb a batch
+of Δβ new processes without paying the full ``O(β n²)`` + stage-3 cost of
+refitting the concatenated history.  This bench measures exactly that
+trade on the acceptance workload (n=128, β=2000): wall time of one
+``partial_fit`` of a Δβ batch against a one-shot ``fit`` of the β+Δβ
+history, for Δβ ∈ {25, 100, 400}, in two shapes —
+
+* ``full`` batches observe every node (worst case: all nodes dirty, the
+  win comes purely from the cached-count IMI update), and
+* ``masked`` batches observe only a 16-node neighbourhood (the service
+  case: most nodes provably clean, their stage-3 searches skipped).
+
+Every row re-asserts the equivalence contract: the incremental result
+must match the refit bit for bit.  The acceptance criterion is the
+Δβ=100 full-batch row at < 50% of the refit time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _util import archive_result, bench_scale, bench_seed
+
+from repro.core.tends import Tends
+from repro.evaluation.reporting import format_rows
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+from repro.simulation.engine import DiffusionSimulator
+from repro.simulation.statuses import StatusMatrix
+from repro.utils.rng import derive_seed
+
+REPS = 3
+MASKED_NODES = 16
+
+
+def _scale_params() -> tuple[int, int, tuple[int, ...]]:
+    if bench_scale() == "full":
+        return 128, 2000, (25, 100, 400)
+    return 48, 300, (10, 30)
+
+
+def _workload(n: int, beta_total: int) -> StatusMatrix:
+    seed = derive_seed(bench_seed(), "incremental_update")
+    truth = erdos_renyi_digraph(n, 4.0 / n, seed=seed)
+    observations = DiffusionSimulator(
+        truth, mu=0.3, alpha=0.15, seed=derive_seed(seed, "sim")
+    ).run(beta=beta_total)
+    return observations.statuses
+
+
+def _localized(batch: StatusMatrix) -> StatusMatrix:
+    """The batch observed only at the first MASKED_NODES columns."""
+    mask = np.zeros((batch.beta, batch.n_nodes), dtype=np.bool_)
+    mask[:, :MASKED_NODES] = True
+    return StatusMatrix(batch.values.copy(), mask)
+
+
+def _time(fn) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _measure() -> list[dict[str, object]]:
+    n, beta, dbetas = _scale_params()
+    history = _workload(n, beta + max(dbetas))
+    base = history.subset(range(0, beta))
+    base_estimator = Tends(audit="ignore")
+    base_estimator.fit(base)
+    model = base_estimator.model
+
+    rows: list[dict[str, object]] = []
+    for dbeta in dbetas:
+        raw_batch = history.subset(range(beta, beta + dbeta))
+        for shape, batch in (("full", raw_batch), ("masked", _localized(raw_batch))):
+            # Each rep resumes from the same checkpointed model so every
+            # partial_fit measures the same single-batch update.
+            update_s, update_result = _time(
+                lambda: Tends.from_model(model).partial_fit(batch)
+            )
+            refit_s, refit_result = _time(
+                lambda: Tends(audit="ignore").fit(base.append(batch))
+            )
+            identical = (
+                update_result.parent_sets == refit_result.parent_sets
+                and np.array_equal(
+                    update_result.mi_matrix, refit_result.mi_matrix
+                )
+                and update_result.threshold == refit_result.threshold
+            )
+            rows.append(
+                {
+                    "dbeta": dbeta,
+                    "batch": shape,
+                    "dirty": update_result.update.n_dirty,
+                    "skipped": update_result.update.n_skipped,
+                    "update_s": round(update_s, 3),
+                    "refit_s": round(refit_s, 3),
+                    "ratio": round(update_s / refit_s, 3),
+                    "identical": identical,
+                }
+            )
+    rows.append(
+        {
+            "dbeta": f"(n={n}, beta={beta})",
+            "batch": "-",
+            "dirty": "-",
+            "skipped": "-",
+            "update_s": "-",
+            "refit_s": "-",
+            "ratio": "-",
+            "identical": "-",
+        }
+    )
+    return rows
+
+
+def test_incremental_update_beats_refit(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = format_rows(rows)
+    print(f"\n{text}")
+    archive_result("bench_incremental_update", text)
+
+    data_rows = [row for row in rows if row["identical"] != "-"]
+    # Equivalence is unconditional: every update reproduced its refit.
+    assert all(row["identical"] for row in data_rows)
+    # Every single-batch update must beat the full refit outright ...
+    assert all(row["ratio"] < 1.0 for row in data_rows)
+    # ... and the acceptance batch (the smallest sizes, Δβ=100 at full
+    # scale) by at least 2x.
+    dbetas = sorted({row["dbeta"] for row in data_rows})
+    accept = [
+        row
+        for row in data_rows
+        if row["batch"] == "full" and row["dbeta"] in dbetas[:2]
+    ]
+    assert max(row["ratio"] for row in accept) < 0.5, (
+        "expected the incremental update to run in < 50% of a full refit, "
+        f"got ratios {[row['ratio'] for row in accept]}"
+    )

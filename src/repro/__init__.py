@@ -31,9 +31,12 @@ from repro.baselines import (
     TendsInferrer,
 )
 from repro.core import (
+    SufficientStats,
     Tends,
     TendsConfig,
+    TendsModel,
     TendsResult,
+    UpdateInfo,
     estimate_edge_probabilities,
 )
 from repro.evaluation import (
@@ -81,7 +84,10 @@ __all__ = [
     # core
     "Tends",
     "TendsConfig",
+    "TendsModel",
     "TendsResult",
+    "UpdateInfo",
+    "SufficientStats",
     "estimate_edge_probabilities",
     # graphs
     "DiffusionGraph",

@@ -5,7 +5,9 @@ run, inspected, and re-run independently:
 
     python -m repro generate lfr --n 200 --avg-degree 4 -o truth.txt
     python -m repro simulate truth.txt --beta 150 -o statuses.csv
-    python -m repro infer statuses.csv -o inferred.txt
+    python -m repro infer statuses.csv -o inferred.txt --model-out model.npz
+    python -m repro update --model-in model.npz --batch batch.csv \\
+        --model-out model.npz -o inferred.txt
     python -m repro evaluate truth.txt inferred.txt
     python -m repro estimate-probabilities inferred.txt statuses.csv
     python -m repro analyze truth.txt inferred.txt
@@ -291,6 +293,16 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     )
     result = estimator.fit(statuses)
     _write_graph(result.graph, args.output)
+    if args.model_out is not None:
+        if estimator.model is None:
+            print(
+                "warning: bootstrap-backed fits have no incremental model; "
+                f"nothing written to {args.model_out}",
+                file=sys.stderr,
+            )
+        else:
+            estimator.model.save(args.model_out)
+            print(f"incremental model written to {args.model_out}")
     _write_fit_observability(args, estimator, result)
     if result.edge_confidence:
         confidences = sorted(result.edge_confidence.values())
@@ -317,6 +329,39 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                 f"  worker {stats.worker}: {stats.n_items} nodes in "
                 f"{stats.n_chunks} chunks"
             )
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    """``repro update``: incremental ``partial_fit`` on a saved model."""
+    from repro.core.tends import TendsModel
+
+    model = TendsModel.load(args.model_in)
+    overrides = {
+        name: value
+        for name, value in (
+            ("executor", args.executor),
+            ("n_jobs", args.n_jobs),
+            ("chunk_size", args.chunk_size),
+            ("max_attempts", args.max_attempts),
+            ("chunk_timeout", args.chunk_timeout),
+        )
+        if value is not None
+    }
+    estimator = Tends.from_model(model, **overrides)
+    batch = _read_statuses(args.batch)
+    result = estimator.partial_fit(batch)
+    estimator.model.save(args.model_out)
+    info = result.update
+    print(
+        f"absorbed {info.batch_beta} processes "
+        f"(history now {estimator.model.beta}): tau = {result.threshold:.6f}, "
+        f"{result.n_edges} edges; re-searched {info.n_dirty} dirty node(s), "
+        f"warm-started {info.n_clean}; model written to {args.model_out}"
+    )
+    if args.output is not None:
+        _write_graph(result.graph, args.output)
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -702,9 +747,54 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-stage and per-worker timing breakdowns",
     )
+    infer.add_argument(
+        "--model-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="checkpoint the fitted incremental model (NPZ) for later "
+        "`repro update` runs",
+    )
     _add_obs_arguments(infer)
     infer.add_argument("-o", "--output", type=Path, required=True)
     infer.set_defaults(func=_cmd_infer)
+
+    update = subparsers.add_parser(
+        "update",
+        help="incrementally absorb a batch of processes into a saved model",
+        description="Load a TENDS model checkpoint, partial_fit a batch of "
+        "newly observed statuses (bit-identical to refitting the full "
+        "history), and save the updated model.",
+    )
+    update.add_argument(
+        "--model-in",
+        type=Path,
+        required=True,
+        help="model checkpoint written by `repro infer --model-out` or a "
+        "previous `repro update`",
+    )
+    update.add_argument(
+        "--batch",
+        type=Path,
+        required=True,
+        help="newly observed statuses (CSV or NPZ) to absorb",
+    )
+    update.add_argument(
+        "--model-out",
+        type=Path,
+        required=True,
+        help="where to write the updated model (may equal --model-in)",
+    )
+    _add_executor_arguments(update)
+    update.add_argument("--chunk-size", type=int, default=None)
+    update.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the updated inferred graph",
+    )
+    update.set_defaults(func=_cmd_update)
 
     evaluate = subparsers.add_parser("evaluate", help="score an inferred topology")
     evaluate.add_argument("truth", type=Path)

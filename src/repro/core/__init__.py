@@ -28,13 +28,14 @@ from repro.core.scoring import (
     penalty,
     size_bound,
 )
-from repro.core.search import ParentSearch, SearchDiagnostics
+from repro.core.search import ParentSearch, SearchDiagnostics, prune_candidates
 from repro.core.selection import (
     ThresholdSelection,
     predictive_log_likelihood,
     select_threshold_scale,
 )
-from repro.core.tends import Tends, TendsResult
+from repro.core.stats import SufficientStats
+from repro.core.tends import Tends, TendsModel, TendsResult, UpdateInfo
 
 __all__ = [
     "TendsConfig",
@@ -59,9 +60,13 @@ __all__ = [
     "size_bound",
     "ParentSearch",
     "SearchDiagnostics",
+    "prune_candidates",
     "ThresholdSelection",
     "predictive_log_likelihood",
     "select_threshold_scale",
+    "SufficientStats",
     "Tends",
+    "TendsModel",
     "TendsResult",
+    "UpdateInfo",
 ]

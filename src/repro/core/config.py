@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
 from typing import Literal
 
 from repro.exceptions import ConfigurationError
@@ -196,3 +198,36 @@ class TendsConfig:
     def with_overrides(self, **changes) -> "TendsConfig":
         """Functional update helper (dataclass ``replace`` wrapper)."""
         return replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        """All fields as a plain JSON-serialisable dict."""
+        return asdict(self)
+
+    #: Fields that determine *what* the pipeline infers.  Execution knobs
+    #: (executor/n_jobs/chunking/retries), audit policy, and tracing change
+    #: only how or how observably the work runs — every backend is
+    #: bit-identical — so they are excluded from the algorithm fingerprint.
+    ALGORITHM_FIELDS = (
+        "mi_kind",
+        "threshold",
+        "threshold_scale",
+        "search_strategy",
+        "max_combination_size",
+        "max_candidates",
+        "min_improvement",
+        "missing",
+    )
+
+    def algorithm_fingerprint(self) -> str:
+        """SHA-256 over the result-affecting configuration fields.
+
+        Used by :class:`repro.core.tends.TendsModel` to refuse resuming a
+        cached model under a configuration that would have produced
+        different statistics or searches.  Two configs that differ only in
+        execution/observability knobs share a fingerprint, so a model
+        saved from a serial fit can be updated by a process-parallel
+        service.
+        """
+        payload = {name: getattr(self, name) for name in self.ALGORITHM_FIELDS}
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode()).hexdigest()

@@ -39,7 +39,15 @@ import numpy as np
 from repro.exceptions import DataError
 from repro.simulation.statuses import StatusMatrix
 
-__all__ = ["pointwise_mi_terms", "infection_mi_matrix", "traditional_mi_matrix"]
+__all__ = [
+    "pointwise_mi_terms",
+    "mi_terms_from_joint_counts",
+    "mi_terms_from_pairwise_counts",
+    "imi_from_terms",
+    "mi_from_terms",
+    "infection_mi_matrix",
+    "traditional_mi_matrix",
+]
 
 
 def pointwise_mi_terms(statuses: StatusMatrix) -> dict[str, np.ndarray]:
@@ -58,21 +66,47 @@ def pointwise_mi_terms(statuses: StatusMatrix) -> dict[str, np.ndarray]:
     instead of counting unobserved entries as "uninfected".  Pairs with
     ``β_ij = 0`` contribute 0.  For fully-observed matrices the code path
     (and hence every floating-point operation) is unchanged.
+
+    Both estimates are pure functions of additive sufficient statistics;
+    :func:`mi_terms_from_joint_counts` and
+    :func:`mi_terms_from_pairwise_counts` expose the count-based cores so
+    cached counts (:class:`repro.core.stats.SufficientStats`) run the
+    exact same floating-point pipeline.
     """
     if statuses.beta == 0:
         raise DataError("cannot estimate MI from zero diffusion processes")
     if statuses.has_missing:
-        return _pairwise_complete_mi_terms(statuses)
-    beta = float(statuses.beta)
-    joints = statuses.joint_counts()
-    p1 = statuses.infection_rates()
+        return mi_terms_from_pairwise_counts(statuses.pairwise_complete_counts())
+    return mi_terms_from_joint_counts(
+        statuses.joint_counts(), statuses.infection_counts(), statuses.beta
+    )
+
+
+def mi_terms_from_joint_counts(
+    joints: dict[str, np.ndarray],
+    infection_counts: np.ndarray,
+    beta: int,
+) -> dict[str, np.ndarray]:
+    """Pointwise MI terms from fully-observed joint counts.
+
+    ``joints`` holds the four ``(n, n)`` pairwise count matrices (keys
+    ``"11"``/``"10"``/``"01"``/``"00"``), ``infection_counts`` the per-node
+    infected totals, and ``beta`` the number of processes — exactly the
+    additive statistics :meth:`StatusMatrix.joint_counts` and
+    :meth:`StatusMatrix.infection_counts` produce, whether computed in one
+    pass or accumulated batch by batch (integer addition is exact, so both
+    routes feed bit-identical counts into the identical float pipeline).
+    """
+    if beta == 0:
+        raise DataError("cannot estimate MI from zero diffusion processes")
+    p1 = infection_counts / beta
     p0 = 1.0 - p1
     marginal = {"1": p1, "0": p0}
 
     terms: dict[str, np.ndarray] = {}
-    for key, counts in joints.items():
+    for key in ("11", "10", "01", "00"):
         a, b = key[0], key[1]
-        p_joint = counts / beta
+        p_joint = joints[key] / float(beta)
         denominator = np.outer(marginal[a], marginal[b])
         with np.errstate(divide="ignore", invalid="ignore"):
             ratio = np.where(denominator > 0, p_joint / denominator, 1.0)
@@ -81,16 +115,20 @@ def pointwise_mi_terms(statuses: StatusMatrix) -> dict[str, np.ndarray]:
     return terms
 
 
-def _pairwise_complete_mi_terms(statuses: StatusMatrix) -> dict[str, np.ndarray]:
-    """Pointwise MI terms over pairwise-complete processes (masked data).
+def mi_terms_from_pairwise_counts(
+    counts: dict[str, np.ndarray],
+) -> dict[str, np.ndarray]:
+    """Pointwise MI terms over pairwise-complete counts (masked data).
 
-    Identical in structure to the clean path, except every quantity is an
-    ``(n, n)`` matrix: joint probabilities divide by the per-pair ``β_ij``
-    and the marginals are recomputed per pair from the same complete rows
+    ``counts`` is the five-matrix dict of
+    :meth:`StatusMatrix.pairwise_complete_counts` (the four joint counts
+    plus the per-pair effective sample size ``"obs"``).  Identical in
+    structure to the clean path, except every quantity is an ``(n, n)``
+    matrix: joint probabilities divide by the per-pair ``β_ij`` and the
+    marginals are recomputed per pair from the same complete rows
     (``P̂^{(ij)}(X_i = 1) = (n11 + n10) / β_ij``), so joint and marginal
     estimates always refer to the same sample.
     """
-    counts = statuses.pairwise_complete_counts()
     beta_ij = counts["obs"].astype(np.float64)
     with np.errstate(divide="ignore", invalid="ignore"):
         p1_row = np.where(beta_ij > 0, (counts["11"] + counts["10"]) / beta_ij, 0.0)
@@ -111,15 +149,9 @@ def _pairwise_complete_mi_terms(statuses: StatusMatrix) -> dict[str, np.ndarray]
     return terms
 
 
-def infection_mi_matrix(statuses: StatusMatrix) -> np.ndarray:
-    """The ``n × n`` infection-MI matrix (Eq. 25); diagonal zeroed.
-
-    ``IMI[i, j]`` measures the positive infection correlation between
-    ``v_i`` and ``v_j``.  The measure is symmetric in its arguments, so the
-    matrix is symmetric; the diagonal (a node with itself) carries no
-    information about edges and is set to 0.
-    """
-    terms = pointwise_mi_terms(statuses)
+def imi_from_terms(terms: dict[str, np.ndarray]) -> np.ndarray:
+    """Combine pointwise terms into the infection-MI matrix (Eq. 25);
+    diagonal zeroed."""
     imi = (
         terms["11"]
         + terms["00"]
@@ -130,12 +162,27 @@ def infection_mi_matrix(statuses: StatusMatrix) -> np.ndarray:
     return imi
 
 
+def mi_from_terms(terms: dict[str, np.ndarray]) -> np.ndarray:
+    """Combine pointwise terms into the traditional MI matrix; diagonal
+    zeroed, tiny float-noise negatives clamped to 0."""
+    mi = terms["11"] + terms["00"] + terms["10"] + terms["01"]
+    np.fill_diagonal(mi, 0.0)
+    return np.maximum(mi, 0.0)
+
+
+def infection_mi_matrix(statuses: StatusMatrix) -> np.ndarray:
+    """The ``n × n`` infection-MI matrix (Eq. 25); diagonal zeroed.
+
+    ``IMI[i, j]`` measures the positive infection correlation between
+    ``v_i`` and ``v_j``.  The measure is symmetric in its arguments, so the
+    matrix is symmetric; the diagonal (a node with itself) carries no
+    information about edges and is set to 0.
+    """
+    return imi_from_terms(pointwise_mi_terms(statuses))
+
+
 def traditional_mi_matrix(statuses: StatusMatrix) -> np.ndarray:
     """Standard mutual information per pair (sum of all four pointwise
     terms); diagonal zeroed.  Used by the paper's Fig. 10–11 ablation
     ("TENDS with traditional MI")."""
-    terms = pointwise_mi_terms(statuses)
-    mi = terms["11"] + terms["00"] + terms["10"] + terms["01"]
-    np.fill_diagonal(mi, 0.0)
-    # MI is non-negative up to floating-point noise; clamp tiny negatives.
-    return np.maximum(mi, 0.0)
+    return mi_from_terms(pointwise_mi_terms(statuses))

@@ -46,6 +46,7 @@ __all__ = [
     "ParentSearch",
     "SearchDiagnostics",
     "MAX_PARENT_SET_SIZE",
+    "prune_candidates",
     "search_chunk",
 ]
 
@@ -87,6 +88,39 @@ class SearchDiagnostics:
     final_score: float = 0.0
     empty_score: float = 0.0
     bound_hits: int = 0
+
+
+def prune_candidates(
+    mi: np.ndarray,
+    node: int,
+    threshold: float,
+    config: TendsConfig,
+    stable_pairs: np.ndarray | None = None,
+) -> list[int]:
+    """``P_i``: nodes whose MI with ``node`` strictly exceeds ``τ``,
+    optionally capped to the strongest ``max_candidates``.  In stable
+    mode, candidates must additionally have their bootstrap-CI lower
+    bound above ``τ`` (``stable_pairs`` row).
+
+    Module-level (rather than a :class:`~repro.core.tends.Tends` method)
+    so the incremental engine can diff candidate sets against a previous
+    fit through the exact same code path that produced them.
+    """
+    row = mi[node]
+    above = row > threshold
+    if stable_pairs is not None:
+        above &= stable_pairs[node]
+    candidates = np.nonzero(above)[0]
+    candidates = candidates[candidates != node]
+    cap = config.max_candidates
+    if cap is not None and candidates.size > cap:
+        # Stable sort on the negated MI: equal-MI candidates keep their
+        # ascending-index order, so the cap is deterministic across
+        # numpy versions (plain argsort[::-1] reverses tie order and
+        # the default introsort is not even stable to begin with).
+        order = np.argsort(-row[candidates], kind="stable")
+        candidates = candidates[order[:cap]]
+    return sorted(int(c) for c in candidates)
 
 
 def search_chunk(

@@ -34,6 +34,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.config import TendsConfig
+from repro.core.stats import SufficientStats
 from repro.core.tends import Tends, TendsResult
 from repro.exceptions import ConfigurationError, DataError
 from repro.simulation.statuses import StatusMatrix
@@ -158,9 +159,18 @@ def select_threshold_scale(
     train = statuses.subset(order[n_valid:])
 
     base = config or TendsConfig()
+    # Every candidate scale refits the same training split, so count its
+    # sufficient statistics once and share them across the fits (stage 1
+    # is a pure function of these counts).  Not applicable under
+    # zero-fill, where fit() transforms the observations first.
+    train_stats: SufficientStats | None = None
+    if not (train.has_missing and base.missing == "zero-fill"):
+        train_stats = SufficientStats.from_statuses(train)
     scores: dict[float, float] = {}
     for scale in scales:
-        fitted = Tends(base.with_overrides(threshold_scale=float(scale))).fit(train)
+        fitted = Tends(base.with_overrides(threshold_scale=float(scale))).fit(
+            train, stats=train_stats
+        )
         scores[float(scale)] = predictive_log_likelihood(
             train, validation, [list(p) for p in fitted.parent_sets]
         )

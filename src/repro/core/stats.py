@@ -1,0 +1,216 @@
+"""Cached additive sufficient statistics for incremental TENDS fits.
+
+Every quantity TENDS's pairwise stages consume is an *additive* integer
+count over the observed diffusion processes: the four pairwise joint
+counts feeding IMI (Eq. 24–25), the per-pair effective sample sizes
+``β_ij`` of the masked-data estimator, and the per-node infected /
+observed totals behind the marginals and the Theorem-2 ``δ_i`` bound.
+Integer addition is exact, so accumulating these counts batch by batch
+yields **bit-identical** matrices to a single pass over the concatenated
+history — which is the foundation of the
+:meth:`repro.core.tends.Tends.partial_fit` equivalence guarantee
+(``partial_fit`` over any batch split ≡ one-shot ``fit``; see
+docs/INCREMENTAL.md and ``tests/property/test_prop_incremental.py``).
+
+:class:`SufficientStats` is immutable: :meth:`SufficientStats.updated`
+returns a new instance, leaving the previous one untouched.  That is what
+makes incremental updates copy-on-write — a ``partial_fit`` that fails
+mid-way cannot corrupt the model it started from.
+
+Updating with a ``Δβ × n`` batch costs ``O(Δβ · n²)`` (the batch's own
+count products plus an ``O(n²)`` merge), instead of the ``O(β · n²)``
+full-history recount, so long-running services pay per *arriving* data,
+not per *accumulated* data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.imi import (
+    imi_from_terms,
+    mi_from_terms,
+    mi_terms_from_joint_counts,
+    mi_terms_from_pairwise_counts,
+)
+from repro.exceptions import DataError
+from repro.simulation.statuses import StatusMatrix
+
+__all__ = ["SufficientStats", "COUNT_KEYS"]
+
+#: Keys of the pairwise count matrices, in canonical (serialisation) order:
+#: the four joint counts plus the per-pair observed-process count ``β_ij``.
+COUNT_KEYS = ("11", "10", "01", "00", "obs")
+
+
+@dataclass(frozen=True)
+class SufficientStats:
+    """Additive sufficient statistics of a status-matrix history.
+
+    Attributes
+    ----------
+    counts:
+        The five ``(n, n)`` int64 matrices of
+        :meth:`StatusMatrix.pairwise_complete_counts` — pairwise joint
+        counts ``"11"``/``"10"``/``"01"``/``"00"`` plus ``"obs"``
+        (per-pair observed-process count ``β_ij``; identically ``beta``
+        when nothing is missing).
+    infected:
+        Per-node observed-infection totals (the paper's ``N₂`` per node).
+    observed:
+        Per-node observed-process counts (``beta`` everywhere for fully
+        observed histories).
+    beta:
+        Total number of processes absorbed so far.
+    has_missing:
+        Whether any absorbed batch carried unobserved entries.  Controls
+        which MI estimator applies, exactly mirroring
+        ``StatusMatrix.has_missing`` of the concatenated history.
+    """
+
+    counts: Mapping[str, np.ndarray]
+    infected: np.ndarray
+    observed: np.ndarray
+    beta: int
+    has_missing: bool
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_statuses(cls, statuses: StatusMatrix) -> "SufficientStats":
+        """Count one status matrix (a whole history or a single batch)."""
+        if not isinstance(statuses, StatusMatrix):
+            statuses = StatusMatrix(statuses)
+        pairwise = statuses.pairwise_complete_counts()
+        return cls(
+            counts={key: pairwise[key] for key in COUNT_KEYS},
+            infected=statuses.infection_counts(),
+            observed=statuses.observed_counts(),
+            beta=statuses.beta,
+            has_missing=statuses.has_missing,
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.infected.shape[0])
+
+    # ------------------------------------------------------------------
+    # incremental update
+    # ------------------------------------------------------------------
+    def updated(self, batch: StatusMatrix) -> "SufficientStats":
+        """Statistics of the history with ``batch`` appended.
+
+        ``O(Δβ · n²)``: the batch is counted on its own and merged by
+        integer addition, which is exactly equal to recounting the
+        concatenated history.  ``self`` is never modified; an empty batch
+        returns ``self`` unchanged.
+        """
+        if not isinstance(batch, StatusMatrix):
+            batch = StatusMatrix(batch)
+        if batch.n_nodes != self.n_nodes:
+            raise DataError(
+                f"cannot update {self.n_nodes}-node statistics with a "
+                f"{batch.n_nodes}-node batch"
+            )
+        if batch.beta == 0:
+            return self
+        return self.merged(SufficientStats.from_statuses(batch))
+
+    def merged(self, other: "SufficientStats") -> "SufficientStats":
+        """Statistics of the two histories concatenated (pure addition)."""
+        if other.n_nodes != self.n_nodes:
+            raise DataError(
+                f"cannot merge {self.n_nodes}-node and {other.n_nodes}-node "
+                "statistics"
+            )
+        return SufficientStats(
+            counts={
+                key: self.counts[key] + other.counts[key] for key in COUNT_KEYS
+            },
+            infected=self.infected + other.infected,
+            observed=self.observed + other.observed,
+            beta=self.beta + other.beta,
+            has_missing=self.has_missing or other.has_missing,
+        )
+
+    # ------------------------------------------------------------------
+    # derived estimates
+    # ------------------------------------------------------------------
+    def mi_terms(self) -> dict[str, np.ndarray]:
+        """Pointwise MI terms from the cached counts.
+
+        Dispatches exactly like :func:`repro.core.imi.pointwise_mi_terms`
+        does on the concatenated history: the clean-data formulas when no
+        entry was ever missing, the pairwise-complete formulas otherwise —
+        so the floating-point pipeline (and hence the result, bit for bit)
+        matches a from-scratch estimate.
+        """
+        if self.beta == 0:
+            raise DataError("cannot estimate MI from zero diffusion processes")
+        if self.has_missing:
+            return mi_terms_from_pairwise_counts(dict(self.counts))
+        joints = {key: self.counts[key] for key in ("11", "10", "01", "00")}
+        return mi_terms_from_joint_counts(joints, self.infected, self.beta)
+
+    def mi_matrix(self, kind: str = "infection") -> np.ndarray:
+        """The pairwise MI matrix (``"infection"`` or ``"traditional"``)
+        from the cached counts, bit-identical to the from-scratch one."""
+        terms = self.mi_terms()
+        if kind == "infection":
+            return imi_from_terms(terms)
+        if kind == "traditional":
+            return mi_from_terms(terms)
+        raise DataError(f"unknown MI kind: {kind!r}")
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def checksum(self) -> str:
+        """Deterministic SHA-256 over every cached count.
+
+        Pinned by the golden incremental fixture
+        (``tests/data/golden_incremental.json``) and verified on model
+        :meth:`~repro.core.tends.TendsModel.load`, so silent count drift —
+        a missed batch, a double-applied batch, a corrupted snapshot —
+        is caught instead of propagating into inferences.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"beta={self.beta};missing={self.has_missing};".encode())
+        for key in COUNT_KEYS:
+            array = np.ascontiguousarray(self.counts[key], dtype=np.int64)
+            digest.update(key.encode())
+            digest.update(str(array.shape).encode())
+            digest.update(array.tobytes())
+        for name, array in (("infected", self.infected), ("observed", self.observed)):
+            digest.update(name.encode())
+            digest.update(np.ascontiguousarray(array, dtype=np.int64).tobytes())
+        return digest.hexdigest()
+
+    def equals(self, other: "SufficientStats") -> bool:
+        """Exact equality of every cached count (tests and guards)."""
+        if not isinstance(other, SufficientStats):
+            return False
+        if (
+            self.beta != other.beta
+            or self.has_missing != other.has_missing
+            or self.n_nodes != other.n_nodes
+        ):
+            return False
+        if not all(
+            np.array_equal(self.counts[key], other.counts[key])
+            for key in COUNT_KEYS
+        ):
+            return False
+        return bool(
+            np.array_equal(self.infected, other.infected)
+            and np.array_equal(self.observed, other.observed)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"SufficientStats(n_nodes={self.n_nodes}, beta={self.beta}, "
+            f"has_missing={self.has_missing})"
+        )

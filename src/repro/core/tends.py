@@ -20,17 +20,30 @@ Usage
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.config import TendsConfig
 from repro.core.executor import ExecutionPlan, ParallelExecutor, WorkerStats
-from repro.core.imi import infection_mi_matrix, traditional_mi_matrix
 from repro.core.kmeans import TwoMeansResult, fixed_zero_two_means
-from repro.core.search import ParentSearch, SearchDiagnostics, search_chunk
-from repro.exceptions import DataError
+from repro.core.search import (
+    ParentSearch,
+    SearchDiagnostics,
+    prune_candidates,
+    search_chunk,
+)
+from repro.core.stats import COUNT_KEYS, SufficientStats
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    DataError,
+    InferenceError,
+)
 from repro.graphs.digraph import DiffusionGraph
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.telemetry import Telemetry
@@ -41,7 +54,7 @@ from repro.utils.timing import Stopwatch
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (robustness → imi)
     from repro.robustness.bootstrap import ImiBootstrap
 
-__all__ = ["Tends", "TendsResult"]
+__all__ = ["Tends", "TendsResult", "TendsModel", "UpdateInfo"]
 
 
 @dataclass(frozen=True)
@@ -89,6 +102,10 @@ class TendsResult:
         :class:`~repro.obs.telemetry.Telemetry` (spans + metrics
         snapshot) recorded during the fit; ``None`` unless the fit ran
         with ``trace=True``.  Export with :mod:`repro.obs.export`.
+    update:
+        :class:`UpdateInfo` describing the dirty/clean node split of the
+        incremental update that produced this result; ``None`` for
+        results of a full :meth:`Tends.fit`.
     """
 
     graph: DiffusionGraph
@@ -102,6 +119,7 @@ class TendsResult:
     edge_confidence: Mapping[tuple[int, int], float] | None = None
     imi_bootstrap: "ImiBootstrap | None" = None
     telemetry: Telemetry | None = None
+    update: "UpdateInfo | None" = None
 
     @property
     def n_edges(self) -> int:
@@ -134,6 +152,262 @@ class TendsResult:
         return int(sum(d.n_evaluations for d in self.diagnostics))
 
 
+@dataclass(frozen=True)
+class UpdateInfo:
+    """What one :meth:`Tends.partial_fit` actually did.
+
+    Attributes
+    ----------
+    batch_beta:
+        Number of processes in the arriving batch.
+    dirty_nodes:
+        Nodes whose parent search was re-run on the extended history —
+        their candidate set changed, or the batch carried at least one
+        observed status for them (either can change family counts).
+    clean_nodes:
+        Nodes warm-started from the previous fit: their candidate set is
+        unchanged and the batch never observed them, so every count their
+        score depends on is provably unchanged and the search is skipped.
+    threshold_changed:
+        Whether the recomputed pruning threshold ``τ`` differs from the
+        previous fit's (bit-exact comparison).
+    """
+
+    batch_beta: int
+    dirty_nodes: tuple[int, ...]
+    clean_nodes: tuple[int, ...]
+    threshold_changed: bool
+
+    @property
+    def n_dirty(self) -> int:
+        return len(self.dirty_nodes)
+
+    @property
+    def n_clean(self) -> int:
+        return len(self.clean_nodes)
+
+    @property
+    def n_skipped(self) -> int:
+        """Parent searches skipped by the warm start (== :attr:`n_clean`)."""
+        return len(self.clean_nodes)
+
+
+@dataclass(frozen=True)
+class TendsModel:
+    """Checkpointable state of an incrementally-fitted TENDS estimator.
+
+    Holds everything :meth:`Tends.partial_fit` needs to absorb the next
+    batch: the cached :class:`~repro.core.stats.SufficientStats`, the full
+    status history (stage-3 family counts are not pairwise-reducible, so
+    dirty-node searches re-score against the concatenated history), and
+    the previous fit's threshold / candidate sets / parent sets for the
+    dirty-node diff and clean-node warm start.
+
+    Instances are immutable; updates build a new model and install it only
+    after the whole update succeeded (copy-on-write), so an interrupted
+    ``partial_fit`` leaves the previous model untouched.
+
+    :meth:`save` / :meth:`load` round-trip the model through a single NPZ
+    file (count matrices + history as arrays, config and fingerprints as
+    an embedded JSON blob).  ``load`` re-derives the data fingerprint,
+    statistics checksum, and config fingerprint and refuses the snapshot
+    with :class:`~repro.exceptions.CheckpointError` on any mismatch —
+    mixing incompatible histories or silently-corrupted counts is an
+    error, not a degradation.  See docs/INCREMENTAL.md.
+    """
+
+    config: TendsConfig
+    stats: SufficientStats
+    statuses: StatusMatrix
+    threshold: float
+    candidates: tuple[tuple[int, ...], ...]
+    parent_sets: tuple[tuple[int, ...], ...]
+    diagnostics: tuple[SearchDiagnostics, ...]
+
+    #: Snapshot format version; bumped on layout changes so old readers
+    #: fail loudly instead of misinterpreting newer files.
+    SNAPSHOT_VERSION = 1
+
+    @property
+    def n_nodes(self) -> int:
+        return self.stats.n_nodes
+
+    @property
+    def beta(self) -> int:
+        """Processes absorbed so far (initial fit + every update)."""
+        return self.stats.beta
+
+    def graph(self) -> DiffusionGraph:
+        """The currently-inferred topology (edges parent → child)."""
+        graph = DiffusionGraph(self.n_nodes)
+        for child, parents in enumerate(self.parent_sets):
+            for parent in parents:
+                graph.add_edge(parent, child)
+        return graph.freeze()
+
+    def data_fingerprint(self) -> str:
+        """SHA-256 over the stored history (statuses bytes + mask).
+
+        Saved into snapshots and re-derived on :meth:`load`; a mismatch
+        means the snapshot's arrays no longer describe the history the
+        model was fitted on, and the load is refused.
+        """
+        digest = hashlib.sha256()
+        values = self.statuses.values
+        digest.update(str(values.shape).encode())
+        digest.update(values.tobytes())
+        mask = self.statuses.mask
+        if mask is None:
+            digest.update(b"unmasked")
+        else:
+            digest.update(b"masked")
+            digest.update(mask.tobytes())
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the model to ``path`` as a single NPZ snapshot."""
+        path = Path(path)
+        meta = {
+            "format": "tends-model",
+            "version": self.SNAPSHOT_VERSION,
+            "config": self.config.as_dict(),
+            "algorithm_fingerprint": self.config.algorithm_fingerprint(),
+            "data_fingerprint": self.data_fingerprint(),
+            "stats_checksum": self.stats.checksum(),
+            "beta": self.stats.beta,
+            "n_nodes": self.n_nodes,
+            "has_missing": self.stats.has_missing,
+            "threshold": self.threshold,
+            "candidates": [list(c) for c in self.candidates],
+            "parent_sets": [list(p) for p in self.parent_sets],
+            "diagnostics": [asdict(d) for d in self.diagnostics],
+        }
+        arrays: dict[str, np.ndarray] = {
+            "meta_json": np.frombuffer(
+                json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+            ),
+            "statuses": self.statuses.values,
+            "infected": self.stats.infected,
+            "observed": self.stats.observed,
+        }
+        if self.statuses.mask is not None:
+            arrays["statuses_mask"] = self.statuses.mask
+        for key in COUNT_KEYS:
+            arrays[f"counts_{key}"] = self.stats.counts[key]
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TendsModel":
+        """Read a snapshot written by :meth:`save`, verifying integrity.
+
+        Raises :class:`~repro.exceptions.CheckpointError` when the file is
+        unreadable, from an unknown format/version, or fails any of its
+        three self-checks (data fingerprint, statistics checksum, config
+        fingerprint).
+        """
+        path = Path(path)
+        try:
+            with np.load(path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        except CheckpointError:
+            raise
+        except Exception as error:
+            raise CheckpointError(
+                f"cannot read model snapshot {path}: {error}"
+            ) from error
+        if "meta_json" not in arrays:
+            raise CheckpointError(
+                f"{path} is not a TENDS model snapshot (no metadata entry)"
+            )
+        try:
+            meta = json.loads(bytes(bytearray(arrays["meta_json"])).decode())
+        except (ValueError, UnicodeDecodeError) as error:
+            raise CheckpointError(
+                f"model snapshot {path} carries unparseable metadata: {error}"
+            ) from error
+        if meta.get("format") != "tends-model":
+            raise CheckpointError(
+                f"{path} is not a TENDS model snapshot "
+                f"(format={meta.get('format')!r})"
+            )
+        version = meta.get("version")
+        if version != cls.SNAPSHOT_VERSION:
+            raise CheckpointError(
+                f"model snapshot {path} has format version {version!r}; "
+                f"this build reads version {cls.SNAPSHOT_VERSION}"
+            )
+        try:
+            config = TendsConfig(**meta["config"])
+            mask = arrays.get("statuses_mask")
+            statuses = StatusMatrix(
+                arrays["statuses"], None if mask is None else mask
+            )
+            stats = SufficientStats(
+                counts={
+                    key: np.ascontiguousarray(
+                        arrays[f"counts_{key}"], dtype=np.int64
+                    )
+                    for key in COUNT_KEYS
+                },
+                infected=np.ascontiguousarray(arrays["infected"], dtype=np.int64),
+                observed=np.ascontiguousarray(arrays["observed"], dtype=np.int64),
+                beta=int(meta["beta"]),
+                has_missing=bool(meta["has_missing"]),
+            )
+            model = cls(
+                config=config,
+                stats=stats,
+                statuses=statuses,
+                threshold=float(meta["threshold"]),
+                candidates=tuple(
+                    tuple(int(node) for node in row) for row in meta["candidates"]
+                ),
+                parent_sets=tuple(
+                    tuple(int(node) for node in row) for row in meta["parent_sets"]
+                ),
+                diagnostics=tuple(
+                    SearchDiagnostics(**entry) for entry in meta["diagnostics"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"model snapshot {path} is internally inconsistent: {error}"
+            ) from error
+        if config.algorithm_fingerprint() != meta.get("algorithm_fingerprint"):
+            raise CheckpointError(
+                f"model snapshot {path} failed its config-fingerprint check: "
+                "the stored configuration does not match the fingerprint it "
+                "was saved with"
+            )
+        if model.data_fingerprint() != meta.get("data_fingerprint"):
+            raise CheckpointError(
+                f"model snapshot {path} failed its data-fingerprint check: "
+                "the stored history does not match the fingerprint it was "
+                "saved with — refusing to mix incompatible histories"
+            )
+        if stats.checksum() != meta.get("stats_checksum"):
+            raise CheckpointError(
+                f"model snapshot {path} failed its statistics checksum: the "
+                "cached counts drifted from the state they were saved in"
+            )
+        if (
+            stats.n_nodes != statuses.n_nodes
+            or stats.beta != statuses.beta
+            or stats.has_missing != statuses.has_missing
+        ):
+            raise CheckpointError(
+                f"model snapshot {path} pairs a "
+                f"({statuses.beta} × {statuses.n_nodes}) history with "
+                f"statistics for beta={stats.beta}, n={stats.n_nodes}"
+            )
+        return model
+
+
 class Tends:
     """Statistical estimator of diffusion network topologies.
 
@@ -152,10 +426,65 @@ class Tends:
     def __init__(self, config: TendsConfig | None = None, **overrides) -> None:
         base = config or TendsConfig()
         self.config = base.with_overrides(**overrides) if overrides else base
+        self._model: TendsModel | None = None
+
+    @property
+    def model(self) -> TendsModel | None:
+        """The incremental-update state installed by the last successful
+        :meth:`fit` / :meth:`partial_fit` — pass it to
+        :meth:`TendsModel.save` to checkpoint a service.  ``None`` before
+        the first fit and for bootstrap-backed configurations
+        (``threshold="stable"`` / ``bootstrap_samples``), whose resampled
+        screening cannot be updated from cached counts."""
+        return self._model
+
+    @classmethod
+    def from_model(cls, model: TendsModel, **overrides) -> "Tends":
+        """Estimator resuming from a checkpointed :class:`TendsModel`.
+
+        ``overrides`` may adjust execution/observability knobs (executor,
+        n_jobs, trace, ...) for the resuming service; overriding a
+        result-affecting field (anything in
+        :attr:`TendsConfig.ALGORITHM_FIELDS`) raises
+        :class:`~repro.exceptions.ConfigurationError` — a model is only
+        valid under the algorithm configuration that produced it, so such
+        a change needs a fresh :meth:`fit`.
+        """
+        config = (
+            model.config.with_overrides(**overrides) if overrides else model.config
+        )
+        if config.algorithm_fingerprint() != model.config.algorithm_fingerprint():
+            changed = sorted(
+                name
+                for name in TendsConfig.ALGORITHM_FIELDS
+                if getattr(config, name) != getattr(model.config, name)
+            )
+            raise ConfigurationError(
+                "cannot resume a TENDS model under a different algorithm "
+                f"configuration (changed: {', '.join(changed)}); run a full "
+                "fit() instead"
+            )
+        estimator = cls(config)
+        estimator._model = replace(model, config=config)
+        return estimator
 
     # ------------------------------------------------------------------
-    def fit(self, statuses: StatusMatrix) -> TendsResult:
-        """Run the full Algorithm 1 pipeline on ``statuses``."""
+    def fit(
+        self,
+        statuses: StatusMatrix,
+        *,
+        stats: SufficientStats | None = None,
+    ) -> TendsResult:
+        """Run the full Algorithm 1 pipeline on ``statuses``.
+
+        ``stats`` optionally supplies precomputed
+        :class:`~repro.core.stats.SufficientStats` **of these exact
+        observations** (callers fitting the same matrix repeatedly, e.g.
+        :func:`repro.core.selection.select_threshold_scale`, skip the
+        ``O(β n²)`` counting that way); when omitted the statistics are
+        counted here.  Either way the fit installs an incremental-update
+        :attr:`model` unless the configuration is bootstrap-backed.
+        """
         if not isinstance(statuses, StatusMatrix):
             statuses = StatusMatrix(statuses)
         if statuses.beta < 2:
@@ -185,6 +514,20 @@ class Tends:
                 on_degenerate="strict" if self.config.audit == "strict" else "warn",
             )
         n = statuses.n_nodes
+        if stats is None:
+            stats = SufficientStats.from_statuses(statuses)
+        elif (
+            stats.beta != statuses.beta
+            or stats.n_nodes != n
+            or stats.has_missing != statuses.has_missing
+        ):
+            raise DataError(
+                "supplied sufficient statistics describe a "
+                f"(beta={stats.beta}, n={stats.n_nodes}, "
+                f"missing={stats.has_missing}) history, not these "
+                f"(beta={statuses.beta}, n={n}, "
+                f"missing={statuses.has_missing}) observations"
+            )
 
         # Observability: a traced fit records nested spans and algorithm
         # metrics; untraced fits run through the shared no-op singletons
@@ -201,7 +544,9 @@ class Tends:
             metrics.set_gauge("tends_mask_density", 1.0)
         with ambient_tracer(tracer):
             with tracer.span("tends.fit", n_nodes=n, beta=statuses.beta):
-                result = self._run_pipeline(statuses, n, tracer, metrics)
+                result, candidates = self._run_pipeline(
+                    statuses, stats, n, tracer, metrics
+                )
         if trace:
             result = replace(
                 result,
@@ -211,26 +556,60 @@ class Tends:
                     epoch_offset=tracer.epoch_offset,
                 ),
             )
+        # Install the incremental-update state.  Bootstrap-backed configs
+        # get none: resampled screening/confidence is a function of the
+        # raw history, not of the cached counts, so partial_fit cannot
+        # reproduce it and refuses such configs up front.
+        if self.config.threshold == "stable" or self.config.bootstrap_samples:
+            self._model = None
+        else:
+            self._model = TendsModel(
+                config=self.config,
+                stats=stats,
+                statuses=statuses,
+                threshold=result.threshold,
+                candidates=candidates,
+                parent_sets=result.parent_sets,
+                diagnostics=result.diagnostics,
+            )
         return result
+
+    def _select_threshold(
+        self, mi: np.ndarray, n: int
+    ) -> tuple[float, TwoMeansResult | None]:
+        """Stage 2: the pruning threshold ``τ`` (Algorithm 1 line 5) —
+        explicit override, or fixed-zero 2-means over the non-negative
+        off-diagonal MI values (scaled).  Shared by :meth:`fit` and
+        :meth:`partial_fit` so both derive ``τ`` through identical
+        floating-point operations."""
+        if self.config.threshold is not None and self.config.threshold != "stable":
+            return float(self.config.threshold), None
+        off_diagonal = mi[~np.eye(n, dtype=bool)]
+        non_negative = off_diagonal[off_diagonal >= 0.0]
+        clustering = fixed_zero_two_means(non_negative)
+        return clustering.threshold * self.config.threshold_scale, clustering
 
     def _run_pipeline(
         self,
         statuses: StatusMatrix,
+        stats: SufficientStats,
         n: int,
         tracer: "Tracer | NullTracer",
         metrics: "MetricsRegistry | NullMetrics",
-    ) -> TendsResult:
+    ) -> tuple[TendsResult, tuple[tuple[int, ...], ...]]:
         """Stages 1-3 of Algorithm 1 (validation already done by
-        :meth:`fit`, which also owns the ambient tracer install)."""
+        :meth:`fit`, which also owns the ambient tracer install).
+
+        Returns the result plus the per-node candidate sets, which the
+        caller folds into the incremental-update model."""
         stage_seconds: dict[str, float] = {}
 
-        # Stage 1: pairwise MI matrix (Algorithm 1 lines 2-4).
+        # Stage 1: pairwise MI matrix (Algorithm 1 lines 2-4), from the
+        # additive sufficient statistics — identical floating-point
+        # pipeline to estimating straight from the observations.
         with tracer.span("tends.imi", kind=self.config.mi_kind):
             with Stopwatch() as watch:
-                if self.config.mi_kind == "infection":
-                    mi = infection_mi_matrix(statuses)
-                else:
-                    mi = traditional_mi_matrix(statuses)
+                mi = stats.mi_matrix(self.config.mi_kind)
             stage_seconds["imi"] = watch.elapsed
         metrics.inc("tends_imi_pairs_total", n * (n - 1) // 2)
 
@@ -238,15 +617,7 @@ class Tends:
         stable_mode = self.config.threshold == "stable"
         with tracer.span("tends.threshold") as threshold_span:
             with Stopwatch() as watch:
-                clustering: TwoMeansResult | None
-                if self.config.threshold is not None and not stable_mode:
-                    threshold = float(self.config.threshold)
-                    clustering = None
-                else:
-                    off_diagonal = mi[~np.eye(n, dtype=bool)]
-                    non_negative = off_diagonal[off_diagonal >= 0.0]
-                    clustering = fixed_zero_two_means(non_negative)
-                    threshold = clustering.threshold * self.config.threshold_scale
+                threshold, clustering = self._select_threshold(mi, n)
             stage_seconds["threshold"] = watch.elapsed
             threshold_span.set(tau=threshold)
         metrics.set_gauge("tends_threshold_tau", threshold)
@@ -285,7 +656,12 @@ class Tends:
             with Stopwatch() as watch:
                 search = ParentSearch(statuses, self.config)
                 items = [
-                    (node, self._candidates_for(mi, node, threshold, stable_pairs))
+                    (
+                        node,
+                        prune_candidates(
+                            mi, node, threshold, self.config, stable_pairs
+                        ),
+                    )
                     for node in range(n)
                 ]
                 kept_pairs = sum(len(candidates) for _, candidates in items)
@@ -336,7 +712,7 @@ class Tends:
                 for parent in parents
             }
 
-        return TendsResult(
+        result = TendsResult(
             graph=graph.freeze(),
             parent_sets=tuple(parent_sets),
             mi_matrix=mi,
@@ -348,6 +724,249 @@ class Tends:
             edge_confidence=edge_confidence,
             imi_bootstrap=bootstrap,
         )
+        return result, tuple(tuple(candidates) for _, candidates in items)
+
+    # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+    def partial_fit(self, new_statuses: StatusMatrix) -> TendsResult:
+        """Absorb a batch of newly-observed processes incrementally.
+
+        Updates the cached sufficient statistics in ``O(Δβ · n²)``,
+        recomputes IMI and ``τ`` from the counts, diffs the pruned
+        candidate sets against the previous fit, and re-runs the stage-3
+        parent search **only for dirty nodes** (candidate set changed, or
+        the batch observed the node at least once); clean nodes keep their
+        previous ``F_i``.  The returned result — edges, MI matrix, ``τ``,
+        scores — is **bit-identical** to a one-shot :meth:`fit` on the
+        concatenated history (see docs/INCREMENTAL.md for the argument
+        and ``tests/property/test_prop_incremental.py`` for the proof
+        harness).
+
+        The update is copy-on-write: :attr:`model` is replaced only after
+        the whole update succeeded, so an interrupted ``partial_fit``
+        leaves the previous model (and a later retry) intact.
+
+        Requires a fitted :attr:`model`; bootstrap-backed configurations
+        (``threshold="stable"`` / ``bootstrap_samples``) are refused with
+        :class:`~repro.exceptions.ConfigurationError` because resampled
+        screening is not a function of the cached counts.  Batches are
+        subject to the configured ``missing`` policy but are not
+        re-audited (the observation audit runs at :meth:`fit` time).
+        """
+        if self.config.threshold == "stable" or self.config.bootstrap_samples:
+            raise ConfigurationError(
+                "partial_fit does not support bootstrap-backed configurations "
+                "(threshold='stable' or bootstrap_samples set): bootstrap "
+                "screening resamples the raw history; run a full fit() instead"
+            )
+        previous = self._model
+        if previous is None:
+            raise InferenceError(
+                "partial_fit needs a fitted model: call fit() first, or "
+                "resume one with Tends.from_model(TendsModel.load(path))"
+            )
+        if not isinstance(new_statuses, StatusMatrix):
+            new_statuses = StatusMatrix(new_statuses)
+        if new_statuses.n_nodes != previous.n_nodes:
+            raise DataError(
+                f"batch covers {new_statuses.n_nodes} nodes, model covers "
+                f"{previous.n_nodes}"
+            )
+        if new_statuses.has_missing:
+            if self.config.missing == "refuse":
+                missing_count = int((~new_statuses.mask).sum())
+                raise DataError(
+                    f"batch contains {missing_count} unobserved entries "
+                    "and missing='refuse' is set"
+                )
+            if self.config.missing == "zero-fill":
+                new_statuses = new_statuses.filled(0)
+
+        trace = self.config.trace
+        tracer: Tracer | NullTracer = Tracer() if trace else NULL_TRACER
+        metrics: MetricsRegistry | NullMetrics = (
+            MetricsRegistry() if trace else NULL_METRICS
+        )
+        with ambient_tracer(tracer):
+            with tracer.span(
+                "tends.update",
+                n_nodes=previous.n_nodes,
+                batch_beta=new_statuses.beta,
+                beta=previous.beta + new_statuses.beta,
+            ):
+                result, model = self._run_update(
+                    previous, new_statuses, tracer, metrics
+                )
+        if trace:
+            result = replace(
+                result,
+                telemetry=Telemetry(
+                    spans=tracer.finished(),
+                    metrics=metrics.snapshot(),
+                    epoch_offset=tracer.epoch_offset,
+                ),
+            )
+        # Copy-on-write installation: nothing above mutated the previous
+        # model, so any failure before this line leaves it usable.
+        self._model = model
+        return result
+
+    def _run_update(
+        self,
+        previous: TendsModel,
+        batch: StatusMatrix,
+        tracer: "Tracer | NullTracer",
+        metrics: "MetricsRegistry | NullMetrics",
+    ) -> tuple[TendsResult, TendsModel]:
+        """One incremental update (validation already done by
+        :meth:`partial_fit`, which also owns the ambient tracer and the
+        copy-on-write model installation)."""
+        n = previous.n_nodes
+        stage_seconds: dict[str, float] = {}
+        metrics.inc("tends_update_batches_total")
+
+        # Sufficient statistics: count the batch, add (integer-exact).
+        with tracer.span("tends.stats", batch_beta=batch.beta):
+            with Stopwatch() as watch:
+                stats = previous.stats.updated(batch)
+                history = previous.statuses.append(batch)
+            stage_seconds["stats"] = watch.elapsed
+        if history.has_missing:
+            metrics.set_gauge("tends_mask_density", float(history.mask.mean()))
+        else:
+            metrics.set_gauge("tends_mask_density", 1.0)
+
+        # Stage 1 from cached counts (O(n²), no pass over the history).
+        with tracer.span("tends.imi", kind=self.config.mi_kind):
+            with Stopwatch() as watch:
+                mi = stats.mi_matrix(self.config.mi_kind)
+            stage_seconds["imi"] = watch.elapsed
+        metrics.inc("tends_imi_pairs_total", n * (n - 1) // 2)
+
+        # Stage 2: τ from the updated MI distribution.
+        with tracer.span("tends.threshold") as threshold_span:
+            with Stopwatch() as watch:
+                threshold, clustering = self._select_threshold(mi, n)
+            stage_seconds["threshold"] = watch.elapsed
+            threshold_span.set(tau=threshold)
+        metrics.set_gauge("tends_threshold_tau", threshold)
+
+        # Diff against the previous fit: a node must be re-searched iff
+        # its candidate set changed, or the batch observed it at least
+        # once (then its family counts / δ_i may differ).  Nodes failing
+        # both tests provably score every parent set identically to the
+        # previous fit — all their counts restrict to rows observing the
+        # child — so their previous F_i IS the refit answer.
+        with tracer.span("tends.diff") as diff_span:
+            with Stopwatch() as watch:
+                candidates = tuple(
+                    tuple(prune_candidates(mi, node, threshold, self.config))
+                    for node in range(n)
+                )
+                if batch.beta == 0:
+                    touched = np.zeros(n, dtype=np.bool_)
+                elif batch.mask is None:
+                    touched = np.ones(n, dtype=np.bool_)
+                else:
+                    touched = batch.mask.any(axis=0)
+                dirty = [
+                    node
+                    for node in range(n)
+                    if bool(touched[node])
+                    or candidates[node] != previous.candidates[node]
+                ]
+                dirty_set = set(dirty)
+                clean = [node for node in range(n) if node not in dirty_set]
+            stage_seconds["diff"] = watch.elapsed
+            diff_span.set(dirty=len(dirty), clean=len(clean))
+        kept_pairs = sum(len(c) for c in candidates)
+        metrics.inc("tends_candidate_pairs_pruned_total", n * (n - 1) - kept_pairs)
+        metrics.inc("tends_candidate_pairs_kept_total", kept_pairs)
+        metrics.inc("tends_update_nodes_dirty_total", len(dirty))
+        metrics.inc("tends_update_nodes_clean_total", len(clean))
+        metrics.inc("tends_update_searches_skipped_total", len(clean))
+
+        # Stage 3 for dirty nodes only, on the concatenated history,
+        # through the same executor machinery as a full fit.
+        with tracer.span(
+            "tends.search",
+            strategy=self.config.search_strategy,
+            dirty=len(dirty),
+        ) as search_span:
+            with Stopwatch() as watch:
+                outcomes: list = []
+                worker_stats: list[WorkerStats] = []
+                report = None
+                if dirty:
+                    search = ParentSearch(history, self.config)
+                    items = [(node, list(candidates[node])) for node in dirty]
+                    plan = ExecutionPlan.resolve(
+                        executor=self.config.executor,
+                        n_jobs=self.config.n_jobs,
+                        chunk_size=self.config.chunk_size,
+                        max_attempts=self.config.max_attempts,
+                        chunk_timeout=self.config.chunk_timeout,
+                        fallback=self.config.executor_fallback,
+                    )
+                    executor = ParallelExecutor(plan, tracer=tracer)
+                    outcomes, worker_stats = executor.map(
+                        search_chunk, search, items
+                    )
+                    report = executor.last_report
+                    search_span.set(executor=plan.strategy, n_jobs=plan.n_jobs)
+            stage_seconds["search"] = watch.elapsed
+        for stats_entry in worker_stats:
+            stage_seconds[f"search/{stats_entry.worker}"] = stats_entry.seconds
+        for _, diag in outcomes:
+            metrics.inc("tends_score_evaluations_total", diag.n_evaluations)
+            metrics.inc("tends_bound_terminations_total", diag.bound_hits)
+            metrics.observe("tends_greedy_iterations", diag.iterations)
+        if report is not None:
+            metrics.inc("executor_retries_total", report.retries)
+            metrics.inc("executor_timeouts_total", report.timeouts)
+            metrics.inc("executor_pool_rebuilds_total", report.pool_rebuilds)
+            metrics.inc("executor_fallbacks_total", report.fallbacks)
+
+        # Merge: re-searched answers for dirty nodes, warm-started
+        # previous answers for clean ones, in node order.
+        parent_sets = list(previous.parent_sets)
+        diagnostics = list(previous.diagnostics)
+        for node, (parents, diag) in zip(dirty, outcomes):
+            parent_sets[node] = tuple(parents)
+            diagnostics[node] = diag
+        graph = DiffusionGraph(n)
+        for node, parents in enumerate(parent_sets):
+            for parent in parents:
+                graph.add_edge(parent, node)
+
+        info = UpdateInfo(
+            batch_beta=batch.beta,
+            dirty_nodes=tuple(dirty),
+            clean_nodes=tuple(clean),
+            threshold_changed=threshold != previous.threshold,
+        )
+        result = TendsResult(
+            graph=graph.freeze(),
+            parent_sets=tuple(parent_sets),
+            mi_matrix=mi,
+            threshold=threshold,
+            clustering=clustering,
+            diagnostics=tuple(diagnostics),
+            stage_seconds=stage_seconds,
+            worker_stats=tuple(worker_stats),
+            update=info,
+        )
+        model = TendsModel(
+            config=self.config,
+            stats=stats,
+            statuses=history,
+            threshold=threshold,
+            candidates=candidates,
+            parent_sets=result.parent_sets,
+            diagnostics=result.diagnostics,
+        )
+        return result, model
 
     # ------------------------------------------------------------------
     def _candidates_for(
@@ -357,22 +976,6 @@ class Tends:
         threshold: float,
         stable_pairs: np.ndarray | None = None,
     ) -> list[int]:
-        """``P_i``: nodes whose MI with ``node`` strictly exceeds ``τ``,
-        optionally capped to the strongest ``max_candidates``.  In stable
-        mode, candidates must additionally have their bootstrap-CI lower
-        bound above ``τ`` (``stable_pairs`` row)."""
-        row = mi[node]
-        above = row > threshold
-        if stable_pairs is not None:
-            above &= stable_pairs[node]
-        candidates = np.nonzero(above)[0]
-        candidates = candidates[candidates != node]
-        cap = self.config.max_candidates
-        if cap is not None and candidates.size > cap:
-            # Stable sort on the negated MI: equal-MI candidates keep their
-            # ascending-index order, so the cap is deterministic across
-            # numpy versions (plain argsort[::-1] reverses tie order and
-            # the default introsort is not even stable to begin with).
-            order = np.argsort(-row[candidates], kind="stable")
-            candidates = candidates[order[:cap]]
-        return sorted(int(c) for c in candidates)
+        """Back-compat alias of :func:`repro.core.search.prune_candidates`
+        bound to this estimator's config."""
+        return prune_candidates(mi, node, threshold, self.config, stable_pairs)

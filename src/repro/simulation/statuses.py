@@ -477,6 +477,53 @@ class StatusMatrix:
     # ------------------------------------------------------------------
     # transforms
     # ------------------------------------------------------------------
+    def append(self, other: "StatusMatrix") -> "StatusMatrix":
+        """New matrix with ``other``'s processes appended after this one's.
+
+        The streaming primitive behind :meth:`repro.core.tends.Tends.partial_fit`:
+        row order is preserved (this matrix's processes first), so appending
+        batches one at a time reproduces the matrix a one-shot observer
+        would have recorded.  Observation masks travel along — a fully
+        observed side contributes an all-``True`` block, and the result is
+        unmasked only when neither side has missing entries.
+        """
+        if not isinstance(other, StatusMatrix):
+            other = StatusMatrix(other)
+        if other.n_nodes != self.n_nodes:
+            raise DataError(
+                f"cannot append a {other.n_nodes}-node batch to a "
+                f"{self.n_nodes}-node status matrix"
+            )
+        data = np.concatenate([self._data, other._data], axis=0)
+        if self._mask is None and other._mask is None:
+            return StatusMatrix(data)
+        blocks = [
+            matrix._mask
+            if matrix._mask is not None
+            else np.ones(matrix._data.shape, dtype=np.bool_)
+            for matrix in (self, other)
+        ]
+        return StatusMatrix(data, np.concatenate(blocks, axis=0))
+
+    @classmethod
+    def concat(cls, matrices: Sequence["StatusMatrix"]) -> "StatusMatrix":
+        """Concatenate status matrices along the process axis.
+
+        Equivalent to folding :meth:`append` over ``matrices`` (masks are
+        handled the same way) but validated up front; at least one matrix
+        is required so the node count is well defined.
+        """
+        batches = [
+            matrix if isinstance(matrix, cls) else cls(matrix)
+            for matrix in matrices
+        ]
+        if not batches:
+            raise DataError("concat needs at least one status matrix")
+        result = batches[0]
+        for batch in batches[1:]:
+            result = result.append(batch)
+        return result
+
     def subset(self, processes: Sequence[int] | np.ndarray) -> "StatusMatrix":
         """New matrix containing only the selected process rows (the
         observation mask, when present, travels with them)."""

@@ -285,3 +285,58 @@ class TestFigure:
         code = main(["infer", str(missing), "-o", str(workspace / "x.txt")])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestUpdate:
+    def test_infer_checkpoint_then_update(self, workspace, capsys):
+        truth = workspace / "truth.txt"
+        statuses = workspace / "statuses.csv"
+        batch = workspace / "batch.csv"
+        model = workspace / "model.npz"
+        graph_out = workspace / "updated.txt"
+        assert main(["generate", "er", "--n", "24", "--density", "0.12",
+                     "--seed", "5", "-o", str(truth)]) == 0
+        assert main(["simulate", str(truth), "--beta", "80", "--seed", "3",
+                     "-o", str(statuses)]) == 0
+        assert main(["simulate", str(truth), "--beta", "20", "--seed", "4",
+                     "-o", str(batch)]) == 0
+        assert main(["infer", str(statuses),
+                     "-o", str(workspace / "initial.txt"),
+                     "--model-out", str(model)]) == 0
+        assert model.exists()
+
+        code = main(["update", "--model-in", str(model), "--batch", str(batch),
+                     "--model-out", str(model), "-o", str(graph_out)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "absorbed 20 processes" in out
+        assert "history now 100" in out
+
+        # The CLI chain must agree with the in-process incremental path.
+        from repro.core.tends import Tends
+        from repro.simulation import io as sim_io
+
+        first = sim_io.read_statuses_csv(statuses)
+        estimator = Tends()
+        estimator.fit(first)
+        expected = estimator.partial_fit(sim_io.read_statuses_csv(batch))
+        assert read_edge_list(graph_out).edge_set() == set(
+            expected.graph.edge_set()
+        )
+
+        # And the re-written checkpoint keeps absorbing batches.
+        assert main(["update", "--model-in", str(model),
+                     "--batch", str(batch), "--model-out", str(model)]) == 0
+
+    def test_update_refuses_corrupt_model(self, workspace, capsys):
+        bad = workspace / "bad.npz"
+        bad.write_bytes(b"definitely not a model")
+        batch = workspace / "batch.csv"
+        truth = workspace / "truth.txt"
+        assert main(["generate", "er", "--n", "10", "-o", str(truth)]) == 0
+        assert main(["simulate", str(truth), "--beta", "10",
+                     "-o", str(batch)]) == 0
+        code = main(["update", "--model-in", str(bad), "--batch", str(batch),
+                     "--model-out", str(workspace / "out.npz")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -9,6 +9,7 @@ versions — fails here first.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -79,3 +80,71 @@ def test_traced_fit_reproduces_golden(golden_result, executor, n_jobs):
     assert result.threshold == reference.threshold
     assert result.telemetry is not None
     assert "tends.fit" in result.telemetry.span_names()
+
+
+# ----------------------------------------------------------------------
+# incremental golden fixture: a frozen batch schedule must reproduce the
+# frozen final topology AND the frozen cached-count checksums after every
+# partial_fit (guards the sufficient-statistics arithmetic, not just the
+# final answer).
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def golden_incremental():
+    statuses = sim_io.read_statuses_csv(
+        DATA_DIR / "golden_incremental_statuses.csv"
+    )
+    spec = json.loads((DATA_DIR / "golden_incremental.json").read_text())
+    return statuses, spec
+
+
+def _replay_updates(statuses, spec, **overrides):
+    bounds = [0, spec["initial_beta"]]
+    for width in spec["batch_betas"]:
+        bounds.append(bounds[-1] + width)
+    assert bounds[-1] == statuses.beta
+    estimator = Tends(**overrides)
+    result = estimator.fit(statuses.subset(range(0, bounds[1])))
+    checksums = [estimator.model.stats.checksum()]
+    for start, stop in zip(bounds[1:], bounds[2:]):
+        result = estimator.partial_fit(statuses.subset(range(start, stop)))
+        checksums.append(estimator.model.stats.checksum())
+    return result, checksums
+
+
+def test_incremental_fixture_files_exist():
+    for name in ("golden_incremental_statuses.csv", "golden_incremental.json"):
+        assert (DATA_DIR / name).is_file(), f"missing fixture {name}"
+
+
+def test_incremental_updates_reproduce_frozen_state(golden_incremental):
+    statuses, spec = golden_incremental
+    result, checksums = _replay_updates(statuses, spec)
+    assert checksums == spec["stats_checksums"]
+    frozen_edges = {(p, c) for p, c in spec["edges"]}
+    assert result.graph.edge_set() == frozen_edges
+    assert result.threshold == pytest.approx(
+        spec["threshold"], rel=1e-12, abs=0.0
+    )
+
+
+def test_incremental_replay_matches_one_shot_fit(golden_incremental):
+    statuses, spec = golden_incremental
+    result, _ = _replay_updates(statuses, spec)
+    full = Tends().fit(statuses)
+    assert result.parent_sets == full.parent_sets
+    assert result.threshold == full.threshold
+    assert result.graph.edge_set() == full.graph.edge_set()
+
+
+@pytest.mark.parametrize("executor,n_jobs", [("thread", 4), ("process", 2)])
+def test_incremental_parallel_backends_reproduce_golden(
+    golden_incremental, executor, n_jobs
+):
+    statuses, spec = golden_incremental
+    result, checksums = _replay_updates(
+        statuses, spec, executor=executor, n_jobs=n_jobs
+    )
+    assert checksums == spec["stats_checksums"]
+    assert result.graph.edge_set() == {(p, c) for p, c in spec["edges"]}
