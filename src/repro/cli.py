@@ -96,6 +96,14 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         help="per-chunk wall-clock budget in seconds for the pool backends "
         "(default: REPRO_CHUNK_TIMEOUT or unlimited)",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=("numpy", "packed"),
+        default=None,
+        help="pairwise-count/scoring kernel backend; results are "
+        "bit-identical, packed is faster at scale "
+        "(default: REPRO_KERNEL or numpy)",
+    )
 
 
 def _read_statuses(path: Path) -> StatusMatrix:
@@ -285,6 +293,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         max_attempts=args.max_attempts,
         chunk_timeout=args.chunk_timeout,
+        kernel=args.kernel,
         audit=args.audit,
         missing=args.missing,
         bootstrap_samples=args.bootstrap,
@@ -345,6 +354,7 @@ def _cmd_update(args: argparse.Namespace) -> int:
             ("chunk_size", args.chunk_size),
             ("max_attempts", args.max_attempts),
             ("chunk_timeout", args.chunk_timeout),
+            ("kernel", args.kernel),
         )
         if value is not None
     }
@@ -493,6 +503,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             n_jobs=args.n_jobs,
             max_attempts=args.max_attempts,
             chunk_timeout=args.chunk_timeout,
+            kernel=args.kernel,
         ):
             result = run_experiment(
                 spec,
@@ -564,6 +575,7 @@ def _run_robustness_figure(args: argparse.Namespace) -> int:
         n_jobs=args.n_jobs,
         max_attempts=args.max_attempts,
         chunk_timeout=args.chunk_timeout,
+        kernel=args.kernel,
     ):
         results = run_robustness_experiment(
             kinds=kinds,

@@ -17,6 +17,16 @@ from repro.core.imi import (
     pointwise_mi_terms,
     traditional_mi_matrix,
 )
+from repro.core.kernels import (
+    PackedStatuses,
+    pack_bits,
+    packed_family_counts,
+    packed_joint_counts,
+    packed_pairwise_complete_counts,
+    popcount_words,
+    resolve_kernel,
+    unpack_bits,
+)
 from repro.core.kmeans import fixed_zero_two_means
 from repro.core.scoring import (
     FamilyCounts,
@@ -49,6 +59,14 @@ __all__ = [
     "pointwise_mi_terms",
     "infection_mi_matrix",
     "traditional_mi_matrix",
+    "PackedStatuses",
+    "pack_bits",
+    "unpack_bits",
+    "popcount_words",
+    "packed_joint_counts",
+    "packed_pairwise_complete_counts",
+    "packed_family_counts",
+    "resolve_kernel",
     "fixed_zero_two_means",
     "FamilyCounts",
     "family_counts",

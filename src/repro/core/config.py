@@ -15,6 +15,7 @@ __all__ = ["TendsConfig"]
 MiKind = Literal["infection", "traditional"]
 SearchStrategy = Literal["greedy-rescoring", "ranked-union"]
 ExecutorStrategy = Literal["serial", "thread", "process"]
+KernelStrategy = Literal["numpy", "packed"]
 MissingPolicy = Literal["pairwise", "refuse", "zero-fill"]
 
 
@@ -83,6 +84,13 @@ class TendsConfig:
         Whether an unusable backend may fall back along
         ``process → thread → serial`` instead of failing the fit.
         ``None`` (default) enables the fallback.
+    kernel:
+        Counting-kernel backend for the pair-count and contingency hot
+        paths: ``"numpy"`` (the reference dense-matmul estimators) or
+        ``"packed"`` (bit-packed popcount kernels, see
+        :mod:`repro.core.kernels`).  ``None`` (default) falls back to the
+        ``REPRO_KERNEL`` environment variable, then to ``"numpy"``.  Both
+        backends produce bit-identical results; only wall-clock changes.
     audit:
         Observation-audit policy applied at the top of :meth:`Tends.fit`:
         ``"warn"`` (default) emits a
@@ -138,6 +146,7 @@ class TendsConfig:
     max_attempts: int | None = None
     chunk_timeout: float | None = None
     executor_fallback: bool | None = None
+    kernel: KernelStrategy | None = None
     audit: Literal["warn", "strict", "ignore"] = "warn"
     missing: MissingPolicy = "pairwise"
     bootstrap_samples: int | None = None
@@ -169,6 +178,8 @@ class TendsConfig:
             "process",
         ):
             raise ConfigurationError(f"unknown executor: {self.executor!r}")
+        if self.kernel is not None and self.kernel not in ("numpy", "packed"):
+            raise ConfigurationError(f"unknown kernel backend: {self.kernel!r}")
         if self.n_jobs is not None and self.n_jobs != -1:
             check_positive_int("n_jobs", self.n_jobs)
         if self.chunk_size is not None:
@@ -204,9 +215,11 @@ class TendsConfig:
         return asdict(self)
 
     #: Fields that determine *what* the pipeline infers.  Execution knobs
-    #: (executor/n_jobs/chunking/retries), audit policy, and tracing change
-    #: only how or how observably the work runs — every backend is
-    #: bit-identical — so they are excluded from the algorithm fingerprint.
+    #: (executor/n_jobs/chunking/retries, the counting-kernel backend),
+    #: audit policy, and tracing change only how or how observably the
+    #: work runs — every backend is bit-identical — so they are excluded
+    #: from the algorithm fingerprint (a model saved from a numpy-kernel
+    #: fit can be resumed by a packed-kernel service, and vice versa).
     ALGORITHM_FIELDS = (
         "mi_kind",
         "threshold",

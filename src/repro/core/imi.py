@@ -36,6 +36,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.kernels import (
+    PackedStatuses,
+    packed_infection_counts,
+    packed_joint_counts,
+    packed_pairwise_complete_counts,
+    resolve_kernel,
+)
 from repro.exceptions import DataError
 from repro.simulation.statuses import StatusMatrix
 
@@ -50,7 +57,9 @@ __all__ = [
 ]
 
 
-def pointwise_mi_terms(statuses: StatusMatrix) -> dict[str, np.ndarray]:
+def pointwise_mi_terms(
+    statuses: StatusMatrix, *, kernel: str | None = None
+) -> dict[str, np.ndarray]:
     """The four pointwise MI matrices, keyed ``"11"``, ``"10"``, ``"01"``, ``"00"``.
 
     ``result[ab][i, j]`` is ``MI(X_i = a, X_j = b)`` estimated from the
@@ -72,9 +81,25 @@ def pointwise_mi_terms(statuses: StatusMatrix) -> dict[str, np.ndarray]:
     :func:`mi_terms_from_pairwise_counts` expose the count-based cores so
     cached counts (:class:`repro.core.stats.SufficientStats`) run the
     exact same floating-point pipeline.
+
+    ``kernel`` selects the counting backend (see
+    :func:`repro.core.kernels.resolve_kernel`): ``"packed"`` computes the
+    identical integer counts with bit-packed popcount kernels before
+    entering the same float pipeline, so the terms stay bit-identical.
     """
     if statuses.beta == 0:
         raise DataError("cannot estimate MI from zero diffusion processes")
+    if resolve_kernel(kernel) == "packed":
+        packed = PackedStatuses.from_statuses(statuses)
+        if statuses.has_missing:
+            return mi_terms_from_pairwise_counts(
+                packed_pairwise_complete_counts(packed)
+            )
+        return mi_terms_from_joint_counts(
+            packed_joint_counts(packed),
+            packed_infection_counts(packed),
+            statuses.beta,
+        )
     if statuses.has_missing:
         return mi_terms_from_pairwise_counts(statuses.pairwise_complete_counts())
     return mi_terms_from_joint_counts(
@@ -170,19 +195,24 @@ def mi_from_terms(terms: dict[str, np.ndarray]) -> np.ndarray:
     return np.maximum(mi, 0.0)
 
 
-def infection_mi_matrix(statuses: StatusMatrix) -> np.ndarray:
+def infection_mi_matrix(
+    statuses: StatusMatrix, *, kernel: str | None = None
+) -> np.ndarray:
     """The ``n × n`` infection-MI matrix (Eq. 25); diagonal zeroed.
 
     ``IMI[i, j]`` measures the positive infection correlation between
     ``v_i`` and ``v_j``.  The measure is symmetric in its arguments, so the
     matrix is symmetric; the diagonal (a node with itself) carries no
-    information about edges and is set to 0.
+    information about edges and is set to 0.  ``kernel`` selects the
+    counting backend; the matrix is bit-identical under either.
     """
-    return imi_from_terms(pointwise_mi_terms(statuses))
+    return imi_from_terms(pointwise_mi_terms(statuses, kernel=kernel))
 
 
-def traditional_mi_matrix(statuses: StatusMatrix) -> np.ndarray:
+def traditional_mi_matrix(
+    statuses: StatusMatrix, *, kernel: str | None = None
+) -> np.ndarray:
     """Standard mutual information per pair (sum of all four pointwise
     terms); diagonal zeroed.  Used by the paper's Fig. 10–11 ablation
     ("TENDS with traditional MI")."""
-    return mi_from_terms(pointwise_mi_terms(statuses))
+    return mi_from_terms(pointwise_mi_terms(statuses, kernel=kernel))

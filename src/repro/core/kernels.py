@@ -1,0 +1,488 @@
+"""Bit-packed popcount kernels for the two counting hot paths.
+
+The complexity analysis (paper §IV-D) puts the cost of TENDS in the
+``O(β n²)`` pairwise-count stage behind Eq. 24–25 and the ``O(β |F|)``
+contingency counting inside the parent search.  Both reduce to counting
+set bits in ANDs of binary columns, so this module packs every status
+column (and observation-mask column) into uint64 words — 64 processes
+per word — and replaces the dense int64 matrix products of
+:class:`~repro.simulation.statuses.StatusMatrix` with blocked popcount
+kernels.
+
+Layout: a ``(β, n)`` status matrix becomes an ``(n, W)`` uint64 array
+with ``W = ceil(β / 64)``; bit ``ℓ`` of word ``w`` of row ``j`` holds the
+status of node ``j`` in process ``64·w + ℓ`` (little-endian bit order,
+so :func:`unpack_bits` is ``np.unpackbits(..., bitorder="little")``).
+Tail bits of the last word — positions ≥ β — are always zero, which is
+what lets every count come straight off a popcount without masking.
+
+The backend is selected exactly like the executor backends: an explicit
+``TendsConfig.kernel`` value wins, then the ``REPRO_KERNEL`` environment
+variable, then ``"numpy"``.  Both backends are **bit-identical** — the
+packed kernels produce the same int64 counts, which feed the same float
+pipelines — so the knob only moves wall-clock, never results (proved by
+``tests/property/test_prop_kernels.py``).
+
+Popcounting uses ``np.bitwise_count`` (numpy ≥ 2.0) when available and
+falls back to a 16-bit lookup table otherwise; the choice is made per
+call via the module flag ``_HAS_NATIVE_POPCOUNT`` so tests can force the
+fallback path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.obs.trace import current_tracer
+from repro.simulation.statuses import StatusMatrix
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "ENV_KERNEL",
+    "MAX_PACK_COLUMNS",
+    "WORD_BITS",
+    "resolve_kernel",
+    "has_native_popcount",
+    "popcount_words",
+    "pack_bits",
+    "unpack_bits",
+    "PackedStatuses",
+    "packed_joint_counts",
+    "packed_pairwise_complete_counts",
+    "packed_infection_counts",
+    "packed_observed_counts",
+    "packed_family_counts",
+]
+
+#: Supported kernel backends, in documentation order.
+KERNEL_BACKENDS = ("numpy", "packed")
+
+#: Environment fallback consulted when no explicit backend is configured
+#: (mirrors ``REPRO_EXECUTOR`` for the execution backends).
+ENV_KERNEL = "REPRO_KERNEL"
+
+#: Bits per packed word.
+WORD_BITS = 64
+
+#: Hard cap on the number of columns a contingency grouping may pack:
+#: pattern codes are built as ``Σ bit_j << j`` in int64, and 62 bits keep
+#: every code positive with headroom — the same constant behind
+#: ``StatusMatrix.observed_pattern_counts`` and the parent-set cap
+#: ``MAX_PARENT_SET_SIZE`` in ``repro.core.search``.
+MAX_PACK_COLUMNS = 62
+
+#: Parent-set sizes up to this bound use the pattern-tree family counter
+#: (2^k AND-refinements of the base word row); wider sets fall back to
+#: per-row code extraction + ``np.unique``, which is O(β) in memory.
+_PATTERN_TREE_MAX_PARENTS = 10
+
+#: Word budget per temporary block in the all-pairs kernel (uint64 words,
+#: so ~16 MiB of AND scratch per block at the default).
+_BLOCK_WORD_BUDGET = 1 << 21
+
+
+def resolve_kernel(kernel: str | None = None) -> str:
+    """Resolve the kernel backend name.
+
+    ``kernel`` wins when given; otherwise the ``REPRO_KERNEL`` environment
+    variable, then ``"numpy"``.  Raises
+    :class:`~repro.exceptions.ConfigurationError` on unknown names —
+    including unknown values smuggled in through the environment.
+    """
+    if kernel is None:
+        kernel = os.environ.get(ENV_KERNEL) or "numpy"
+    if kernel not in KERNEL_BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel backend: {kernel!r} "
+            f"(expected one of {', '.join(KERNEL_BACKENDS)})"
+        )
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# popcount primitive: native np.bitwise_count, or a 16-bit lookup table
+# ----------------------------------------------------------------------
+
+_HAS_NATIVE_POPCOUNT = hasattr(np, "bitwise_count")
+
+# Set-bit counts of every 16-bit value (64 KiB); a uint64 word popcount
+# is the sum over its four 16-bit halves.  Built unconditionally so the
+# fallback is exercisable (and testable) even on numpy ≥ 2.0.
+_POPCOUNT_TABLE = (
+    np.unpackbits(
+        np.arange(1 << 16, dtype=np.uint16).view(np.uint8).reshape(-1, 2), axis=1
+    )
+    .sum(axis=1)
+    .astype(np.uint8)
+)
+
+
+def has_native_popcount() -> bool:
+    """Whether this numpy provides ``np.bitwise_count`` (numpy ≥ 2.0)."""
+    return _HAS_NATIVE_POPCOUNT
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Per-word set-bit counts as an int64 array of the same shape."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if _HAS_NATIVE_POPCOUNT:
+        return np.bitwise_count(words).astype(np.int64)
+    halves = words.view(np.uint16).reshape(words.shape + (4,))
+    return _POPCOUNT_TABLE[halves].sum(axis=-1, dtype=np.int64)
+
+
+def _popcount_sum(words: np.ndarray) -> np.ndarray:
+    """Sum of set bits along the last (word) axis, as int64.
+
+    ``words`` must be C-contiguous uint64 — the AND temporaries and
+    packed rows the kernels feed in always are.
+    """
+    if _HAS_NATIVE_POPCOUNT:
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+    return _POPCOUNT_TABLE[words.view(np.uint16)].sum(axis=-1, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# packing
+# ----------------------------------------------------------------------
+
+def _n_words(n_bits: int) -> int:
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(matrix: np.ndarray) -> np.ndarray:
+    """Pack a ``(n_bits, n_rows)`` {0, 1} matrix into ``(n_rows, W)``
+    uint64 words, ``W = ceil(n_bits / 64)``.
+
+    Bit ``ℓ`` of word ``w`` of output row ``j`` is ``matrix[64·w + ℓ, j]``;
+    tail bits beyond ``n_bits`` are zero.  The transposed layout puts each
+    *column* of the input (one node's statuses across processes)
+    contiguously in memory, which is what the pairwise kernels stream over.
+    """
+    array = np.ascontiguousarray(matrix, dtype=np.uint8)
+    if array.ndim != 2:
+        raise DataError(f"pack_bits needs a 2-D matrix, got shape {array.shape}")
+    n_bits, n_rows = array.shape
+    packed = np.packbits(array.T, axis=1, bitorder="little")
+    width = 8 * _n_words(n_bits)
+    if packed.shape[1] != width:
+        pad = np.zeros((n_rows, width - packed.shape[1]), dtype=np.uint8)
+        packed = np.concatenate([packed, pad], axis=1)
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: ``(n_rows, W)`` words back to the
+    ``(n_bits, n_rows)`` uint8 {0, 1} matrix."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise DataError(f"unpack_bits needs a 2-D word array, got shape {words.shape}")
+    if n_bits < 0 or words.shape[1] != _n_words(n_bits):
+        raise DataError(
+            f"{words.shape[1]} words cannot hold {n_bits} bits "
+            f"(expected {_n_words(max(n_bits, 0))})"
+        )
+    if n_bits == 0:
+        return np.zeros((0, words.shape[0]), dtype=np.uint8)
+    bits = np.unpackbits(
+        words.view(np.uint8), axis=1, bitorder="little", count=n_bits
+    )
+    return np.ascontiguousarray(bits.T)
+
+
+def _full_words(n_bits: int) -> np.ndarray:
+    """One packed row with every bit below ``n_bits`` set (tail zeroed) —
+    the \"all processes\" base mask of the unmasked family counter."""
+    words = np.full(_n_words(n_bits), np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+    tail = n_bits % WORD_BITS
+    if words.size and tail:
+        words[-1] = np.uint64((1 << tail) - 1)
+    return words
+
+
+# ----------------------------------------------------------------------
+# packed observations
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PackedStatuses:
+    """Bit-packed form of one :class:`~repro.simulation.statuses.StatusMatrix`.
+
+    Attributes
+    ----------
+    ones:
+        ``(n, W)`` uint64 — the raw status bits (placeholder values under
+        an observation mask travel as stored, exactly like
+        ``StatusMatrix.values``; the kernels AND with :attr:`mask` before
+        any masked count, mirroring the numpy estimators).
+    mask:
+        ``(n, W)`` uint64 observation bits (1 = observed), or ``None``
+        when every entry was observed.
+    n_bits:
+        ``β`` — the number of packed processes; bits at positions ≥ β are
+        zero in every row of both arrays.
+    """
+
+    ones: np.ndarray
+    mask: np.ndarray | None
+    n_bits: int
+
+    def __post_init__(self) -> None:
+        if self.ones.ndim != 2 or self.ones.dtype != np.uint64:
+            raise DataError(
+                f"packed statuses must be 2-D uint64, got "
+                f"{self.ones.dtype} with shape {self.ones.shape}"
+            )
+        if self.n_bits < 0 or self.ones.shape[1] != _n_words(self.n_bits):
+            raise DataError(
+                f"{self.ones.shape[1]} words per row cannot hold "
+                f"{self.n_bits} packed bits"
+            )
+        if self.mask is not None and (
+            self.mask.shape != self.ones.shape or self.mask.dtype != np.uint64
+        ):
+            raise DataError(
+                f"packed mask shape {self.mask.shape} does not match "
+                f"packed statuses shape {self.ones.shape}"
+            )
+        self.ones.setflags(write=False)
+        if self.mask is not None:
+            self.mask.setflags(write=False)
+
+    @classmethod
+    def from_statuses(cls, statuses: StatusMatrix) -> "PackedStatuses":
+        """Pack a status matrix (and its observation mask, if any)."""
+        if not isinstance(statuses, StatusMatrix):
+            statuses = StatusMatrix(statuses)
+        with current_tracer().span(
+            "kernel.pack", n_nodes=statuses.n_nodes, beta=statuses.beta
+        ):
+            ones = pack_bits(statuses.values)
+            mask = (
+                None
+                if statuses.mask is None
+                else pack_bits(statuses.mask.astype(np.uint8))
+            )
+        return cls(ones=ones, mask=mask, n_bits=statuses.beta)
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.ones.shape[0])
+
+    @property
+    def n_words(self) -> int:
+        return int(self.ones.shape[1])
+
+    @property
+    def has_missing(self) -> bool:
+        return self.mask is not None
+
+    def unpack(self) -> StatusMatrix:
+        """Exact inverse of :meth:`from_statuses`."""
+        data = unpack_bits(self.ones, self.n_bits)
+        if self.mask is None:
+            return StatusMatrix(data)
+        return StatusMatrix(data, unpack_bits(self.mask, self.n_bits).astype(np.bool_))
+
+    # ------------------------------------------------------------------
+    # NPZ round-trip
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Array mapping for ``np.savez`` (see :meth:`from_arrays`)."""
+        arrays = {
+            "kernel_ones": self.ones,
+            "kernel_n_bits": np.array([self.n_bits], dtype=np.int64),
+        }
+        if self.mask is not None:
+            arrays["kernel_mask"] = self.mask
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: Mapping[str, np.ndarray]) -> "PackedStatuses":
+        """Rebuild from a :meth:`to_arrays` mapping (or an ``np.load``
+        archive of one); consistency is re-validated, so a truncated or
+        mismatched snapshot raises :class:`~repro.exceptions.DataError`
+        instead of miscounting."""
+        try:
+            ones = np.ascontiguousarray(arrays["kernel_ones"], dtype=np.uint64)
+            n_bits = int(np.asarray(arrays["kernel_n_bits"]).reshape(-1)[0])
+        except KeyError as error:
+            raise DataError(f"packed-status arrays missing entry: {error}") from error
+        mask = None
+        if "kernel_mask" in arrays:
+            mask = np.ascontiguousarray(arrays["kernel_mask"], dtype=np.uint64)
+        return cls(ones=ones, mask=mask, n_bits=n_bits)
+
+
+# ----------------------------------------------------------------------
+# all-pairs counting
+# ----------------------------------------------------------------------
+
+def _pairwise_popcount(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``out[i, j] = popcount(a[i] & b[j])`` for packed word matrices.
+
+    Blocked over rows of ``a`` so the ``(block, n_b, W)`` AND temporary
+    stays within :data:`_BLOCK_WORD_BUDGET` words regardless of ``n``.
+    """
+    n_a, n_words = a.shape
+    n_b = b.shape[0]
+    out = np.empty((n_a, n_b), dtype=np.int64)
+    if n_words == 0 or n_b == 0:
+        out[:] = 0
+        return out
+    block = max(1, _BLOCK_WORD_BUDGET // (n_b * n_words))
+    for start in range(0, n_a, block):
+        chunk = a[start : start + block]
+        out[start : start + block] = _popcount_sum(
+            chunk[:, None, :] & b[None, :, :]
+        )
+    return out
+
+
+def packed_infection_counts(packed: PackedStatuses) -> np.ndarray:
+    """Per-node infected totals — ``StatusMatrix.infection_counts``."""
+    return _popcount_sum(packed.ones)
+
+
+def packed_observed_counts(packed: PackedStatuses) -> np.ndarray:
+    """Per-node observed totals — ``StatusMatrix.observed_counts``."""
+    if packed.mask is None:
+        return np.full(packed.n_nodes, packed.n_bits, dtype=np.int64)
+    return _popcount_sum(packed.mask)
+
+
+def packed_joint_counts(packed: PackedStatuses) -> dict[str, np.ndarray]:
+    """All four pairwise joint counts — ``StatusMatrix.joint_counts``,
+    bit for bit.
+
+    Only the ``(i=1, j=1)`` matrix needs an all-pairs popcount pass; the
+    other three follow exactly from the per-node marginals, which is what
+    turns the dense ``O(β n²)`` matmuls into ``O(β n² / 64)`` word ops.
+    """
+    with current_tracer().span(
+        "kernel.pair_counts",
+        kind="joint",
+        n_nodes=packed.n_nodes,
+        words=packed.n_words,
+    ):
+        n11 = _pairwise_popcount(packed.ones, packed.ones)
+        counts = packed_infection_counts(packed)
+    n10 = counts[:, None] - n11
+    n01 = counts[None, :] - n11
+    n00 = packed.n_bits - n11 - n10 - n01
+    return {"11": n11, "10": n10, "01": n01, "00": n00}
+
+
+def packed_pairwise_complete_counts(
+    packed: PackedStatuses,
+) -> dict[str, np.ndarray]:
+    """Joint counts over pairwise-complete processes —
+    ``StatusMatrix.pairwise_complete_counts``, bit for bit.
+
+    Three popcount passes replace the four masked matmuls: observed ones
+    against observed ones (``n11``), observed ones against the mask (the
+    ``x_i = 1 ∧ obs_i ∧ obs_j`` marginal, whose transpose is the column
+    marginal), and mask against mask (``β_ij``); the remaining cells are
+    integer-exact differences.
+    """
+    if packed.mask is None:
+        counts = packed_joint_counts(packed)
+        counts["obs"] = np.full(
+            (packed.n_nodes, packed.n_nodes), packed.n_bits, dtype=np.int64
+        )
+        return counts
+    with current_tracer().span(
+        "kernel.pair_counts",
+        kind="pairwise-complete",
+        n_nodes=packed.n_nodes,
+        words=packed.n_words,
+    ):
+        observed_ones = packed.ones & packed.mask
+        n11 = _pairwise_popcount(observed_ones, observed_ones)
+        ones_mask = _pairwise_popcount(observed_ones, packed.mask)
+        obs = _pairwise_popcount(packed.mask, packed.mask)
+    n10 = ones_mask - n11
+    n01 = np.ascontiguousarray(ones_mask.T) - n11
+    n00 = obs - n11 - n10 - n01
+    return {"11": n11, "10": n10, "01": n01, "00": n00, "obs": obs}
+
+
+# ----------------------------------------------------------------------
+# family contingency counting
+# ----------------------------------------------------------------------
+
+def packed_family_counts(
+    packed: PackedStatuses, child: int, parents: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """``(totals, infected, beta)`` of one (child, parent-set) family.
+
+    Identical — values, dtype, and **ordering** — to the contingency core
+    of :func:`repro.core.scoring.family_counts`: totals are the observed
+    patterns' counts in ascending pattern-code order (first parent =
+    least-significant bit), zero-count patterns dropped, and a family
+    with no (complete) rows degrades to ``([0], [0])``.
+
+    Small parent sets use a pattern tree — the family-complete base row
+    is AND-refined into ``2^|F|`` pattern word-rows, in ascending code
+    order, and popcounted.  Wide sets (beyond
+    :data:`_PATTERN_TREE_MAX_PARENTS`) extract per-row codes and group
+    them with ``np.unique`` exactly like the numpy path, which keeps the
+    memory O(β) all the way to the :data:`MAX_PACK_COLUMNS` cap.
+
+    Kept span-free on purpose: the parent search calls this once per
+    candidate combination, so tracing here would dominate traced runs.
+    """
+    parent_list = [int(p) for p in parents]
+    if len(parent_list) > MAX_PACK_COLUMNS:
+        raise DataError(f"too many columns for bit-packing: {len(parent_list)}")
+    n_bits = packed.n_bits
+    if packed.mask is None:
+        base = _full_words(n_bits)
+        beta = n_bits
+    else:
+        base = packed.mask[child].copy()
+        for parent in parent_list:
+            base &= packed.mask[parent]
+        beta = int(_popcount_sum(base))
+    child_words = packed.ones[child]
+    if not parent_list:
+        infected = int(_popcount_sum(child_words & base))
+        return (
+            np.array([beta], dtype=np.int64),
+            np.array([infected], dtype=np.int64),
+            beta,
+        )
+    if beta == 0:
+        return np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64), 0
+    if len(parent_list) <= _PATTERN_TREE_MAX_PARENTS:
+        # Pattern tree: refine the base row by one parent column per
+        # level, keeping the parent-0-is-LSB ascending code order —
+        # zeros block first, ones block second, previous order within.
+        words = base[None, :]
+        for parent in parent_list:
+            column = packed.ones[parent]
+            words = np.concatenate([words & ~column, words & column], axis=0)
+        totals_full = _popcount_sum(words)
+        observed = totals_full > 0
+        totals = totals_full[observed]
+        infected = _popcount_sum(words[observed] & child_words)
+        return totals, infected, beta
+    # Wide parent sets: per-row codes + np.unique, the numpy grouping.
+    row_mask = unpack_bits(base[None, :], n_bits).reshape(-1).astype(np.bool_)
+    columns = np.asarray(parent_list, dtype=np.int64)
+    parent_bits = unpack_bits(packed.ones[columns], n_bits)
+    weights = 1 << np.arange(len(parent_list), dtype=np.int64)
+    codes = parent_bits[row_mask].astype(np.int64) @ weights
+    _, inverse, totals = np.unique(codes, return_inverse=True, return_counts=True)
+    child_bits = (
+        unpack_bits(child_words[None, :], n_bits).reshape(-1)[row_mask]
+    ).astype(np.float64)
+    infected = np.bincount(
+        inverse.reshape(-1), weights=child_bits, minlength=totals.shape[0]
+    ).astype(np.int64)
+    return totals.astype(np.int64), infected, beta

@@ -48,6 +48,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.kernels import PackedStatuses, packed_family_counts
 from repro.exceptions import DataError
 from repro.simulation.statuses import StatusMatrix
 
@@ -122,7 +123,11 @@ class FamilyCounts:
 
 
 def family_counts(
-    statuses: StatusMatrix, child: int, parents: Sequence[int]
+    statuses: StatusMatrix,
+    child: int,
+    parents: Sequence[int],
+    *,
+    packed: PackedStatuses | None = None,
 ) -> FamilyCounts:
     """Count ``N_ij`` / ``N_ijk`` for ``child`` given ``parents``.
 
@@ -136,12 +141,25 @@ def family_counts(
     becomes the family's effective sample size.  A family with no
     complete rows degrades to all-zero counts (score 0, like an empty
     observation set) rather than raising.
+
+    Passing ``packed`` (the bit-packed form of the same matrix) routes
+    the counting through :func:`repro.core.kernels.packed_family_counts`
+    — identical counts in identical order, computed on 64 processes per
+    word instead of row by row.
     """
     parent_list = [int(p) for p in parents]
     if child in parent_list:
         raise DataError(f"node {child} cannot be its own parent")
     if len(set(parent_list)) != len(parent_list):
         raise DataError(f"duplicate parents in {parent_list}")
+    if packed is not None:
+        totals, infected, beta = packed_family_counts(packed, child, parent_list)
+        return FamilyCounts(
+            n_parents=len(parent_list),
+            totals=totals,
+            infected=infected,
+            beta=beta,
+        )
     if statuses.has_missing:
         rows = statuses.complete_rows([child, *parent_list])
         _, inverse, totals = statuses.observed_pattern_counts(
@@ -187,10 +205,19 @@ def penalty(counts: FamilyCounts) -> float:
 
 
 def local_score(
-    statuses: StatusMatrix, child: int, parents: Sequence[int]
+    statuses: StatusMatrix,
+    child: int,
+    parents: Sequence[int],
+    *,
+    packed: PackedStatuses | None = None,
 ) -> float:
-    """``g(v_i, F_i)`` (Eq. 13) computed from scratch."""
-    counts = family_counts(statuses, child, parents)
+    """``g(v_i, F_i)`` (Eq. 13) computed from scratch.
+
+    ``packed`` optionally routes the contingency counting through the
+    bit-packed kernel (see :func:`family_counts`); the score is
+    bit-identical either way.
+    """
+    counts = family_counts(statuses, child, parents, packed=packed)
     return log_likelihood(counts) - penalty(counts)
 
 

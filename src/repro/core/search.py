@@ -31,6 +31,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.config import TendsConfig
+from repro.core.kernels import PackedStatuses, resolve_kernel
 from repro.core.scoring import (
     FamilyCounts,
     delta_i,
@@ -173,6 +174,25 @@ class ParentSearch:
     def __init__(self, statuses: StatusMatrix, config: TendsConfig) -> None:
         self.statuses = statuses
         self.config = config
+        self._kernel = resolve_kernel(config.kernel)
+        # Lazy bit-packed cache for the "packed" kernel backend; built on
+        # first use so serial fits that never score pay nothing, and
+        # dropped from pickles so workers re-pack locally (see
+        # __getstate__) instead of shipping the words over the wire.
+        self._packed: PackedStatuses | None = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_packed"] = None
+        return state
+
+    def _family_counts(self, node: int, parents: Sequence[int]) -> FamilyCounts:
+        """Contingency counts through the configured kernel backend."""
+        if self._kernel == "packed":
+            if self._packed is None:
+                self._packed = PackedStatuses.from_statuses(self.statuses)
+            return family_counts(self.statuses, node, parents, packed=self._packed)
+        return family_counts(self.statuses, node, parents)
 
     # ------------------------------------------------------------------
     # public API
@@ -215,7 +235,7 @@ class ParentSearch:
                 if len(trial) > MAX_PARENT_SET_SIZE:
                     diag.bound_hits += 1
                     continue
-                counts = family_counts(self.statuses, node, trial)
+                counts = self._family_counts(node, trial)
                 diag.n_evaluations += 1
                 if len(trial) > size_bound(counts.phi, delta):
                     diag.bound_hits += 1
@@ -244,7 +264,7 @@ class ParentSearch:
     ) -> list[int]:
         scored: list[tuple[float, tuple[int, ...]]] = []
         for combo in self._combinations(pool):
-            counts = family_counts(self.statuses, node, list(combo))
+            counts = self._family_counts(node, list(combo))
             diag.n_evaluations += 1
             if len(combo) > size_bound(counts.phi, delta):
                 diag.bound_hits += 1
@@ -262,7 +282,7 @@ class ParentSearch:
                 diag.bound_hits += 1
                 continue
             diag.iterations += 1
-            counts = family_counts(self.statuses, node, sorted(union))
+            counts = self._family_counts(node, sorted(union))
             diag.n_evaluations += 1
             if len(union) > size_bound(counts.phi, delta):
                 diag.bound_hits += 1
@@ -282,6 +302,6 @@ class ParentSearch:
             yield from combinations(pool, size)
 
     def _score(self, node: int, parents: list[int], diag: SearchDiagnostics) -> float:
-        counts = family_counts(self.statuses, node, parents)
+        counts = self._family_counts(node, parents)
         diag.n_evaluations += 1
         return log_likelihood(counts) - penalty(counts)

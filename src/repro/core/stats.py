@@ -37,6 +37,13 @@ from repro.core.imi import (
     mi_terms_from_joint_counts,
     mi_terms_from_pairwise_counts,
 )
+from repro.core.kernels import (
+    PackedStatuses,
+    packed_infection_counts,
+    packed_observed_counts,
+    packed_pairwise_complete_counts,
+    resolve_kernel,
+)
 from repro.exceptions import DataError
 from repro.simulation.statuses import StatusMatrix
 
@@ -80,15 +87,30 @@ class SufficientStats:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_statuses(cls, statuses: StatusMatrix) -> "SufficientStats":
-        """Count one status matrix (a whole history or a single batch)."""
+    def from_statuses(
+        cls, statuses: StatusMatrix, *, kernel: str | None = None
+    ) -> "SufficientStats":
+        """Count one status matrix (a whole history or a single batch).
+
+        ``kernel`` selects the counting backend (see
+        :func:`repro.core.kernels.resolve_kernel`); the counts are int64
+        either way, so the statistics are bit-identical.
+        """
         if not isinstance(statuses, StatusMatrix):
             statuses = StatusMatrix(statuses)
-        pairwise = statuses.pairwise_complete_counts()
+        if resolve_kernel(kernel) == "packed":
+            packed = PackedStatuses.from_statuses(statuses)
+            pairwise = packed_pairwise_complete_counts(packed)
+            infected = packed_infection_counts(packed)
+            observed = packed_observed_counts(packed)
+        else:
+            pairwise = statuses.pairwise_complete_counts()
+            infected = statuses.infection_counts()
+            observed = statuses.observed_counts()
         return cls(
             counts={key: pairwise[key] for key in COUNT_KEYS},
-            infected=statuses.infection_counts(),
-            observed=statuses.observed_counts(),
+            infected=infected,
+            observed=observed,
             beta=statuses.beta,
             has_missing=statuses.has_missing,
         )
@@ -100,13 +122,16 @@ class SufficientStats:
     # ------------------------------------------------------------------
     # incremental update
     # ------------------------------------------------------------------
-    def updated(self, batch: StatusMatrix) -> "SufficientStats":
+    def updated(
+        self, batch: StatusMatrix, *, kernel: str | None = None
+    ) -> "SufficientStats":
         """Statistics of the history with ``batch`` appended.
 
-        ``O(Δβ · n²)``: the batch is counted on its own and merged by
-        integer addition, which is exactly equal to recounting the
-        concatenated history.  ``self`` is never modified; an empty batch
-        returns ``self`` unchanged.
+        ``O(Δβ · n²)``: the batch is counted on its own (with the
+        ``kernel`` counting backend) and merged by integer addition,
+        which is exactly equal to recounting the concatenated history.
+        ``self`` is never modified; an empty batch returns ``self``
+        unchanged.
         """
         if not isinstance(batch, StatusMatrix):
             batch = StatusMatrix(batch)
@@ -117,7 +142,7 @@ class SufficientStats:
             )
         if batch.beta == 0:
             return self
-        return self.merged(SufficientStats.from_statuses(batch))
+        return self.merged(SufficientStats.from_statuses(batch, kernel=kernel))
 
     def merged(self, other: "SufficientStats") -> "SufficientStats":
         """Statistics of the two histories concatenated (pure addition)."""

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.config import TendsConfig
 from repro.core.executor import ExecutionPlan, ParallelExecutor, WorkerStats
+from repro.core.kernels import resolve_kernel
 from repro.core.kmeans import TwoMeansResult, fixed_zero_two_means
 from repro.core.search import (
     ParentSearch,
@@ -106,6 +107,11 @@ class TendsResult:
         :class:`UpdateInfo` describing the dirty/clean node split of the
         incremental update that produced this result; ``None`` for
         results of a full :meth:`Tends.fit`.
+    kernel:
+        The counting-kernel backend the fit resolved and ran with
+        (``"numpy"`` or ``"packed"``, see :mod:`repro.core.kernels`);
+        recorded in run manifests so perf comparisons are
+        apples-to-apples.  Results are bit-identical across backends.
     """
 
     graph: DiffusionGraph
@@ -120,6 +126,7 @@ class TendsResult:
     imi_bootstrap: "ImiBootstrap | None" = None
     telemetry: Telemetry | None = None
     update: "UpdateInfo | None" = None
+    kernel: str | None = None
 
     @property
     def n_edges(self) -> int:
@@ -514,8 +521,9 @@ class Tends:
                 on_degenerate="strict" if self.config.audit == "strict" else "warn",
             )
         n = statuses.n_nodes
+        kernel_backend = resolve_kernel(self.config.kernel)
         if stats is None:
-            stats = SufficientStats.from_statuses(statuses)
+            stats = SufficientStats.from_statuses(statuses, kernel=kernel_backend)
         elif (
             stats.beta != statuses.beta
             or stats.n_nodes != n
@@ -543,9 +551,11 @@ class Tends:
         else:
             metrics.set_gauge("tends_mask_density", 1.0)
         with ambient_tracer(tracer):
-            with tracer.span("tends.fit", n_nodes=n, beta=statuses.beta):
+            with tracer.span(
+                "tends.fit", n_nodes=n, beta=statuses.beta, kernel=kernel_backend
+            ):
                 result, candidates = self._run_pipeline(
-                    statuses, stats, n, tracer, metrics
+                    statuses, stats, n, tracer, metrics, kernel_backend
                 )
         if trace:
             result = replace(
@@ -596,13 +606,18 @@ class Tends:
         n: int,
         tracer: "Tracer | NullTracer",
         metrics: "MetricsRegistry | NullMetrics",
+        kernel_backend: str,
     ) -> tuple[TendsResult, tuple[tuple[int, ...], ...]]:
         """Stages 1-3 of Algorithm 1 (validation already done by
-        :meth:`fit`, which also owns the ambient tracer install).
+        :meth:`fit`, which also owns the ambient tracer install and the
+        kernel-backend resolution).
 
         Returns the result plus the per-node candidate sets, which the
         caller folds into the incremental-update model."""
         stage_seconds: dict[str, float] = {}
+        metrics.set_gauge(
+            "tends_kernel_packed", 1.0 if kernel_backend == "packed" else 0.0
+        )
 
         # Stage 1: pairwise MI matrix (Algorithm 1 lines 2-4), from the
         # additive sufficient statistics — identical floating-point
@@ -723,6 +738,7 @@ class Tends:
             worker_stats=tuple(worker_stats),
             edge_confidence=edge_confidence,
             imi_bootstrap=bootstrap,
+            kernel=kernel_backend,
         )
         return result, tuple(tuple(candidates) for _, candidates in items)
 
@@ -825,11 +841,15 @@ class Tends:
         n = previous.n_nodes
         stage_seconds: dict[str, float] = {}
         metrics.inc("tends_update_batches_total")
+        kernel_backend = resolve_kernel(self.config.kernel)
+        metrics.set_gauge(
+            "tends_kernel_packed", 1.0 if kernel_backend == "packed" else 0.0
+        )
 
         # Sufficient statistics: count the batch, add (integer-exact).
         with tracer.span("tends.stats", batch_beta=batch.beta):
             with Stopwatch() as watch:
-                stats = previous.stats.updated(batch)
+                stats = previous.stats.updated(batch, kernel=kernel_backend)
                 history = previous.statuses.append(batch)
             stage_seconds["stats"] = watch.elapsed
         if history.has_missing:
@@ -956,6 +976,7 @@ class Tends:
             stage_seconds=stage_seconds,
             worker_stats=tuple(worker_stats),
             update=info,
+            kernel=kernel_backend,
         )
         model = TendsModel(
             config=self.config,
