@@ -375,6 +375,105 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the crash-safe streaming ingest service.
+
+    Batches arrive either as status files dropped into ``--spool``
+    (absorbed in name order, then moved to ``<spool>/done/``) or over
+    the optional ``--http`` frontend; both paths journal durably before
+    acknowledging.  SIGTERM/SIGINT drains the queue, snapshots, and
+    exits 0.  See docs/SERVING.md.
+    """
+    from repro.core.tends import TendsModel
+    from repro.serve import BatchPolicy, IngestService
+
+    model = None
+    if args.model is not None:
+        model = TendsModel.load(args.model)
+    overrides = {
+        name: value
+        for name, value in (
+            ("executor", args.executor),
+            ("n_jobs", args.n_jobs),
+            ("chunk_size", args.chunk_size),
+            ("max_attempts", args.max_attempts),
+            ("chunk_timeout", args.chunk_timeout),
+            ("kernel", args.kernel),
+        )
+        if value is not None
+    }
+    service = IngestService(
+        args.directory,
+        model,
+        batch_policy=BatchPolicy(
+            max_cascades=args.max_cascades,
+            max_delay_seconds=args.max_delay,
+        ),
+        queue_capacity=args.queue_capacity,
+        backpressure=args.backpressure,
+        snapshot_every=args.snapshot_every,
+        hang_timeout=args.hang_timeout,
+        estimator_overrides=overrides,
+    )
+    if service.recovered_batches:
+        print(f"replayed {service.recovered_batches} journaled batch(es)")
+    service.start()
+    service.handle_signals()
+
+    server = None
+    if args.http is not None:
+        from repro.serve.http import start_http_server
+
+        host, _, port = args.http.rpartition(":")
+        server = start_http_server(service, host or "127.0.0.1", int(port))
+        print("HTTP on %s:%d" % server.server_address[:2])
+
+    spool = args.spool
+    done_dir = None
+    if spool is not None:
+        spool.mkdir(parents=True, exist_ok=True)
+        done_dir = spool / "done"
+        done_dir.mkdir(exist_ok=True)
+    stats = service.stats()
+    print(
+        f"serving from {args.directory} (model: {stats.model_beta} processes, "
+        f"{stats.model_edges} edges; journal at seq {stats.journal_seq})"
+    )
+    try:
+        while not service.shutdown_requested:
+            absorbed_any = False
+            if spool is not None:
+                for path in sorted(spool.iterdir()):
+                    if path.is_dir() or path.name.startswith("."):
+                        continue
+                    if path.suffix not in (".npz", ".csv", ".txt"):
+                        continue
+                    try:
+                        seq = service.submit(_read_statuses(path))
+                    except ReproError as error:
+                        print(f"spool {path.name}: refused ({error})",
+                              file=sys.stderr)
+                        path.rename(done_dir / f"{path.name}.refused")
+                        continue
+                    path.rename(done_dir / path.name)
+                    print(f"spool {path.name}: journaled as seq {seq}")
+                    absorbed_any = True
+            if args.once and not absorbed_any:
+                break
+            service.wait_for_shutdown(args.poll_interval)
+    finally:
+        if server is not None:
+            server.shutdown()
+        service.close(drain=True, timeout=args.drain_timeout)
+    final = service.stats()
+    print(
+        f"stopped at seq {final.absorbed_seq}: {final.absorbed_batches} "
+        f"batch(es) absorbed, {final.quarantined} quarantined, "
+        f"{final.snapshots_written} snapshot(s) written"
+    )
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     truth = _read_graph(args.truth)
     inferred = _read_graph(args.inferred)
@@ -807,6 +906,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the updated inferred graph",
     )
     update.set_defaults(func=_cmd_update)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the crash-safe streaming ingest service",
+        description="Long-running service that journals incoming cascade "
+        "batches durably (WAL, fsync + CRC), absorbs them incrementally "
+        "via partial_fit, and serves the current inferred network to "
+        "concurrent readers.  Kill-safe: restart replays the journal to a "
+        "bit-identical model.  See docs/SERVING.md.",
+    )
+    serve.add_argument(
+        "directory",
+        type=Path,
+        help="service state directory (journal, quarantine, snapshots)",
+    )
+    serve.add_argument(
+        "--model",
+        type=Path,
+        default=None,
+        help="bootstrap model checkpoint; required on first open of an "
+        "empty directory, ignored afterwards",
+    )
+    serve.add_argument(
+        "--spool",
+        type=Path,
+        default=None,
+        help="directory watched for status files (.npz/.csv/.txt) to "
+        "ingest; processed files move to <spool>/done/",
+    )
+    serve.add_argument(
+        "--http",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="also serve the HTTP frontend (POST /ingest, GET /edges "
+        "/health /stats /metrics); binds 127.0.0.1 unless HOST is given",
+    )
+    serve.add_argument(
+        "--max-cascades",
+        type=int,
+        default=64,
+        help="absorb as soon as this many cascades are pending",
+    )
+    serve.add_argument(
+        "--max-delay",
+        type=float,
+        default=1.0,
+        help="absorb after the oldest pending batch waited this many seconds",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=1024,
+        help="bounded-queue capacity in pending cascades",
+    )
+    serve.add_argument(
+        "--backpressure",
+        choices=("block", "reject", "shed"),
+        default="block",
+        help="full-queue policy (docs/SERVING.md#backpressure)",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=8,
+        help="crash-atomic model snapshot cadence, in absorbed batches",
+    )
+    serve.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=30.0,
+        help="watchdog restarts the absorb loop after this many seconds "
+        "without a heartbeat",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="spool scan interval in seconds",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        help="max seconds to wait for the queue to drain on shutdown "
+        "(default: wait indefinitely; undrained batches stay journaled)",
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="drain the spool once, absorb, snapshot, and exit (scripting)",
+    )
+    _add_executor_arguments(serve)
+    serve.add_argument("--chunk-size", type=int, default=None)
+    serve.set_defaults(func=_cmd_serve)
 
     evaluate = subparsers.add_parser("evaluate", help="score an inferred topology")
     evaluate.add_argument("truth", type=Path)

@@ -70,6 +70,7 @@ that contract.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from concurrent.futures import (
@@ -204,6 +205,18 @@ class RetryPolicy:
         ``backoff_multiplier`` (exponential backoff).
     backoff_multiplier:
         Growth factor of the backoff sequence.
+    jitter:
+        Fraction of each backoff randomised away, in ``[0, 1]``.  The
+        sleep before a retry is drawn from
+        ``[(1 - jitter) · base, base]`` — but *deterministically*: the
+        draw hashes ``(jitter_seed, token, failures)``, so the same
+        retry of the same chunk always backs off identically (replays
+        and tests stay reproducible) while distinct chunks desynchronise
+        instead of thundering back in lockstep.  0 restores the pure
+        exponential sequence.
+    jitter_seed:
+        Seed mixed into the jitter hash; two services sharing a journal
+        can be given different seeds to decorrelate their retries.
     timeout:
         Per-chunk wall-clock budget in seconds (``None`` = unlimited).
         Applies to the pool backends only; serial cannot preempt.
@@ -215,6 +228,8 @@ class RetryPolicy:
     max_attempts: int = 3
     backoff_seconds: float = 0.05
     backoff_multiplier: float = 2.0
+    jitter: float = 0.5
+    jitter_seed: int = 0
     timeout: float | None = None
     fallback: bool = True
 
@@ -230,6 +245,10 @@ class RetryPolicy:
         if self.backoff_multiplier < 1.0:
             raise ConfigurationError(
                 f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
             )
         if self.timeout is not None and self.timeout <= 0:
             raise ConfigurationError(
@@ -261,11 +280,26 @@ class RetryPolicy:
             fallback=defaults.fallback if fallback is None else fallback,
         )
 
-    def delay(self, failures: int) -> float:
-        """Backoff before the retry following the ``failures``-th failure."""
+    def delay(self, failures: int, token: int = 0) -> float:
+        """Backoff before the retry following the ``failures``-th failure.
+
+        ``token`` identifies the retrying unit (chunk index, batch
+        sequence number, ...); it seeds the deterministic jitter so
+        concurrent units spread out while any single unit's delay
+        sequence is a pure function of the policy.
+        """
         if failures < 1 or self.backoff_seconds == 0:
             return 0.0
-        return self.backoff_seconds * self.backoff_multiplier ** (failures - 1)
+        base = self.backoff_seconds * self.backoff_multiplier ** (failures - 1)
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 - self.jitter * self._unit(token, failures))
+
+    def _unit(self, token: int, failures: int) -> float:
+        """Deterministic draw in ``[0, 1)`` from (seed, token, failures)."""
+        material = f"{self.jitter_seed}:{token}:{failures}".encode()
+        word = int.from_bytes(hashlib.blake2b(material, digest_size=8).digest(), "big")
+        return word / 2**64
 
 
 @dataclass(frozen=True)
@@ -666,7 +700,7 @@ class ParallelExecutor:
                     if failures >= retry.max_attempts:
                         raise
                     self._retries += 1
-                    delay = retry.delay(failures)
+                    delay = retry.delay(failures, token=index)
                     _LOGGER.warning(
                         "serial chunk %d failed (attempt %d/%d): %s; "
                         "retrying after %.3gs backoff",
@@ -877,9 +911,12 @@ class ParallelExecutor:
                     pool = self._new_pool(strategy, chunk_fn, context)
                 if resubmit:
                     self._retries += len(resubmit)
-                    delay = retry.delay(max(failures[i] for i in resubmit)
-                                        if any(failures[i] for i in resubmit)
-                                        else 1)
+                    delay = retry.delay(
+                        max(failures[i] for i in resubmit)
+                        if any(failures[i] for i in resubmit)
+                        else 1,
+                        token=min(resubmit),
+                    )
                     if delay:
                         _LOGGER.warning(
                             "backing off %.3gs before re-running %d chunk(s)",

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Sequence
@@ -56,6 +58,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (robustness → imi)
     from repro.robustness.bootstrap import ImiBootstrap
 
 __all__ = ["Tends", "TendsResult", "TendsModel", "UpdateInfo"]
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of the directory entry, so the ``os.replace``
+    rename itself is durable (not just the file contents)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without directory open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on directories
+        pass
+    finally:
+        os.close(fd)
 
 
 @dataclass(frozen=True)
@@ -271,11 +288,37 @@ class TendsModel:
             digest.update(mask.tobytes())
         return digest.hexdigest()
 
+    def fingerprint(self) -> str:
+        """SHA-256 over everything that defines the fitted state: the
+        algorithm configuration, the absorbed history, the cached counts,
+        the threshold, and the inferred parent sets.
+
+        Two models with equal fingerprints are bit-identical for every
+        read path the service exposes — this is the equality the
+        crash-replay guarantee in docs/SERVING.md is stated in.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.config.algorithm_fingerprint().encode())
+        digest.update(self.data_fingerprint().encode())
+        digest.update(self.stats.checksum().encode())
+        digest.update(repr(self.threshold).encode())
+        digest.update(json.dumps(self.candidates).encode())
+        digest.update(json.dumps(self.parent_sets).encode())
+        return digest.hexdigest()
+
     # ------------------------------------------------------------------
     # snapshot / restore
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> Path:
-        """Write the model to ``path`` as a single NPZ snapshot."""
+        """Write the model to ``path`` as a single NPZ snapshot.
+
+        The write is **crash-atomic**: the archive is written to a
+        temporary file in the same directory, flushed and fsynced, then
+        :func:`os.replace`-d over ``path`` — a kill at any instant leaves
+        either the previous snapshot or the new one, never a truncated
+        hybrid (``tests/faults/test_model_snapshot_atomic.py`` interrupts
+        the write at every stage to hold this).
+        """
         path = Path(path)
         meta = {
             "format": "tends-model",
@@ -304,8 +347,22 @@ class TendsModel:
             arrays["statuses_mask"] = self.statuses.mask
         for key in COUNT_KEYS:
             arrays[f"counts_{key}"] = self.stats.counts[key]
-        with open(path, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
+        # Same-directory temp + os.replace: readers (and a restart after
+        # a kill mid-save) only ever see a complete snapshot.
+        fd, temp_name = tempfile.mkstemp(
+            prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or "."
+        )
+        temp_path = Path(temp_name)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+        except BaseException:
+            temp_path.unlink(missing_ok=True)
+            raise
+        _fsync_directory(path.parent)
         return path
 
     @classmethod

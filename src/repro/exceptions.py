@@ -22,6 +22,8 @@ __all__ = [
     "MethodTimeoutError",
     "CheckpointError",
     "DataQualityWarning",
+    "JournalCorruptionWarning",
+    "ServiceError",
 ]
 
 
@@ -126,3 +128,20 @@ class DataQualityWarning(UserWarning):
     Emitted by :func:`repro.simulation.statuses.validate_observations` and
     by :meth:`repro.core.tends.Tends.fit` when auditing is enabled.
     """
+
+
+class JournalCorruptionWarning(UserWarning):
+    """An append-only journal carried damaged records that were detected
+    (per-record CRC32 or a parse failure before the final line) and
+    skipped; the surviving records are intact and the load proceeded.
+
+    Emitted by :func:`repro.evaluation.checkpoint.load_checkpoint` and the
+    :mod:`repro.serve` ingest-journal replay.
+    """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The streaming ingest service (:mod:`repro.serve`) was asked to do
+    something its current state cannot honour — submitting to a stopped
+    service, a full bounded queue under the ``reject`` policy, or opening
+    a service directory whose journal and snapshots disagree."""

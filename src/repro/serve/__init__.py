@@ -1,0 +1,53 @@
+"""Crash-safe streaming ingest for the TENDS estimator.
+
+The paper's status-only observation model makes diffusion inference a
+natural *streaming* workload: cascades arrive as final-status vectors
+(no timestamps to reconcile), and PR 5's cached sufficient statistics
+make absorbing them an ``O(Δβ · n²)`` update instead of a refit.  This
+package wraps that capability in a long-running service engineered
+around failure as the default case:
+
+* :class:`~repro.serve.journal.IngestJournal` — a durable write-ahead
+  journal (fsync + per-record CRC32) every accepted batch lands in
+  *before* it is queued, so a crash at any instant loses nothing that
+  was acknowledged;
+* :class:`~repro.serve.policy.BoundedQueue` /
+  :class:`~repro.serve.policy.BatchPolicy` — bounded buffering with
+  explicit ``block`` / ``reject`` / ``shed`` backpressure and an
+  absorb-every-*k*-cascades-or-*t*-seconds debounce;
+* :class:`~repro.serve.service.IngestService` — the absorb loop
+  (jittered retries, per-batch quarantine on permanent failure, a
+  watchdog that restarts a hung loop), copy-on-write model serving to
+  concurrent readers, crash-atomic snapshots, graceful SIGTERM/SIGINT
+  drain, and health/stats surfaces on the :mod:`repro.obs` registry;
+* :mod:`repro.serve.http` — an optional stdlib HTTP frontend
+  (``POST /ingest``, ``GET /edges`` / ``/health`` / ``/stats``).
+
+Recovery guarantee (held by ``tests/faults/test_serve_crash.py``): kill
+the process at any point, reopen the directory, and the replayed model
+is **bit-identical** (fingerprint match) to an uninterrupted run over
+the same acknowledged batch sequence.  See docs/SERVING.md.
+"""
+
+from repro.serve.journal import (
+    IngestJournal,
+    IngestRecord,
+    QuarantineStore,
+    decode_statuses,
+    encode_statuses,
+)
+from repro.serve.policy import BACKPRESSURE_POLICIES, BatchPolicy, BoundedQueue
+from repro.serve.service import IngestService, ServiceStats
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "BatchPolicy",
+    "BoundedQueue",
+    "IngestJournal",
+    "IngestRecord",
+    "IngestService",
+    "QuarantineStore",
+    "ServiceStats",
+    "decode_statuses",
+    "encode_statuses",
+]

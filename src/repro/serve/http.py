@@ -1,0 +1,146 @@
+"""Minimal stdlib HTTP frontend for :class:`~repro.serve.service.IngestService`.
+
+Endpoints (all JSON):
+
+``POST /ingest``
+    Body: ``{"batch": {...}}`` (an :func:`~repro.serve.journal.encode_statuses`
+    payload) or ``{"statuses": [[0,1,...], ...]}`` (a raw 0/1 matrix).
+    Replies ``202 {"seq": N}`` once the batch is durably journaled.
+    ``429`` when backpressure rejects it, ``503`` while draining,
+    ``400`` for malformed payloads.
+``GET /health``
+    Liveness summary; ``200`` while serving or degraded, ``503`` once
+    draining/stopped — the shape a load balancer wants.
+``GET /stats``
+    Full :class:`~repro.serve.service.ServiceStats` snapshot.
+``GET /edges``
+    Current edge set and per-edge IMI/threshold confidence margins.
+``GET /metrics``
+    The service's :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+
+The server is a ``ThreadingHTTPServer``: every reader gets its own
+thread, which is exactly the concurrent-reader scenario the service's
+copy-on-write model publication exists for.  This is an ops/debug
+surface, not an internet-facing one — bind it to localhost.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.exceptions import CheckpointError, ServiceError
+from repro.serve.journal import decode_statuses
+from repro.serve.service import IngestService
+from repro.simulation.statuses import StatusMatrix
+from repro.utils.logging import get_logger
+
+__all__ = ["ServeHandler", "start_http_server"]
+
+_LOGGER = get_logger("serve.http")
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Request handler bound to one :class:`IngestService` via the server."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> IngestService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        _LOGGER.debug("%s %s", self.address_string(), format % args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        try:
+            if self.path == "/health":
+                health = self.service.health()
+                ok = health["status"] in ("serving", "degraded")
+                self._reply(200 if ok else 503, health)
+            elif self.path == "/stats":
+                self._reply(200, self.service.stats().as_dict())
+            elif self.path == "/edges":
+                confidence = self.service.edge_confidence()
+                self._reply(
+                    200,
+                    {
+                        "edges": sorted(self.service.edges()),
+                        "confidence": {
+                            f"{parent}->{child}": round(value, 6)
+                            for (parent, child), value in sorted(
+                                confidence.items()
+                            )
+                        },
+                    },
+                )
+            elif self.path == "/metrics":
+                self._reply(200, self.service.metrics.snapshot())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+        except Exception as exc:  # pragma: no cover - defensive
+            _LOGGER.exception("GET %s failed", self.path)
+            self._reply(500, {"error": str(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/ingest":
+            self._reply(404, {"error": f"unknown path {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            document = json.loads(self.rfile.read(length) or b"{}")
+            statuses = _parse_batch(document)
+        except (ValueError, TypeError, KeyError, CheckpointError) as exc:
+            self._reply(400, {"error": f"malformed ingest body: {exc}"})
+            return
+        try:
+            seq = self.service.submit(statuses)
+        except ServiceError as exc:
+            message = str(exc)
+            draining = "shutting down" in message
+            self._reply(503 if draining else 429, {"error": message})
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            _LOGGER.exception("POST /ingest failed")
+            self._reply(500, {"error": str(exc)})
+            return
+        self._reply(202, {"seq": seq})
+
+
+def _parse_batch(document: dict) -> StatusMatrix:
+    if "batch" in document:
+        return decode_statuses(document["batch"])
+    if "statuses" in document:
+        return StatusMatrix(np.asarray(document["statuses"], dtype=np.uint8))
+    raise ValueError("body must carry 'batch' (packed) or 'statuses' (raw)")
+
+
+def start_http_server(
+    service: IngestService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Start the frontend on a daemon thread; returns the (already
+    serving) server — read the bound port off ``server.server_address``.
+    Call ``server.shutdown()`` to stop it."""
+    server = ThreadingHTTPServer((host, port), ServeHandler)
+    server.service = service  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever, name="serve-http", daemon=True
+    )
+    thread.start()
+    _LOGGER.info("serving HTTP on %s:%d", *server.server_address[:2])
+    return server

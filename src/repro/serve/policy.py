@@ -1,0 +1,263 @@
+"""Batching/debounce and backpressure policy for the ingest service.
+
+Two small, independently-testable pieces:
+
+* :class:`BatchPolicy` — *when* to absorb: as soon as ``max_cascades``
+  are pending, or once the oldest pending batch has waited
+  ``max_delay_seconds`` (whichever fires first).  The absorb loop wakes
+  on either condition; neither requires a busy poll.
+* :class:`BoundedQueue` — *what happens when the producer outruns the
+  absorber*.  The queue is bounded by pending **cascades** (not batch
+  count — batches vary wildly in size) and enforces one of three
+  explicit policies at the full mark:
+
+  ``block``
+      The submitting thread waits for space (optionally up to a
+      timeout).  Lossless; pushes the backpressure into the producer.
+  ``reject``
+      ``put`` raises :class:`~repro.exceptions.ServiceError`
+      immediately.  The producer owns the retry; nothing is journaled.
+  ``shed``
+      The *oldest* pending batches are dropped to make room for the
+      newest.  Lossy by design — the service stays live and current
+      under overload; shed batches are reported to the caller so they
+      can be quarantined durably (replay must not resurrect them).
+
+All three policies are exercised against a producer 10× faster than the
+consumer in ``tests/faults/test_serve_backpressure.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+from repro.exceptions import ConfigurationError, ServiceError
+
+__all__ = ["BACKPRESSURE_POLICIES", "BatchPolicy", "BoundedQueue", "QueueItem"]
+
+#: Recognised full-queue behaviours.
+BACKPRESSURE_POLICIES = ("block", "reject", "shed")
+
+ItemT = TypeVar("ItemT")
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Absorb every ``max_cascades`` cascades or ``max_delay_seconds``
+    seconds, whichever comes first.
+
+    Attributes
+    ----------
+    max_cascades:
+        Pending-cascade count that triggers an immediate absorb.
+    max_delay_seconds:
+        Longest a pending batch may wait before an absorb triggers
+        anyway — bounds staleness of the served model under a trickle.
+    """
+
+    max_cascades: int = 64
+    max_delay_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_cascades < 1:
+            raise ConfigurationError(
+                f"max_cascades must be >= 1, got {self.max_cascades}"
+            )
+        if self.max_delay_seconds <= 0:
+            raise ConfigurationError(
+                f"max_delay_seconds must be positive, got {self.max_delay_seconds}"
+            )
+
+    def ready(self, pending_cascades: int, oldest_age_seconds: float) -> bool:
+        """Should the absorb loop fire now?"""
+        if pending_cascades <= 0:
+            return False
+        return (
+            pending_cascades >= self.max_cascades
+            or oldest_age_seconds >= self.max_delay_seconds
+        )
+
+    def wait_budget(self, oldest_age_seconds: float) -> float:
+        """How long the absorb loop may sleep before the delay bound
+        would fire for the current oldest batch."""
+        return max(0.0, self.max_delay_seconds - oldest_age_seconds)
+
+
+@dataclass(frozen=True)
+class QueueItem(Generic[ItemT]):
+    """One queued batch: the payload, its weight (cascades), arrival time."""
+
+    payload: ItemT
+    weight: int
+    enqueued_at: float
+
+
+class BoundedQueue(Generic[ItemT]):
+    """Thread-safe bounded queue of weighted items with explicit
+    backpressure.
+
+    Capacity is in total weight (pending cascades).  A single item
+    heavier than the whole capacity is accepted when the queue is empty
+    — refusing it would deadlock ``block`` forever — but still counts
+    its full weight, so nothing else fits alongside it.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "block",
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ConfigurationError(
+                f"unknown backpressure policy {policy!r}; "
+                f"available: {BACKPRESSURE_POLICIES}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self._clock = clock
+        self._items: deque[QueueItem[ItemT]] = deque()
+        self._weight = 0
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.shed_total = 0
+        self.rejected_total = 0
+        self.blocked_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def weight(self) -> int:
+        """Total pending weight (cascades)."""
+        with self._lock:
+            return self._weight
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def oldest_age(self) -> float:
+        """Seconds the oldest pending item has waited (0 when empty)."""
+        with self._lock:
+            if not self._items:
+                return 0.0
+            return self._clock() - self._items[0].enqueued_at
+
+    # ------------------------------------------------------------------
+    def put(
+        self, payload: ItemT, weight: int, *, timeout: float | None = None
+    ) -> list[ItemT]:
+        """Enqueue one item under the configured policy.
+
+        Returns the list of items *shed* to make room (always empty for
+        ``block`` / ``reject``).  Raises
+        :class:`~repro.exceptions.ServiceError` when the queue is full
+        under ``reject``, when a ``block`` wait exceeds ``timeout``, or
+        when the queue is closed.
+        """
+        if weight < 1:
+            raise ConfigurationError(f"item weight must be >= 1, got {weight}")
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._lock:
+            self._raise_if_closed()
+            shed: list[ItemT] = []
+            while self._weight + weight > self.capacity and self._items:
+                if self.policy == "reject":
+                    self.rejected_total += 1
+                    raise ServiceError(
+                        f"ingest queue full ({self._weight}/{self.capacity} "
+                        "cascades pending) and backpressure policy is 'reject'"
+                    )
+                if self.policy == "shed":
+                    oldest = self._items.popleft()
+                    self._weight -= oldest.weight
+                    self.shed_total += 1
+                    shed.append(oldest.payload)
+                    continue
+                # block
+                self.blocked_total += 1
+                remaining = (
+                    None if deadline is None else deadline - self._clock()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise ServiceError(
+                        f"timed out after {timeout:.3g}s waiting for ingest "
+                        "queue space (policy 'block')"
+                    )
+                if not self._not_full.wait(remaining):
+                    raise ServiceError(
+                        f"timed out after {timeout:.3g}s waiting for ingest "
+                        "queue space (policy 'block')"
+                    )
+                self._raise_if_closed()
+            self._items.append(
+                QueueItem(payload, weight, self._clock())
+            )
+            self._weight += weight
+            self._not_empty.notify_all()
+            return shed
+
+    def _raise_if_closed(self) -> None:
+        if self._closed:
+            raise ServiceError("ingest queue is closed")
+
+    # ------------------------------------------------------------------
+    def take(self, max_weight: int | None = None) -> list[QueueItem[ItemT]]:
+        """Dequeue from the front up to ``max_weight`` (at least one item
+        when non-empty, whatever its weight)."""
+        with self._lock:
+            taken: list[QueueItem[ItemT]] = []
+            total = 0
+            while self._items:
+                item = self._items[0]
+                if taken and max_weight is not None and total + item.weight > max_weight:
+                    break
+                self._items.popleft()
+                self._weight -= item.weight
+                taken.append(item)
+                total += item.weight
+            if taken:
+                self._not_full.notify_all()
+            return taken
+
+    def requeue_front(self, items: list[QueueItem[ItemT]]) -> None:
+        """Push items back to the *front* in order (watchdog re-delivery
+        of an interrupted group); capacity is deliberately ignored — the
+        items already passed admission once."""
+        with self._lock:
+            for item in reversed(items):
+                self._items.appendleft(item)
+                self._weight += item.weight
+            if items:
+                self._not_empty.notify_all()
+
+    def wait_for_items(self, timeout: float | None = None) -> bool:
+        """Block until the queue is non-empty (or closed); True when
+        items are pending."""
+        with self._lock:
+            if self._items:
+                return True
+            if self._closed:
+                return False
+            self._not_empty.wait(timeout)
+            return bool(self._items)
+
+    def close(self) -> None:
+        """Refuse further puts; pending items remain takeable (drain)."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

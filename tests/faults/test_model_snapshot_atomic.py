@@ -1,0 +1,92 @@
+"""Crash-atomicity of ``TendsModel.save``.
+
+A service snapshots its model over the previous snapshot, so a kill
+mid-save must never leave a truncated NPZ in place of a good one — the
+write goes to a same-directory temp file and lands via ``os.replace``.
+These tests interrupt the save at each stage and verify the previous
+snapshot still loads bit-identically.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.tends import Tends, TendsModel
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+from repro.simulation.engine import DiffusionSimulator
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    truth = erdos_renyi_digraph(12, 0.15, seed=5)
+    statuses = DiffusionSimulator(truth, seed=5).run(beta=120).statuses
+    estimator = Tends()
+    estimator.fit(statuses.subset(range(100)))
+    first = estimator.model
+    estimator.partial_fit(statuses.subset(range(100, statuses.beta)))
+    return first, estimator.model
+
+
+class CrashMidWrite(RuntimeError):
+    """Stand-in for the process dying while the archive streams out."""
+
+
+class TestCrashAtomicSave:
+    def test_crash_during_archive_write_keeps_old_snapshot(
+        self, tmp_path, fitted, monkeypatch
+    ):
+        old, new = fitted
+        path = tmp_path / "model.npz"
+        old.save(path)
+        golden = path.read_bytes()
+
+        def exploding_savez(handle, **arrays):
+            handle.write(b"PK\x03\x04 truncated archive")
+            raise CrashMidWrite("killed mid-write")
+
+        monkeypatch.setattr(np, "savez_compressed", exploding_savez)
+        with pytest.raises(CrashMidWrite):
+            new.save(path)
+        # The target was never touched, and the aborted temp was removed.
+        assert path.read_bytes() == golden
+        assert TendsModel.load(path).fingerprint() == old.fingerprint()
+        assert [p for p in tmp_path.iterdir()] == [path]
+
+    def test_crash_before_replace_keeps_old_snapshot(
+        self, tmp_path, fitted, monkeypatch
+    ):
+        old, new = fitted
+        path = tmp_path / "model.npz"
+        old.save(path)
+        golden = path.read_bytes()
+
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            raise CrashMidWrite("killed between write and rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(CrashMidWrite):
+            new.save(path)
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert path.read_bytes() == golden
+        assert TendsModel.load(path).fingerprint() == old.fingerprint()
+
+    def test_completed_save_replaces_atomically(self, tmp_path, fitted):
+        old, new = fitted
+        path = tmp_path / "model.npz"
+        old.save(path)
+        new.save(path)
+        loaded = TendsModel.load(path)
+        assert loaded.fingerprint() == new.fingerprint()
+        assert loaded.fingerprint() != old.fingerprint()
+        # No temp debris survives a successful save either.
+        assert [p for p in tmp_path.iterdir()] == [path]
+
+    def test_fingerprint_tracks_fitted_state(self, fitted):
+        old, new = fitted
+        assert old.fingerprint() == old.fingerprint()
+        assert old.fingerprint() != new.fingerprint()

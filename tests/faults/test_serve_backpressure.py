@@ -1,0 +1,197 @@
+"""Backpressure behaviour under a producer ~10× faster than absorb.
+
+Each test slows the absorb path artificially (every ``partial_fit``
+sleeps) while a producer thread submits as fast as it can, then checks
+the configured policy's contract:
+
+* ``block``  — lossless: every acknowledged batch is eventually
+  absorbed; the producer measurably stalls; pending weight never
+  exceeds the queue capacity.
+* ``reject`` — the queue never overfills; refused submissions raise and
+  are durably quarantined so replay cannot resurrect them.
+* ``shed``   — the newest data wins; dropped batches are durably
+  quarantined; the served model equals the reference over exactly the
+  surviving (non-quarantined) sequence — including after a reopen.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.tends import Tends
+from repro.exceptions import ServiceError
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+from repro.serve import BatchPolicy, IngestService, QuarantineStore
+from repro.simulation.engine import DiffusionSimulator
+
+WAIT = 60.0
+
+#: Seconds each absorb is slowed by; the producer submits every ~0 s,
+#: making it comfortably >10× faster than the absorber.
+ABSORB_DELAY = 0.05
+
+CAPACITY = 30  # cascades; batches weigh 10, so 3 fit
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    truth = erdos_renyi_digraph(10, 0.2, seed=13)
+    statuses = DiffusionSimulator(truth, seed=13).run(beta=240).statuses
+    base = statuses.subset(range(120))
+    batches = [
+        statuses.subset(range(120 + i * 10, 120 + (i + 1) * 10))
+        for i in range(12)
+    ]
+    estimator = Tends()
+    estimator.fit(base)
+    return estimator.model, base, batches
+
+
+def slow_down(service):
+    """Make every absorb take :data:`ABSORB_DELAY` seconds."""
+    original = service._estimator.partial_fit
+
+    def slowed(batch):
+        time.sleep(ABSORB_DELAY)
+        return original(batch)
+
+    service.estimator_delay_original = original
+    service._estimator.partial_fit = slowed
+
+
+def make_service(tmp_path, bootstrap, policy):
+    service = IngestService(
+        tmp_path / "svc",
+        bootstrap,
+        batch_policy=BatchPolicy(max_cascades=10, max_delay_seconds=0.01),
+        queue_capacity=CAPACITY,
+        backpressure=policy,
+    )
+    slow_down(service)
+    return service
+
+
+def reference_fingerprint(base, batches_by_seq, absorbed_seqs):
+    estimator = Tends()
+    estimator.fit(base)
+    for seq in sorted(absorbed_seqs):
+        estimator.partial_fit(batches_by_seq[seq])
+    return estimator.model.fingerprint()
+
+
+def wait_until(predicate, timeout=WAIT, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class TestBlockPolicy:
+    def test_lossless_and_bounded_under_overload(self, tmp_path, corpus):
+        bootstrap, base, batches = corpus
+        max_pending = []
+        with make_service(tmp_path, bootstrap, "block") as svc:
+            started = time.monotonic()
+            for batch in batches:
+                svc.submit(batch, timeout=WAIT)
+                max_pending.append(svc._queue.weight)
+            produce_seconds = time.monotonic() - started
+            wait_until(lambda: svc.stats().absorbed_seq >= len(batches),
+                       message="queue drained")
+            stats = svc.stats()
+        # The queue never overfilled, nothing was lost, and the producer
+        # actually stalled (absorbing 12 slowed batches takes >= 10 of
+        # them longer than the free-running producer needs).
+        assert max(max_pending) <= CAPACITY
+        assert stats.quarantined == 0
+        assert produce_seconds > ABSORB_DELAY * 3
+        assert svc._queue.blocked_total > 0
+        seqs = {i + 1: b for i, b in enumerate(batches)}
+        assert svc.model.fingerprint() == reference_fingerprint(
+            base, seqs, seqs.keys()
+        )
+
+
+class TestRejectPolicy:
+    def test_overflow_is_refused_and_durably_quarantined(self, tmp_path, corpus):
+        bootstrap, base, batches = corpus
+        accepted, refused = [], []
+        with make_service(tmp_path, bootstrap, "reject") as svc:
+            for i, batch in enumerate(batches):
+                try:
+                    accepted.append(svc.submit(batch))
+                except ServiceError:
+                    refused.append(i + 1)
+                assert svc._queue.weight <= CAPACITY
+            wait_until(
+                lambda: svc.stats().absorbed_seq >= max(accepted),
+                message="accepted batches absorbed",
+            )
+            stats = svc.stats()
+            fingerprint = svc.model.fingerprint()
+        assert refused, "producer at 10x never hit the reject policy"
+        assert stats.rejected == len(refused)
+        # Refused sequences are quarantined so replay skips them...
+        quarantined = set(
+            QuarantineStore.load(tmp_path / "svc" / "quarantine.jsonl")
+        )
+        assert set(refused) == quarantined
+        # ...and the served model covers exactly the accepted ones.
+        seqs = {i + 1: b for i, b in enumerate(batches)}
+        assert fingerprint == reference_fingerprint(base, seqs, accepted)
+
+    def test_replay_after_reopen_skips_rejected(self, tmp_path, corpus):
+        bootstrap, base, batches = corpus
+        with make_service(tmp_path, bootstrap, "reject") as svc:
+            accepted = []
+            for batch in batches:
+                try:
+                    accepted.append(svc.submit(batch))
+                except ServiceError:
+                    pass
+            wait_until(lambda: svc.stats().absorbed_seq >= max(accepted),
+                       message="accepted batches absorbed")
+            fingerprint = svc.model.fingerprint()
+        reopened = IngestService(tmp_path / "svc")
+        try:
+            assert reopened.model.fingerprint() == fingerprint
+        finally:
+            reopened.close()
+
+
+class TestShedPolicy:
+    def test_oldest_pending_are_shed_newest_win(self, tmp_path, corpus):
+        bootstrap, base, batches = corpus
+        with make_service(tmp_path, bootstrap, "shed") as svc:
+            for batch in batches:
+                svc.submit(batch)
+                assert svc._queue.weight <= CAPACITY
+            # The newest batch is submitted last and can no longer be
+            # shed once the producer stops, so it marks full drain.
+            wait_until(
+                lambda: svc.stats().absorbed_seq >= len(batches),
+                message="queue drained",
+            )
+            stats = svc.stats()
+            fingerprint = svc.model.fingerprint()
+        assert stats.shed > 0, "producer at 10x never tripped shedding"
+        quarantined = set(
+            QuarantineStore.load(tmp_path / "svc" / "quarantine.jsonl")
+        )
+        assert len(quarantined) == stats.shed
+        # The newest batch always survives shedding.
+        assert len(batches) not in quarantined
+        survivors = set(range(1, len(batches) + 1)) - quarantined
+        seqs = {i + 1: b for i, b in enumerate(batches)}
+        assert fingerprint == reference_fingerprint(base, seqs, survivors)
+
+        # Recovery agrees: shed sequences stay dead after a reopen.
+        reopened = IngestService(tmp_path / "svc")
+        try:
+            assert reopened.model.fingerprint() == fingerprint
+        finally:
+            reopened.close()

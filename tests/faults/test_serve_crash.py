@@ -1,0 +1,203 @@
+"""Process-kill recovery tests for the ingest service.
+
+The acceptance criterion from the serving design (docs/SERVING.md):
+``kill -9`` the service at *any* point, restart it over the same
+directory, and the recovered model is **bit-identical** — fingerprint
+match — to an uninterrupted run over the same acknowledged batch
+sequence.  The journal itself defines "acknowledged": every record that
+survives replay was acknowledged, so the reference model is rebuilt by
+``partial_fit``-ing exactly those records in order.
+
+A SIGTERM variant checks the graceful path: drain the queue, snapshot,
+exit 0, nothing left to replay.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.tends import Tends
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+from repro.serve import IngestJournal, IngestService, QuarantineStore
+from repro.simulation import io as sim_io
+from repro.simulation.engine import DiffusionSimulator
+
+WAIT = 60.0
+
+#: The child process: open the service, announce readiness, then submit
+#: spooled batches forever (recycling them) so a kill always lands with
+#: ingest/absorb traffic in flight.
+CHILD = textwrap.dedent(
+    """
+    import itertools, sys, time
+    from pathlib import Path
+
+    from repro.core.tends import TendsModel
+    from repro.serve import BatchPolicy, IngestService
+    from repro.simulation import io as sim_io
+
+    directory, spool, mode = Path(sys.argv[1]), Path(sys.argv[2]), sys.argv[3]
+    batches = [
+        sim_io.read_statuses_npz(path) for path in sorted(spool.glob("*.npz"))
+    ]
+    service = IngestService(
+        directory,
+        TendsModel.load(spool / "bootstrap" / "model.npz"),
+        batch_policy=BatchPolicy(max_cascades=15, max_delay_seconds=0.01),
+        snapshot_every=3,
+    ).start()
+    service.handle_signals()
+    print("READY", flush=True)
+    for batch in itertools.cycle(batches):
+        if service.shutdown_requested:
+            break
+        try:
+            service.submit(batch, timeout=5.0)
+        except Exception:
+            break
+        service.wait_for_shutdown(0.01)
+    service.close(drain=True)
+    final = service.stats()
+    print(f"DRAINED absorbed_seq={final.absorbed_seq} "
+          f"journal_seq={final.journal_seq}", flush=True)
+    """
+)
+
+
+@pytest.fixture(scope="module")
+def spool(tmp_path_factory):
+    """Bootstrap model + batch files shared by parent and child."""
+    root = tmp_path_factory.mktemp("spool")
+    truth = erdos_renyi_digraph(12, 0.15, seed=11)
+    statuses = DiffusionSimulator(truth, seed=11).run(beta=200).statuses
+    base = statuses.subset(range(120))
+    estimator = Tends()
+    estimator.fit(base)
+    (root / "bootstrap").mkdir()
+    estimator.model.save(root / "bootstrap" / "model.npz")
+    sim_io.write_statuses_npz(base, root / "bootstrap" / "base.npz")
+    for i in range(8):
+        sim_io.write_statuses_npz(
+            statuses.subset(range(120 + i * 10, 120 + (i + 1) * 10)),
+            root / f"batch{i}.npz",
+        )
+    return root
+
+
+def spawn_child(directory: Path, spool: Path, mode: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(Path("src").resolve()), env.get("PYTHONPATH", "")])
+    )
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD, str(directory), str(spool), mode],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    assert child.stdout.readline().strip() == "READY", (
+        "child failed to start: " + child.stderr.read()
+    )
+    return child
+
+
+def wait_for_journal(directory: Path, min_bytes: int, timeout: float = WAIT):
+    """Block until the child has journaled a meaningful amount of work."""
+    journal = directory / "ingest.jsonl"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if journal.exists() and journal.stat().st_size >= min_bytes:
+            return
+        time.sleep(0.01)
+    raise AssertionError("child never journaled enough traffic")
+
+
+def reference_over_acknowledged(spool: Path, directory: Path) -> str:
+    """Fingerprint of an uninterrupted run over exactly the acknowledged
+    (journaled, non-quarantined) sequence."""
+    estimator = Tends()
+    estimator.fit(sim_io.read_statuses_npz(spool / "bootstrap" / "base.npz"))
+    quarantined = set(QuarantineStore.load(directory / "quarantine.jsonl"))
+    for record in IngestJournal.replay(directory / "ingest.jsonl"):
+        if record.seq not in quarantined:
+            estimator.partial_fit(record.statuses)
+    return estimator.model.fingerprint()
+
+
+class TestKillMinusNine:
+    @pytest.mark.parametrize("journal_bytes", [2_000, 20_000])
+    def test_recovery_is_bit_identical_after_sigkill(
+        self, tmp_path, spool, journal_bytes
+    ):
+        directory = tmp_path / "svc"
+        child = spawn_child(directory, spool, "kill")
+        try:
+            wait_for_journal(directory, journal_bytes)
+        finally:
+            child.kill()  # SIGKILL: no drain, no final snapshot, no mercy
+            child.wait(WAIT)
+
+        recovered = IngestService(directory)
+        try:
+            fingerprint = recovered.model.fingerprint()
+            watermark = recovered.stats().absorbed_seq
+        finally:
+            recovered.close()
+        assert fingerprint == reference_over_acknowledged(spool, directory)
+        assert watermark > 0
+
+    def test_double_crash_recovers_too(self, tmp_path, spool):
+        """Crash, recover, serve more, crash again — replay still exact."""
+        directory = tmp_path / "svc"
+        for _round in range(2):
+            child = spawn_child(directory, spool, "kill")
+            try:
+                tip = (
+                    (directory / "ingest.jsonl").stat().st_size
+                    if (directory / "ingest.jsonl").exists()
+                    else 0
+                )
+                wait_for_journal(directory, tip + 4_000)
+            finally:
+                child.kill()
+                child.wait(WAIT)
+        recovered = IngestService(directory)
+        try:
+            fingerprint = recovered.model.fingerprint()
+        finally:
+            recovered.close()
+        assert fingerprint == reference_over_acknowledged(spool, directory)
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_snapshots_and_exits_cleanly(self, tmp_path, spool):
+        directory = tmp_path / "svc"
+        child = spawn_child(directory, spool, "term")
+        try:
+            wait_for_journal(directory, 4_000)
+            child.send_signal(signal.SIGTERM)
+            stdout, stderr = child.communicate(timeout=WAIT)
+        except BaseException:
+            child.kill()
+            raise
+        assert child.returncode == 0, stderr
+        assert "DRAINED" in stdout
+
+        # Graceful exit left nothing to replay: the final snapshot covers
+        # every acknowledged, non-quarantined record.
+        reopened = IngestService(directory)
+        try:
+            assert reopened.recovered_batches == 0
+            fingerprint = reopened.model.fingerprint()
+        finally:
+            reopened.close()
+        assert fingerprint == reference_over_acknowledged(spool, directory)

@@ -173,3 +173,53 @@ class TestParallelExecutorMap:
         plan = ExecutionPlan.resolve("thread", n_jobs=4, chunk_size=3)
         results, _ = ParallelExecutor(plan).map(_square_chunk, 0, items)
         assert results == [i * i for i in items]
+
+
+class TestRetryPolicyJitter:
+    def test_zero_jitter_is_pure_exponential(self):
+        from repro.core.executor import RetryPolicy
+
+        policy = RetryPolicy(backoff_seconds=0.1, backoff_multiplier=2.0, jitter=0.0)
+        assert [policy.delay(f) for f in range(4)] == [0.0, 0.1, 0.2, 0.4]
+
+    def test_jittered_sequence_is_deterministic(self):
+        from repro.core.executor import RetryPolicy
+
+        policy = RetryPolicy(backoff_seconds=0.1, jitter=0.5, jitter_seed=7)
+        again = RetryPolicy(backoff_seconds=0.1, jitter=0.5, jitter_seed=7)
+        sequence = [policy.delay(f, token=3) for f in range(1, 5)]
+        assert sequence == [again.delay(f, token=3) for f in range(1, 5)]
+
+    def test_jitter_stays_within_the_backoff_envelope(self):
+        from repro.core.executor import RetryPolicy
+
+        policy = RetryPolicy(
+            backoff_seconds=0.1, backoff_multiplier=2.0, jitter=0.5
+        )
+        for failures in range(1, 6):
+            base = 0.1 * 2.0 ** (failures - 1)
+            for token in range(20):
+                delay = policy.delay(failures, token=token)
+                assert base * 0.5 <= delay <= base
+
+    def test_distinct_tokens_desynchronise(self):
+        from repro.core.executor import RetryPolicy
+
+        policy = RetryPolicy(backoff_seconds=0.1, jitter=0.5)
+        delays = {policy.delay(1, token=t) for t in range(16)}
+        assert len(delays) > 8  # chunks don't retry in lockstep
+
+    def test_distinct_seeds_decorrelate(self):
+        from repro.core.executor import RetryPolicy
+
+        a = RetryPolicy(backoff_seconds=0.1, jitter=0.5, jitter_seed=1)
+        b = RetryPolicy(backoff_seconds=0.1, jitter=0.5, jitter_seed=2)
+        assert [a.delay(1, t) for t in range(8)] != [b.delay(1, t) for t in range(8)]
+
+    def test_jitter_bounds_are_validated(self):
+        from repro.core.executor import RetryPolicy
+
+        with pytest.raises(ConfigurationError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError, match="jitter"):
+            RetryPolicy(jitter=-0.1)

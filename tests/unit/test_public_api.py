@@ -14,6 +14,7 @@ import repro.baselines
 import repro.core
 import repro.evaluation
 import repro.graphs
+import repro.serve
 import repro.simulation
 
 PACKAGES = [
@@ -24,6 +25,7 @@ PACKAGES = [
     repro.baselines,
     repro.evaluation,
     repro.analysis,
+    repro.serve,
 ]
 
 

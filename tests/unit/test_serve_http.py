@@ -1,0 +1,132 @@
+"""Tests for the stdlib HTTP frontend over a live ingest service."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.tends import Tends
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+from repro.serve import BatchPolicy, IngestService, encode_statuses
+from repro.serve.http import start_http_server
+from repro.simulation.engine import DiffusionSimulator
+
+WAIT = 30.0
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    truth = erdos_renyi_digraph(10, 0.2, seed=17)
+    statuses = DiffusionSimulator(truth, seed=17).run(beta=150).statuses
+    base = statuses.subset(range(120))
+    batch = statuses.subset(range(120, 150))
+    estimator = Tends()
+    estimator.fit(base)
+    return estimator.model, batch
+
+
+@pytest.fixture()
+def served(tmp_path, corpus):
+    bootstrap, batch = corpus
+    service = IngestService(
+        tmp_path / "svc", bootstrap,
+        batch_policy=BatchPolicy(max_cascades=10, max_delay_seconds=0.01),
+    ).start()
+    server = start_http_server(service)
+    host, port = server.server_address[:2]
+    yield service, batch, f"http://{host}:{port}"
+    server.shutdown()
+    service.close()
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=WAIT) as response:
+        return response.status, json.loads(response.read())
+
+
+def post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=WAIT) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestReadEndpoints:
+    def test_health_serves_200_while_healthy(self, served):
+        _service, _batch, origin = served
+        status, health = get(origin + "/health")
+        assert status == 200
+        assert health["status"] == "serving"
+        assert health["model_beta"] == 120
+
+    def test_stats_and_metrics_round_trip(self, served):
+        _service, _batch, origin = served
+        status, stats = get(origin + "/stats")
+        assert status == 200
+        assert stats["absorbed_seq"] == 0
+        status, metrics = get(origin + "/metrics")
+        assert status == 200
+        assert "counters" in metrics
+
+    def test_edges_carry_confidence_margins(self, served):
+        service, _batch, origin = served
+        status, payload = get(origin + "/edges")
+        assert status == 200
+        assert len(payload["edges"]) == len(service.edges())
+        assert all(value >= 1.0 for value in payload["confidence"].values())
+
+    def test_unknown_path_is_404(self, served):
+        _service, _batch, origin = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(origin + "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestIngestEndpoint:
+    def test_packed_payload_is_journaled_and_absorbed(self, served):
+        service, batch, origin = served
+        status, reply = post(
+            origin + "/ingest", {"batch": encode_statuses(batch)}
+        )
+        assert status == 202
+        assert reply["seq"] == 1
+        deadline = time.monotonic() + WAIT
+        while time.monotonic() < deadline:
+            if service.stats().absorbed_seq >= 1:
+                break
+            time.sleep(0.01)
+        assert service.model.beta == 150
+
+    def test_raw_statuses_payload_works_too(self, served):
+        _service, batch, origin = served
+        status, reply = post(
+            origin + "/ingest", {"statuses": batch.values.tolist()}
+        )
+        assert status == 202 and reply["seq"] == 1
+
+    @pytest.mark.parametrize(
+        "payload", [{}, {"batch": {"shape": [2, 2]}}, {"statuses": "nope"}]
+    )
+    def test_malformed_body_is_400(self, served, payload):
+        _service, _batch, origin = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(origin + "/ingest", payload)
+        assert excinfo.value.code == 400
+
+    def test_draining_service_refuses_with_503(self, served):
+        service, batch, origin = served
+        service.close()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(origin + "/ingest", {"batch": encode_statuses(batch)})
+        assert excinfo.value.code == 503
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(origin + "/health")
+        assert excinfo.value.code == 503

@@ -1,0 +1,191 @@
+"""Unit tests for the ingest batching/backpressure policies."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ServiceError
+from repro.serve.policy import BatchPolicy, BoundedQueue
+
+
+class FakeClock:
+    """Deterministic monotonic clock the queue/age tests advance by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBatchPolicy:
+    def test_fires_on_cascade_count(self):
+        policy = BatchPolicy(max_cascades=10, max_delay_seconds=5.0)
+        assert not policy.ready(9, 0.0)
+        assert policy.ready(10, 0.0)
+        assert policy.ready(11, 0.0)
+
+    def test_fires_on_oldest_age(self):
+        policy = BatchPolicy(max_cascades=1000, max_delay_seconds=0.5)
+        assert not policy.ready(1, 0.49)
+        assert policy.ready(1, 0.5)
+
+    def test_never_fires_empty(self):
+        policy = BatchPolicy(max_cascades=1, max_delay_seconds=0.001)
+        assert not policy.ready(0, 999.0)
+
+    def test_wait_budget_counts_down_to_the_delay_bound(self):
+        policy = BatchPolicy(max_cascades=1000, max_delay_seconds=1.0)
+        assert policy.wait_budget(0.25) == pytest.approx(0.75)
+        assert policy.wait_budget(2.0) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_cascades": 0}, {"max_delay_seconds": 0.0},
+         {"max_delay_seconds": -1.0}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(**kwargs)
+
+
+class TestBoundedQueueBasics:
+    def test_fifo_take_and_weight_accounting(self):
+        queue = BoundedQueue(100, "block")
+        queue.put("a", 10)
+        queue.put("b", 20)
+        queue.put("c", 5)
+        assert queue.weight == 35
+        assert len(queue) == 3
+        items = queue.take()
+        assert [item.payload for item in items] == ["a", "b", "c"]
+        assert queue.weight == 0 and len(queue) == 0
+
+    def test_take_respects_max_weight_but_returns_at_least_one(self):
+        queue = BoundedQueue(100)
+        queue.put("a", 30)
+        queue.put("b", 30)
+        queue.put("c", 30)
+        first = queue.take(max_weight=50)
+        assert [item.payload for item in first] == ["a"]
+        # A single over-budget head item still comes out.
+        rest = queue.take(max_weight=1)
+        assert [item.payload for item in rest] == ["b"]
+
+    def test_oldest_age_uses_injected_clock(self):
+        clock = FakeClock()
+        queue = BoundedQueue(100, clock=clock)
+        assert queue.oldest_age() == 0.0
+        queue.put("a", 1)
+        clock.advance(2.5)
+        assert queue.oldest_age() == pytest.approx(2.5)
+
+    def test_requeue_front_restores_order_ignoring_capacity(self):
+        queue = BoundedQueue(10)
+        queue.put("c", 5)
+        taken_elsewhere = BoundedQueue(100)
+        taken_elsewhere.put("a", 5)
+        taken_elsewhere.put("b", 5)
+        queue.requeue_front(taken_elsewhere.take())
+        assert queue.weight == 15  # over capacity by design
+        assert [item.payload for item in queue.take()] == ["a", "b", "c"]
+
+    def test_oversized_item_accepted_only_when_empty(self):
+        queue = BoundedQueue(10, "reject")
+        queue.put("huge", 50)  # empty queue: admitted to avoid deadlock
+        with pytest.raises(ServiceError):
+            queue.put("next", 1)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            BoundedQueue(0)
+        with pytest.raises(ConfigurationError):
+            BoundedQueue(10, "drop-newest")
+        with pytest.raises(ConfigurationError):
+            BoundedQueue(10).put("x", 0)
+
+
+class TestBackpressurePolicies:
+    def test_reject_raises_and_counts_when_full(self):
+        queue = BoundedQueue(10, "reject")
+        queue.put("a", 6)
+        with pytest.raises(ServiceError, match="reject"):
+            queue.put("b", 6)
+        assert queue.rejected_total == 1
+        assert [item.payload for item in queue.take()] == ["a"]
+
+    def test_shed_drops_oldest_and_reports_them(self):
+        queue = BoundedQueue(10, "shed")
+        queue.put("a", 4)
+        queue.put("b", 4)
+        shed = queue.put("c", 8)
+        assert shed == ["a", "b"]
+        assert queue.shed_total == 2
+        assert [item.payload for item in queue.take()] == ["c"]
+
+    def test_block_times_out(self):
+        queue = BoundedQueue(10, "block")
+        queue.put("a", 10)
+        started = time.monotonic()
+        with pytest.raises(ServiceError, match="timed out"):
+            queue.put("b", 1, timeout=0.05)
+        assert time.monotonic() - started < 2.0
+        assert queue.blocked_total >= 1
+
+    def test_block_wakes_when_consumer_drains(self):
+        queue = BoundedQueue(10, "block")
+        queue.put("a", 10)
+        admitted = threading.Event()
+
+        def producer():
+            queue.put("b", 5, timeout=5.0)
+            admitted.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted.is_set()
+        queue.take()
+        assert admitted.wait(5.0)
+        thread.join(5.0)
+        assert [item.payload for item in queue.take()] == ["b"]
+
+
+class TestCloseSemantics:
+    def test_close_refuses_puts_but_drains_pending(self):
+        queue = BoundedQueue(10)
+        queue.put("a", 1)
+        queue.close()
+        assert queue.closed
+        with pytest.raises(ServiceError, match="closed"):
+            queue.put("b", 1)
+        assert [item.payload for item in queue.take()] == ["a"]
+
+    def test_close_wakes_blocked_producer(self):
+        queue = BoundedQueue(5, "block")
+        queue.put("a", 5)
+        failed = threading.Event()
+
+        def producer():
+            try:
+                queue.put("b", 5, timeout=5.0)
+            except ServiceError:
+                failed.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        assert failed.wait(5.0)
+        thread.join(5.0)
+
+    def test_wait_for_items_returns_false_when_closed_and_empty(self):
+        queue = BoundedQueue(5)
+        queue.close()
+        assert queue.wait_for_items(0.01) is False

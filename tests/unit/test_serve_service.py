@@ -1,0 +1,299 @@
+"""In-process tests for :class:`repro.serve.service.IngestService`.
+
+Process-kill scenarios live in ``tests/faults/test_serve_crash.py``;
+here we exercise the live loop: absorb/publish, retries, quarantine,
+watchdog restart, drain semantics, and the reader-side atomicity
+invariant (a reader never observes a partially-updated model).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.executor import RetryPolicy
+from repro.core.tends import Tends
+from repro.exceptions import ServiceError
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+from repro.serve import BatchPolicy, IngestService
+from repro.serve.service import SNAPSHOT_KEEP
+from repro.simulation.engine import DiffusionSimulator
+
+#: Generous bound for waiting on the absorb loop in CI.
+WAIT = 30.0
+
+#: Fire the debounce almost immediately so tests never sit in it.
+FAST = BatchPolicy(max_cascades=10, max_delay_seconds=0.02)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """A bootstrap model plus a stream of small batches (module-scoped:
+    the fits dominate this suite's runtime)."""
+    truth = erdos_renyi_digraph(10, 0.2, seed=7)
+    statuses = DiffusionSimulator(truth, seed=7).run(beta=220).statuses
+    base = statuses.subset(range(120))
+    batches = [
+        statuses.subset(range(120 + i * 10, 120 + (i + 1) * 10))
+        for i in range(10)
+    ]
+    estimator = Tends()
+    estimator.fit(base)
+    return estimator.model, base, batches
+
+
+def reference_fingerprint(base, batches):
+    estimator = Tends()
+    estimator.fit(base)
+    for batch in batches:
+        estimator.partial_fit(batch)
+    return estimator.model.fingerprint()
+
+
+def wait_until(predicate, timeout=WAIT, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class TestAbsorbAndServe:
+    def test_submitted_batches_are_absorbed_bit_identically(
+        self, tmp_path, corpus
+    ):
+        bootstrap, base, batches = corpus
+        with IngestService(tmp_path / "svc", bootstrap, batch_policy=FAST) as svc:
+            for batch in batches[:4]:
+                svc.submit(batch)
+            wait_until(lambda: svc.stats().absorbed_seq >= 4,
+                       message="4 batches absorbed")
+            assert svc.model.fingerprint() == reference_fingerprint(
+                base, batches[:4]
+            )
+            assert svc.stats().status == "serving"
+            assert len(svc.edges()) == len(svc.edge_confidence())
+            assert all(v >= 1.0 for v in svc.edge_confidence().values())
+
+    def test_readers_never_observe_a_partial_model(self, tmp_path, corpus):
+        bootstrap, base, batches = corpus
+        betas = {bootstrap.beta + sum(b.beta for b in batches[:i])
+                 for i in range(len(batches) + 1)}
+        violations = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                model = svc.model  # one atomic reference grab
+                if (
+                    model.beta not in betas
+                    or model.stats.beta != model.beta
+                    or len(model.parent_sets) != model.n_nodes
+                ):
+                    violations.append(model.beta)
+
+        with IngestService(
+            tmp_path / "svc", bootstrap,
+            batch_policy=BatchPolicy(max_cascades=1, max_delay_seconds=0.01),
+        ) as svc:
+            threads = [threading.Thread(target=reader) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for batch in batches:
+                svc.submit(batch)
+            wait_until(lambda: svc.stats().absorbed_seq >= len(batches),
+                       message="all batches absorbed")
+            stop.set()
+            for thread in threads:
+                thread.join(WAIT)
+        assert violations == []
+
+    def test_drain_false_leaves_batches_journaled_for_replay(
+        self, tmp_path, corpus
+    ):
+        bootstrap, base, batches = corpus
+        directory = tmp_path / "svc"
+        # Slow debounce so the batches are still queued at close time.
+        svc = IngestService(
+            directory, bootstrap,
+            batch_policy=BatchPolicy(max_cascades=1000, max_delay_seconds=60),
+        ).start()
+        for batch in batches[:3]:
+            svc.submit(batch)
+        svc.close(drain=False, timeout=WAIT)
+        assert svc.stats().absorbed_seq == 0
+
+        reopened = IngestService(directory)
+        try:
+            assert reopened.recovered_batches == 3
+            assert reopened.model.fingerprint() == reference_fingerprint(
+                base, batches[:3]
+            )
+        finally:
+            reopened.close()
+
+    def test_drain_true_absorbs_everything_before_stopping(
+        self, tmp_path, corpus
+    ):
+        bootstrap, base, batches = corpus
+        directory = tmp_path / "svc"
+        svc = IngestService(
+            directory, bootstrap,
+            batch_policy=BatchPolicy(max_cascades=1000, max_delay_seconds=60),
+        ).start()
+        for batch in batches[:3]:
+            svc.submit(batch)
+        svc.close(drain=True, timeout=WAIT)
+        assert svc.stats().absorbed_seq == 3
+        reopened = IngestService(directory)
+        try:
+            assert reopened.recovered_batches == 0  # snapshot covered it all
+        finally:
+            reopened.close()
+
+
+class TestSubmitValidation:
+    def test_rejects_wrong_node_count(self, tmp_path, corpus):
+        bootstrap, _base, _batches = corpus
+        other = DiffusionSimulator(
+            erdos_renyi_digraph(5, 0.3, seed=1), seed=1
+        ).run(beta=4).statuses
+        with IngestService(tmp_path / "svc", bootstrap) as svc:
+            with pytest.raises(ServiceError, match="nodes"):
+                svc.submit(other)
+
+    def test_rejects_after_close(self, tmp_path, corpus):
+        bootstrap, _base, batches = corpus
+        svc = IngestService(tmp_path / "svc", bootstrap).start()
+        svc.close()
+        with pytest.raises(ServiceError, match="shutting down"):
+            svc.submit(batches[0])
+
+    def test_empty_directory_without_bootstrap_raises(self, tmp_path):
+        with pytest.raises(ServiceError, match="no loadable model snapshot"):
+            IngestService(tmp_path / "empty")
+
+
+class TestFailureHandling:
+    def _flaky(self, estimator, failures_by_call):
+        """Wrap ``estimator.partial_fit`` to raise per a call schedule."""
+        original = estimator.partial_fit
+        calls = {"n": 0}
+
+        def wrapped(batch):
+            index = calls["n"]
+            calls["n"] += 1
+            action = failures_by_call.get(index)
+            if action == "raise":
+                raise RuntimeError(f"injected absorb failure on call {index}")
+            if action == "hang":
+                time.sleep(1.0)
+            return original(batch)
+
+        estimator.partial_fit = wrapped
+        return calls
+
+    def test_transient_failure_is_retried_with_jittered_backoff(
+        self, tmp_path, corpus
+    ):
+        bootstrap, base, batches = corpus
+        svc = IngestService(
+            tmp_path / "svc", bootstrap, batch_policy=FAST,
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.01, jitter=0.5),
+        )
+        self._flaky(svc._estimator, {0: "raise"})
+        with svc:
+            svc.submit(batches[0])
+            wait_until(lambda: svc.stats().absorbed_seq >= 1,
+                       message="retried absorb")
+            stats = svc.stats()
+        assert stats.retries >= 1
+        assert stats.quarantined == 0
+        assert svc.model.fingerprint() == reference_fingerprint(base, batches[:1])
+
+    def test_permanent_failure_quarantines_and_keeps_serving(
+        self, tmp_path, corpus
+    ):
+        bootstrap, base, batches = corpus
+        directory = tmp_path / "svc"
+        svc = IngestService(
+            directory, bootstrap, batch_policy=FAST,
+            retry=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+        )
+        # Seq 1 arrives alone, so it gets exactly max_attempts=2 calls;
+        # both fail -> quarantine.  Later calls absorb cleanly.
+        self._flaky(svc._estimator, {0: "raise", 1: "raise"})
+        with svc:
+            svc.submit(batches[0])
+            wait_until(lambda: svc.stats().quarantined >= 1,
+                       message="quarantine verdict")
+            svc.submit(batches[1])
+            wait_until(lambda: svc.stats().absorbed_seq >= 2,
+                       message="later batch absorbed")
+            stats = svc.stats()
+            fingerprint = svc.model.fingerprint()
+        assert stats.status == "degraded"
+        assert stats.quarantined == 1
+        # The served model skipped the quarantined batch entirely.
+        assert fingerprint == reference_fingerprint(base, [batches[1]])
+
+        # ... and recovery honours the quarantine verdict durably.
+        reopened = IngestService(directory)
+        try:
+            assert reopened.recovered_batches == 0
+            assert reopened.model.fingerprint() == fingerprint
+        finally:
+            reopened.close()
+
+    def test_watchdog_restarts_a_hung_absorb_loop(self, tmp_path, corpus):
+        bootstrap, base, batches = corpus
+        svc = IngestService(
+            tmp_path / "svc", bootstrap, batch_policy=FAST,
+            retry=RetryPolicy(max_attempts=1),
+            hang_timeout=0.2, watchdog_interval=0.05,
+        )
+        self._flaky(svc._estimator, {0: "hang"})
+        with svc:
+            svc.submit(batches[0])
+            wait_until(lambda: svc.stats().watchdog_restarts >= 1,
+                       message="watchdog restart")
+            wait_until(lambda: svc.stats().absorbed_seq >= 1,
+                       message="replacement loop absorbed the batch")
+            # Give the abandoned loop time to finish its sleep and try
+            # (and fail) to publish with a retired generation.
+            time.sleep(1.2)
+            stats = svc.stats()
+            assert stats.watchdog_restarts == 1
+            assert stats.absorbed_batches == 1  # published exactly once
+            assert svc.model.fingerprint() == reference_fingerprint(
+                base, batches[:1]
+            )
+
+
+class TestSnapshots:
+    def test_snapshot_cadence_and_retention(self, tmp_path, corpus):
+        bootstrap, _base, batches = corpus
+        directory = tmp_path / "svc"
+        with IngestService(
+            directory, bootstrap,
+            batch_policy=BatchPolicy(max_cascades=1, max_delay_seconds=0.01),
+            snapshot_every=2,
+        ) as svc:
+            for batch in batches[:6]:
+                svc.submit(batch)
+            wait_until(lambda: svc.stats().absorbed_seq >= 6,
+                       message="6 batches absorbed")
+        snapshots = sorted(directory.glob("model-*.npz"))
+        assert len(snapshots) <= SNAPSHOT_KEEP
+        # The close() snapshot carries the final watermark.
+        assert snapshots[-1].name == "model-000000000006.npz"
+
+    def test_snapshot_now_forces_a_snapshot(self, tmp_path, corpus):
+        bootstrap, _base, _batches = corpus
+        with IngestService(tmp_path / "svc", bootstrap) as svc:
+            path = svc.snapshot_now()
+            assert path.exists()
+            assert svc.stats().snapshots_written >= 1
