@@ -402,6 +402,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if value is not None
     }
+    drift_config = None
+    if args.drift_alpha is not None:
+        from repro.core.drift import DriftConfig
+
+        drift_config = DriftConfig(alpha=args.drift_alpha)
     service = IngestService(
         args.directory,
         model,
@@ -413,6 +418,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backpressure=args.backpressure,
         snapshot_every=args.snapshot_every,
         hang_timeout=args.hang_timeout,
+        drift=args.drift,
+        drift_window=args.drift_window,
+        drift_config=drift_config,
+        quarantine_limit=args.quarantine_limit,
         estimator_overrides=overrides,
     )
     if service.recovered_batches:
@@ -565,11 +574,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
         print("available figures:", ", ".join(list_figures()))
         print("robustness benchmarks:", ", ".join(list_robustness_figures()))
+        print("drift benchmark: drift")
         return 0
     if args.figure is not None and (
         args.figure == "robustness" or args.figure.startswith("robustness-")
     ):
         return _run_robustness_figure(args)
+    if args.figure == "drift":
+        return _run_drift_figure(args)
     if args.all:
         figure_ids = list_figures()
     elif args.figure is not None:
@@ -707,6 +719,58 @@ def _run_robustness_figure(args: argparse.Namespace) -> int:
             print(f"archived to {args.out / f'robustness-{kind}.json'}")
         figure_path = args.out / "robustness.svg"
         figure_path.write_text(robustness_chart(results), encoding="utf-8")
+        print(f"figure written to {figure_path}")
+    return 0
+
+
+def _run_drift_figure(args: argparse.Namespace) -> int:
+    """``repro figure drift``: the drift detection/recovery benchmark.
+
+    Streams a mid-stream-rewire scenario through one estimator per mode
+    (``ignore`` / ``detect`` / ``adapt``), prints per-mode recovery
+    against the post-change-only oracle refit, and (with ``--out``)
+    writes the F-score trajectory chart.
+    """
+    from repro.core.executor import execution_env
+    from repro.evaluation.drift import run_drift_experiment
+
+    quick = args.scale == "quick"
+    with execution_env(
+        executor=args.executor,
+        n_jobs=args.n_jobs,
+        max_attempts=args.max_attempts,
+        chunk_timeout=args.chunk_timeout,
+        kernel=args.kernel,
+    ):
+        # Quick scale trades graph size for a stronger rewire so the
+        # change is still detectable from 60-cascade windows.
+        result = run_drift_experiment(
+            n_nodes=60 if quick else 100,
+            beta_pre=180 if quick else 240,
+            beta_post=180 if quick else 240,
+            batch_beta=60,
+            rewire_fraction=0.3 if quick else 0.1,
+            seed=args.seed if args.seed else 7,
+        )
+    print(
+        f"drift benchmark: n={result.n_nodes}, change at cascade "
+        f"{result.change_point}, rewire {result.rewire_fraction:g}, "
+        f"oracle F={result.oracle_f:.3f}"
+    )
+    for row in result.summary_rows():
+        latency = row["detection_latency"]
+        latency_text = "-" if latency is None else f"{latency} cascades"
+        print(
+            f"  {row['mode']:<7} final F={row['final_f']:.3f}  "
+            f"recovery={row['recovery_ratio']:.3f}  "
+            f"detection latency={latency_text}"
+        )
+    if args.out is not None:
+        from repro.evaluation.plotting import drift_chart
+
+        args.out.mkdir(parents=True, exist_ok=True)
+        figure_path = args.out / "drift.svg"
+        figure_path.write_text(drift_chart(result), encoding="utf-8")
         print(f"figure written to {figure_path}")
     return 0
 
@@ -978,6 +1042,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="watchdog restarts the absorb loop after this many seconds "
         "without a heartbeat",
+    )
+    serve.add_argument(
+        "--drift",
+        choices=("off", "detect", "adapt", "snapshot-adapt"),
+        default="off",
+        help="per-pair drift policy after each absorb: log-only detection, "
+        "self-healing adaptation, or snapshot-before-adapt "
+        "(docs/ROBUSTNESS.md#drift)",
+    )
+    serve.add_argument(
+        "--drift-window",
+        type=int,
+        default=None,
+        help="recent-window size in cascades for the drift comparison "
+        "(default: the just-absorbed batch)",
+    )
+    serve.add_argument(
+        "--drift-alpha",
+        type=float,
+        default=None,
+        help="drift detector significance level (default 0.01; lower it "
+        "on large graphs — the BH correction runs over ~n²/2 pair tests)",
+    )
+    serve.add_argument(
+        "--quarantine-limit",
+        type=int,
+        default=1024,
+        help="max quarantined batches kept on disk; older entries covered "
+        "by a snapshot are compacted away",
     )
     serve.add_argument(
         "--poll-interval",

@@ -1,6 +1,12 @@
 """TENDS core: infection MI, threshold selection, scoring, parent search."""
 
 from repro.core.config import TendsConfig
+from repro.core.drift import (
+    DriftConfig,
+    DriftReport,
+    PairDrift,
+    detect_drift,
+)
 from repro.core.edge_probabilities import (
     attributable_risk,
     estimate_edge_probabilities,
@@ -44,11 +50,15 @@ from repro.core.selection import (
     predictive_log_likelihood,
     select_threshold_scale,
 )
-from repro.core.stats import SufficientStats
+from repro.core.stats import SufficientStats, WindowedStats
 from repro.core.tends import Tends, TendsModel, TendsResult, UpdateInfo
 
 __all__ = [
     "TendsConfig",
+    "DriftConfig",
+    "DriftReport",
+    "PairDrift",
+    "detect_drift",
     "attributable_risk",
     "estimate_edge_probabilities",
     "ExecutionPlan",
@@ -83,6 +93,7 @@ __all__ = [
     "predictive_log_likelihood",
     "select_threshold_scale",
     "SufficientStats",
+    "WindowedStats",
     "Tends",
     "TendsModel",
     "TendsResult",

@@ -55,6 +55,7 @@ from repro.simulation.statuses import StatusMatrix, validate_observations
 from repro.utils.timing import Stopwatch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (robustness → imi)
+    from repro.core.drift import DriftConfig, DriftReport
     from repro.robustness.bootstrap import ImiBootstrap
 
 __all__ = ["Tends", "TendsResult", "TendsModel", "UpdateInfo"]
@@ -129,6 +130,11 @@ class TendsResult:
         (``"numpy"`` or ``"packed"``, see :mod:`repro.core.kernels`);
         recorded in run manifests so perf comparisons are
         apples-to-apples.  Results are bit-identical across backends.
+    drift:
+        :class:`~repro.core.drift.DriftReport` from the reference-vs-recent
+        check a :meth:`Tends.partial_fit` ran with ``drift="detect"`` or
+        ``"adapt"``; ``None`` under the default ``drift="ignore"`` and for
+        full fits.
     """
 
     graph: DiffusionGraph
@@ -144,6 +150,7 @@ class TendsResult:
     telemetry: Telemetry | None = None
     update: "UpdateInfo | None" = None
     kernel: str | None = None
+    drift: "DriftReport | None" = None
 
     @property
     def n_edges(self) -> int:
@@ -802,7 +809,14 @@ class Tends:
     # ------------------------------------------------------------------
     # incremental updates
     # ------------------------------------------------------------------
-    def partial_fit(self, new_statuses: StatusMatrix) -> TendsResult:
+    def partial_fit(
+        self,
+        new_statuses: StatusMatrix,
+        *,
+        drift: str = "ignore",
+        drift_window: int | None = None,
+        drift_config: "DriftConfig | None" = None,
+    ) -> TendsResult:
         """Absorb a batch of newly-observed processes incrementally.
 
         Updates the cached sufficient statistics in ``O(Δβ · n²)``,
@@ -826,7 +840,33 @@ class Tends:
         screening is not a function of the cached counts.  Batches are
         subject to the configured ``missing`` policy but are not
         re-audited (the observation audit runs at :meth:`fit` time).
+
+        Drift handling (``drift=``, see :mod:`repro.core.drift`):
+
+        * ``"ignore"`` (default) — exactly the behaviour above, byte for
+          byte; no detector runs.
+        * ``"detect"`` — after absorbing the batch, compare the newest
+          ``drift_window`` processes (default: the batch) against the
+          rest of the history per node pair and attach the
+          :class:`~repro.core.drift.DriftReport` as ``result.drift``; the
+          model still accumulates everything.
+        * ``"adapt"`` — additionally, when the report flags drift, rebase
+          the model onto the recent window and re-search **only the
+          affected nodes** against it (quiescent nodes keep their parent
+          sets); see :meth:`apply_drift_adaptation`.
+
+        ``drift_window`` is a process count; ``drift_config`` tunes the
+        detector's sensitivity (:class:`~repro.core.drift.DriftConfig`).
         """
+        if drift not in ("ignore", "detect", "adapt"):
+            raise ConfigurationError(
+                f"unknown drift mode {drift!r} "
+                "(choose from ignore, detect, adapt)"
+            )
+        if drift_window is not None and drift_window < 1:
+            raise ConfigurationError(
+                f"drift_window must be >= 1, got {drift_window}"
+            )
         if self.config.threshold == "stable" or self.config.bootstrap_samples:
             raise ConfigurationError(
                 "partial_fit does not support bootstrap-backed configurations "
@@ -871,6 +911,19 @@ class Tends:
                 result, model = self._run_update(
                     previous, new_statuses, tracer, metrics
                 )
+            if drift != "ignore" and new_statuses.beta > 0:
+                report = self._detect_drift_on(
+                    model,
+                    window=drift_window or new_statuses.beta,
+                    config=drift_config,
+                    tracer=tracer,
+                    metrics=metrics,
+                )
+                result = replace(result, drift=report)
+                if drift == "adapt" and report.drifted:
+                    result, model = self._run_adapt(
+                        model, report, report.recent_beta, tracer, metrics
+                    )
         if trace:
             result = replace(
                 result,
@@ -1045,6 +1098,250 @@ class Tends:
             diagnostics=result.diagnostics,
         )
         return result, model
+
+    # ------------------------------------------------------------------
+    # drift detection + self-healing adaptation
+    # ------------------------------------------------------------------
+    def detect_drift(
+        self,
+        window: int | None = None,
+        config: "DriftConfig | None" = None,
+    ) -> "DriftReport":
+        """Check the fitted model's history for per-pair drift.
+
+        Splits the accumulated history into the newest ``window``
+        processes (default: half the history) and everything before
+        them, and runs :func:`repro.core.drift.detect_drift` on the two
+        count windows.  Read-only: the model is untouched.
+        """
+        model = self._model
+        if model is None:
+            raise InferenceError(
+                "detect_drift needs a fitted model: call fit() first, or "
+                "resume one with Tends.from_model(TendsModel.load(path))"
+            )
+        if window is not None and window < 1:
+            raise ConfigurationError(f"drift window must be >= 1, got {window}")
+        return self._detect_drift_on(
+            model,
+            window=window or max(model.beta // 2, 1),
+            config=config,
+            tracer=NULL_TRACER,
+            metrics=NULL_METRICS,
+        )
+
+    def apply_drift_adaptation(
+        self,
+        report: "DriftReport",
+        *,
+        window: int | None = None,
+    ) -> TendsResult:
+        """Self-heal from a drift verdict: rebase onto the recent window.
+
+        Drops everything before the newest ``window`` processes (default:
+        the window the ``report`` tested, :attr:`DriftReport.recent_beta`)
+        from the model's statistics and history, recomputes IMI / ``τ`` /
+        candidate sets from that window, and re-runs the stage-3 parent
+        search **only for** :attr:`DriftReport.affected_nodes`; quiescent
+        nodes keep their previous parent sets.  For the re-searched nodes
+        the answer is bit-identical to a fresh :meth:`fit` on the window
+        (same counts, same ``τ``, same candidates, same search), so with
+        every node flagged the whole model matches the fresh fit
+        fingerprint — held by ``tests/unit/test_tends_drift.py``.
+
+        Copy-on-write like :meth:`partial_fit`: the model is replaced
+        only after the adaptation fully succeeded.
+        """
+        model = self._model
+        if model is None:
+            raise InferenceError(
+                "apply_drift_adaptation needs a fitted model: call fit() first"
+            )
+        if not report.drifted:
+            raise InferenceError(
+                "apply_drift_adaptation needs a drifted report "
+                "(report.drifted is False — nothing to heal)"
+            )
+        window = window or report.recent_beta
+        if window < 1:
+            raise ConfigurationError(f"adapt window must be >= 1, got {window}")
+        trace = self.config.trace
+        tracer: Tracer | NullTracer = Tracer() if trace else NULL_TRACER
+        metrics: MetricsRegistry | NullMetrics = (
+            MetricsRegistry() if trace else NULL_METRICS
+        )
+        with ambient_tracer(tracer):
+            result, adapted = self._run_adapt(model, report, window, tracer, metrics)
+        if trace:
+            result = replace(
+                result,
+                telemetry=Telemetry(
+                    spans=tracer.finished(),
+                    metrics=metrics.snapshot(),
+                    epoch_offset=tracer.epoch_offset,
+                ),
+            )
+        self._model = adapted
+        return result
+
+    def _detect_drift_on(
+        self,
+        model: TendsModel,
+        *,
+        window: int,
+        config: "DriftConfig | None",
+        tracer: "Tracer | NullTracer",
+        metrics: "MetricsRegistry | NullMetrics",
+    ) -> "DriftReport":
+        """Reference-vs-recent check over ``model``'s counts.
+
+        The recent window is counted from the history tail (``O(W·n²)``);
+        the reference is recovered in ``O(n²)`` as ``total − recent`` —
+        integer subtraction on additive counts is exact, so both operands
+        are bit-identical to counting the two sub-histories directly.
+        """
+        from repro.core.drift import detect_drift
+
+        window = min(window, model.beta)
+        kernel_backend = resolve_kernel(self.config.kernel)
+        with tracer.span("tends.drift", window=window):
+            recent_statuses = model.statuses.subset(
+                range(model.statuses.beta - window, model.statuses.beta)
+            )
+            recent = SufficientStats.from_statuses(
+                recent_statuses, kernel=kernel_backend
+            )
+            reference = model.stats.subtracted(recent)
+            report = detect_drift(reference, recent, config)
+        metrics.inc("tends_drift_checks_total")
+        if report.drifted:
+            metrics.inc("tends_drift_detections_total")
+            metrics.inc("tends_drift_pairs_flagged_total", report.n_flagged)
+        metrics.set_gauge(
+            "tends_drift_nodes_affected", float(len(report.affected_nodes))
+        )
+        return report
+
+    def _run_adapt(
+        self,
+        model: TendsModel,
+        report: "DriftReport",
+        window: int,
+        tracer: "Tracer | NullTracer",
+        metrics: "MetricsRegistry | NullMetrics",
+    ) -> tuple[TendsResult, TendsModel]:
+        """Rebase onto the newest ``window`` processes and re-search the
+        report's affected nodes (validation already done by the callers,
+        which also own the copy-on-write installation)."""
+        n = model.n_nodes
+        window = min(window, model.beta)
+        stage_seconds: dict[str, float] = {}
+        kernel_backend = resolve_kernel(self.config.kernel)
+        metrics.inc("tends_adapt_total")
+        with tracer.span(
+            "tends.adapt", window=window, nodes=len(report.affected_nodes)
+        ) as adapt_span:
+            # Recent-window statistics and history: the exact inputs a
+            # fresh fit on the post-change window would see.
+            with tracer.span("tends.stats", batch_beta=window):
+                with Stopwatch() as watch:
+                    history = model.statuses.subset(
+                        range(model.statuses.beta - window, model.statuses.beta)
+                    )
+                    stats = SufficientStats.from_statuses(
+                        history, kernel=kernel_backend
+                    )
+                stage_seconds["stats"] = watch.elapsed
+
+            with tracer.span("tends.imi", kind=self.config.mi_kind):
+                with Stopwatch() as watch:
+                    mi = stats.mi_matrix(self.config.mi_kind)
+                stage_seconds["imi"] = watch.elapsed
+
+            with tracer.span("tends.threshold") as threshold_span:
+                with Stopwatch() as watch:
+                    threshold, clustering = self._select_threshold(mi, n)
+                stage_seconds["threshold"] = watch.elapsed
+                threshold_span.set(tau=threshold)
+
+            candidates = tuple(
+                tuple(prune_candidates(mi, node, threshold, self.config))
+                for node in range(n)
+            )
+            dirty = [node for node in report.affected_nodes if 0 <= node < n]
+            dirty_set = set(dirty)
+            clean = [node for node in range(n) if node not in dirty_set]
+
+            with tracer.span(
+                "tends.search",
+                strategy=self.config.search_strategy,
+                dirty=len(dirty),
+            ) as search_span:
+                with Stopwatch() as watch:
+                    outcomes: list = []
+                    worker_stats: list[WorkerStats] = []
+                    if dirty:
+                        search = ParentSearch(history, self.config)
+                        items = [(node, list(candidates[node])) for node in dirty]
+                        plan = ExecutionPlan.resolve(
+                            executor=self.config.executor,
+                            n_jobs=self.config.n_jobs,
+                            chunk_size=self.config.chunk_size,
+                            max_attempts=self.config.max_attempts,
+                            chunk_timeout=self.config.chunk_timeout,
+                            fallback=self.config.executor_fallback,
+                        )
+                        executor = ParallelExecutor(plan, tracer=tracer)
+                        outcomes, worker_stats = executor.map(
+                            search_chunk, search, items
+                        )
+                        search_span.set(executor=plan.strategy, n_jobs=plan.n_jobs)
+                stage_seconds["search"] = watch.elapsed
+            adapt_span.set(dirty=len(dirty), clean=len(clean))
+        for stats_entry in worker_stats:
+            stage_seconds[f"search/{stats_entry.worker}"] = stats_entry.seconds
+        for _, diag in outcomes:
+            metrics.inc("tends_score_evaluations_total", diag.n_evaluations)
+
+        parent_sets = list(model.parent_sets)
+        diagnostics = list(model.diagnostics)
+        for node, (parents, diag) in zip(dirty, outcomes):
+            parent_sets[node] = tuple(parents)
+            diagnostics[node] = diag
+        graph = DiffusionGraph(n)
+        for node, parents in enumerate(parent_sets):
+            for parent in parents:
+                graph.add_edge(parent, node)
+
+        info = UpdateInfo(
+            batch_beta=0,
+            dirty_nodes=tuple(dirty),
+            clean_nodes=tuple(clean),
+            threshold_changed=threshold != model.threshold,
+        )
+        result = TendsResult(
+            graph=graph.freeze(),
+            parent_sets=tuple(parent_sets),
+            mi_matrix=mi,
+            threshold=threshold,
+            clustering=clustering,
+            diagnostics=tuple(diagnostics),
+            stage_seconds=stage_seconds,
+            worker_stats=tuple(worker_stats),
+            update=info,
+            kernel=kernel_backend,
+            drift=report,
+        )
+        adapted = TendsModel(
+            config=self.config,
+            stats=stats,
+            statuses=history,
+            threshold=threshold,
+            candidates=candidates,
+            parent_sets=result.parent_sets,
+            diagnostics=result.diagnostics,
+        )
+        return result, adapted
 
     # ------------------------------------------------------------------
     def _candidates_for(

@@ -6,6 +6,12 @@ from repro.evaluation.archive import (
     result_to_json,
     save_result,
 )
+from repro.evaluation.drift import (
+    DRIFT_MODES,
+    DriftCell,
+    DriftExperimentResult,
+    run_drift_experiment,
+)
 from repro.evaluation.metrics import (
     EdgeMetrics,
     best_threshold_metrics,
@@ -36,6 +42,10 @@ from repro.evaluation.shapes import (
 )
 
 __all__ = [
+    "DRIFT_MODES",
+    "DriftCell",
+    "DriftExperimentResult",
+    "run_drift_experiment",
     "EdgeMetrics",
     "evaluate_edges",
     "best_threshold_metrics",

@@ -14,6 +14,10 @@ Two layers:
   built from :func:`repro.evaluation.robustness.run_robustness_experiment`
   output.  ``NaN`` points (failed cells) are skipped, so a partially
   failed sweep still renders.
+* :func:`drift_chart` — the drift-recovery figure: per-mode F-score
+  trajectories over the cascade stream, with the change point drawn as
+  a vertical marker series, from
+  :func:`repro.evaluation.drift.run_drift_experiment` output.
 """
 
 from __future__ import annotations
@@ -25,7 +29,12 @@ from xml.sax.saxutils import escape
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["render_line_chart", "save_line_chart", "robustness_chart"]
+__all__ = [
+    "drift_chart",
+    "render_line_chart",
+    "robustness_chart",
+    "save_line_chart",
+]
 
 Series = Mapping[str, Sequence[tuple[float, float]]]
 
@@ -228,4 +237,33 @@ def robustness_chart(
         x_label="corruption rate",
         y_label=metric.replace("_", " "),
         y_range=y_range,
+    )
+
+
+def drift_chart(
+    result: "object",
+    *,
+    title: str = "F-score recovery after mid-stream rewiring",
+) -> str:
+    """The drift-recovery figure from a
+    :class:`~repro.evaluation.drift.DriftExperimentResult`.
+
+    One line per mode (F-score against the truth behind the newest
+    cascade, per batch), plus a near-vertical two-point series marking
+    the change point — the moment the ground truth was rewired.
+    """
+    series: dict[str, list[tuple[float, float]]] = dict(result.series())
+    change = float(result.change_point)
+    # A vertical line as a degenerate series: two points sharing x,
+    # spanning the fixed (0, 1) F-score range.
+    series[f"change point (β={result.change_point})"] = [
+        (change, 0.0),
+        (change, 1.0),
+    ]
+    return render_line_chart(
+        series,
+        title=title,
+        x_label="cascades consumed",
+        y_label="F-score vs current truth",
+        y_range=(0.0, 1.0),
     )

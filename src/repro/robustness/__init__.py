@@ -16,6 +16,10 @@ halves of coping with that:
   bootstrap resampling over diffusion processes yields per-pair IMI
   confidence intervals and per-edge stability scores, which back
   ``Tends(threshold="stable")`` and ``TendsResult.edge_confidence``.
+* :mod:`repro.robustness.scenarios` — non-stationarity: drift streams
+  whose ground-truth graph rewires at scheduled cascade indices, the
+  test bed for the per-pair drift detector and the self-healing
+  ``partial_fit(drift="adapt")`` path (``repro figure drift``).
 
 All randomness routes through :mod:`repro.utils.rng` seed sequences, so
 the same seed produces bit-identical corruption on every platform and
@@ -33,11 +37,21 @@ from repro.robustness.corruption import (
     missing_at_random,
     node_dropout,
 )
+from repro.robustness.scenarios import (
+    DriftEvent,
+    DriftStream,
+    StreamSegment,
+    rewire_edges,
+    simulate_drift_stream,
+)
 
 __all__ = [
     "CORRUPTION_KINDS",
     "CorruptedObservations",
+    "DriftEvent",
+    "DriftStream",
     "ImiBootstrap",
+    "StreamSegment",
     "apply_corruptions",
     "bootstrap_imi",
     "cascade_subsample",
@@ -45,4 +59,6 @@ __all__ = [
     "flip_noise",
     "missing_at_random",
     "node_dropout",
+    "rewire_edges",
+    "simulate_drift_stream",
 ]

@@ -1,0 +1,216 @@
+"""Seed-deterministic drift scenarios: graphs that change mid-stream.
+
+The paper's estimator assumes one static network behind every cascade;
+the drift machinery (:mod:`repro.core.drift`,
+``Tends.partial_fit(drift=...)``) exists for when that assumption fails.
+This module generates the failure: a cascade stream whose ground-truth
+graph is rewired at scheduled cascade indices, in the style of the
+corruption registry — pure functions of ``(inputs, seed)``, bit-identical
+on every platform.
+
+>>> from repro.graphs import erdos_renyi_digraph
+>>> truth = erdos_renyi_digraph(20, 0.1, seed=3)
+>>> stream = simulate_drift_stream(
+...     truth, [DriftEvent(at_cascade=100, rewire_fraction=0.1)],
+...     beta=200, seed=3,
+... )
+>>> stream.statuses.beta
+200
+>>> stream.graph_at(0) is truth, stream.graph_at(150) is truth
+(True, False)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.graphs.digraph import DiffusionGraph
+from repro.simulation.statuses import StatusMatrix
+from repro.utils.rng import RandomState, as_generator, derive_seed
+
+__all__ = [
+    "DriftEvent",
+    "DriftStream",
+    "StreamSegment",
+    "rewire_edges",
+    "simulate_drift_stream",
+]
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One scheduled structure change: at cascade ``at_cascade`` (0-based
+    index into the stream), ``rewire_fraction`` of the current edges are
+    removed and replaced by the same number of fresh random edges."""
+
+    at_cascade: int
+    rewire_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.at_cascade < 1:
+            raise ConfigurationError(
+                f"at_cascade must be >= 1, got {self.at_cascade}"
+            )
+        if not 0.0 < self.rewire_fraction <= 1.0:
+            raise ConfigurationError(
+                f"rewire_fraction must be in (0, 1], got {self.rewire_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class StreamSegment:
+    """A maximal run of cascades generated on one (static) graph."""
+
+    graph: DiffusionGraph
+    start: int
+    statuses: StatusMatrix
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.statuses.beta
+
+
+@dataclass(frozen=True)
+class DriftStream:
+    """A drift scenario: the full cascade stream plus per-segment truth.
+
+    ``statuses`` is the concatenated stream an estimator consumes;
+    :meth:`graph_at` answers "what was the true network when cascade
+    ``index`` was generated", which is what detection-latency and
+    recovery metrics score against.
+    """
+
+    segments: tuple[StreamSegment, ...]
+    statuses: StatusMatrix
+    seed: int | None
+
+    @property
+    def beta(self) -> int:
+        return self.statuses.beta
+
+    @property
+    def n_nodes(self) -> int:
+        return self.statuses.n_nodes
+
+    @property
+    def change_points(self) -> tuple[int, ...]:
+        """Cascade indices where the ground truth changed."""
+        return tuple(segment.start for segment in self.segments[1:])
+
+    def graph_at(self, index: int) -> DiffusionGraph:
+        """Ground-truth graph behind cascade ``index``."""
+        if not 0 <= index < self.beta:
+            raise DataError(
+                f"cascade index {index} out of range for a {self.beta}-"
+                "cascade stream"
+            )
+        for segment in reversed(self.segments):
+            if index >= segment.start:
+                return segment.graph
+        raise AssertionError("unreachable: segment 0 starts at 0")
+
+    def final_graph(self) -> DiffusionGraph:
+        return self.segments[-1].graph
+
+
+def rewire_edges(
+    graph: DiffusionGraph,
+    fraction: float,
+    *,
+    seed: RandomState = None,
+) -> DiffusionGraph:
+    """Rewire ``fraction`` of the edges: remove that share (chosen
+    uniformly) and add the same number of fresh edges uniformly over the
+    absent non-self pairs.  Edge count is preserved exactly; the returned
+    graph is frozen.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(
+            f"rewire fraction must be in (0, 1], got {fraction}"
+        )
+    if graph.n_edges == 0:
+        raise DataError("cannot rewire a graph with no edges")
+    rng = as_generator(seed)
+    edges = sorted(graph.edge_set())
+    n_rewire = max(1, int(round(fraction * len(edges))))
+    removed_idx = rng.choice(len(edges), size=n_rewire, replace=False)
+    removed = {edges[i] for i in np.sort(removed_idx)}
+    rewired = DiffusionGraph(
+        graph.n_nodes, (e for e in edges if e not in removed)
+    )
+    # Fresh edges: uniform over pairs absent from the intermediate graph.
+    # Sampling pair indices (i*n + j) keeps this O(draws), not O(n²).
+    n = graph.n_nodes
+    added = 0
+    while added < n_rewire:
+        pair = int(rng.integers(0, n * n))
+        source, target = divmod(pair, n)
+        if source == target or rewired.has_edge(source, target):
+            continue
+        rewired.add_edge(source, target)
+        added += 1
+    return rewired.freeze()
+
+
+def simulate_drift_stream(
+    graph: DiffusionGraph,
+    events: "list[DriftEvent] | tuple[DriftEvent, ...]",
+    *,
+    beta: int,
+    mu: float = 0.3,
+    alpha: float = 0.15,
+    sigma: float = 0.05,
+    seed: int = 0,
+) -> DriftStream:
+    """Generate a ``beta``-cascade stream whose truth rewires at each
+    :class:`DriftEvent`.
+
+    Each segment simulates on its own (post-rewire) graph with
+    independent, deterministically derived randomness — segment ``k``
+    uses ``derive_seed(seed, "drift-segment", k)`` for both the rewire
+    and the simulation, so inserting an event never perturbs earlier
+    segments.  Events must be strictly increasing and inside the stream.
+    """
+    from repro.simulation.engine import DiffusionSimulator
+
+    if beta < 1:
+        raise ConfigurationError(f"beta must be >= 1, got {beta}")
+    schedule = sorted(events, key=lambda e: e.at_cascade)
+    cuts = [event.at_cascade for event in schedule]
+    if len(set(cuts)) != len(cuts):
+        raise ConfigurationError("drift events must have distinct at_cascade")
+    if cuts and cuts[-1] >= beta:
+        raise ConfigurationError(
+            f"drift event at cascade {cuts[-1]} is outside the "
+            f"{beta}-cascade stream"
+        )
+    boundaries = [0, *cuts, beta]
+    current = graph if graph.frozen else graph.copy().freeze()
+    segments: list[StreamSegment] = []
+    for k, (start, stop) in enumerate(zip(boundaries[:-1], boundaries[1:])):
+        segment_seed = derive_seed(seed, "drift-segment", k)
+        if k > 0:
+            current = rewire_edges(
+                current,
+                schedule[k - 1].rewire_fraction,
+                seed=derive_seed(segment_seed, "rewire"),
+            )
+        simulated = DiffusionSimulator(
+            current, mu=mu, alpha=alpha, sigma=sigma, seed=segment_seed
+        ).run(beta=stop - start)
+        segments.append(
+            StreamSegment(
+                graph=current, start=start, statuses=simulated.statuses
+            )
+        )
+    statuses = (
+        segments[0].statuses
+        if len(segments) == 1
+        else StatusMatrix.concat([segment.statuses for segment in segments])
+    )
+    return DriftStream(
+        segments=tuple(segments), statuses=statuses, seed=seed
+    )

@@ -23,6 +23,13 @@ around failure as the default case:
 * :mod:`repro.serve.http` — an optional stdlib HTTP frontend
   (``POST /ingest``, ``GET /edges`` / ``/health`` / ``/stats``).
 
+The absorb loop can additionally run the per-pair drift detector
+(:mod:`repro.core.drift`) after every absorb and respond per the
+``drift=`` policy — log-only, self-healing adaptation, or
+snapshot-before-adapt — with detection points deterministic across
+crash/replay cycles (see docs/ROBUSTNESS.md, "Drift and
+non-stationarity").
+
 Recovery guarantee (held by ``tests/faults/test_serve_crash.py``): kill
 the process at any point, reopen the directory, and the replayed model
 is **bit-identical** (fingerprint match) to an uninterrupted run over
@@ -37,10 +44,11 @@ from repro.serve.journal import (
     encode_statuses,
 )
 from repro.serve.policy import BACKPRESSURE_POLICIES, BatchPolicy, BoundedQueue
-from repro.serve.service import IngestService, ServiceStats
+from repro.serve.service import DRIFT_POLICIES, IngestService, ServiceStats
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
+    "DRIFT_POLICIES",
     "BatchPolicy",
     "BoundedQueue",
     "IngestJournal",

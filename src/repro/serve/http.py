@@ -10,7 +10,9 @@ Endpoints (all JSON):
     ``400`` for malformed payloads.
 ``GET /health``
     Liveness summary; ``200`` while serving or degraded, ``503`` once
-    draining/stopped — the shape a load balancer wants.
+    draining/stopped — the shape a load balancer wants.  With
+    ``?strict=1`` a ``degraded`` service also answers ``503`` (opt-in
+    for probes that should eject a lagging replica).
 ``GET /stats``
     Full :class:`~repro.serve.service.ServiceStats` snapshot.
 ``GET /edges``
@@ -29,6 +31,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
@@ -67,14 +70,19 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
         try:
-            if self.path == "/health":
+            if parsed.path == "/health":
                 health = self.service.health()
-                ok = health["status"] in ("serving", "degraded")
-                self._reply(200 if ok else 503, health)
-            elif self.path == "/stats":
+                strict = query.get("strict", ["0"])[-1] not in ("", "0", "false")
+                passing = ("serving",) if strict else ("serving", "degraded")
+                self._reply(
+                    200 if health["status"] in passing else 503, health
+                )
+            elif parsed.path == "/stats":
                 self._reply(200, self.service.stats().as_dict())
-            elif self.path == "/edges":
+            elif parsed.path == "/edges":
                 confidence = self.service.edge_confidence()
                 self._reply(
                     200,
@@ -88,10 +96,10 @@ class ServeHandler(BaseHTTPRequestHandler):
                         },
                     },
                 )
-            elif self.path == "/metrics":
+            elif parsed.path == "/metrics":
                 self._reply(200, self.service.metrics.snapshot())
             else:
-                self._reply(404, {"error": f"unknown path {self.path}"})
+                self._reply(404, {"error": f"unknown path {parsed.path}"})
         except Exception as exc:  # pragma: no cover - defensive
             _LOGGER.exception("GET %s failed", self.path)
             self._reply(500, {"error": str(exc)})

@@ -26,6 +26,7 @@ and round-trips the matrix (and its observation mask) bit-exactly.
 from __future__ import annotations
 
 import base64
+import os
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -224,6 +225,21 @@ def _iter_records(
 # quarantine store
 # ----------------------------------------------------------------------
 
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of the directory entry, so an ``os.replace``
+    rename itself is durable (not just the file contents)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without directory open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on directories
+        pass
+    finally:
+        os.close(fd)
+
+
 class QuarantineStore:
     """Durable record of batches the service gave up on.
 
@@ -235,11 +251,31 @@ class QuarantineStore:
     poisoned batch cannot wedge recovery in a crash loop — the journal
     keeps the bytes for forensics, the quarantine store keeps the
     verdict.
+
+    On a poisoned or overloaded feed the file would otherwise grow one
+    line per rejected batch forever; :meth:`compact` bounds it to the
+    newest ``max_entries`` verdicts with the same durable
+    temp + fsync + replace dance the model snapshots use.  Eviction is
+    only safe for sequences recovery can no longer replay — pass the
+    oldest retained snapshot's watermark as ``protect_after_seq`` so a
+    verdict is never dropped while some snapshot still needs it to skip
+    the batch.
     """
 
     def __init__(self, path: PathLike) -> None:
         self.path = Path(path)
         self._writer = DurableJsonlWriter(path)
+        self._entries: dict[int, dict] = (
+            self.load(self.path) if self.path.exists() else {}
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> dict[int, dict]:
+        """Live ``{seq: entry}`` view (loaded verdicts + this process's)."""
+        return dict(self._entries)
 
     def add(
         self,
@@ -249,15 +285,60 @@ class QuarantineStore:
         error: str | None = None,
         findings: list[str] | None = None,
     ) -> None:
-        self._writer.append(
-            {
-                "format": QUARANTINE_FORMAT,
-                "seq": int(seq),
-                "reason": reason,
-                "error": error,
-                "findings": findings or [],
-            }
+        entry = {
+            "format": QUARANTINE_FORMAT,
+            "seq": int(seq),
+            "reason": reason,
+            "error": error,
+            "findings": findings or [],
+        }
+        self._writer.append(entry)
+        self._entries[int(seq)] = entry
+
+    def compact(
+        self, max_entries: int, *, protect_after_seq: int | None = None
+    ) -> list[int]:
+        """Evict the oldest verdicts beyond ``max_entries``; returns the
+        evicted sequence numbers (possibly empty).
+
+        Entries with ``seq > protect_after_seq`` are never evicted even
+        over the cap: recovery replays the journal from the oldest
+        retained snapshot, and dropping a verdict it still consults
+        would resurrect the very batch the service gave up on.  The
+        rewrite is crash-atomic — the new file is written to a
+        temporary sibling, fsynced, and ``os.replace``d over the old
+        one; a crash at any point leaves either the full old file or
+        the full new file.
+        """
+        if max_entries < 1:
+            raise CheckpointError(
+                f"quarantine max_entries must be >= 1, got {max_entries}"
+            )
+        if len(self._entries) <= max_entries:
+            return []
+        evictable = sorted(
+            seq
+            for seq in self._entries
+            if protect_after_seq is None or seq <= protect_after_seq
         )
+        excess = len(self._entries) - max_entries
+        evicted = evictable[:excess]
+        if not evicted:
+            return []
+        for seq in evicted:
+            del self._entries[seq]
+        # Rewrite through a temp sibling so the store is never torn.
+        self._writer.close()
+        tmp_path = self.path.with_name(self.path.name + ".compact.tmp")
+        with DurableJsonlWriter(tmp_path) as writer:
+            for seq in sorted(self._entries):
+                entry = dict(self._entries[seq])
+                entry.pop("crc", None)
+                writer.append(entry)
+        os.replace(tmp_path, self.path)
+        _fsync_directory(self.path.parent)
+        self._writer = DurableJsonlWriter(self.path)
+        return evicted
 
     def close(self) -> None:
         self._writer.close()

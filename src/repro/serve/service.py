@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Mapping, Sequence, Union
 
+from repro.core.drift import DriftConfig, DriftReport
 from repro.core.executor import RetryPolicy
 from repro.core.tends import Tends, TendsModel, TendsResult
 from repro.exceptions import (
@@ -64,7 +65,7 @@ from repro.serve.policy import BatchPolicy, BoundedQueue, QueueItem
 from repro.simulation.statuses import StatusMatrix, validate_observations
 from repro.utils.logging import get_logger
 
-__all__ = ["IngestService", "ServiceStats", "SNAPSHOT_KEEP"]
+__all__ = ["DRIFT_POLICIES", "IngestService", "ServiceStats", "SNAPSHOT_KEEP"]
 
 PathLike = Union[str, Path]
 
@@ -79,6 +80,18 @@ SNAPSHOT_SUFFIX = ".npz"
 #: mid-save (or a snapshot damaged at rest) always leaves a loadable
 #: predecessor whose missing suffix replays from the journal.
 SNAPSHOT_KEEP = 2
+
+#: Pre-adaptation model archives written by the ``snapshot-adapt`` drift
+#: policy.  Deliberately OUTSIDE the recovery glob (``model-*``): recovery
+#: must replay to the post-adapt state deterministically, while these
+#: keep the pre-drift model around for forensic diffing / rollback.
+PREADAPT_PREFIX = "preadapt-"
+
+#: Drift response policies of the absorb loop (``drift=`` ctor knob):
+#: ``off`` (no detector), ``detect`` (log + metrics only), ``adapt``
+#: (self-heal via :meth:`~repro.core.tends.Tends.apply_drift_adaptation`),
+#: ``snapshot-adapt`` (archive the pre-drift model first, then adapt).
+DRIFT_POLICIES = ("off", "detect", "adapt", "snapshot-adapt")
 
 #: Absorb-loop wake granularity while waiting out the debounce window.
 _TICK_SECONDS = 0.05
@@ -113,6 +126,13 @@ class ServiceStats:
     model_beta: int
     model_edges: int
     seconds_since_absorb: float | None
+    drift_mode: str = "off"
+    drift_checks: int = 0
+    drift_detections: int = 0
+    drift_adaptations: int = 0
+    drift_last_nodes: int = 0
+    quarantine_entries: int = 0
+    quarantine_evicted: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -146,6 +166,22 @@ class IngestService:
         Execution/observability ``TendsConfig`` overrides for the
         resuming estimator (executor, n_jobs, kernel, ...); algorithm
         fields are refused by :meth:`~repro.core.tends.Tends.from_model`.
+    drift, drift_window, drift_config:
+        Drift response policy (one of :data:`DRIFT_POLICIES`), the
+        recent-window size in processes the detector compares against the
+        rest of the history (default: each absorbed batch), and the
+        detector's sensitivity knobs
+        (:class:`~repro.core.drift.DriftConfig`).  Any active policy
+        absorbs record by record — live and during replay — so detection
+        and adaptation points are a deterministic function of the
+        acknowledged sequence, keeping recovery fingerprint-identical.
+    quarantine_limit:
+        Retention cap on quarantine verdicts; beyond it the store is
+        durably compacted after each snapshot (``None`` disables).  Only
+        sequences older than the oldest retained snapshot are evicted.
+    degraded_window:
+        How long (seconds) after a watchdog restart :meth:`health` keeps
+        reporting ``degraded``.
     """
 
     def __init__(
@@ -164,6 +200,11 @@ class IngestService:
         tracer: "Tracer | NullTracer" = NULL_TRACER,
         estimator_overrides: Mapping | None = None,
         clock: Callable[[], float] = time.monotonic,
+        drift: str = "off",
+        drift_window: int | None = None,
+        drift_config: DriftConfig | None = None,
+        quarantine_limit: int | None = 1024,
+        degraded_window: float = 600.0,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -173,6 +214,19 @@ class IngestService:
             raise ServiceError(
                 f"snapshot_every must be >= 1, got {snapshot_every}"
             )
+        if drift not in DRIFT_POLICIES:
+            raise ServiceError(
+                f"unknown drift policy {drift!r} "
+                f"(choose from {', '.join(DRIFT_POLICIES)})"
+            )
+        if drift_window is not None and drift_window < 1:
+            raise ServiceError(
+                f"drift_window must be >= 1, got {drift_window}"
+            )
+        if quarantine_limit is not None and quarantine_limit < 1:
+            raise ServiceError(
+                f"quarantine_limit must be >= 1, got {quarantine_limit}"
+            )
         self.snapshot_every = snapshot_every
         self.hang_timeout = hang_timeout
         self.watchdog_interval = watchdog_interval
@@ -180,14 +234,29 @@ class IngestService:
         self.tracer = tracer
         self._clock = clock
         self._overrides = dict(estimator_overrides or {})
+        self.drift = drift
+        self.drift_window = drift_window
+        self.drift_config = drift_config
+        self.quarantine_limit = quarantine_limit
+        self.degraded_window = degraded_window
 
         self._queue: BoundedQueue[IngestRecord] = BoundedQueue(
             queue_capacity, backpressure, clock=clock
         )
+        self._quarantine_lock = threading.Lock()
         self._quarantine = QuarantineStore(self.directory / QUARANTINE_NAME)
         self._quarantined_seqs = set(
             QuarantineStore.load(self.directory / QUARANTINE_NAME)
         )
+        self._quarantine_evicted = 0
+
+        # Drift state — initialised before journal replay, which applies
+        # the same drift policy the live loop does (replay determinism).
+        self._drift_checks = 0
+        self._drift_detections = 0
+        self._drift_adaptations = 0
+        self._drift_last_report: DriftReport | None = None
+        self._last_watchdog_restart_at: float | None = None
 
         # --- recovery: newest good snapshot + journal replay ----------
         self._model_lock = threading.RLock()
@@ -425,10 +494,11 @@ class IngestService:
         error: str | None,
         findings: list[str] | None = None,
     ) -> None:
-        self._quarantine.add(
-            record.seq, reason=reason, error=error, findings=findings
-        )
-        self._quarantined_seqs.add(record.seq)
+        with self._quarantine_lock:
+            self._quarantine.add(
+                record.seq, reason=reason, error=error, findings=findings
+            )
+            self._quarantined_seqs.add(record.seq)
         self._quarantined_total += 1
         self.metrics.inc("serve_quarantined_total", reason=reason)
         _LOGGER.warning(
@@ -472,6 +542,26 @@ class IngestService:
         estimator: Tends,
     ) -> None:
         records = [item.payload for item in items]
+        if self.drift != "off" and len(records) > 1:
+            # Active drift policy: absorb record by record so window
+            # boundaries — and therefore detection and adaptation points —
+            # are a deterministic function of the acknowledged sequence,
+            # identical live and on replay, regardless of queue grouping.
+            for record in records:
+                with self.tracer.span(
+                    "serve.absorb", batches=1, cascades=record.statuses.beta
+                ):
+                    result = self._try_absorb(
+                        estimator,
+                        record.statuses,
+                        token=record.seq,
+                        generation=generation,
+                    )
+                if result is not None:
+                    self._publish(estimator, result, [record], generation)
+                else:
+                    self._quarantine_failed(record, generation)
+            return
         batch = (
             records[0].statuses
             if len(records) == 1
@@ -526,7 +616,9 @@ class IngestService:
                 return None  # retired mid-retry
             try:
                 self._heartbeat = self._clock()
-                return estimator.partial_fit(batch)
+                return self._absorb_step(
+                    estimator, batch, seq=token, during_replay=False
+                )
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception as exc:
@@ -550,6 +642,103 @@ class IngestService:
                 time.sleep(delay)
 
     _last_absorb_error: str | None = None
+
+    def _absorb_step(
+        self,
+        estimator: Tends,
+        batch: StatusMatrix,
+        *,
+        seq: int,
+        during_replay: bool,
+    ) -> TendsResult:
+        """One ``partial_fit`` under the configured drift policy.
+
+        ``drift="off"`` is byte-for-byte the plain incremental absorb.
+        Otherwise the batch is absorbed with detection on, and a drift
+        verdict is routed through :meth:`_handle_drift` — identically
+        during live absorbs and startup replay, so the recovered model is
+        fingerprint-identical to the uninterrupted run.
+        """
+        if self.drift == "off":
+            return estimator.partial_fit(batch)
+        result = estimator.partial_fit(
+            batch,
+            drift="detect",
+            drift_window=self.drift_window,
+            drift_config=self.drift_config,
+        )
+        return self._handle_drift(
+            estimator, result, seq=seq, during_replay=during_replay
+        )
+
+    def _handle_drift(
+        self,
+        estimator: Tends,
+        result: TendsResult,
+        *,
+        seq: int,
+        during_replay: bool,
+    ) -> TendsResult:
+        """Apply the drift response policy to one absorb's verdict."""
+        report = result.drift
+        self._drift_checks += 1
+        self.metrics.inc("serve_drift_checks_total")
+        if report is None or not report.drifted:
+            return result
+        self._drift_detections += 1
+        self._drift_last_report = report
+        self.metrics.inc("serve_drift_detected_total")
+        self.metrics.inc("serve_drift_pairs_flagged_total", report.n_flagged)
+        self.metrics.set_gauge(
+            "serve_drift_nodes_affected", float(len(report.affected_nodes))
+        )
+        _LOGGER.warning("seq=%d: %s", seq, report.summary())
+        if self.drift == "detect":
+            return result
+        with self.tracer.span(
+            "serve.drift",
+            policy=self.drift,
+            pairs=report.n_flagged,
+            nodes=len(report.affected_nodes),
+        ):
+            if self.drift == "snapshot-adapt" and not during_replay:
+                # Archive the pre-drift model for forensics/rollback —
+                # outside the recovery glob, so replay still converges on
+                # the post-adapt state (see PREADAPT_PREFIX).
+                self._save_preadapt_snapshot(estimator.model, seq)
+            try:
+                adapted = estimator.apply_drift_adaptation(report)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                # Degrade to detect-only: the un-adapted model is still a
+                # valid (if stale-biased) estimate, and raising here would
+                # re-absorb the already-installed batch on retry.
+                self.metrics.inc("serve_drift_adapt_failures_total")
+                _LOGGER.error(
+                    "drift adaptation failed; serving un-adapted model: %s",
+                    exc,
+                )
+                return result
+        self._drift_adaptations += 1
+        self.metrics.inc("serve_drift_adaptations_total")
+        _LOGGER.warning(
+            "seq=%d: drift adaptation applied — rebased onto newest %d "
+            "process(es), re-searched %d node(s)",
+            seq, report.recent_beta, len(report.affected_nodes),
+        )
+        return adapted
+
+    def _save_preadapt_snapshot(self, model: TendsModel, seq: int) -> Path:
+        path = self.directory / f"{PREADAPT_PREFIX}{seq:012d}{SNAPSHOT_SUFFIX}"
+        model.save(path)
+        self.metrics.inc("serve_preadapt_snapshots_total")
+        stale = sorted(
+            self.directory.glob(f"{PREADAPT_PREFIX}*{SNAPSHOT_SUFFIX}")
+        )[:-SNAPSHOT_KEEP]
+        for old in stale:
+            old.unlink(missing_ok=True)
+        return path
 
     def _quarantine_failed(self, record: IngestRecord, generation: int) -> None:
         if self._generation != generation:
@@ -609,7 +798,12 @@ class IngestService:
         retries — a replay failure quarantines immediately, matching
         what the live loop would eventually have done)."""
         try:
-            result = self._estimator.partial_fit(record.statuses)
+            result = self._absorb_step(
+                self._estimator,
+                record.statuses,
+                seq=record.seq,
+                during_replay=during_replay,
+            )
         except (KeyboardInterrupt, SystemExit):
             raise
         except Exception as exc:
@@ -638,7 +832,30 @@ class IngestService:
         self.metrics.inc("serve_snapshots_total")
         for stale in self._snapshot_paths()[:-SNAPSHOT_KEEP]:
             stale.unlink(missing_ok=True)
+        self._compact_quarantine()
         return path
+
+    def _compact_quarantine(self) -> None:
+        """Bound the quarantine store after a snapshot.  Eviction only
+        touches sequences at or below the *oldest* retained snapshot's
+        watermark: recovery may fall back to that snapshot and must still
+        find the verdict for every sequence it would replay past."""
+        if self.quarantine_limit is None:
+            return
+        snapshots = self._snapshot_paths()
+        protect_after = snapshot_seq(snapshots[0]) if snapshots else 0
+        with self._quarantine_lock:
+            evicted = self._quarantine.compact(
+                self.quarantine_limit, protect_after_seq=protect_after
+            )
+            self._quarantined_seqs.difference_update(evicted)
+        if evicted:
+            self._quarantine_evicted += len(evicted)
+            self.metrics.inc("serve_quarantine_evicted", len(evicted))
+            _LOGGER.info(
+                "compacted quarantine: evicted %d verdict(s) at or below "
+                "snapshot watermark %d", len(evicted), protect_after,
+            )
 
     def snapshot_now(self) -> Path:
         """Force a snapshot of the current model (ops escape hatch)."""
@@ -673,6 +890,7 @@ class IngestService:
         with self._model_lock:
             self._generation += 1
             self._watchdog_restarts += 1
+            self._last_watchdog_restart_at = self._clock()
             self.metrics.inc("serve_watchdog_restarts_total")
             # Re-deliver whatever the retired loop had taken but not
             # published; the journal still holds every byte, so worst
@@ -722,8 +940,11 @@ class IngestService:
 
     def health(self) -> dict:
         """Liveness summary: ``status`` is ``serving`` (all good),
-        ``degraded`` (quarantines or watchdog restarts happened — last
-        good model still served), ``draining`` or ``stopped``."""
+        ``degraded`` (the quarantine store is non-empty, or a watchdog
+        restart happened within the last ``degraded_window`` seconds —
+        the last good model is still served), ``draining`` or
+        ``stopped``.  Includes the last-absorb age and the drift
+        detector's state so probes need no second endpoint."""
         stats = self.stats()
         return {
             "status": stats.status,
@@ -731,10 +952,32 @@ class IngestService:
             "journal_seq": stats.journal_seq,
             "queue_depth": stats.queue_depth,
             "quarantined": stats.quarantined,
+            "quarantine_entries": stats.quarantine_entries,
             "watchdog_restarts": stats.watchdog_restarts,
             "model_beta": stats.model_beta,
             "model_edges": stats.model_edges,
+            "last_absorb_age_seconds": stats.seconds_since_absorb,
+            "drift": {
+                "mode": stats.drift_mode,
+                "checks": stats.drift_checks,
+                "detections": stats.drift_detections,
+                "adaptations": stats.drift_adaptations,
+                "last_nodes_affected": stats.drift_last_nodes,
+            },
         }
+
+    def _degraded(self) -> bool:
+        """Honest degradation: quarantined work is sitting in the store,
+        or the watchdog had to restart the absorb loop recently (within
+        ``degraded_window`` seconds) — either way the served model may
+        lag the acknowledged sequence."""
+        if len(self._quarantine) > 0:
+            return True
+        restarted = self._last_watchdog_restart_at
+        return (
+            restarted is not None
+            and self._clock() - restarted <= self.degraded_window
+        )
 
     def stats(self) -> ServiceStats:
         with self._model_lock:
@@ -742,11 +985,12 @@ class IngestService:
                 status = "stopped"
             elif self._stopping:
                 status = "draining"
-            elif self._quarantined_total or self._watchdog_restarts:
+            elif self._degraded():
                 status = "degraded"
             else:
                 status = "serving"
             last = self._last_absorb_at
+            report = self._drift_last_report
             return ServiceStats(
                 status=status,
                 absorbed_seq=self._absorbed_seq,
@@ -767,4 +1011,20 @@ class IngestService:
                 seconds_since_absorb=(
                     None if last is None else self._clock() - last
                 ),
+                drift_mode=self.drift,
+                drift_checks=self._drift_checks,
+                drift_detections=self._drift_detections,
+                drift_adaptations=self._drift_adaptations,
+                drift_last_nodes=(
+                    0 if report is None else len(report.affected_nodes)
+                ),
+                quarantine_entries=len(self._quarantine),
+                quarantine_evicted=self._quarantine_evicted,
             )
+
+    @property
+    def last_drift_report(self) -> DriftReport | None:
+        """The most recent drifted verdict the absorb loop saw (``None``
+        until one flags)."""
+        with self._model_lock:
+            return self._drift_last_report

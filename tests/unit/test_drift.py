@@ -1,0 +1,176 @@
+"""Unit tests for the per-pair drift detector (:mod:`repro.core.drift`).
+
+Three families of guarantees:
+
+* mechanics — config validation, window gating, pair eligibility,
+  report shape and ordering;
+* power — an injected dependence change between windows is flagged, by
+  both statistics, and the flagged pairs point at the changed nodes;
+* false-positive control — on stationary streams the corrected detector
+  flags (anything at all) in at most ~``alpha`` of independent trials.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.drift import (
+    CORRECTIONS,
+    STATISTICS,
+    DriftConfig,
+    DriftReport,
+    detect_drift,
+)
+from repro.core.stats import SufficientStats
+from repro.exceptions import ConfigurationError, DataError
+from repro.simulation.statuses import StatusMatrix
+
+
+def _iid_stats(beta, n, seed, p=0.4):
+    rng = np.random.default_rng(seed)
+    data = (rng.random((beta, n)) < p).astype(np.uint8)
+    return SufficientStats.from_statuses(StatusMatrix(data))
+
+
+def _coupled_stats(beta, n, seed, rho):
+    """Node 1 copies node 0 with probability ``rho``; others i.i.d."""
+    rng = np.random.default_rng(seed)
+    data = (rng.random((beta, n)) < 0.4).astype(np.uint8)
+    copy = rng.random(beta) < rho
+    data[copy, 1] = data[copy, 0]
+    return SufficientStats.from_statuses(StatusMatrix(data))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = DriftConfig()
+        assert config.correction in CORRECTIONS
+        assert config.statistic in STATISTICS
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.0},
+            {"correction": "holm"},
+            {"statistic": "ttest"},
+            {"min_window_beta": 1},
+            {"min_pair_obs": 0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DriftConfig(**kwargs)
+
+
+class TestGating:
+    def test_small_windows_yield_empty_report(self):
+        ref = _iid_stats(10, 8, seed=1)
+        rec = _iid_stats(10, 8, seed=2)
+        report = detect_drift(ref, rec, DriftConfig(min_window_beta=25))
+        assert report.n_pairs_tested == 0
+        assert not report.drifted
+        assert "skipped" in report.summary()
+
+    def test_mismatched_windows_rejected(self):
+        with pytest.raises(DataError):
+            detect_drift(_iid_stats(40, 8, seed=1), _iid_stats(40, 9, seed=2))
+
+    def test_non_stats_inputs_rejected(self):
+        with pytest.raises(DataError):
+            detect_drift(object(), _iid_stats(40, 8, seed=1))
+
+    def test_min_pair_obs_excludes_sparse_pairs(self):
+        rng = np.random.default_rng(3)
+        data = (rng.random((60, 6)) < 0.4).astype(np.uint8)
+        # Node 5 almost never observed in the recent window.
+        mask = np.ones_like(data, dtype=bool)
+        mask[5:, 5] = False
+        ref = SufficientStats.from_statuses(StatusMatrix(data))
+        rec = SufficientStats.from_statuses(StatusMatrix(data, mask))
+        full = detect_drift(ref, rec, DriftConfig(min_pair_obs=1))
+        gated = detect_drift(ref, rec, DriftConfig(min_pair_obs=10))
+        assert gated.n_pairs_tested < full.n_pairs_tested
+
+
+class TestPower:
+    @pytest.mark.parametrize("statistic", STATISTICS)
+    def test_dependence_change_is_flagged(self, statistic):
+        ref = _coupled_stats(400, 8, seed=10, rho=0.0)
+        rec = _coupled_stats(400, 8, seed=11, rho=0.9)
+        report = detect_drift(
+            ref, rec, DriftConfig(alpha=0.01, statistic=statistic)
+        )
+        assert report.drifted
+        assert (0, 1) in {(p.i, p.j) for p in report.drifted_pairs}
+        assert 0 in report.affected_nodes and 1 in report.affected_nodes
+
+    def test_pairs_sorted_most_significant_first(self):
+        ref = _coupled_stats(400, 8, seed=12, rho=0.0)
+        rec = _coupled_stats(400, 8, seed=13, rho=0.9)
+        report = detect_drift(ref, rec)
+        p_values = [pair.p_value for pair in report.drifted_pairs]
+        assert p_values == sorted(p_values)
+
+    def test_bonferroni_is_no_more_permissive_than_bh(self):
+        ref = _coupled_stats(300, 8, seed=14, rho=0.0)
+        rec = _coupled_stats(300, 8, seed=15, rho=0.5)
+        bh = detect_drift(ref, rec, DriftConfig(correction="bh"))
+        bonf = detect_drift(ref, rec, DriftConfig(correction="bonferroni"))
+        assert bonf.n_flagged <= bh.n_flagged
+
+    def test_identical_windows_never_flag(self):
+        stats = _iid_stats(200, 8, seed=16)
+        report = detect_drift(stats, stats, DriftConfig(correction="none"))
+        assert not report.drifted
+
+
+class TestFalsePositiveRate:
+    @pytest.mark.parametrize("statistic", STATISTICS)
+    def test_stationary_fpr_at_most_alpha(self, statistic):
+        """On i.i.d. streams, a corrected check flags anything at all in
+        at most ~alpha of trials.  60 deterministic trials at alpha=0.05
+        expect 3 detections; 7 bounds the binomial 0.999 quantile, so a
+        pass means the empirical FPR is statistically compatible with
+        the alpha guarantee (anticonservative detectors blow well past)."""
+        alpha, trials = 0.05, 60
+        detections = 0
+        for trial in range(trials):
+            ref = _iid_stats(150, 10, seed=1000 + 2 * trial)
+            rec = _iid_stats(150, 10, seed=1001 + 2 * trial)
+            report = detect_drift(
+                ref, rec, DriftConfig(alpha=alpha, statistic=statistic)
+            )
+            detections += bool(report.drifted)
+        assert detections <= 7
+
+    def test_stationary_single_run_split_is_quiet(self):
+        rng = np.random.default_rng(77)
+        data = (rng.random((300, 12)) < 0.45).astype(np.uint8)
+        full = StatusMatrix(data)
+        ref = SufficientStats.from_statuses(full.subset(range(0, 200)))
+        rec = SufficientStats.from_statuses(full.subset(range(200, 300)))
+        assert not detect_drift(ref, rec).drifted
+
+
+class TestReport:
+    def test_report_records_window_sizes_and_knobs(self):
+        ref = _iid_stats(100, 6, seed=20)
+        rec = _iid_stats(50, 6, seed=21)
+        config = DriftConfig(alpha=0.02, correction="bonferroni")
+        report = detect_drift(ref, rec, config)
+        assert isinstance(report, DriftReport)
+        assert report.reference_beta == 100
+        assert report.recent_beta == 50
+        assert report.alpha == 0.02
+        assert report.correction == "bonferroni"
+        assert report.n_pairs_tested == 15
+
+    def test_summary_mentions_flag_counts(self):
+        ref = _coupled_stats(400, 8, seed=22, rho=0.0)
+        rec = _coupled_stats(400, 8, seed=23, rho=0.9)
+        report = detect_drift(ref, rec)
+        text = report.summary()
+        assert "drift" in text
+        assert str(report.n_flagged) in text

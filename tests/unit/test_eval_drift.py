@@ -1,0 +1,140 @@
+"""Unit tests for the drift detection-latency/recovery benchmark
+(:mod:`repro.evaluation.drift`) and its chart.
+
+A tiny end-to-end run (small LFR truth, short stream) pins the result
+shape, the series/summary accessors, and the chart rendering; the
+validation tests pin the ConfigurationError surface.  The full-scale
+numbers (recovery_ratio, latency) are asserted in
+``benchmarks/bench_drift_recovery.py``, not here.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.evaluation.drift import (
+    DRIFT_MODES,
+    DriftCell,
+    DriftExperimentResult,
+    drift_stream_spec,
+    run_drift_experiment,
+)
+from repro.evaluation.plotting import drift_chart
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    """One cheap shared run: n=40, 3 pre + 3 post batches of 40."""
+    return run_drift_experiment(
+        n_nodes=40,
+        beta_pre=120,
+        beta_post=120,
+        batch_beta=40,
+        rewire_fraction=0.3,
+        seed=11,
+    )
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_drift_experiment(modes=("ignore", "panic"))
+
+    def test_bad_batch_beta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_drift_experiment(batch_beta=0)
+
+    def test_too_short_stream_rejected(self):
+        stream = drift_stream_spec(
+            n_nodes=20, beta_pre=30, beta_post=30, seed=3
+        )
+        with pytest.raises(ConfigurationError):
+            run_drift_experiment(stream=stream, batch_beta=50)
+
+
+class TestExperiment:
+    def test_result_shape(self, small_result):
+        result = small_result
+        assert isinstance(result, DriftExperimentResult)
+        assert result.change_point == 120
+        assert set(result.final_f) == set(DRIFT_MODES)
+        assert set(result.recovery_ratio) == set(DRIFT_MODES)
+        # ignore has no detector, so no latency entry.
+        assert set(result.detection_latency) == {"detect", "adapt"}
+        # 6 batches per mode.
+        assert len(result.cells) == 6 * len(DRIFT_MODES)
+        assert all(isinstance(cell, DriftCell) for cell in result.cells)
+
+    def test_cascades_seen_monotone_per_mode(self, small_result):
+        for mode in DRIFT_MODES:
+            seen = [
+                c.cascades_seen for c in small_result.cells if c.mode == mode
+            ]
+            assert seen == sorted(seen)
+            assert seen[-1] == 240
+
+    def test_ignore_mode_never_adapts(self, small_result):
+        for cell in small_result.cells:
+            if cell.mode == "ignore":
+                assert not cell.drifted and not cell.adapted
+            if cell.mode == "detect":
+                assert not cell.adapted
+
+    def test_oracle_and_scores_are_probabilities(self, small_result):
+        assert 0.0 < small_result.oracle_f <= 1.0
+        for f in small_result.final_f.values():
+            assert math.isnan(f) or 0.0 <= f <= 1.0
+
+    def test_series_and_summary_accessors(self, small_result):
+        series = small_result.series()
+        assert set(series) == set(DRIFT_MODES)
+        for points in series.values():
+            assert all(math.isfinite(x) and math.isfinite(y) for x, y in points)
+        rows = small_result.summary_rows()
+        assert {row["mode"] for row in rows} == set(DRIFT_MODES)
+        assert all(row["oracle_f"] == small_result.oracle_f for row in rows)
+
+    def test_stream_reuse_is_deterministic(self):
+        stream = drift_stream_spec(
+            n_nodes=30, beta_pre=80, beta_post=80, rewire_fraction=0.3, seed=5
+        )
+        once = run_drift_experiment(stream=stream, batch_beta=40)
+        twice = run_drift_experiment(stream=stream, batch_beta=40)
+        assert once.final_f == twice.final_f
+        assert once.cells == twice.cells
+
+
+class TestSeriesNanHandling:
+    def test_series_skips_nan_cells(self):
+        cell_ok = DriftCell(
+            mode="ignore", batch_index=0, cascades_seen=40,
+            f_score=0.5, drifted=False, adapted=False, n_dirty=0,
+        )
+        cell_bad = DriftCell(
+            mode="ignore", batch_index=1, cascades_seen=80,
+            f_score=math.nan, drifted=False, adapted=False, n_dirty=0,
+            error="InferenceError: boom",
+        )
+        result = DriftExperimentResult(
+            n_nodes=10, beta_pre=40, beta_post=40, batch_beta=40,
+            rewire_fraction=0.1, seed=1, change_point=40,
+            cells=(cell_ok, cell_bad), oracle_f=0.8,
+            final_f={"ignore": math.nan},
+            detection_latency={},
+            recovery_ratio={"ignore": math.nan},
+        )
+        assert result.series() == {"ignore": [(40.0, 0.5)]}
+
+
+class TestChart:
+    def test_drift_chart_renders_svg(self, small_result):
+        svg = drift_chart(small_result)
+        assert svg.lstrip().startswith("<svg") or "<svg" in svg
+        for mode in DRIFT_MODES:
+            assert mode in svg
+        # The change-point marker names the rewire cascade index.
+        assert "change point" in svg
+        assert str(small_result.change_point) in svg

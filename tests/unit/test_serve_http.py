@@ -130,3 +130,40 @@ class TestIngestEndpoint:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             get(origin + "/health")
         assert excinfo.value.code == 503
+
+
+class TestStrictHealth:
+    def test_degraded_service_passes_lenient_fails_strict(self, tmp_path, corpus):
+        bootstrap, _batch = corpus
+        fake = {"now": 500.0}
+        service = IngestService(
+            tmp_path / "svc2", bootstrap,
+            clock=lambda: fake["now"], degraded_window=60.0,
+        ).start()
+        server = start_http_server(service)
+        host, port = server.server_address[:2]
+        origin = f"http://{host}:{port}"
+        try:
+            # Healthy: both probes pass.
+            assert get(origin + "/health")[0] == 200
+            assert get(origin + "/health?strict=1")[0] == 200
+            # Simulate a recent watchdog restart -> degraded.
+            service._last_watchdog_restart_at = fake["now"]
+            status, health = get(origin + "/health")
+            assert status == 200
+            assert health["status"] == "degraded"
+            with pytest.raises(urllib.error.HTTPError) as failure:
+                get(origin + "/health?strict=1")
+            assert failure.value.code == 503
+            # strict=0 stays lenient.
+            assert get(origin + "/health?strict=0")[0] == 200
+        finally:
+            server.shutdown()
+            service.close()
+
+    def test_health_reports_drift_block_and_absorb_age(self, served):
+        _service, _batch, origin = served
+        _status, health = get(origin + "/health")
+        assert health["drift"]["mode"] == "off"
+        assert "quarantine_entries" in health
+        assert "last_absorb_age_seconds" in health

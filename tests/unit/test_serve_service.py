@@ -297,3 +297,192 @@ class TestSnapshots:
             path = svc.snapshot_now()
             assert path.exists()
             assert svc.stats().snapshots_written >= 1
+
+
+class TestDriftPolicies:
+    def _drifting_batches(self, n=10, seed=31):
+        """Batches whose later half comes from a different ground truth."""
+        truth_a = erdos_renyi_digraph(n, 0.2, seed=seed)
+        truth_b = erdos_renyi_digraph(n, 0.2, seed=seed + 1)
+        stream_a = DiffusionSimulator(truth_a, seed=seed).run(beta=160).statuses
+        stream_b = DiffusionSimulator(truth_b, seed=seed + 1).run(beta=60).statuses
+        base = stream_a.subset(range(120))
+        batches = [
+            stream_a.subset(range(120, 140)),
+            stream_a.subset(range(140, 160)),
+            stream_b.subset(range(0, 20)),
+            stream_b.subset(range(20, 40)),
+            stream_b.subset(range(40, 60)),
+        ]
+        estimator = Tends()
+        estimator.fit(base)
+        return estimator.model, base, batches
+
+    def test_invalid_policy_rejected(self, tmp_path, corpus):
+        bootstrap, _base, _batches = corpus
+        with pytest.raises(ServiceError):
+            IngestService(tmp_path / "svc", bootstrap, drift="sometimes")
+
+    def test_off_policy_is_bit_identical_to_plain_serving(
+        self, tmp_path, corpus
+    ):
+        bootstrap, base, batches = corpus
+        with IngestService(
+            tmp_path / "svc", bootstrap, batch_policy=FAST, drift="off"
+        ) as svc:
+            for batch in batches[:3]:
+                svc.submit(batch)
+            wait_until(lambda: svc.stats().absorbed_seq >= 3,
+                       message="3 batches absorbed")
+            stats = svc.stats()
+            fingerprint = svc.model.fingerprint()
+        assert stats.drift_mode == "off"
+        assert stats.drift_checks == 0
+        assert fingerprint == reference_fingerprint(base, batches[:3])
+
+    def test_detect_policy_flags_but_keeps_accumulating(self, tmp_path):
+        from repro.core.drift import DriftConfig
+
+        bootstrap, base, batches = self._drifting_batches()
+        config = DriftConfig(alpha=0.01, min_window_beta=5, min_pair_obs=5)
+        with IngestService(
+            tmp_path / "svc", bootstrap, batch_policy=FAST,
+            drift="detect", drift_config=config,
+        ) as svc:
+            for batch in batches:
+                svc.submit(batch)
+            wait_until(lambda: svc.stats().absorbed_seq >= len(batches),
+                       message="all batches absorbed")
+            stats = svc.stats()
+            fingerprint = svc.model.fingerprint()
+            report = svc.last_drift_report
+        assert stats.drift_mode == "detect"
+        assert stats.drift_checks == len(batches)
+        assert stats.drift_detections >= 1
+        assert stats.drift_adaptations == 0
+        assert report is not None and report.drifted
+        # Log-only: the model accumulated exactly as plain serving would.
+        assert fingerprint == reference_fingerprint(base, batches)
+
+    def test_adapt_policy_heals_and_reports(self, tmp_path):
+        from repro.core.drift import DriftConfig
+        from repro.core.tends import Tends as TendsEstimator
+
+        bootstrap, base, batches = self._drifting_batches()
+        config = DriftConfig(alpha=0.01, min_window_beta=5, min_pair_obs=5)
+        with IngestService(
+            tmp_path / "svc", bootstrap, batch_policy=FAST,
+            drift="adapt", drift_config=config,
+        ) as svc:
+            for batch in batches:
+                svc.submit(batch)
+            wait_until(lambda: svc.stats().absorbed_seq >= len(batches),
+                       message="all batches absorbed")
+            stats = svc.stats()
+            fingerprint = svc.model.fingerprint()
+            health = svc.health()
+        assert stats.drift_adaptations >= 1
+        assert stats.drift_last_nodes >= 1
+        assert health["drift"]["mode"] == "adapt"
+        assert health["drift"]["adaptations"] == stats.drift_adaptations
+        # Reference: the same per-record detect-then-adapt sequence.
+        reference = TendsEstimator()
+        reference.fit(base)
+        for batch in batches:
+            result = reference.partial_fit(
+                batch, drift="detect", drift_config=config
+            )
+            if result.drift is not None and result.drift.drifted:
+                reference.apply_drift_adaptation(result.drift)
+        assert fingerprint == reference.model.fingerprint()
+
+    def test_snapshot_adapt_leaves_preadapt_snapshot(self, tmp_path):
+        from repro.core.drift import DriftConfig
+
+        bootstrap, _base, batches = self._drifting_batches()
+        config = DriftConfig(alpha=0.01, min_window_beta=5, min_pair_obs=5)
+        directory = tmp_path / "svc"
+        with IngestService(
+            directory, bootstrap, batch_policy=FAST,
+            drift="snapshot-adapt", drift_config=config,
+        ) as svc:
+            for batch in batches:
+                svc.submit(batch)
+            wait_until(lambda: svc.stats().drift_adaptations >= 1,
+                       message="an adaptation fired")
+            wait_until(lambda: svc.stats().absorbed_seq >= len(batches),
+                       message="all batches absorbed")
+        preadapt = sorted(directory.glob("preadapt-*.npz"))
+        assert preadapt, "snapshot-adapt must leave a pre-adapt snapshot"
+        # Pre-adapt snapshots must stay out of the recovery glob.
+        assert not any(p.name.startswith("model-") for p in preadapt)
+
+
+class TestQuarantineCap:
+    def test_store_is_compacted_beyond_the_limit(self, tmp_path, corpus):
+        bootstrap, _base, batches = corpus
+        directory = tmp_path / "svc"
+        svc = IngestService(
+            directory, bootstrap, batch_policy=FAST,
+            retry=RetryPolicy(max_attempts=1, backoff_seconds=0.0),
+            snapshot_every=1, quarantine_limit=2,
+        )
+        # Even-indexed absorb calls fail permanently; odd ones succeed
+        # and (snapshot_every=1) advance the snapshot watermark that
+        # makes older quarantine entries evictable.
+        original = svc._estimator.partial_fit
+        calls = {"n": 0}
+
+        def flaky(batch):
+            index = calls["n"]
+            calls["n"] += 1
+            if index % 2 == 0:
+                raise RuntimeError(f"injected failure on call {index}")
+            return original(batch)
+
+        svc._estimator.partial_fit = flaky
+        with svc:
+            # Pace one batch at a time so absorb calls map 1:1 to seqs
+            # (no coalescing) and the fail/succeed alternation is exact.
+            for index, batch in enumerate(batches):
+                svc.submit(batch)
+                wait_until(
+                    lambda want=index + 1: (
+                        svc.stats().quarantined + svc.stats().absorbed_batches
+                        >= want
+                    ),
+                    message=f"batch {index + 1} absorbed or quarantined",
+                )
+            stats = svc.stats()
+        assert stats.quarantined >= 3
+        assert stats.quarantine_entries <= 2
+        assert stats.quarantine_evicted >= 1
+        # Reopening honours the compacted store: no CRC/parse errors.
+        reopened = IngestService(directory)
+        try:
+            assert reopened.stats().quarantine_entries <= 2
+        finally:
+            reopened.close()
+
+
+class TestDegradedRecency:
+    def test_watchdog_restart_degrades_until_window_passes(
+        self, tmp_path, corpus
+    ):
+        bootstrap, _base, _batches = corpus
+        fake = {"now": 1000.0}
+        svc = IngestService(
+            tmp_path / "svc", bootstrap,
+            clock=lambda: fake["now"], degraded_window=5.0,
+        )
+        try:
+            assert svc.stats().status == "serving"
+            # Simulate a recent watchdog restart.
+            svc._last_watchdog_restart_at = fake["now"]
+            assert svc.stats().status == "degraded"
+            assert svc.health()["status"] == "degraded"
+            # Outside the window the service is honest about being fine.
+            fake["now"] += 6.0
+            assert svc.stats().status == "serving"
+        finally:
+            svc.close()

@@ -1,0 +1,148 @@
+"""Unit tests for :class:`repro.core.stats.WindowedStats`.
+
+The windowed ring exists so drift detection can weigh a recent slice of
+the stream against everything before it without re-reading history.
+The load-bearing contract: all derived views are exact integer count
+algebra — ``total`` is bit-identical to cumulative
+:class:`SufficientStats` on the concatenation, ``recent + reference``
+reassembles ``total`` exactly, and ``decay=1.0`` short-circuits to the
+integer path (turning decay on is strictly opt-in).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stats import SufficientStats, WindowedStats
+from repro.exceptions import DataError
+from repro.simulation.statuses import StatusMatrix
+
+
+def _random_statuses(beta, n, seed, mask_fraction=0.0):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 2, size=(beta, n), dtype=np.uint8)
+    mask = None
+    if mask_fraction:
+        mask = rng.random((beta, n)) >= mask_fraction
+    return StatusMatrix(data, mask)
+
+
+def _chunks(seed, count=4, beta=15, n=6, mask_fraction=0.0):
+    return [
+        _random_statuses(beta, n, seed=seed + i, mask_fraction=mask_fraction)
+        for i in range(count)
+    ]
+
+
+class TestWindowedPush:
+    def test_push_rolls_windows_at_boundaries(self):
+        w = WindowedStats.empty(6, window_cascades=15)
+        for i, chunk in enumerate(_chunks(seed=10)):
+            w = w.pushed(chunk)
+            assert w.n_windows == i + 1
+        assert w.beta == 60
+
+    def test_one_push_can_fill_several_windows(self):
+        w = WindowedStats.empty(6, window_cascades=10)
+        w = w.pushed(_random_statuses(35, 6, seed=11))
+        assert w.n_windows == 4
+        assert [block.beta for block in w.windows] == [10, 10, 10, 5]
+
+    def test_empty_batch_is_a_no_op(self):
+        w = WindowedStats.empty(6, window_cascades=10)
+        w = w.pushed(_random_statuses(10, 6, seed=12))
+        assert w.pushed(_random_statuses(0, 6, seed=13)) is w
+
+    @pytest.mark.parametrize("mask_fraction", [0.0, 0.25])
+    def test_total_bit_identical_to_cumulative(self, mask_fraction):
+        chunks = _chunks(seed=20, mask_fraction=mask_fraction)
+        w = WindowedStats.empty(6, window_cascades=15)
+        for chunk in chunks:
+            w = w.pushed(chunk)
+        concat = chunks[0]
+        for chunk in chunks[1:]:
+            concat = concat.append(chunk)
+        cumulative = SufficientStats.from_statuses(concat)
+        assert w.total().equals(cumulative)
+        assert w.total().checksum() == cumulative.checksum()
+
+    def test_eviction_beyond_max_windows(self):
+        chunks = _chunks(seed=30, count=5)
+        w = WindowedStats.empty(6, window_cascades=15, max_windows=3)
+        for chunk in chunks:
+            w = w.pushed(chunk)
+        assert w.n_windows == 3
+        assert w.evicted_windows == 2
+        assert w.evicted_beta == 30
+        # Retained windows are the newest three.
+        tail = chunks[2].append(chunks[3]).append(chunks[4])
+        assert w.total().equals(SufficientStats.from_statuses(tail))
+
+
+class TestRecentReferenceSplit:
+    def _ring(self, chunks):
+        w = WindowedStats.empty(6, window_cascades=15)
+        for chunk in chunks:
+            w = w.pushed(chunk)
+        return w
+
+    def test_recent_plus_reference_is_total(self):
+        w = self._ring(_chunks(seed=40))
+        recent = w.recent(1)
+        reference = w.reference(1)
+        assert recent.beta == 15
+        assert reference.beta == 45
+        assert recent.merged(reference).equals(w.total())
+
+    def test_reference_is_exact_recount_of_head(self):
+        chunks = _chunks(seed=50)
+        w = self._ring(chunks)
+        head = chunks[0].append(chunks[1]).append(chunks[2])
+        assert w.reference(1).equals(SufficientStats.from_statuses(head))
+
+    def test_recent_spans_multiple_windows(self):
+        chunks = _chunks(seed=55)
+        w = self._ring(chunks)
+        tail = chunks[2].append(chunks[3])
+        assert w.recent(2).equals(SufficientStats.from_statuses(tail))
+
+
+class TestDecay:
+    def test_decay_one_is_exact_total(self):
+        w = WindowedStats.empty(6, window_cascades=15, decay=1.0)
+        for chunk in _chunks(seed=60):
+            w = w.pushed(chunk)
+        assert w.decayed().equals(w.total())
+
+    def test_decay_downweights_older_windows(self):
+        chunks = _chunks(seed=70, count=2)
+        w = WindowedStats.empty(6, window_cascades=15, decay=0.5)
+        for chunk in chunks:
+            w = w.pushed(chunk)
+        decayed = w.decayed()
+        newest = SufficientStats.from_statuses(chunks[1])
+        oldest = SufficientStats.from_statuses(chunks[0])
+        expected = newest.counts["11"] + 0.5 * oldest.counts["11"]
+        assert np.allclose(decayed.counts["11"], expected)
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(DataError):
+            WindowedStats.empty(6, decay=0.0)
+        with pytest.raises(DataError):
+            WindowedStats.empty(6, decay=1.5)
+
+
+class TestValidation:
+    def test_incompatible_push_rejected(self):
+        w = WindowedStats.empty(6).pushed(_random_statuses(10, 6, seed=80))
+        with pytest.raises(DataError):
+            w.pushed(_random_statuses(10, 7, seed=81))
+
+    def test_out_of_range_views_rejected(self):
+        w = WindowedStats.empty(6, window_cascades=10)
+        w = w.pushed(_random_statuses(10, 6, seed=82))
+        with pytest.raises(DataError):
+            w.recent(2)
+        with pytest.raises(DataError):
+            w.reference(1)  # needs at least two windows
