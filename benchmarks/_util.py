@@ -24,6 +24,7 @@ from repro.evaluation.reporting import format_result_table, format_rows, format_
 from repro.core.kernels import resolve_kernel
 from repro.evaluation.shapes import check_figure_shapes
 from repro.obs.manifest import manifest_for_experiment, write_manifest
+from repro.obs.trend import append_trend
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -72,6 +73,9 @@ def report(name: str, result: ExperimentResult) -> str:
         extra={"scale": bench_scale(), "bench": name, "kernel": resolve_kernel()},
     )
     write_manifest(manifest, RESULTS_DIR / f"{name}.manifest.json")
+    # ... and one line in the shared trend ledger, so repeated bench runs
+    # accumulate the history `repro perf-check --trend` checks against.
+    append_trend(RESULTS_DIR / "trend.jsonl", manifest, label=name)
     return text
 
 

@@ -177,3 +177,43 @@ def test_disabled_tracing_overhead_under_two_percent(observations):
         f"per disabled hook = {overhead * 1e3:.1f}ms, over 2% of the "
         f"{fit_time:.3f}s fit"
     )
+
+
+def test_disabled_memory_attribution_overhead_under_two_percent(observations):
+    """The no-op memory hooks must stay free when ``memory=False``.
+
+    Same method as the tracing guard: (per-call cost of a disabled
+    ``activate``/``measure``) × (sites a memory-attributed fit hits)
+    must stay below 2% of the plain fit time.
+    """
+    import time
+
+    from repro.obs.memory import NULL_MEMORY
+
+    statuses = observations.statuses
+
+    def fit_seconds() -> float:
+        start = time.perf_counter()
+        Tends(executor="serial").fit(statuses)
+        return time.perf_counter() - start
+
+    fit_seconds()  # warm caches before timing
+    fit_time = sorted(fit_seconds() for _ in range(3))[1]
+
+    # Hook sites a memory-attributed serial fit fires on this input.
+    stages = Tends(executor="serial", memory=True).fit(statuses)
+    n_measures = len(stages.telemetry.memory)
+
+    rounds = 100_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        with NULL_MEMORY.activate():
+            with NULL_MEMORY.measure("bench"):
+                pass
+    per_hook = (time.perf_counter() - start) / rounds
+
+    overhead = per_hook * (n_measures + 1)  # +1 for activate()
+    assert overhead <= 0.02 * fit_time, (
+        f"{n_measures} measures at {per_hook * 1e6:.2f}µs per disabled "
+        f"hook = {overhead * 1e3:.1f}ms, over 2% of the {fit_time:.3f}s fit"
+    )

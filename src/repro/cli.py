@@ -166,6 +166,22 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         "revision, metrics, stage timings) as JSON; implies tracing — "
         "feed it to `repro perf-check`",
     )
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="attribute memory per pipeline stage (tracemalloc + peak "
+        "RSS) on the telemetry and in the run manifest; results are "
+        "bit-identical either way",
+    )
+    parser.add_argument(
+        "--trend-out",
+        type=Path,
+        default=None,
+        metavar="LEDGER",
+        help="append this run's timing/memory profile to a perf trend "
+        "ledger (JSONL; check it with `repro perf-check --trend`); "
+        "implies tracing",
+    )
 
 
 def _write_fit_observability(
@@ -192,8 +208,8 @@ def _write_fit_observability(
 
         write_prometheus(telemetry.metrics, args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
-    if args.manifest_out is not None:
-        from repro.obs import manifest_for_fit, write_manifest
+    if args.manifest_out is not None or args.trend_out is not None:
+        from repro.obs import append_trend, manifest_for_fit, write_manifest
 
         manifest = manifest_for_fit(
             result,
@@ -204,8 +220,12 @@ def _write_fit_observability(
             },
             extra={"statuses": str(args.statuses), "output": str(args.output)},
         )
-        write_manifest(manifest, args.manifest_out)
-        print(f"run manifest written to {args.manifest_out}")
+        if args.manifest_out is not None:
+            write_manifest(manifest, args.manifest_out)
+            print(f"run manifest written to {args.manifest_out}")
+        if args.trend_out is not None:
+            append_trend(args.trend_out, manifest, label="infer")
+            print(f"trend ledger entry appended to {args.trend_out}")
 
 
 # ----------------------------------------------------------------------
@@ -280,7 +300,9 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     # changes the inference result, only records it).
     want_telemetry = args.trace or any(
         value is not None
-        for value in (args.trace_out, args.metrics_out, args.manifest_out)
+        for value in (
+            args.trace_out, args.metrics_out, args.manifest_out, args.trend_out
+        )
     )
     estimator = Tends(
         mi_kind=args.mi_kind,
@@ -299,6 +321,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         bootstrap_samples=args.bootstrap,
         bootstrap_seed=args.bootstrap_seed,
         trace=want_telemetry,
+        memory=args.memory,
     )
     result = estimator.fit(statuses)
     _write_graph(result.graph, args.output)
@@ -575,6 +598,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print("available figures:", ", ".join(list_figures()))
         print("robustness benchmarks:", ", ".join(list_robustness_figures()))
         print("drift benchmark: drift")
+        print("perf trend charts: trend (requires --ledger)")
         return 0
     if args.figure is not None and (
         args.figure == "robustness" or args.figure.startswith("robustness-")
@@ -582,6 +606,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         return _run_robustness_figure(args)
     if args.figure == "drift":
         return _run_drift_figure(args)
+    if args.figure == "trend":
+        return _run_trend_figure(args)
     if args.all:
         figure_ids = list_figures()
     elif args.figure is not None:
@@ -775,20 +801,188 @@ def _run_drift_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: one fit under the sampling profiler + memory
+    attribution, with collapsed-stack / flamegraph / manifest / trend
+    artifacts."""
+    from repro.obs import (
+        SamplingProfiler,
+        append_trend,
+        manifest_for_fit,
+        write_flamegraph,
+        write_manifest,
+    )
+
+    statuses = _read_statuses(args.statuses)
+    estimator = Tends(
+        executor=args.executor,
+        n_jobs=args.n_jobs,
+        max_attempts=args.max_attempts,
+        chunk_timeout=args.chunk_timeout,
+        kernel=args.kernel,
+        trace=True,
+        memory=True,
+    )
+    with SamplingProfiler(hz=args.hz) as profiler:
+        result = estimator.fit(statuses)
+    profile = profiler.profile
+    if args.output is not None:
+        _write_graph(result.graph, args.output)
+    total = sum(
+        seconds
+        for stage, seconds in result.stage_seconds.items()
+        if "/" not in stage
+    )
+    print(
+        f"profiled fit: {result.n_edges} edges from {statuses.beta} "
+        f"processes in {total:.2f}s "
+        f"({profile.samples} samples @ {profile.hz:g} Hz)"
+    )
+    for stage, seconds in result.stage_seconds.items():
+        if "/" not in stage:
+            print(f"  stage {stage}: {seconds:.3f}s")
+    telemetry = result.telemetry
+    if telemetry is not None and telemetry.memory:
+        for stage, stats in telemetry.memory.items():
+            peak_rss = stats.get("peak_rss_bytes") or 0
+            print(
+                f"  memory {stage}: alloc={stats['alloc_bytes'] / 1e6:.1f}MB "
+                f"peak_alloc={stats['peak_alloc_bytes'] / 1e6:.1f}MB "
+                f"peak_rss={peak_rss / 1e6:.1f}MB"
+            )
+    if profile.samples:
+        print(f"hottest frames (top {args.top} by self samples):")
+        for frame, count in profile.top(args.top):
+            print(f"  {count:>6}  {frame}")
+    else:
+        print(
+            "no samples captured (fit finished within one sampling "
+            "interval; raise --hz or use a larger input)"
+        )
+    if args.collapsed is not None:
+        args.collapsed.parent.mkdir(parents=True, exist_ok=True)
+        text = profile.collapsed()
+        args.collapsed.write_text(text + "\n" if text else "", encoding="utf-8")
+        print(f"collapsed stacks written to {args.collapsed}")
+    if args.flamegraph is not None:
+        write_flamegraph(
+            profile.stacks,
+            args.flamegraph,
+            title=f"repro profile: {args.statuses.name}",
+        )
+        print(f"flamegraph written to {args.flamegraph}")
+    if args.manifest_out is not None or args.trend_out is not None:
+        manifest = manifest_for_fit(
+            result,
+            config=estimator.config,
+            seeds={},
+            extra={
+                "statuses": str(args.statuses),
+                "profile_samples": profile.samples,
+                "profile_hz": profile.hz,
+            },
+        )
+        if args.manifest_out is not None:
+            write_manifest(manifest, args.manifest_out)
+            print(f"run manifest written to {args.manifest_out}")
+        if args.trend_out is not None:
+            append_trend(args.trend_out, manifest, label="profile")
+            print(f"trend ledger entry appended to {args.trend_out}")
+    return 0
+
+
+def _run_trend_figure(args: argparse.Namespace) -> int:
+    """``repro figure trend``: time/memory trajectory SVGs off a ledger."""
+    from repro.exceptions import DataError
+    from repro.evaluation.plotting import save_line_chart
+    from repro.obs import load_trend, trend_series
+
+    if args.ledger is None:
+        print("figure trend requires --ledger LEDGER.jsonl", file=sys.stderr)
+        return 2
+    entries = load_trend(args.ledger)
+    if not entries:
+        print(f"error: no readable entries in {args.ledger}", file=sys.stderr)
+        return 2
+    out_dir = args.out if args.out is not None else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    timings = trend_series(entries, section="timings")
+    if timings:
+        path = out_dir / "trend-time.svg"
+        save_line_chart(
+            timings,
+            path,
+            title=f"perf trend: stage timings ({len(entries)} runs)",
+            x_label="ledger entry",
+            y_label="seconds",
+        )
+        written.append(path)
+    memory = trend_series(entries, section="memory")
+    if memory:
+        scaled = {
+            metric: [(x, value / 1e6) for x, value in points]
+            for metric, points in memory.items()
+        }
+        path = out_dir / "trend-memory.svg"
+        save_line_chart(
+            scaled,
+            path,
+            title=f"perf trend: memory ({len(entries)} runs)",
+            x_label="ledger entry",
+            y_label="MB",
+        )
+        written.append(path)
+    if not written:
+        raise DataError(f"ledger {args.ledger} has no timing or memory series")
+    for path in written:
+        print(f"figure written to {path}")
+    return 0
+
+
 def _cmd_perf_check(args: argparse.Namespace) -> int:
     """``repro perf-check``: 0 = within budget, 1 = regression, 2 = bad input."""
     from repro.exceptions import DataError
-    from repro.obs import compare_profiles, format_report, load_timing_profile
+    from repro.obs import (
+        check_trend,
+        compare_profiles,
+        format_report,
+        load_timing_profile,
+        load_trend,
+    )
 
     try:
-        current = load_timing_profile(args.subject)
-        baseline = load_timing_profile(args.baseline)
-        report = compare_profiles(
-            current,
-            baseline,
-            max_slowdown=args.max_slowdown,
-            min_seconds=args.min_seconds,
-        )
+        if args.trend is not None:
+            if args.subject is not None or args.baseline is not None:
+                print(
+                    "error: --trend takes no subject/--baseline (the ledger "
+                    "is both)",
+                    file=sys.stderr,
+                )
+                return 2
+            entries = load_trend(args.trend)
+            report = check_trend(
+                entries,
+                window=args.window,
+                max_slowdown=args.max_slowdown,
+                min_seconds=args.min_seconds,
+                max_memory_growth=args.max_memory_growth,
+            )
+        else:
+            if args.subject is None or args.baseline is None:
+                print(
+                    "error: need a subject and --baseline (or --trend LEDGER)",
+                    file=sys.stderr,
+                )
+                return 2
+            current = load_timing_profile(args.subject)
+            baseline = load_timing_profile(args.baseline)
+            report = compare_profiles(
+                current,
+                baseline,
+                max_slowdown=args.max_slowdown,
+                min_seconds=args.min_seconds,
+            )
     except DataError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -1188,6 +1382,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one run manifest per figure (method timings, harness "
         "counters); with --all the figure id is appended to the stem",
     )
+    figure.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        metavar="LEDGER",
+        help="for `figure trend`: the perf trend ledger (JSONL) to chart",
+    )
     figure.set_defaults(func=_cmd_figure)
 
     perf_check = subparsers.add_parser(
@@ -1198,13 +1399,32 @@ def build_parser() -> argparse.ArgumentParser:
         "slowdowns beyond the budget.",
     )
     perf_check.add_argument(
-        "subject", type=Path, help="current run manifest / benchmark archive"
+        "subject",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="current run manifest / benchmark archive",
     )
     perf_check.add_argument(
         "--baseline",
         type=Path,
-        required=True,
+        default=None,
         help="baseline manifest / archive to compare against",
+    )
+    perf_check.add_argument(
+        "--trend",
+        type=Path,
+        default=None,
+        metavar="LEDGER",
+        help="check the newest entry of a perf trend ledger (JSONL, see "
+        "`repro infer --trend-out`) against the rolling median of the "
+        "previous --window entries instead of a pairwise comparison",
+    )
+    perf_check.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="with --trend: rolling-baseline window size (default 5)",
     )
     perf_check.add_argument(
         "--max-slowdown",
@@ -1218,7 +1438,78 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.01,
         help="skip entries faster than this on both sides (default 0.01s)",
     )
+    perf_check.add_argument(
+        "--max-memory-growth",
+        type=float,
+        default=1.5,
+        help="with --trend: permitted current/baseline ratio per memory "
+        "entry (default 1.5)",
+    )
     perf_check.set_defaults(func=_cmd_perf_check)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run one profiled fit (sampling profiler + memory attribution)",
+        description="Fit the status matrix under the sampling wall-clock "
+        "profiler with per-stage memory attribution enabled, and print the "
+        "hottest frames and peak memory per stage.  Optional artifacts: "
+        "collapsed stacks, an SVG flamegraph, a run manifest, and a perf "
+        "trend ledger entry.",
+    )
+    profile.add_argument(
+        "statuses", type=Path, help="status matrix (.npz) to fit"
+    )
+    profile.add_argument(
+        "--hz",
+        type=float,
+        default=97.0,
+        help="sampling rate in samples/second (default 97; prime, to dodge "
+        "lockstep with periodic work)",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many hottest frames to print (default 10)",
+    )
+    profile.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the inferred graph here",
+    )
+    profile.add_argument(
+        "--collapsed",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write collapsed stacks ('frame;frame count' lines, the "
+        "flamegraph.pl interchange format)",
+    )
+    profile.add_argument(
+        "--flamegraph",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a self-contained SVG flamegraph",
+    )
+    profile.add_argument(
+        "--manifest-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a run manifest (timings + memory) for `repro perf-check`",
+    )
+    profile.add_argument(
+        "--trend-out",
+        type=Path,
+        default=None,
+        metavar="LEDGER",
+        help="append this run's profile to a perf trend ledger (JSONL)",
+    )
+    _add_executor_arguments(profile)
+    profile.set_defaults(func=_cmd_profile)
 
     return parser
 

@@ -131,6 +131,14 @@ class TendsConfig:
         ``False`` (default) runs the zero-overhead no-op instrumentation
         path; inference results are bit-identical either way.  See
         :mod:`repro.obs` and docs/OBSERVABILITY.md.
+    memory:
+        Per-stage memory attribution switch.  ``True`` runs the fit
+        under :class:`~repro.obs.memory.MemoryTracker` (tracemalloc +
+        RSS), recording ``alloc_bytes`` / ``peak_alloc_bytes`` /
+        ``peak_rss_bytes`` per pipeline stage on the result telemetry
+        and in run manifests.  Opt-in separately from ``trace`` because
+        tracemalloc taxes every allocation while tracing; inference
+        results are bit-identical either way.
     """
 
     mi_kind: MiKind = "infection"
@@ -153,6 +161,7 @@ class TendsConfig:
     bootstrap_seed: int = 0
     ci_level: float = 0.95
     trace: bool = False
+    memory: bool = False
 
     def __post_init__(self) -> None:
         if self.mi_kind not in ("infection", "traditional"):
@@ -204,6 +213,10 @@ class TendsConfig:
         if not isinstance(self.trace, bool):
             raise ConfigurationError(
                 f"trace must be a boolean, got {self.trace!r}"
+            )
+        if not isinstance(self.memory, bool):
+            raise ConfigurationError(
+                f"memory must be a boolean, got {self.memory!r}"
             )
 
     def with_overrides(self, **changes) -> "TendsConfig":

@@ -48,6 +48,7 @@ from repro.exceptions import (
     InferenceError,
 )
 from repro.graphs.digraph import DiffusionGraph
+from repro.obs.memory import NULL_MEMORY, MemoryTracker, NullMemoryTracker
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, ambient_tracer
@@ -610,24 +611,28 @@ class Tends:
         metrics: MetricsRegistry | NullMetrics = (
             MetricsRegistry() if trace else NULL_METRICS
         )
+        memory: MemoryTracker | NullMemoryTracker = (
+            MemoryTracker() if self.config.memory else NULL_MEMORY
+        )
         if statuses.has_missing:
             metrics.set_gauge("tends_mask_density", float(statuses.mask.mean()))
         else:
             metrics.set_gauge("tends_mask_density", 1.0)
-        with ambient_tracer(tracer):
+        with ambient_tracer(tracer), memory.activate():
             with tracer.span(
                 "tends.fit", n_nodes=n, beta=statuses.beta, kernel=kernel_backend
-            ):
+            ) as fit_span, memory.measure("total", fit_span):
                 result, candidates = self._run_pipeline(
-                    statuses, stats, n, tracer, metrics, kernel_backend
+                    statuses, stats, n, tracer, metrics, kernel_backend, memory
                 )
-        if trace:
+        if trace or memory.enabled:
             result = replace(
                 result,
                 telemetry=Telemetry(
                     spans=tracer.finished(),
                     metrics=metrics.snapshot(),
                     epoch_offset=tracer.epoch_offset,
+                    memory=memory.stages(),
                 ),
             )
         # Install the incremental-update state.  Bootstrap-backed configs
@@ -671,6 +676,7 @@ class Tends:
         tracer: "Tracer | NullTracer",
         metrics: "MetricsRegistry | NullMetrics",
         kernel_backend: str,
+        memory: "MemoryTracker | NullMemoryTracker" = NULL_MEMORY,
     ) -> tuple[TendsResult, tuple[tuple[int, ...], ...]]:
         """Stages 1-3 of Algorithm 1 (validation already done by
         :meth:`fit`, which also owns the ambient tracer install and the
@@ -686,8 +692,8 @@ class Tends:
         # Stage 1: pairwise MI matrix (Algorithm 1 lines 2-4), from the
         # additive sufficient statistics — identical floating-point
         # pipeline to estimating straight from the observations.
-        with tracer.span("tends.imi", kind=self.config.mi_kind):
-            with Stopwatch() as watch:
+        with tracer.span("tends.imi", kind=self.config.mi_kind) as imi_span:
+            with memory.measure("imi", imi_span), Stopwatch() as watch:
                 mi = stats.mi_matrix(self.config.mi_kind)
             stage_seconds["imi"] = watch.elapsed
         metrics.inc("tends_imi_pairs_total", n * (n - 1) // 2)
@@ -695,7 +701,7 @@ class Tends:
         # Stage 2: threshold via fixed-zero 2-means (line 5).
         stable_mode = self.config.threshold == "stable"
         with tracer.span("tends.threshold") as threshold_span:
-            with Stopwatch() as watch:
+            with memory.measure("threshold", threshold_span), Stopwatch() as watch:
                 threshold, clustering = self._select_threshold(mi, n)
             stage_seconds["threshold"] = watch.elapsed
             threshold_span.set(tau=threshold)
@@ -711,8 +717,8 @@ class Tends:
         if n_boot:
             from repro.robustness.bootstrap import bootstrap_imi
 
-            with tracer.span("tends.bootstrap", samples=n_boot):
-                with Stopwatch() as watch:
+            with tracer.span("tends.bootstrap", samples=n_boot) as boot_span:
+                with memory.measure("bootstrap", boot_span), Stopwatch() as watch:
                     bootstrap = bootstrap_imi(
                         statuses,
                         n_boot,
@@ -732,7 +738,7 @@ class Tends:
         with tracer.span(
             "tends.search", strategy=self.config.search_strategy
         ) as search_span:
-            with Stopwatch() as watch:
+            with memory.measure("search", search_span), Stopwatch() as watch:
                 search = ParentSearch(statuses, self.config)
                 items = [
                     (
@@ -901,15 +907,18 @@ class Tends:
         metrics: MetricsRegistry | NullMetrics = (
             MetricsRegistry() if trace else NULL_METRICS
         )
-        with ambient_tracer(tracer):
+        memory: MemoryTracker | NullMemoryTracker = (
+            MemoryTracker() if self.config.memory else NULL_MEMORY
+        )
+        with ambient_tracer(tracer), memory.activate():
             with tracer.span(
                 "tends.update",
                 n_nodes=previous.n_nodes,
                 batch_beta=new_statuses.beta,
                 beta=previous.beta + new_statuses.beta,
-            ):
+            ) as update_span, memory.measure("total", update_span):
                 result, model = self._run_update(
-                    previous, new_statuses, tracer, metrics
+                    previous, new_statuses, tracer, metrics, memory
                 )
             if drift != "ignore" and new_statuses.beta > 0:
                 report = self._detect_drift_on(
@@ -922,15 +931,16 @@ class Tends:
                 result = replace(result, drift=report)
                 if drift == "adapt" and report.drifted:
                     result, model = self._run_adapt(
-                        model, report, report.recent_beta, tracer, metrics
+                        model, report, report.recent_beta, tracer, metrics, memory
                     )
-        if trace:
+        if trace or memory.enabled:
             result = replace(
                 result,
                 telemetry=Telemetry(
                     spans=tracer.finished(),
                     metrics=metrics.snapshot(),
                     epoch_offset=tracer.epoch_offset,
+                    memory=memory.stages(),
                 ),
             )
         # Copy-on-write installation: nothing above mutated the previous
@@ -944,6 +954,7 @@ class Tends:
         batch: StatusMatrix,
         tracer: "Tracer | NullTracer",
         metrics: "MetricsRegistry | NullMetrics",
+        memory: "MemoryTracker | NullMemoryTracker" = NULL_MEMORY,
     ) -> tuple[TendsResult, TendsModel]:
         """One incremental update (validation already done by
         :meth:`partial_fit`, which also owns the ambient tracer and the
@@ -957,8 +968,8 @@ class Tends:
         )
 
         # Sufficient statistics: count the batch, add (integer-exact).
-        with tracer.span("tends.stats", batch_beta=batch.beta):
-            with Stopwatch() as watch:
+        with tracer.span("tends.stats", batch_beta=batch.beta) as stats_span:
+            with memory.measure("stats", stats_span), Stopwatch() as watch:
                 stats = previous.stats.updated(batch, kernel=kernel_backend)
                 history = previous.statuses.append(batch)
             stage_seconds["stats"] = watch.elapsed
@@ -968,15 +979,15 @@ class Tends:
             metrics.set_gauge("tends_mask_density", 1.0)
 
         # Stage 1 from cached counts (O(n²), no pass over the history).
-        with tracer.span("tends.imi", kind=self.config.mi_kind):
-            with Stopwatch() as watch:
+        with tracer.span("tends.imi", kind=self.config.mi_kind) as imi_span:
+            with memory.measure("imi", imi_span), Stopwatch() as watch:
                 mi = stats.mi_matrix(self.config.mi_kind)
             stage_seconds["imi"] = watch.elapsed
         metrics.inc("tends_imi_pairs_total", n * (n - 1) // 2)
 
         # Stage 2: τ from the updated MI distribution.
         with tracer.span("tends.threshold") as threshold_span:
-            with Stopwatch() as watch:
+            with memory.measure("threshold", threshold_span), Stopwatch() as watch:
                 threshold, clustering = self._select_threshold(mi, n)
             stage_seconds["threshold"] = watch.elapsed
             threshold_span.set(tau=threshold)
@@ -989,7 +1000,7 @@ class Tends:
         # previous fit — all their counts restrict to rows observing the
         # child — so their previous F_i IS the refit answer.
         with tracer.span("tends.diff") as diff_span:
-            with Stopwatch() as watch:
+            with memory.measure("diff", diff_span), Stopwatch() as watch:
                 candidates = tuple(
                     tuple(prune_candidates(mi, node, threshold, self.config))
                     for node in range(n)
@@ -1024,7 +1035,7 @@ class Tends:
             strategy=self.config.search_strategy,
             dirty=len(dirty),
         ) as search_span:
-            with Stopwatch() as watch:
+            with memory.measure("search", search_span), Stopwatch() as watch:
                 outcomes: list = []
                 worker_stats: list[WorkerStats] = []
                 report = None
@@ -1170,15 +1181,21 @@ class Tends:
         metrics: MetricsRegistry | NullMetrics = (
             MetricsRegistry() if trace else NULL_METRICS
         )
-        with ambient_tracer(tracer):
-            result, adapted = self._run_adapt(model, report, window, tracer, metrics)
-        if trace:
+        memory: MemoryTracker | NullMemoryTracker = (
+            MemoryTracker() if self.config.memory else NULL_MEMORY
+        )
+        with ambient_tracer(tracer), memory.activate():
+            result, adapted = self._run_adapt(
+                model, report, window, tracer, metrics, memory
+            )
+        if trace or memory.enabled:
             result = replace(
                 result,
                 telemetry=Telemetry(
                     spans=tracer.finished(),
                     metrics=metrics.snapshot(),
                     epoch_offset=tracer.epoch_offset,
+                    memory=memory.stages(),
                 ),
             )
         self._model = adapted
@@ -1229,6 +1246,7 @@ class Tends:
         window: int,
         tracer: "Tracer | NullTracer",
         metrics: "MetricsRegistry | NullMetrics",
+        memory: "MemoryTracker | NullMemoryTracker" = NULL_MEMORY,
     ) -> tuple[TendsResult, TendsModel]:
         """Rebase onto the newest ``window`` processes and re-search the
         report's affected nodes (validation already done by the callers,
@@ -1240,11 +1258,11 @@ class Tends:
         metrics.inc("tends_adapt_total")
         with tracer.span(
             "tends.adapt", window=window, nodes=len(report.affected_nodes)
-        ) as adapt_span:
+        ) as adapt_span, memory.measure("adapt", adapt_span):
             # Recent-window statistics and history: the exact inputs a
             # fresh fit on the post-change window would see.
-            with tracer.span("tends.stats", batch_beta=window):
-                with Stopwatch() as watch:
+            with tracer.span("tends.stats", batch_beta=window) as stats_span:
+                with memory.measure("stats", stats_span), Stopwatch() as watch:
                     history = model.statuses.subset(
                         range(model.statuses.beta - window, model.statuses.beta)
                     )
@@ -1253,13 +1271,15 @@ class Tends:
                     )
                 stage_seconds["stats"] = watch.elapsed
 
-            with tracer.span("tends.imi", kind=self.config.mi_kind):
-                with Stopwatch() as watch:
+            with tracer.span("tends.imi", kind=self.config.mi_kind) as imi_span:
+                with memory.measure("imi", imi_span), Stopwatch() as watch:
                     mi = stats.mi_matrix(self.config.mi_kind)
                 stage_seconds["imi"] = watch.elapsed
 
             with tracer.span("tends.threshold") as threshold_span:
-                with Stopwatch() as watch:
+                with memory.measure(
+                    "threshold", threshold_span
+                ), Stopwatch() as watch:
                     threshold, clustering = self._select_threshold(mi, n)
                 stage_seconds["threshold"] = watch.elapsed
                 threshold_span.set(tau=threshold)
@@ -1277,7 +1297,7 @@ class Tends:
                 strategy=self.config.search_strategy,
                 dirty=len(dirty),
             ) as search_span:
-                with Stopwatch() as watch:
+                with memory.measure("search", search_span), Stopwatch() as watch:
                     outcomes: list = []
                     worker_stats: list[WorkerStats] = []
                     if dirty:

@@ -10,7 +10,13 @@ The observability layer of the reproduction (see docs/OBSERVABILITY.md):
 * :mod:`repro.obs.manifest` — per-run JSON manifests (config, seeds,
   environment, git revision, metrics, stage timings);
 * :mod:`repro.obs.perfcheck` — manifest-vs-baseline slowdown checks
-  (the ``repro perf-check`` command).
+  (the ``repro perf-check`` command);
+* :mod:`repro.obs.profiler` — dependency-free sampling wall-clock
+  profiler with collapsed-stack and SVG flamegraph output;
+* :mod:`repro.obs.memory` — tracemalloc/RSS per-span memory
+  attribution with a zero-cost disabled path (:data:`NULL_MEMORY`);
+* :mod:`repro.obs.trend` — CRC-checked JSONL perf trend ledger and the
+  rolling-baseline check behind ``repro perf-check --trend``.
 
 This package is a leaf: it never imports ``repro.core`` or
 ``repro.evaluation``, so every layer of the library can instrument
@@ -35,6 +41,13 @@ from repro.obs.manifest import (
     validate_manifest,
     write_manifest,
 )
+from repro.obs.memory import (
+    NULL_MEMORY,
+    MemoryTracker,
+    NullMemoryTracker,
+    read_peak_rss_bytes,
+    read_rss_bytes,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     MetricsRegistry,
@@ -49,6 +62,16 @@ from repro.obs.perfcheck import (
     load_timing_profile,
     timing_profile,
 )
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profile,
+    SamplingProfiler,
+    profile_for,
+    profiled,
+    render_flamegraph,
+    write_flamegraph,
+)
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import (
     NULL_TRACER,
@@ -58,6 +81,14 @@ from repro.obs.trace import (
     ambient_tracer,
     current_span,
     current_tracer,
+)
+from repro.obs.trend import (
+    TREND_FORMAT,
+    append_trend,
+    check_trend,
+    load_trend,
+    rolling_baseline,
+    trend_series,
 )
 
 __all__ = [
@@ -98,4 +129,26 @@ __all__ = [
     "load_timing_profile",
     "compare_profiles",
     "format_report",
+    # profiler
+    "Profile",
+    "SamplingProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "profiled",
+    "profile_for",
+    "render_flamegraph",
+    "write_flamegraph",
+    # memory attribution
+    "MemoryTracker",
+    "NullMemoryTracker",
+    "NULL_MEMORY",
+    "read_rss_bytes",
+    "read_peak_rss_bytes",
+    # perf trend ledger
+    "TREND_FORMAT",
+    "append_trend",
+    "load_trend",
+    "check_trend",
+    "rolling_baseline",
+    "trend_series",
 ]

@@ -161,7 +161,17 @@ def prometheus_text(snapshot: Mapping, *, prefix: str = "repro_") -> str:
     for key in sorted(snapshot.get("histograms", {})):
         cell = snapshot["histograms"][key]
         name, labels = _split_key(key)
-        for stat in ("count", "sum", "min", "max"):
+        full = prefix + name
+        # A Prometheus summary is its _count/_sum pair under one TYPE
+        # header; min/max have no summary series, so they stay gauges.
+        if full not in typed:
+            lines.append(f"# TYPE {full} summary")
+            typed.add(full)
+        count = cell.get("count", 0)
+        total = cell.get("sum", 0.0)
+        lines.append(f"{full}_count{labels} {int(count)}")
+        lines.append(f"{full}_sum{labels} {repr(float(total))}")
+        for stat in ("min", "max"):
             emit("gauge", f"{name}_{stat}{labels}", cell.get(stat, 0))
     return "\n".join(lines) + ("\n" if lines else "")
 

@@ -170,6 +170,7 @@ def manifest_for_fit(
         }
     else:
         metrics = {"counters": {}, "gauges": {}, "histograms": {}}
+    memory = dict(getattr(telemetry, "memory", {}) or {})
     graph = getattr(result, "graph", None)
     document.update(
         {
@@ -187,6 +188,12 @@ def manifest_for_fit(
             "total_seconds": float(sum(stages.values())),
         }
     )
+    if memory:
+        # Optional section (absent pre-memory manifests stay valid):
+        # {stage: {"alloc_bytes", "peak_alloc_bytes", "peak_rss_bytes"}}.
+        document["memory"] = {
+            stage: dict(stats) for stage, stats in memory.items()
+        }
     if extra:
         document["extra"] = _jsonable(dict(extra))
     return document
@@ -272,6 +279,8 @@ def validate_manifest(document: Mapping) -> None:
             raise DataError(f"stage {stage!r} timing must be a number")
     if not isinstance(document["total_seconds"], (int, float)):
         raise DataError("manifest total_seconds must be a number")
+    if "memory" in document and not isinstance(document["memory"], Mapping):
+        raise DataError("manifest key 'memory' must be an object")
 
 
 def write_manifest(document: Mapping, path: PathLike) -> Path:

@@ -1,0 +1,213 @@
+"""Per-span memory attribution: tracemalloc deltas plus RSS readings.
+
+The pair-count matrices and the IMI matrix are the pipeline's memory
+wall (O(n²) each); this module makes that visible per stage without new
+dependencies:
+
+* **allocation attribution** — :mod:`tracemalloc` current/peak readings
+  around each measured block give ``alloc_bytes`` (net Python-heap
+  delta) and ``peak_alloc_bytes`` (high-water mark *inside* the block,
+  correctly propagated through nesting);
+* **process RSS** — read from ``/proc/self/status`` (``VmRSS`` /
+  ``VmHWM``) with a ``resource.getrusage`` fallback, so numpy buffers —
+  which tracemalloc only partially sees — still register.
+
+Mirrors the tracer's contract: measuring only *observes* (fit results
+are bit-identical with memory attribution on or off), and the disabled
+path is the shared no-op :data:`NULL_MEMORY`, costing one method call
+per instrumentation site.
+
+``tracemalloc`` itself is the expensive part (every allocation pays a
+bookkeeping hit while tracing); that is why memory attribution is a
+separate opt-in knob (``TendsConfig.memory``) rather than riding along
+with ``trace``.
+"""
+
+from __future__ import annotations
+
+import threading
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "MemoryTracker",
+    "NullMemoryTracker",
+    "NULL_MEMORY",
+    "read_rss_bytes",
+    "read_peak_rss_bytes",
+]
+
+
+def _proc_status_kb(field: str) -> int | None:
+    """Read one ``kB`` field (``VmRSS`` / ``VmHWM``) from /proc/self/status."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith(field + ":"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def read_rss_bytes() -> int | None:
+    """Current resident set size in bytes (``None`` when unreadable)."""
+    kb = _proc_status_kb("VmRSS")
+    return None if kb is None else kb * 1024
+
+
+def read_peak_rss_bytes() -> int | None:
+    """Process-lifetime peak RSS in bytes.
+
+    ``VmHWM`` from /proc on Linux; elsewhere ``ru_maxrss`` (reported in
+    kilobytes on Linux, bytes on macOS — normalised here to bytes).
+    """
+    kb = _proc_status_kb("VmHWM")
+    if kb is not None:
+        return kb * 1024
+    try:
+        import resource
+        import sys
+
+        maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return maxrss if sys.platform == "darwin" else maxrss * 1024
+    except Exception:
+        return None
+
+
+class MemoryTracker:
+    """Collects per-stage memory stats; attach one per traced run.
+
+    >>> tracker = MemoryTracker()
+    >>> with tracker.activate():
+    ...     with tracker.measure("stage"):
+    ...         buffer = bytearray(1 << 20)
+    >>> tracker.stages()["stage"]["alloc_bytes"] >= 1 << 20
+    True
+
+    :meth:`measure` blocks nest (a ``total`` measure around stage
+    measures reports the true overall peak), but — like the stages they
+    instrument — are expected to run on one thread at a time.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: dict[str, dict] = {}
+        self._frames: list[dict] = []
+        self._owns_tracing = False
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def activate(self) -> Iterator["MemoryTracker"]:
+        """Start tracemalloc for the ``with`` block (no-op if something
+        else is already tracing; never stops a tracer it did not start)."""
+        owns = not tracemalloc.is_tracing()
+        if owns:
+            tracemalloc.start()
+        self._owns_tracing = owns
+        try:
+            yield self
+        finally:
+            if owns:
+                tracemalloc.stop()
+            self._owns_tracing = False
+
+    @contextmanager
+    def measure(self, name: str, span=None) -> Iterator["MemoryTracker"]:
+        """Attribute the ``with`` block's memory to stage ``name``.
+
+        Records ``alloc_bytes`` (net tracemalloc delta),
+        ``peak_alloc_bytes`` (tracemalloc high-water inside the block,
+        nesting-aware), and ``peak_rss_bytes`` (process peak RSS at
+        block exit).  ``span.set(...)`` mirrors the stats onto a trace
+        span when one is given.
+        """
+        tracing = tracemalloc.is_tracing()
+        current_before = tracemalloc.get_traced_memory()[0] if tracing else 0
+        if tracing:
+            tracemalloc.reset_peak()
+        frame = {"peak": 0}
+        self._frames.append(frame)
+        try:
+            yield self
+        finally:
+            if tracing and tracemalloc.is_tracing():
+                current_after, segment_peak = tracemalloc.get_traced_memory()
+            else:
+                current_after, segment_peak = current_before, 0
+            self._frames.pop()
+            peak = max(segment_peak, frame["peak"])
+            if self._frames:
+                # Propagate into the enclosing measure: reset_peak wiped
+                # the interpreter's high-water mark, so the parent must
+                # learn about this block's peak explicitly.
+                parent = self._frames[-1]
+                parent["peak"] = max(parent["peak"], peak)
+            if tracing and tracemalloc.is_tracing():
+                tracemalloc.reset_peak()
+            stats = {
+                "alloc_bytes": int(current_after - current_before),
+                "peak_alloc_bytes": int(peak),
+                "peak_rss_bytes": read_peak_rss_bytes(),
+            }
+            with self._lock:
+                known = self._stages.get(name)
+                if known is None:
+                    self._stages[name] = stats
+                else:
+                    # Re-entered stage (e.g. retries): sum the net
+                    # allocations, keep the highest peaks.
+                    known["alloc_bytes"] += stats["alloc_bytes"]
+                    known["peak_alloc_bytes"] = max(
+                        known["peak_alloc_bytes"], stats["peak_alloc_bytes"]
+                    )
+                    if stats["peak_rss_bytes"] is not None:
+                        known["peak_rss_bytes"] = max(
+                            known["peak_rss_bytes"] or 0,
+                            stats["peak_rss_bytes"],
+                        )
+            if span is not None:
+                span.set(**stats)
+
+    # ------------------------------------------------------------------
+    def stages(self) -> dict[str, dict]:
+        """Copy of every measured stage's stats."""
+        with self._lock:
+            return {name: dict(stats) for name, stats in self._stages.items()}
+
+
+class _NullContext:
+    """Shared do-nothing context manager (the disabled fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullMemoryTracker:
+    """No-op twin of :class:`MemoryTracker`, mirroring ``NULL_TRACER``."""
+
+    enabled: bool = False
+
+    def activate(self) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def measure(self, name: str, span=None) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def stages(self) -> dict[str, dict]:
+        return {}
+
+
+#: Process-wide disabled memory tracker.
+NULL_MEMORY = NullMemoryTracker()

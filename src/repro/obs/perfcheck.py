@@ -164,7 +164,12 @@ def compare_profiles(
         base_s = float(baseline[entry])
         cur_s = float(current[entry])
         if base_s < min_seconds and cur_s < min_seconds:
-            skipped.append(f"{entry}: below {min_seconds}s noise floor")
+            floor = (
+                f"{min_seconds / 1e6:.1f}MB"
+                if entry.startswith("mem:")
+                else f"{min_seconds}s"
+            )
+            skipped.append(f"{entry}: below {floor} noise floor")
             continue
         comparisons.append(
             TimingComparison(
@@ -188,6 +193,14 @@ def compare_profiles(
     )
 
 
+def _format_value(entry: str, value: float) -> str:
+    # Trend ledgers mix timing entries with ``mem:`` byte counts; show
+    # the latter in MB instead of pretending bytes are seconds.
+    if entry.startswith("mem:"):
+        return f"{value / 1e6:.1f}MB"
+    return f"{value:.3f}s"
+
+
 def format_report(report: PerfCheckReport) -> str:
     """Human-readable verdict table for the CLI."""
     lines = [
@@ -196,8 +209,10 @@ def format_report(report: PerfCheckReport) -> str:
     ]
     for c in report.comparisons:
         ratio = "inf" if math.isinf(c.ratio) else f"{c.ratio:.2f}x"
+        baseline = _format_value(c.entry, c.baseline_seconds)
+        current = _format_value(c.entry, c.current_seconds)
         lines.append(
-            f"{c.entry:<24} {c.baseline_seconds:>9.3f}s {c.current_seconds:>9.3f}s "
+            f"{c.entry:<24} {baseline:>10} {current:>10} "
             f"{ratio:>7} {c.max_slowdown:>6.2f}x  "
             f"{'ok' if c.ok else 'REGRESSION'}"
         )

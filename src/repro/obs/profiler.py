@@ -1,0 +1,442 @@
+"""Dependency-free sampling wall-clock profiler.
+
+The span tracer (:mod:`repro.obs.trace`) answers *which stage* was slow;
+this module answers *which frames* burned the CPU inside it.  A daemon
+thread samples ``sys._current_frames()`` at a configurable rate and
+folds each observed call stack into Brendan-Gregg-style collapsed
+counts (``root;child;leaf <samples>``), which render as an SVG
+flamegraph in the same hand-built, no-matplotlib style as
+:mod:`repro.evaluation.plotting`.
+
+Design constraints, mirroring the tracer:
+
+* **pure observer** — sampling reads interpreter frames; it never
+  touches the profiled code's state, so fit results are bit-identical
+  with profiling on or off.
+* **zero cost when disabled** — :data:`NULL_PROFILER` mirrors
+  :data:`~repro.obs.trace.NULL_TRACER`: every method is a no-op and
+  ``profiled()`` with ``enabled=False`` adds one context-manager enter.
+* **stdlib only** — ``sys._current_frames()`` is CPython's documented
+  (if underscored) all-thread frame snapshot; no psutil, no py-spy.
+
+Sampling bias caveats are the usual ones: stacks are wall-clock
+samples, so frames blocked in C extensions without releasing the GIL
+are invisible, and anything shorter than ``1/hz`` seconds may be
+missed entirely.  Use the span tracer for exact stage accounting and
+this profiler for *where inside the stage*.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping, Union
+from xml.sax.saxutils import escape
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Profile",
+    "SamplingProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "profiled",
+    "profile_for",
+    "render_flamegraph",
+    "write_flamegraph",
+]
+
+PathLike = Union[str, Path]
+
+#: Default sampling rate.  A prime keeps samples from phase-locking
+#: with timer-driven loops (the classic 100 Hz aliasing trap).
+DEFAULT_HZ = 97.0
+
+#: Flamegraph frame palette — the Okabe–Ito colours the repo's charts
+#: use, cycled deterministically by frame-name hash so the same frame
+#: keeps its colour across renders.
+_PALETTE = (
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#E69F00",
+    "#56B4E9",
+)
+
+
+def _frame_label(frame) -> str:
+    """``module.function`` label for one interpreter frame."""
+    code = frame.f_code
+    return f"{Path(code.co_filename).stem}.{code.co_name}"
+
+
+def _collapse(frame, max_depth: int) -> str:
+    """Fold a leaf frame's call chain into ``root;...;leaf``."""
+    labels: list[str] = []
+    while frame is not None and len(labels) < max_depth:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+    return ";".join(reversed(labels))
+
+
+@dataclass(frozen=True)
+class Profile:
+    """One completed sampling run.
+
+    Attributes
+    ----------
+    stacks:
+        Collapsed-stack sample counts: ``"root;child;leaf" -> samples``.
+    samples:
+        Total samples recorded (sum of ``stacks`` values).
+    duration:
+        Wall-clock seconds the sampler ran.
+    hz:
+        The configured sampling rate.
+    """
+
+    stacks: Mapping[str, int] = field(default_factory=dict)
+    samples: int = 0
+    duration: float = 0.0
+    hz: float = DEFAULT_HZ
+
+    def collapsed(self) -> str:
+        """Folded-format text (``stack count`` per line, busiest first) —
+        feedable to any flamegraph toolchain."""
+        ordered = sorted(self.stacks.items(), key=lambda kv: (-kv[1], kv[0]))
+        return "\n".join(f"{stack} {count}" for stack, count in ordered)
+
+    def top(self, n: int = 10) -> list[tuple[str, int]]:
+        """Busiest leaf frames by self samples (the frame actually on
+        CPU when the sample fired)."""
+        by_leaf: dict[str, int] = {}
+        for stack, count in self.stacks.items():
+            leaf = stack.rsplit(";", 1)[-1]
+            by_leaf[leaf] = by_leaf.get(leaf, 0) + count
+        ordered = sorted(by_leaf.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ordered[:n]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``/debug/profile`` payload)."""
+        return {
+            "samples": self.samples,
+            "duration_seconds": self.duration,
+            "hz": self.hz,
+            "stacks": dict(self.stacks),
+            "top": [list(entry) for entry in self.top(20)],
+        }
+
+    def flamegraph_svg(self, *, title: str = "flamegraph") -> str:
+        """Render this profile as an SVG flamegraph."""
+        return render_flamegraph(self.stacks, title=title)
+
+    def annotate(self, span) -> None:
+        """Attach summary attrs to a span (``profile_samples``,
+        ``profile_top``) — how a profile rides in a trace."""
+        top = self.top(1)
+        span.set(
+            profile_samples=self.samples,
+            profile_seconds=round(self.duration, 6),
+            profile_top=top[0][0] if top else None,
+        )
+
+
+class SamplingProfiler:
+    """Background-thread sampling profiler over ``sys._current_frames()``.
+
+    >>> profiler = SamplingProfiler(hz=200)
+    >>> profiler.start()
+    >>> sum(i * i for i in range(200_000))  # doctest: +SKIP
+    >>> profile = profiler.stop()           # doctest: +SKIP
+
+    Parameters
+    ----------
+    hz:
+        Target samples per second (> 0).  Real rates cap out around the
+        platform timer granularity; 97 (the default) is plenty for
+        stage-level attribution.
+    threads:
+        ``"all"`` (default) samples every thread except the sampler
+        itself; a collection of thread idents restricts sampling to
+        those threads.
+    max_depth:
+        Frames kept per stack (deeper chains are truncated at the root
+        end, keeping the leaves — the part that names the hot code).
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_HZ,
+        *,
+        threads: str | tuple[int, ...] = "all",
+        max_depth: int = 64,
+    ) -> None:
+        if hz <= 0:
+            raise ConfigurationError(f"hz must be positive, got {hz}")
+        if max_depth < 1:
+            raise ConfigurationError(f"max_depth must be >= 1, got {max_depth}")
+        self.hz = float(hz)
+        self.max_depth = max_depth
+        self._threads = (
+            "all" if threads == "all" else frozenset(int(t) for t in threads)
+        )
+        self._stacks: dict[str, int] = {}
+        self._samples = 0
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+        self._lock = threading.Lock()
+        #: The profile captured by the context-manager form.
+        self.profile: Profile | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        """Spawn the sampling thread; returns ``self`` for chaining."""
+        if self._thread is not None:
+            raise ConfigurationError("profiler already running")
+        self._stop_event.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> Profile:
+        """Stop sampling and return the captured :class:`Profile`."""
+        thread = self._thread
+        if thread is None:
+            raise ConfigurationError("profiler is not running")
+        self._stop_event.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        duration = time.perf_counter() - self._started_at
+        with self._lock:
+            stacks = dict(self._stacks)
+            samples = self._samples
+            self._stacks = {}
+            self._samples = 0
+        self.profile = Profile(
+            stacks=stacks, samples=samples, duration=duration, hz=self.hz
+        )
+        return self.profile
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        own_ident = threading.get_ident()
+        while not self._stop_event.wait(interval):
+            frames = sys._current_frames()
+            with self._lock:
+                for ident, frame in frames.items():
+                    if ident == own_ident:
+                        continue
+                    if self._threads != "all" and ident not in self._threads:
+                        continue
+                    stack = _collapse(frame, self.max_depth)
+                    if not stack:
+                        continue
+                    self._stacks[stack] = self._stacks.get(stack, 0) + 1
+                    self._samples += 1
+
+
+class NullProfiler:
+    """No-op twin of :class:`SamplingProfiler` (the disabled fast path)."""
+
+    enabled: bool = False
+    hz: float = 0.0
+    profile: Profile | None = None
+
+    def start(self) -> "NullProfiler":
+        return self
+
+    def stop(self) -> Profile:
+        return _EMPTY_PROFILE
+
+    def __enter__(self) -> "NullProfiler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_EMPTY_PROFILE = Profile()
+
+#: Process-wide disabled profiler, mirroring ``NULL_TRACER``.
+NULL_PROFILER = NullProfiler()
+
+
+@contextmanager
+def profiled(
+    span=None, *, hz: float = DEFAULT_HZ, enabled: bool = True
+) -> Iterator[SamplingProfiler | NullProfiler]:
+    """Profile the ``with`` block; optionally annotate a span.
+
+    The attachable-to-any-span-scope form::
+
+        with tracer.span("tends.search") as span, profiled(span) as prof:
+            ...
+        prof.profile.collapsed()
+    """
+    profiler: SamplingProfiler | NullProfiler = (
+        SamplingProfiler(hz=hz) if enabled else NULL_PROFILER
+    )
+    profiler.start()
+    try:
+        yield profiler
+    finally:
+        profile = profiler.stop()
+        profiler.profile = profile
+        if span is not None and profile.samples:
+            profile.annotate(span)
+
+
+def profile_for(seconds: float, *, hz: float = DEFAULT_HZ) -> Profile:
+    """Sample every thread for ``seconds`` and return the profile (the
+    ``GET /debug/profile?seconds=N`` primitive)."""
+    if seconds <= 0:
+        raise ConfigurationError(f"seconds must be positive, got {seconds}")
+    profiler = SamplingProfiler(hz=hz)
+    profiler.start()
+    time.sleep(seconds)
+    return profiler.stop()
+
+
+# ----------------------------------------------------------------------
+# collapsed stacks → SVG flamegraph
+# ----------------------------------------------------------------------
+
+class _Node:
+    __slots__ = ("name", "count", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.children: dict[str, _Node] = {}
+
+
+def _build_tree(stacks: Mapping[str, int]) -> _Node:
+    root = _Node("all")
+    for stack, count in stacks.items():
+        root.count += count
+        node = root
+        for label in stack.split(";"):
+            child = node.children.get(label)
+            if child is None:
+                child = node.children[label] = _Node(label)
+            child.count += count
+            node = child
+    return root
+
+
+def _depth(node: _Node) -> int:
+    if not node.children:
+        return 1
+    return 1 + max(_depth(child) for child in node.children.values())
+
+
+def render_flamegraph(
+    stacks: Mapping[str, int],
+    *,
+    title: str = "flamegraph",
+    width: int = 960,
+    row_height: int = 18,
+    min_fraction: float = 0.002,
+) -> str:
+    """Render collapsed-stack counts as a standalone SVG flamegraph.
+
+    Icicle orientation (root on top), frame width proportional to
+    inclusive samples, hover ``<title>`` tooltips with exact counts,
+    and frames narrower than ``min_fraction`` of the total pruned to
+    keep the document small.  Like the rest of the repo's figures this
+    is hand-built SVG — no matplotlib, no JS.
+    """
+    root = _build_tree(stacks)
+    total = max(root.count, 1)
+    margin_top, margin_side, margin_bottom = 40, 10, 10
+    plot_w = width - 2 * margin_side
+    depth = _depth(root) if root.children else 1
+    height = margin_top + depth * row_height + margin_bottom
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.1f}" y="24" text-anchor="middle" '
+        f'font-size="15" font-family="sans-serif">'
+        f"{escape(title)} — {total} samples</text>",
+    ]
+
+    def emit(node: _Node, x: float, level: int) -> None:
+        node_w = node.count / total * plot_w
+        if node_w < min_fraction * plot_w:
+            return
+        y = margin_top + level * row_height
+        colour = _PALETTE[zlib.crc32(node.name.encode()) % len(_PALETTE)]
+        pct = 100.0 * node.count / total
+        parts.append(
+            f'<g><rect x="{x:.2f}" y="{y}" width="{node_w:.2f}" '
+            f'height="{row_height - 1}" fill="{colour}" fill-opacity="0.85" '
+            f'stroke="white" stroke-width="0.5">'
+            f"<title>{escape(node.name)}: {node.count} samples "
+            f"({pct:.1f}%)</title></rect>"
+        )
+        if node_w > 40:
+            label = node.name
+            keep = max(int(node_w / 7) - 1, 1)
+            if len(label) > keep:
+                label = label[: max(keep - 1, 1)] + "…"
+            parts.append(
+                f'<text x="{x + 3:.2f}" y="{y + row_height - 5}" '
+                f'fill="white">{escape(label)}</text>'
+            )
+        parts.append("</g>")
+        child_x = x
+        for name in sorted(node.children):
+            child = node.children[name]
+            emit(child, child_x, level + 1)
+            child_x += child.count / total * plot_w
+
+    if root.children:
+        # The synthetic "all" root is level 0; real frames start there
+        # too when there is exactly one root frame, so draw children
+        # directly — every pixel of row 0 is real code.
+        child_x = float(margin_side)
+        for name in sorted(root.children):
+            child = root.children[name]
+            emit(child, child_x, 0)
+            child_x += child.count / total * plot_w
+    else:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="{margin_top + 14}" '
+            f'text-anchor="middle" font-family="sans-serif">'
+            f"no samples captured</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_flamegraph(
+    stacks: Mapping[str, int], path: PathLike, **kwargs
+) -> Path:
+    """Render and write :func:`render_flamegraph` output."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_flamegraph(stacks, **kwargs), encoding="utf-8")
+    return path

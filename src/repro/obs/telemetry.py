@@ -25,6 +25,11 @@ class Telemetry:
     epoch_offset:
         The recording tracer's wall-clock anchor (see
         :class:`~repro.obs.trace.Tracer`), forwarded to exporters.
+    memory:
+        Per-stage memory stats from a
+        :class:`~repro.obs.memory.MemoryTracker` (``{stage:
+        {"alloc_bytes", "peak_alloc_bytes", "peak_rss_bytes"}}``);
+        empty unless the run enabled memory attribution.
     """
 
     spans: tuple[Span, ...] = ()
@@ -32,6 +37,7 @@ class Telemetry:
         default_factory=lambda: {"counters": {}, "gauges": {}, "histograms": {}}
     )
     epoch_offset: float = 0.0
+    memory: Mapping = field(default_factory=dict)
 
     def counter(self, key: str, default: float = 0) -> float:
         """Convenience read of one counter from the snapshot."""

@@ -21,7 +21,11 @@ around failure as the default case:
   concurrent readers, crash-atomic snapshots, graceful SIGTERM/SIGINT
   drain, and health/stats surfaces on the :mod:`repro.obs` registry;
 * :mod:`repro.serve.http` — an optional stdlib HTTP frontend
-  (``POST /ingest``, ``GET /edges`` / ``/health`` / ``/stats``).
+  (``POST /ingest``, ``GET /edges`` / ``/health`` / ``/stats`` /
+  ``/metrics``, plus ``/debug/trace`` and ``/debug/profile``);
+* :class:`~repro.serve.recorder.FlightRecorder` — a bounded ring of
+  the most recent spans and absorb outcomes, always available when an
+  incident needs a post-hoc look.
 
 The absorb loop can additionally run the per-pair drift detector
 (:mod:`repro.core.drift`) after every absorb and respond per the
@@ -44,6 +48,7 @@ from repro.serve.journal import (
     encode_statuses,
 )
 from repro.serve.policy import BACKPRESSURE_POLICIES, BatchPolicy, BoundedQueue
+from repro.serve.recorder import FlightRecorder
 from repro.serve.service import DRIFT_POLICIES, IngestService, ServiceStats
 
 __all__ = [
@@ -51,6 +56,7 @@ __all__ = [
     "DRIFT_POLICIES",
     "BatchPolicy",
     "BoundedQueue",
+    "FlightRecorder",
     "IngestJournal",
     "IngestRecord",
     "IngestService",

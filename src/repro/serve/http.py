@@ -18,7 +18,17 @@ Endpoints (all JSON):
 ``GET /edges``
     Current edge set and per-edge IMI/threshold confidence margins.
 ``GET /metrics``
-    The service's :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+    Prometheus exposition text (``text/plain; version=0.0.4``) of the
+    service's :class:`~repro.obs.metrics.MetricsRegistry` — scrapeable
+    as-is.  ``?format=json`` returns the raw snapshot dict instead.
+``GET /debug/trace``
+    The flight recorder's retained spans and events (see
+    :meth:`~repro.serve.service.IngestService.debug_trace`) — the
+    post-incident "what just happened" surface.
+``GET /debug/profile?seconds=N&hz=H``
+    Run the sampling profiler over the live process for ``N`` seconds
+    (default 1, capped at 30) and return the collapsed-stack profile
+    (:meth:`~repro.obs.profiler.Profile.to_dict`).
 
 The server is a ``ThreadingHTTPServer``: every reader gets its own
 thread, which is exactly the concurrent-reader scenario the service's
@@ -35,7 +45,9 @@ from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
-from repro.exceptions import CheckpointError, ServiceError
+from repro.exceptions import CheckpointError, ConfigurationError, ServiceError
+from repro.obs.export import prometheus_text
+from repro.obs.profiler import profile_for
 from repro.serve.journal import decode_statuses
 from repro.serve.service import IngestService
 from repro.simulation.statuses import StatusMatrix
@@ -64,6 +76,16 @@ class ServeHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_text(
+        self, status: int, text: str, content_type: str
+    ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -97,7 +119,34 @@ class ServeHandler(BaseHTTPRequestHandler):
                     },
                 )
             elif parsed.path == "/metrics":
-                self._reply(200, self.service.metrics.snapshot())
+                snapshot = self.service.metrics.snapshot()
+                if query.get("format", [""])[-1] == "json":
+                    self._reply(200, snapshot)
+                else:
+                    self._reply_text(
+                        200,
+                        prometheus_text(snapshot),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+            elif parsed.path == "/debug/trace":
+                self._reply(200, self.service.debug_trace())
+            elif parsed.path == "/debug/profile":
+                try:
+                    seconds = float(query.get("seconds", ["1"])[-1])
+                    hz = float(query.get("hz", ["97"])[-1])
+                except ValueError as exc:
+                    self._reply(400, {"error": f"bad query parameter: {exc}"})
+                    return
+                # Bound the sampling window: the request thread blocks for
+                # its duration, and this is a debug surface.
+                seconds = min(max(seconds, 0.05), 30.0)
+                hz = min(max(hz, 1.0), 1000.0)
+                try:
+                    profile = profile_for(seconds, hz=hz)
+                except ConfigurationError as exc:
+                    self._reply(409, {"error": str(exc)})
+                    return
+                self._reply(200, profile.to_dict())
             else:
                 self._reply(404, {"error": f"unknown path {parsed.path}"})
         except Exception as exc:  # pragma: no cover - defensive

@@ -1,0 +1,84 @@
+"""The serve flight recorder: a bounded ring of recent spans and events.
+
+A long-running :class:`~repro.serve.service.IngestService` cannot keep
+an unbounded span list (the fit tracer's model), so the recorder is a
+:class:`~repro.obs.trace.Tracer` whose span store is a ``deque`` with a
+fixed capacity — old spans fall off the back as new ones land — plus a
+second bounded ring of discrete *events* (absorb outcomes, publishes,
+quarantines) stamped with wall-clock time.
+
+``GET /debug/trace`` serves :meth:`FlightRecorder.snapshot`; the data is
+always there when an incident happens, at O(capacity) memory forever.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Iterator
+
+from repro.exceptions import ConfigurationError
+from repro.obs.trace import Span, Tracer
+
+__all__ = ["FlightRecorder", "DEFAULT_CAPACITY"]
+
+#: Default ring capacity (spans and events each).
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder(Tracer):
+    """A tracer that keeps only the newest ``capacity`` spans.
+
+    Inherits the whole tracing contract (nested :meth:`span`, worker
+    :meth:`adopt`, thread-safety); only the storage is bounded.
+
+    >>> recorder = FlightRecorder(capacity=2)
+    >>> for k in range(3):
+    ...     with recorder.span("step", k=k):
+    ...         pass
+    >>> [s.attrs["k"] for s in recorder.finished()]
+    [1, 2]
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"flight recorder capacity must be >= 1, got {capacity}"
+            )
+        super().__init__()
+        self.capacity = capacity
+        # Every Tracer method touches _spans only via append/extend and
+        # tuple(), all of which a bounded deque supports.
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._events: deque[dict] = deque(maxlen=capacity)
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, **fields) -> dict:
+        """Append one discrete event (absorb outcome, publish, ...) to
+        the event ring and return it."""
+        event = {"kind": kind, "unix_time": time.time(), **fields}
+        with self._lock:
+            self._events.append(event)
+        return event
+
+    def events(self) -> tuple[dict, ...]:
+        """The retained events, oldest first."""
+        with self._lock:
+            return tuple(dict(event) for event in self._events)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``GET /debug/trace`` payload: retained spans (exported
+        dicts, oldest first), retained events, and ring metadata."""
+        with self._lock:
+            spans = [span.to_dict() for span in self._spans]
+            events = [dict(event) for event in self._events]
+        return {
+            "capacity": self.capacity,
+            "epoch_offset": self.epoch_offset,
+            "spans": spans,
+            "events": events,
+        }
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.finished())

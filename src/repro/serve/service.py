@@ -61,6 +61,7 @@ from repro.exceptions import (
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.serve.journal import IngestJournal, IngestRecord, QuarantineStore
+from repro.serve.recorder import DEFAULT_CAPACITY, FlightRecorder
 from repro.serve.policy import BatchPolicy, BoundedQueue, QueueItem
 from repro.simulation.statuses import StatusMatrix, validate_observations
 from repro.utils.logging import get_logger
@@ -162,6 +163,12 @@ class IngestService:
     hang_timeout / watchdog_interval:
         Absorb-loop heartbeat staleness that triggers a watchdog
         restart, and how often the watchdog checks.
+    flight_recorder:
+        Capacity of the bounded span/event ring behind ``GET
+        /debug/trace`` (:class:`~repro.serve.recorder.FlightRecorder`);
+        ``None`` or ``0`` disables it.  When no ``tracer`` is supplied
+        the recorder doubles as the service tracer, so the most recent
+        absorb spans are always inspectable at O(capacity) memory.
     estimator_overrides:
         Execution/observability ``TendsConfig`` overrides for the
         resuming estimator (executor, n_jobs, kernel, ...); algorithm
@@ -198,6 +205,7 @@ class IngestService:
         watchdog_interval: float = 0.5,
         metrics: MetricsRegistry | None = None,
         tracer: "Tracer | NullTracer" = NULL_TRACER,
+        flight_recorder: int | None = DEFAULT_CAPACITY,
         estimator_overrides: Mapping | None = None,
         clock: Callable[[], float] = time.monotonic,
         drift: str = "off",
@@ -231,6 +239,19 @@ class IngestService:
         self.hang_timeout = hang_timeout
         self.watchdog_interval = watchdog_interval
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Flight recorder: a bounded span/event ring for /debug/trace.
+        # When the caller supplies no tracer of their own, the recorder
+        # doubles as the service tracer so absorb spans land in the ring;
+        # a caller-supplied FlightRecorder is reused; any other explicit
+        # tracer wins and the recorder keeps only its event ring.
+        self.recorder: FlightRecorder | None = None
+        if flight_recorder:
+            if isinstance(tracer, FlightRecorder):
+                self.recorder = tracer
+            else:
+                self.recorder = FlightRecorder(flight_recorder)
+                if isinstance(tracer, NullTracer):
+                    tracer = self.recorder
         self.tracer = tracer
         self._clock = clock
         self._overrides = dict(estimator_overrides or {})
@@ -464,27 +485,43 @@ class IngestService:
             )
         if statuses.beta == 0:
             raise ServiceError("empty batch (beta=0) submitted")
-        with self._submit_lock:
-            record = self._journal.append(statuses)
-            self._submitted += 1
-            self.metrics.inc("serve_submitted_batches_total")
-            self.metrics.inc("serve_submitted_cascades_total", statuses.beta)
-            try:
-                shed = self._queue.put(
-                    record, weight=statuses.beta, timeout=timeout
-                )
-            except ServiceError:
-                self._quarantine_record(
-                    record, reason="rejected",
-                    error="bounded queue full (backpressure policy)",
-                )
-                raise
-            for dropped in shed:
-                self._quarantine_record(
-                    dropped, reason="shed",
-                    error="dropped by shed backpressure under overload",
-                )
+        started = time.perf_counter()
+        try:
+            with self._submit_lock:
+                record = self._journal.append(statuses)
+                self._submitted += 1
+                self.metrics.inc("serve_submitted_batches_total")
+                self.metrics.inc("serve_submitted_cascades_total", statuses.beta)
+                try:
+                    shed = self._queue.put(
+                        record, weight=statuses.beta, timeout=timeout
+                    )
+                except ServiceError:
+                    self._quarantine_record(
+                        record, reason="rejected",
+                        error="bounded queue full (backpressure policy)",
+                    )
+                    raise
+                for dropped in shed:
+                    self._quarantine_record(
+                        dropped, reason="shed",
+                        error="dropped by shed backpressure under overload",
+                    )
+        finally:
+            # Journal append + enqueue (including any backpressure wait):
+            # the latency a producer actually experiences.
+            self.metrics.observe(
+                "serve_submit_seconds", time.perf_counter() - started
+            )
+        self._record_event("submit", seq=record.seq, cascades=statuses.beta)
         return record.seq
+
+    def _record_event(self, kind: str, **fields) -> None:
+        """Append one discrete outcome to the flight recorder's event
+        ring (no-op when the recorder is disabled)."""
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record(kind, **fields)
 
     def _quarantine_record(
         self,
@@ -501,6 +538,7 @@ class IngestService:
             self._quarantined_seqs.add(record.seq)
         self._quarantined_total += 1
         self.metrics.inc("serve_quarantined_total", reason=reason)
+        self._record_event("quarantine", seq=record.seq, reason=reason)
         _LOGGER.warning(
             "quarantined batch seq=%d (%s): %s", record.seq, reason, error
         )
@@ -616,9 +654,14 @@ class IngestService:
                 return None  # retired mid-retry
             try:
                 self._heartbeat = self._clock()
-                return self._absorb_step(
+                started = time.perf_counter()
+                result = self._absorb_step(
                     estimator, batch, seq=token, during_replay=False
                 )
+                self.metrics.observe(
+                    "serve_absorb_seconds", time.perf_counter() - started
+                )
+                return result
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception as exc:
@@ -789,6 +832,12 @@ class IngestService:
             self.metrics.set_gauge("serve_model_beta", float(self._model.beta))
             self.metrics.set_gauge(
                 "serve_model_edges", float(sum(map(len, self._model.parent_sets)))
+            )
+            self._record_event(
+                "publish",
+                seq=self._absorbed_seq,
+                batches=len(records),
+                model_beta=self._model.beta,
             )
             if self._since_snapshot >= self.snapshot_every:
                 self._save_snapshot()
@@ -965,6 +1014,24 @@ class IngestService:
                 "last_nodes_affected": stats.drift_last_nodes,
             },
         }
+
+    def debug_trace(self) -> dict:
+        """The ``GET /debug/trace`` payload: the flight recorder's
+        retained spans and events plus the service status, or an empty
+        shell (``enabled: false``) when the recorder is disabled."""
+        if self.recorder is None:
+            payload: dict = {
+                "enabled": False,
+                "capacity": 0,
+                "spans": [],
+                "events": [],
+            }
+        else:
+            payload = {"enabled": True, **self.recorder.snapshot()}
+        stats = self.stats()
+        payload["status"] = stats.status
+        payload["absorbed_seq"] = stats.absorbed_seq
+        return payload
 
     def _degraded(self) -> bool:
         """Honest degradation: quarantined work is sitting in the store,

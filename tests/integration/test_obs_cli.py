@@ -152,6 +152,110 @@ class TestPerfCheck:
         assert "cannot build a timing profile" in capsys.readouterr().err
 
 
+class TestProfileCommand:
+    def test_profiled_fit_emits_every_artifact(
+        self, tmp_path, statuses_file, capsys
+    ):
+        collapsed = tmp_path / "prof.folded"
+        flame = tmp_path / "prof.svg"
+        manifest = tmp_path / "prof.json"
+        ledger = tmp_path / "trend.jsonl"
+        code = main([
+            "profile", str(statuses_file),
+            "--hz", "300",
+            "--collapsed", str(collapsed),
+            "--flamegraph", str(flame),
+            "--manifest-out", str(manifest),
+            "--trend-out", str(ledger),
+            "-o", str(tmp_path / "inferred.txt"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profiled fit:" in out
+        assert "memory total:" in out
+        assert collapsed.exists()
+        svg = flame.read_text()
+        assert svg.startswith("<svg") and svg.rstrip().endswith("</svg>")
+        assert (tmp_path / "inferred.txt").exists()
+        loaded = load_manifest(manifest)
+        assert loaded["kind"] == "tends.fit"
+        assert "memory" in loaded
+        assert loaded["extra"]["profile_hz"] == 300
+        entry = json.loads(ledger.read_text().splitlines()[0])
+        assert entry["label"] == "profile"
+        assert any(k.startswith("mem:") for k in entry["memory"])
+
+
+class TestTrendWorkflow:
+    def _grow_ledger(self, tmp_path, statuses_file, runs=3):
+        ledger = tmp_path / "trend.jsonl"
+        for _ in range(runs):
+            assert main([
+                "infer", str(statuses_file),
+                "-o", str(tmp_path / "inferred.txt"),
+                "--memory", "--trend-out", str(ledger),
+            ]) == 0
+        return ledger
+
+    def test_steady_ledger_passes_trend_check(
+        self, tmp_path, statuses_file, capsys
+    ):
+        ledger = self._grow_ledger(tmp_path, statuses_file)
+        assert main(["perf-check", "--trend", str(ledger)]) == 0
+        assert "perf-check: PASS" in capsys.readouterr().out
+
+    def test_planted_regression_fails_trend_check(
+        self, tmp_path, statuses_file, capsys
+    ):
+        ledger = self._grow_ledger(tmp_path, statuses_file)
+        entries = [json.loads(l) for l in ledger.read_text().splitlines()]
+        from repro.obs.trend import _with_crc
+
+        slow = dict(entries[-1])
+        slow["timings"] = {
+            k: v * 100 + 1 for k, v in slow["timings"].items()
+        }
+        entries.append(_with_crc({k: v for k, v in slow.items() if k != "crc"}))
+        ledger.write_text(
+            "\n".join(json.dumps(e) for e in entries) + "\n"
+        )
+        assert main(["perf-check", "--trend", str(ledger)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_short_ledger_exits_2(self, tmp_path, statuses_file, capsys):
+        ledger = tmp_path / "trend.jsonl"
+        assert main([
+            "infer", str(statuses_file),
+            "-o", str(tmp_path / "inferred.txt"),
+            "--trend-out", str(ledger),
+        ]) == 0
+        assert main(["perf-check", "--trend", str(ledger)]) == 2
+        assert "at least 2 entries" in capsys.readouterr().err
+
+    def test_trend_and_subject_are_mutually_exclusive(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "perf-check", str(tmp_path / "x.json"),
+            "--trend", str(tmp_path / "t.jsonl"),
+        ]) == 2
+        assert main(["perf-check"]) == 2
+
+    def test_figure_trend_renders_charts(
+        self, tmp_path, statuses_file, capsys
+    ):
+        ledger = self._grow_ledger(tmp_path, statuses_file, runs=2)
+        out_dir = tmp_path / "figs"
+        assert main([
+            "figure", "trend", "--ledger", str(ledger),
+            "--out", str(out_dir),
+        ]) == 0
+        time_svg = (out_dir / "trend-time.svg").read_text()
+        memory_svg = (out_dir / "trend-memory.svg").read_text()
+        assert "<svg" in time_svg and "<svg" in memory_svg
+        assert main(["figure", "trend"]) == 2
+
+
 class TestVerbosity:
     def test_verbose_flag_enables_console_logging(self, tmp_path):
         truth = tmp_path / "truth.txt"

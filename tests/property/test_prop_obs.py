@@ -42,6 +42,37 @@ def test_serial_fit_identical_with_trace_on_and_off(statuses):
 
 @given(statuses=status_matrices)
 @settings(max_examples=15, deadline=None)
+def test_fit_identical_with_memory_attribution_on_and_off(statuses):
+    baseline = _fit(statuses, executor="serial")
+    measured = _fit(statuses, executor="serial", memory=True)
+    _assert_same_inference(baseline, measured)
+    assert baseline.telemetry is None
+    stages = measured.telemetry.memory
+    assert {"imi", "threshold", "search", "total"} <= set(stages)
+    for stats in stages.values():
+        assert stats["peak_alloc_bytes"] >= 0
+        assert stats["peak_alloc_bytes"] >= max(0, stats["alloc_bytes"])
+
+
+@given(statuses=status_matrices)
+@settings(max_examples=10, deadline=None)
+def test_fit_identical_with_trace_and_memory_together(statuses):
+    baseline = _fit(statuses, executor="serial")
+    both = _fit(statuses, executor="serial", trace=True, memory=True)
+    _assert_same_inference(baseline, both)
+    assert both.telemetry.spans
+    assert both.telemetry.memory
+    # The memory stats mirrored onto spans match the stage table.
+    fit_span = next(
+        s for s in both.telemetry.spans if s.name == "tends.fit"
+    )
+    assert fit_span.attrs["peak_alloc_bytes"] == (
+        both.telemetry.memory["total"]["peak_alloc_bytes"]
+    )
+
+
+@given(statuses=status_matrices)
+@settings(max_examples=15, deadline=None)
 def test_threaded_traced_fit_identical_to_serial_untraced(statuses):
     baseline = _fit(statuses, executor="serial")
     traced = _fit(

@@ -1,11 +1,13 @@
 """Executor observability: chunk spans per backend, recovery WARNING logs."""
 
+import json
 import logging
 import os
 
 import pytest
 
 from repro.core.executor import ExecutionPlan, ParallelExecutor, RetryPolicy
+from repro.obs.export import chrome_trace, write_chrome_trace
 from repro.obs.trace import NULL_TRACER, Tracer
 from tests.faults import fault_lib
 
@@ -95,6 +97,72 @@ class TestChunkSpans:
         ]
         # Only successful chunk executions ship spans: one per chunk.
         assert len(chunks) == 4
+
+
+class TestChromeTraceExport:
+    """Adopted worker spans must survive the trip into Chrome trace JSON."""
+
+    def _process_run(self, fault_context):
+        tracer = Tracer()
+        executor = make_executor("process", tracer=tracer)
+        with tracer.span("dispatch") as dispatch:
+            results, _ = executor.map(
+                fault_lib.echo_chunk, fault_context, ITEMS
+            )
+        assert results == EXPECTED
+        if executor.last_report.strategy != "process":
+            pytest.skip("process pool unavailable; fell back")
+        return tracer, dispatch
+
+    def test_worker_pids_round_trip_into_lanes(self, fault_context):
+        tracer, _dispatch = self._process_run(fault_context)
+        document = chrome_trace(
+            tracer.finished(), epoch_offset=tracer.epoch_offset
+        )
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        chunks = [e for e in events if e["name"] == "executor.chunk"]
+        assert len(chunks) == 4
+        # Adopted spans keep the worker's pid, not the parent's...
+        assert all(e["pid"] != os.getpid() for e in chunks)
+        # ...and every (pid, tid) lane is named via thread_name metadata,
+        # so workers render as their own rows in the viewer.
+        metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        named_lanes = {(e["pid"], e["tid"]) for e in metadata}
+        assert {(e["pid"], e["tid"]) for e in chunks} <= named_lanes
+        dispatch_event = next(e for e in events if e["name"] == "dispatch")
+        assert (dispatch_event["pid"], dispatch_event["tid"]) in named_lanes
+
+    def test_adopted_spans_nest_under_dispatch_in_args(self, fault_context):
+        tracer, dispatch = self._process_run(fault_context)
+        document = chrome_trace(tracer.finished())
+        chunks = [
+            e for e in document["traceEvents"]
+            if e.get("name") == "executor.chunk"
+        ]
+        assert all(
+            e["args"]["parent_id"] == dispatch.span_id for e in chunks
+        )
+        assert all(e["dur"] >= 0 for e in chunks)
+
+    def test_written_trace_is_loadable_with_worker_spans(
+        self, fault_context, tmp_path
+    ):
+        tracer, _dispatch = self._process_run(fault_context)
+        target = write_chrome_trace(
+            tracer.finished(),
+            tmp_path / "trace.json",
+            epoch_offset=tracer.epoch_offset,
+        )
+        loaded = json.loads(target.read_text())
+        names = {
+            e["name"] for e in loaded["traceEvents"] if e["ph"] == "X"
+        }
+        assert {"dispatch", "executor.chunk"} <= names
+        pids = {
+            e["pid"] for e in loaded["traceEvents"]
+            if e.get("name") == "executor.chunk"
+        }
+        assert pids and os.getpid() not in pids
 
 
 class TestRecoveryLogs:

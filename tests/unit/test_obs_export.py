@@ -141,6 +141,25 @@ class TestPrometheusText:
                             ("min", "3"), ("max", "5")):
             assert f"repro_tends_greedy_iterations_{stat} {value}" in text
 
+    def test_histogram_typed_as_prometheus_summary(self):
+        text = prometheus_text(self._snapshot())
+        # _count/_sum are the summary's own series under one TYPE header;
+        # min/max have no summary equivalent and stay gauges.
+        assert "# TYPE repro_tends_greedy_iterations summary" in text
+        assert "# TYPE repro_tends_greedy_iterations_min gauge" in text
+        assert "# TYPE repro_tends_greedy_iterations_max gauge" in text
+        assert "# TYPE repro_tends_greedy_iterations_count" not in text
+        assert "# TYPE repro_tends_greedy_iterations_sum" not in text
+
+    def test_labelled_histogram_shares_one_type_header(self):
+        metrics = MetricsRegistry()
+        metrics.observe("serve_absorb_seconds", 0.5, policy="block")
+        metrics.observe("serve_absorb_seconds", 0.7, policy="shed")
+        text = prometheus_text(metrics.snapshot())
+        assert text.count("# TYPE repro_serve_absorb_seconds summary") == 1
+        assert 'repro_serve_absorb_seconds_count{policy="block"} 1' in text
+        assert 'repro_serve_absorb_seconds_sum{policy="shed"} 0.7' in text
+
     def test_custom_prefix(self):
         text = prometheus_text(self._snapshot(), prefix="x_")
         assert "# TYPE x_tends_threshold_tau gauge" in text

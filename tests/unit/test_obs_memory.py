@@ -1,0 +1,155 @@
+"""Memory attribution: tracemalloc deltas, nesting, RSS readers, null path."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.tends import Tends
+from repro.obs.memory import (
+    NULL_MEMORY,
+    MemoryTracker,
+    NullMemoryTracker,
+    read_peak_rss_bytes,
+    read_rss_bytes,
+)
+from repro.obs.trace import Tracer
+from repro.simulation.statuses import StatusMatrix
+
+MB = 1 << 20
+
+
+class TestRssReaders:
+    def test_current_rss_is_plausible(self):
+        rss = read_rss_bytes()
+        assert rss is None or rss > MB
+
+    def test_peak_rss_at_least_current(self):
+        peak = read_peak_rss_bytes()
+        assert peak is not None and peak > MB
+        current = read_rss_bytes()
+        if current is not None:
+            assert peak >= current
+
+
+class TestMemoryTracker:
+    def test_attributes_allocation_to_stage(self):
+        tracker = MemoryTracker()
+        with tracker.activate():
+            with tracker.measure("alloc"):
+                buffer = bytearray(4 * MB)
+        stats = tracker.stages()["alloc"]
+        assert stats["alloc_bytes"] >= 4 * MB
+        assert stats["peak_alloc_bytes"] >= 4 * MB
+        assert stats["peak_rss_bytes"] is None or stats["peak_rss_bytes"] > 0
+        del buffer
+
+    def test_freed_memory_nets_out_but_keeps_peak(self):
+        tracker = MemoryTracker()
+        with tracker.activate():
+            with tracker.measure("transient"):
+                buffer = bytearray(4 * MB)
+                del buffer
+        stats = tracker.stages()["transient"]
+        assert stats["alloc_bytes"] < MB  # netted out
+        assert stats["peak_alloc_bytes"] >= 4 * MB  # high-water kept
+
+    def test_nested_peaks_propagate_to_parent(self):
+        tracker = MemoryTracker()
+        with tracker.activate():
+            with tracker.measure("total"):
+                with tracker.measure("inner"):
+                    buffer = bytearray(4 * MB)
+                    del buffer
+        stages = tracker.stages()
+        assert stages["inner"]["peak_alloc_bytes"] >= 4 * MB
+        # reset_peak wiped the interpreter high-water; the tracker must
+        # still credit the inner block's peak to the enclosing measure.
+        assert (
+            stages["total"]["peak_alloc_bytes"]
+            >= stages["inner"]["peak_alloc_bytes"]
+        )
+
+    def test_reentered_stage_sums_alloc_keeps_max_peak(self):
+        tracker = MemoryTracker()
+        with tracker.activate():
+            with tracker.measure("stage"):
+                first = bytearray(2 * MB)
+            with tracker.measure("stage"):
+                second = bytearray(3 * MB)
+        stats = tracker.stages()["stage"]
+        assert stats["alloc_bytes"] >= 5 * MB
+        assert stats["peak_alloc_bytes"] >= 3 * MB
+        del first, second
+
+    def test_measure_mirrors_stats_onto_span(self):
+        tracker = MemoryTracker()
+        tracer = Tracer()
+        with tracker.activate():
+            with tracer.span("stage") as span, tracker.measure("stage", span):
+                buffer = bytearray(2 * MB)
+        attrs = tracer.finished()[0].attrs
+        assert attrs["alloc_bytes"] >= 2 * MB
+        assert attrs["peak_alloc_bytes"] >= 2 * MB
+        del buffer
+
+    def test_activate_respects_foreign_tracing(self):
+        tracemalloc.start()
+        try:
+            tracker = MemoryTracker()
+            with tracker.activate():
+                assert tracemalloc.is_tracing()
+            # Never stops a tracer it did not start.
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_measure_without_tracing_still_reports_rss(self):
+        tracker = MemoryTracker()
+        with tracker.measure("cold"):
+            pass
+        stats = tracker.stages()["cold"]
+        assert stats["alloc_bytes"] == 0
+        assert stats["peak_alloc_bytes"] == 0
+
+
+class TestNullMemoryTracker:
+    def test_null_path_records_nothing(self):
+        null = NullMemoryTracker()
+        assert null.enabled is False
+        with null.activate():
+            with null.measure("stage"):
+                pass
+        assert null.stages() == {}
+        assert NULL_MEMORY.stages() == {}
+
+    def test_null_measure_is_shared_context(self):
+        assert NULL_MEMORY.measure("a") is NULL_MEMORY.measure("b")
+
+
+class TestPureObserver:
+    def test_fit_bit_identical_with_memory_on_and_off(self):
+        rng = np.random.default_rng(11)
+        statuses = StatusMatrix(
+            rng.integers(0, 2, size=(80, 12)).astype(np.uint8)
+        )
+        baseline = Tends().fit(statuses)
+        measured = Tends(memory=True).fit(statuses)
+        assert baseline.parent_sets == measured.parent_sets
+        assert baseline.threshold == measured.threshold
+        assert np.array_equal(baseline.mi_matrix, measured.mi_matrix)
+        assert baseline.graph.edge_set() == measured.graph.edge_set()
+        assert baseline.telemetry is None
+        stages = measured.telemetry.memory
+        assert {"imi", "threshold", "search", "total"} <= set(stages)
+
+    def test_memory_without_trace_keeps_spans_empty(self):
+        rng = np.random.default_rng(12)
+        statuses = StatusMatrix(
+            rng.integers(0, 2, size=(40, 8)).astype(np.uint8)
+        )
+        result = Tends(memory=True).fit(statuses)
+        assert result.telemetry.spans == ()
+        assert result.telemetry.memory

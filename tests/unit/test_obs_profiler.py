@@ -1,0 +1,175 @@
+"""Sampling profiler: capture, collapsed stacks, flamegraph, null path."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profile,
+    SamplingProfiler,
+    profile_for,
+    profiled,
+    render_flamegraph,
+    write_flamegraph,
+)
+from repro.obs.trace import Tracer
+
+
+def _busy_loop(deadline: float) -> int:
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(i * i for i in range(2_000))
+    return total
+
+
+class TestSamplingProfiler:
+    def test_captures_stacks_from_a_busy_thread(self):
+        with SamplingProfiler(hz=250) as profiler:
+            _busy_loop(time.perf_counter() + 0.3)
+        profile = profiler.profile
+        assert profile is not None
+        assert profile.samples >= 1
+        assert profile.duration >= 0.3
+        assert profile.hz == 250
+        assert sum(profile.stacks.values()) == profile.samples
+        assert any("_busy_loop" in stack for stack in profile.stacks)
+
+    def test_samples_background_threads_too(self):
+        stop = threading.Event()
+
+        def worker():
+            while not stop.is_set():
+                sum(i * i for i in range(2_000))
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        try:
+            profile = profile_for(0.3, hz=250)
+        finally:
+            stop.set()
+            thread.join()
+        assert any("worker" in stack for stack in profile.stacks)
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(ConfigurationError, match="not running"):
+            SamplingProfiler().stop()
+
+    def test_double_start_raises(self):
+        profiler = SamplingProfiler().start()
+        try:
+            with pytest.raises(ConfigurationError, match="already running"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    @pytest.mark.parametrize("hz", [0, -1])
+    def test_invalid_hz_rejected(self, hz):
+        with pytest.raises(ConfigurationError, match="hz must be positive"):
+            SamplingProfiler(hz=hz)
+
+    def test_invalid_max_depth_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_depth"):
+            SamplingProfiler(max_depth=0)
+
+    def test_profile_for_rejects_nonpositive_seconds(self):
+        with pytest.raises(ConfigurationError, match="seconds"):
+            profile_for(0)
+
+    def test_restartable_after_stop(self):
+        profiler = SamplingProfiler(hz=300)
+        with profiler:
+            _busy_loop(time.perf_counter() + 0.1)
+        first = profiler.profile
+        with profiler:
+            _busy_loop(time.perf_counter() + 0.1)
+        # The second run starts from a clean slate.
+        assert profiler.profile is not first
+
+
+class TestProfileShape:
+    def _profile(self):
+        return Profile(
+            stacks={"a;b;c": 5, "a;b;d": 3, "a;e": 2},
+            samples=10,
+            duration=1.0,
+            hz=100.0,
+        )
+
+    def test_collapsed_is_busiest_first(self):
+        lines = self._profile().collapsed().splitlines()
+        assert lines == ["a;b;c 5", "a;b;d 3", "a;e 2"]
+
+    def test_top_aggregates_leaf_self_samples(self):
+        assert self._profile().top(2) == [("c", 5), ("d", 3)]
+
+    def test_to_dict_is_json_shaped(self):
+        payload = self._profile().to_dict()
+        assert payload["samples"] == 10
+        assert payload["duration_seconds"] == 1.0
+        assert payload["stacks"]["a;b;c"] == 5
+        assert ["c", 5] in payload["top"]
+
+    def test_annotate_sets_span_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            self._profile().annotate(span)
+        finished = tracer.finished()[0]
+        assert finished.attrs["profile_samples"] == 10
+        assert finished.attrs["profile_top"] == "c"
+
+    def test_profiled_context_annotates_span(self):
+        tracer = Tracer()
+        with tracer.span("work") as span, profiled(span, hz=250) as prof:
+            _busy_loop(time.perf_counter() + 0.2)
+        assert prof.profile.samples >= 1
+        assert "profile_samples" in tracer.finished()[0].attrs
+
+    def test_profiled_disabled_is_null(self):
+        with profiled(enabled=False) as prof:
+            assert prof is NULL_PROFILER
+
+
+class TestNullProfiler:
+    def test_null_profiler_is_inert(self):
+        null = NullProfiler()
+        assert null.enabled is False
+        with null as same:
+            assert same is null
+        profile = null.stop()
+        assert profile.samples == 0 and profile.stacks == {}
+
+
+class TestFlamegraph:
+    def test_svg_structure_and_tooltips(self):
+        svg = render_flamegraph(
+            {"main;fit;imi": 6, "main;fit;search": 4}, title="test run"
+        )
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "test run — 10 samples" in svg
+        assert "main: 10 samples (100.0%)" in svg
+        assert "imi: 6 samples (60.0%)" in svg
+
+    def test_empty_profile_renders_placeholder(self):
+        svg = render_flamegraph({})
+        assert "no samples captured" in svg
+
+    def test_render_is_deterministic(self):
+        stacks = {"a;b": 3, "a;c": 1}
+        assert render_flamegraph(stacks) == render_flamegraph(stacks)
+
+    def test_tiny_frames_are_pruned(self):
+        stacks = {"big;leaf": 10_000, "tiny;leaf": 1}
+        svg = render_flamegraph(stacks, min_fraction=0.01)
+        assert "big" in svg and ">tiny:" not in svg
+
+    def test_write_creates_parents(self, tmp_path):
+        target = write_flamegraph({"a;b": 1}, tmp_path / "deep" / "flame.svg")
+        assert target.exists()
+        assert "<svg" in target.read_text()

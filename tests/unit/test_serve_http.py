@@ -48,6 +48,12 @@ def get(url):
         return response.status, json.loads(response.read())
 
 
+def get_text(url):
+    with urllib.request.urlopen(url, timeout=WAIT) as response:
+        content_type = response.headers.get("Content-Type", "")
+        return response.status, content_type, response.read().decode()
+
+
 def post(url, payload):
     request = urllib.request.Request(
         url,
@@ -68,13 +74,23 @@ class TestReadEndpoints:
         assert health["model_beta"] == 120
 
     def test_stats_and_metrics_round_trip(self, served):
-        _service, _batch, origin = served
+        _service, batch, origin = served
         status, stats = get(origin + "/stats")
         assert status == 200
         assert stats["absorbed_seq"] == 0
-        status, metrics = get(origin + "/metrics")
+        post(origin + "/ingest", {"batch": encode_statuses(batch)})
+        # Default /metrics is Prometheus exposition text...
+        status, content_type, text = get_text(origin + "/metrics")
         assert status == 200
-        assert "counters" in metrics
+        assert content_type.startswith("text/plain; version=0.0.4")
+        assert "# TYPE repro_serve_submitted_batches_total counter" in text
+        assert "# TYPE repro_serve_submit_seconds summary" in text
+        assert "repro_serve_submit_seconds_count 1" in text
+        # ...and ?format=json keeps the raw snapshot available.
+        status, metrics = get(origin + "/metrics?format=json")
+        assert status == 200
+        assert "counters" in metrics and "histograms" in metrics
+        assert metrics["counters"]["serve_submitted_batches_total"] == 1
 
     def test_edges_carry_confidence_margins(self, served):
         service, _batch, origin = served
@@ -88,6 +104,43 @@ class TestReadEndpoints:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             get(origin + "/nope")
         assert excinfo.value.code == 404
+
+
+class TestDebugEndpoints:
+    def test_debug_trace_reports_recorder_state(self, served):
+        _service, batch, origin = served
+        status, payload = get(origin + "/debug/trace")
+        assert status == 200
+        assert payload["enabled"] is True
+        assert payload["capacity"] == 256
+        assert payload["status"] == "serving"
+        # Exercise the pipeline, then the ring must carry the story.
+        post(origin + "/ingest", {"batch": encode_statuses(batch)})
+        deadline = time.monotonic() + WAIT
+        while time.monotonic() < deadline:
+            _status, payload = get(origin + "/debug/trace")
+            if payload["absorbed_seq"] >= 1:
+                break
+            time.sleep(0.01)
+        kinds = {event["kind"] for event in payload["events"]}
+        assert {"submit", "publish"} <= kinds
+        assert all("unix_time" in event for event in payload["events"])
+        span_names = {span["name"] for span in payload["spans"]}
+        assert "serve.absorb" in span_names
+
+    def test_debug_profile_samples_the_live_process(self, served):
+        _service, _batch, origin = served
+        status, profile = get(origin + "/debug/profile?seconds=0.2&hz=200")
+        assert status == 200
+        assert profile["hz"] == 200
+        assert profile["samples"] >= 1
+        assert isinstance(profile["stacks"], dict)
+
+    def test_debug_profile_rejects_garbage_params(self, served):
+        _service, _batch, origin = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(origin + "/debug/profile?seconds=banana")
+        assert excinfo.value.code == 400
 
 
 class TestIngestEndpoint:

@@ -155,6 +155,57 @@ class TestAbsorbAndServe:
             reopened.close()
 
 
+class TestFlightRecorder:
+    def test_latency_summaries_and_events_accumulate(self, tmp_path, corpus):
+        bootstrap, _base, batches = corpus
+        with IngestService(tmp_path / "svc", bootstrap, batch_policy=FAST) as svc:
+            assert svc.recorder is not None
+            for batch in batches[:2]:
+                svc.submit(batch)
+            wait_until(lambda: svc.stats().absorbed_seq >= 2,
+                       message="2 batches absorbed")
+            histograms = svc.metrics.snapshot()["histograms"]
+            assert histograms["serve_submit_seconds"]["count"] == 2
+            assert histograms["serve_absorb_seconds"]["count"] >= 1
+            kinds = [e["kind"] for e in svc.recorder.events()]
+            assert kinds.count("submit") == 2
+            assert "publish" in kinds
+            trace = svc.debug_trace()
+            assert trace["enabled"] is True
+            assert trace["absorbed_seq"] >= 2
+            assert any(
+                span["name"] == "serve.absorb" for span in trace["spans"]
+            )
+
+    def test_recorder_ring_is_bounded(self, tmp_path, corpus):
+        bootstrap, _base, batches = corpus
+        with IngestService(
+            tmp_path / "svc", bootstrap, batch_policy=FAST, flight_recorder=3
+        ) as svc:
+            for batch in batches[:5]:
+                svc.submit(batch)
+            wait_until(lambda: svc.stats().absorbed_seq >= 5,
+                       message="5 batches absorbed")
+            assert svc.recorder.capacity == 3
+            assert len(svc.recorder.events()) <= 3
+            assert len(svc.debug_trace()["spans"]) <= 3
+
+    def test_disabled_recorder_reports_empty_shell(self, tmp_path, corpus):
+        bootstrap, _base, batches = corpus
+        with IngestService(
+            tmp_path / "svc", bootstrap, batch_policy=FAST, flight_recorder=None
+        ) as svc:
+            svc.submit(batches[0])
+            wait_until(lambda: svc.stats().absorbed_seq >= 1,
+                       message="1 batch absorbed")
+            trace = svc.debug_trace()
+            assert trace["enabled"] is False
+            assert trace["spans"] == [] and trace["events"] == []
+            # Latency summaries do not depend on the recorder.
+            histograms = svc.metrics.snapshot()["histograms"]
+            assert histograms["serve_submit_seconds"]["count"] == 1
+
+
 class TestSubmitValidation:
     def test_rejects_wrong_node_count(self, tmp_path, corpus):
         bootstrap, _base, _batches = corpus
