@@ -7,17 +7,32 @@ doubling sweep of each and reports the fitted log-log slope; the
 assertions only require sub-cubic growth in ``n`` and sub-quadratic in
 ``β`` (generous bounds — candidate-set sizes shift with scale, so exact
 exponents wobble).
+
+``test_tiled_memory_scaling`` checks the *space* side (docs/SCALING.md):
+a fit with ``tile_size``/``spill_dir`` set must complete at a node count
+where the dense sufficient statistics (five int64 ``n²`` count planes,
+40 n² bytes) no longer fit comfortably, with peak RSS growth bounded
+well below that footprint — and bit-identically, fingerprint-equal to a
+dense fit of the same shard.  Peak RSS is lifetime-monotone (``VmHWM``),
+so each measurement runs in its own subprocess.
 """
 
+import json
 import math
 import os
+import subprocess
+import sys
+import tempfile
 import time
+from pathlib import Path
 
 from _util import archive_result, bench_scale, bench_seed
 
 from repro.core.tends import Tends
 from repro.evaluation.reporting import format_rows
 from repro.graphs.generators.lfr import LFRParams, lfr_benchmark_graph
+from repro.graphs.generators.random_graphs import erdos_renyi_digraph
+from repro.simulation import io as sim_io
 from repro.simulation.engine import DiffusionSimulator
 from repro.utils.rng import derive_seed
 
@@ -103,3 +118,129 @@ def test_complexity_scaling(benchmark):
 
     assert n_slope < 3.0, f"node scaling looks super-cubic: slope {n_slope:.2f}"
     assert beta_slope < 2.0, f"beta scaling looks super-quadratic: slope {beta_slope:.2f}"
+
+
+# ----------------------------------------------------------------------
+# tiled memory scaling
+# ----------------------------------------------------------------------
+
+#: Child workload: load the spooled statuses, record the post-import
+#: baseline high-water mark, fit one node shard (stage 1+2 still cover
+#: the full n×n pair space — the memory-relevant part; sharding only
+#: bounds stage-3 wall-clock, mirroring the docs/SCALING.md scale-out
+#: workflow), and report peak RSS + the result fingerprint.
+_MEMORY_CHILD = """
+import json, sys, time
+from pathlib import Path
+from repro.core.tends import Tends
+from repro.obs.memory import read_peak_rss_bytes
+from repro.simulation import io as sim_io
+
+data, mode, spill, shard = sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4])
+statuses = sim_io.read_statuses_npz(data)
+baseline = read_peak_rss_bytes()
+kwargs = {} if mode == "dense" else {"tile_size": 256, "spill_dir": spill}
+start = time.perf_counter()
+result = Tends(**kwargs).fit(statuses, nodes=range(shard))
+print(json.dumps({
+    "baseline_bytes": baseline,
+    "peak_bytes": read_peak_rss_bytes(),
+    "seconds": time.perf_counter() - start,
+    "fingerprint": result.fingerprint(),
+}))
+"""
+
+
+def _measure_fit_rss(data: Path, mode: str, spill: Path, shard: int) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(
+            None,
+            [str(Path(__file__).resolve().parent.parent / "src"), env.get("PYTHONPATH", "")],
+        )
+    )
+    child = subprocess.run(
+        [sys.executable, "-c", _MEMORY_CHILD, str(data), mode, str(spill), str(shard)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert child.returncode == 0, child.stderr
+    return json.loads(child.stdout.splitlines()[-1])
+
+
+def _measure_memory() -> tuple[list[dict[str, object]], dict, dict, int]:
+    if bench_scale() == "full":
+        n, beta, shard = 5000, 100, 96
+    else:
+        n, beta, shard = 2000, 100, 48
+    seed = derive_seed(bench_seed(), "tiled-memory")
+    truth = erdos_renyi_digraph(n, 3.0 / n, seed=seed)
+    observations = DiffusionSimulator(
+        truth, mu=0.3, alpha=0.15, seed=derive_seed(seed, "sim")
+    ).run(beta=beta)
+
+    rows: list[dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-tiles-") as tmp:
+        data = Path(tmp) / "statuses.npz"
+        sim_io.write_statuses_npz(observations.statuses, data)
+        tiled = _measure_fit_rss(data, "tiled", Path(tmp) / "spill", shard)
+        dense = _measure_fit_rss(data, "dense", Path(tmp) / "unused", shard)
+
+    for mode, record in (("tiled", tiled), ("dense", dense)):
+        rows.append(
+            {
+                "mode": mode,
+                "n": n,
+                "shard": shard,
+                "fit_seconds": round(record["seconds"], 2),
+                "peak_delta_mb": round(
+                    (record["peak_bytes"] - record["baseline_bytes"]) / 1e6, 1
+                ),
+            }
+        )
+    rows.append(
+        {
+            "mode": "dense stats footprint",
+            "n": n,
+            "shard": "-",
+            "fit_seconds": "-",
+            "peak_delta_mb": round(40 * n * n / 1e6, 1),
+        }
+    )
+    rows.append(
+        {
+            "mode": "dense float64 IMI plane",
+            "n": n,
+            "shard": "-",
+            "fit_seconds": "-",
+            "peak_delta_mb": round(8 * n * n / 1e6, 1),
+        }
+    )
+    return rows, tiled, dense, n
+
+
+def test_tiled_memory_scaling(benchmark):
+    rows, tiled, dense, n = benchmark.pedantic(
+        _measure_memory, rounds=1, iterations=1
+    )
+    text = format_rows(rows)
+    print(f"\n{text}")
+    archive_result("complexity_tiled_memory", text)
+
+    assert tiled["fingerprint"] == dense["fingerprint"], (
+        "tiled fit is not bit-identical to the dense fit"
+    )
+    if tiled["peak_bytes"] is None or dense["peak_bytes"] is None:
+        return  # platform without VmHWM/ru_maxrss: parity still checked
+    tiled_delta = tiled["peak_bytes"] - tiled["baseline_bytes"]
+    dense_delta = dense["peak_bytes"] - dense["baseline_bytes"]
+    dense_stats_footprint = 40 * n * n  # five int64 n×n count planes
+    assert tiled_delta < dense_stats_footprint, (
+        f"tiled fit peaked {tiled_delta / 1e6:.0f} MB over baseline, above the "
+        f"dense statistics footprint {dense_stats_footprint / 1e6:.0f} MB"
+    )
+    assert tiled_delta < dense_delta, (
+        f"tiled fit ({tiled_delta / 1e6:.0f} MB) used no less memory than the "
+        f"dense fit ({dense_delta / 1e6:.0f} MB)"
+    )

@@ -36,8 +36,10 @@ from repro.core import (
     TendsConfig,
     TendsModel,
     TendsResult,
+    TiledSufficientStats,
     UpdateInfo,
     estimate_edge_probabilities,
+    merge_results,
 )
 from repro.evaluation import (
     ExperimentResult,
@@ -88,6 +90,8 @@ __all__ = [
     "TendsResult",
     "UpdateInfo",
     "SufficientStats",
+    "TiledSufficientStats",
+    "merge_results",
     "estimate_edge_probabilities",
     # graphs
     "DiffusionGraph",

@@ -106,6 +106,47 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_tiling_arguments(parser: argparse.ArgumentParser) -> None:
+    """Tiled sufficient-statistics knobs shared by ``infer``/``update``/
+    ``serve`` (see docs/SCALING.md).  Results are bit-identical to the
+    dense path; tiling only bounds memory."""
+    parser.add_argument(
+        "--tile-size",
+        type=int,
+        default=None,
+        help="block the pair-count/IMI matrices into tiles of this many "
+        "nodes per side and spill them to disk, so memory stays "
+        "~O(n*tile + tile^2) instead of O(n^2); results are bit-identical "
+        "(default: dense)",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        type=Path,
+        default=None,
+        help="directory for spilled tiles; persists across runs, so an "
+        "interrupted fit resumes from its completed tiles "
+        "(default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--max-resident-tiles",
+        type=int,
+        default=None,
+        help="LRU cap on simultaneously memory-mapped tiles (default 16)",
+    )
+
+
+def _tiling_overrides(args: argparse.Namespace) -> dict:
+    """The non-None tiling fields of ``args`` as TendsConfig overrides."""
+    overrides = {}
+    if args.tile_size is not None:
+        overrides["tile_size"] = args.tile_size
+    if args.spill_dir is not None:
+        overrides["spill_dir"] = str(args.spill_dir)
+    if args.max_resident_tiles is not None:
+        overrides["max_resident_tiles"] = args.max_resident_tiles
+    return overrides
+
+
 def _read_statuses(path: Path) -> StatusMatrix:
     if path.suffix == ".npz":
         return sim_io.read_statuses_npz(path)
@@ -322,6 +363,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         bootstrap_seed=args.bootstrap_seed,
         trace=want_telemetry,
         memory=args.memory,
+        **_tiling_overrides(args),
     )
     result = estimator.fit(statuses)
     _write_graph(result.graph, args.output)
@@ -381,6 +423,7 @@ def _cmd_update(args: argparse.Namespace) -> int:
         )
         if value is not None
     }
+    overrides.update(_tiling_overrides(args))
     estimator = Tends.from_model(model, **overrides)
     batch = _read_statuses(args.batch)
     result = estimator.partial_fit(batch)
@@ -425,6 +468,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if value is not None
     }
+    overrides.update(_tiling_overrides(args))
     drift_config = None
     if args.drift_alpha is not None:
         from repro.core.drift import DriftConfig
@@ -1055,6 +1099,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     infer.add_argument("--max-combination-size", type=int, default=1)
     _add_executor_arguments(infer)
+    _add_tiling_arguments(infer)
     infer.add_argument("--chunk-size", type=int, default=None)
     infer.add_argument(
         "--audit",
@@ -1155,6 +1200,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the updated model (may equal --model-in)",
     )
     _add_executor_arguments(update)
+    _add_tiling_arguments(update)
     update.add_argument("--chunk-size", type=int, default=None)
     update.add_argument(
         "-o",
@@ -1285,6 +1331,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="drain the spool once, absorb, snapshot, and exit (scripting)",
     )
     _add_executor_arguments(serve)
+    _add_tiling_arguments(serve)
     serve.add_argument("--chunk-size", type=int, default=None)
     serve.set_defaults(func=_cmd_serve)
 

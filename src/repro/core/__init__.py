@@ -51,7 +51,21 @@ from repro.core.selection import (
     select_threshold_scale,
 )
 from repro.core.stats import SufficientStats, WindowedStats
-from repro.core.tends import Tends, TendsModel, TendsResult, UpdateInfo
+from repro.core.tends import (
+    Tends,
+    TendsModel,
+    TendsResult,
+    UpdateInfo,
+    merge_results,
+)
+from repro.core.tiles import (
+    DEFAULT_MAX_RESIDENT_TILES,
+    TiledSufficientStats,
+    TileFanout,
+    TileGrid,
+    TileStore,
+    tiled_batch_counts,
+)
 
 __all__ = [
     "TendsConfig",
@@ -98,4 +112,11 @@ __all__ = [
     "TendsModel",
     "TendsResult",
     "UpdateInfo",
+    "merge_results",
+    "DEFAULT_MAX_RESIDENT_TILES",
+    "TiledSufficientStats",
+    "TileFanout",
+    "TileGrid",
+    "TileStore",
+    "tiled_batch_counts",
 ]

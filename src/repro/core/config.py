@@ -139,6 +139,27 @@ class TendsConfig:
         and in run manifests.  Opt-in separately from ``trace`` because
         tracemalloc taxes every allocation while tracing; inference
         results are bit-identical either way.
+    tile_size:
+        Side length of the square (i, j) pair-space tiles used by the
+        tiled sufficient-statistics layer (:mod:`repro.core.tiles`).
+        ``None`` (default) keeps the dense path: full n×n count and IMI
+        matrices in memory.  Setting a value makes :meth:`Tends.fit`
+        compute stage 1 tile-by-tile (each tile fanned out through the
+        stage-3 executor with the same retry/fallback semantics) and
+        spill the counts to disk, so peak residency stays
+        ~O(n·tile + tile²) instead of O(n²) for the counting stage.
+        Both paths are bit-identical; only memory and wall-clock change.
+    spill_dir:
+        Directory for spilled tiles and the memory-mapped IMI matrix.
+        ``None`` (default) uses a private temporary directory that lives
+        as long as the fitted statistics.  Pointing it at a persistent
+        path makes interrupted fits resumable: tiles already on disk
+        with valid checksums are not recomputed.
+    max_resident_tiles:
+        LRU cap on the number of spilled tiles simultaneously mapped
+        into memory while assembling the IMI matrix or streaming the
+        stats checksum.  ``None`` (default) keeps a small default cap
+        (see :data:`repro.core.tiles.DEFAULT_MAX_RESIDENT_TILES`).
     """
 
     mi_kind: MiKind = "infection"
@@ -162,6 +183,9 @@ class TendsConfig:
     ci_level: float = 0.95
     trace: bool = False
     memory: bool = False
+    tile_size: int | None = None
+    spill_dir: str | None = None
+    max_resident_tiles: int | None = None
 
     def __post_init__(self) -> None:
         if self.mi_kind not in ("infection", "traditional"):
@@ -218,6 +242,14 @@ class TendsConfig:
             raise ConfigurationError(
                 f"memory must be a boolean, got {self.memory!r}"
             )
+        if self.tile_size is not None:
+            check_positive_int("tile_size", self.tile_size)
+        if self.max_resident_tiles is not None:
+            check_positive_int("max_resident_tiles", self.max_resident_tiles)
+        if self.spill_dir is not None and not isinstance(self.spill_dir, str):
+            # Accept Path-likes but store a plain string so as_dict()
+            # stays JSON-serialisable (model snapshots embed the config).
+            object.__setattr__(self, "spill_dir", str(self.spill_dir))
 
     def with_overrides(self, **changes) -> "TendsConfig":
         """Functional update helper (dataclass ``replace`` wrapper)."""
@@ -228,11 +260,12 @@ class TendsConfig:
         return asdict(self)
 
     #: Fields that determine *what* the pipeline infers.  Execution knobs
-    #: (executor/n_jobs/chunking/retries, the counting-kernel backend),
-    #: audit policy, and tracing change only how or how observably the
-    #: work runs — every backend is bit-identical — so they are excluded
-    #: from the algorithm fingerprint (a model saved from a numpy-kernel
-    #: fit can be resumed by a packed-kernel service, and vice versa).
+    #: (executor/n_jobs/chunking/retries, the counting-kernel backend,
+    #: the tiling/spill layout), audit policy, and tracing change only
+    #: how or how observably the work runs — every backend is
+    #: bit-identical — so they are excluded from the algorithm
+    #: fingerprint (a model saved from a numpy-kernel dense fit can be
+    #: resumed by a packed-kernel tiled service, and vice versa).
     ALGORITHM_FIELDS = (
         "mi_kind",
         "threshold",

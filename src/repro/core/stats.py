@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
@@ -47,11 +47,28 @@ from repro.core.kernels import (
 from repro.exceptions import DataError
 from repro.simulation.statuses import StatusMatrix
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (stats ↔ tiles)
+    from repro.core.tiles import TileFanout
+
 __all__ = ["SufficientStats", "WindowedStats", "COUNT_KEYS"]
 
 #: Keys of the pairwise count matrices, in canonical (serialisation) order:
 #: the four joint counts plus the per-pair observed-process count ``β_ij``.
 COUNT_KEYS = ("11", "10", "01", "00", "obs")
+
+
+def _accumulator(array: np.ndarray) -> np.ndarray:
+    """Promote narrow integer arrays to int64 before count algebra.
+
+    Externally constructed statistics (a deserialised shard, a tile read
+    back from disk, a user-built ``SufficientStats``) may carry int32
+    counts; adding many large-β shards in int32 silently wraps past
+    2³¹ − 1.  Floats (the decayed-window path) pass through unchanged.
+    """
+    array = np.asarray(array)
+    if np.issubdtype(array.dtype, np.integer) and array.dtype != np.int64:
+        return array.astype(np.int64)
+    return array
 
 
 @dataclass(frozen=True)
@@ -88,16 +105,42 @@ class SufficientStats:
     # ------------------------------------------------------------------
     @classmethod
     def from_statuses(
-        cls, statuses: StatusMatrix, *, kernel: str | None = None
+        cls,
+        statuses: StatusMatrix,
+        *,
+        kernel: str | None = None,
+        tiling: "TileFanout | None" = None,
     ) -> "SufficientStats":
         """Count one status matrix (a whole history or a single batch).
 
         ``kernel`` selects the counting backend (see
         :func:`repro.core.kernels.resolve_kernel`); the counts are int64
-        either way, so the statistics are bit-identical.
+        either way, so the statistics are bit-identical.  With a
+        ``tiling`` spec (:class:`repro.core.tiles.TileFanout`) the pair
+        space is counted tile-by-tile, each tile a retryable chunk under
+        the stage-3 executor machinery, and the results assembled into
+        the same dense matrices — again bit-identical.
         """
         if not isinstance(statuses, StatusMatrix):
             statuses = StatusMatrix(statuses)
+        if tiling is not None:
+            from repro.core.tiles import tiled_batch_counts
+
+            pairwise = tiled_batch_counts(
+                statuses,
+                tile_size=tiling.tile_size,
+                kernel=kernel if kernel is not None else tiling.kernel,
+                plan=tiling.plan,
+                tracer=tiling.tracer,
+                metrics=tiling.metrics,
+            )
+            return cls(
+                counts={key: pairwise[key] for key in COUNT_KEYS},
+                infected=statuses.infection_counts(),
+                observed=statuses.observed_counts(),
+                beta=statuses.beta,
+                has_missing=statuses.has_missing,
+            )
         if resolve_kernel(kernel) == "packed":
             packed = PackedStatuses.from_statuses(statuses)
             pairwise = packed_pairwise_complete_counts(packed)
@@ -188,13 +231,20 @@ class SufficientStats:
     # incremental update
     # ------------------------------------------------------------------
     def updated(
-        self, batch: StatusMatrix, *, kernel: str | None = None
+        self,
+        batch: StatusMatrix,
+        *,
+        kernel: str | None = None,
+        tiling: "TileFanout | None" = None,
     ) -> "SufficientStats":
         """Statistics of the history with ``batch`` appended.
 
         ``O(Δβ · n²)``: the batch is counted on its own (with the
         ``kernel`` counting backend) and merged by integer addition,
         which is exactly equal to recounting the concatenated history.
+        With a ``tiling`` spec the batch count fans out over pair-space
+        tiles as retryable executor chunks (see
+        :meth:`from_statuses`) — same integers, same merge.
         ``self`` is never modified; an empty batch returns ``self``
         unchanged.
         """
@@ -207,17 +257,26 @@ class SufficientStats:
             )
         if batch.beta == 0:
             return self
-        return self.merged(SufficientStats.from_statuses(batch, kernel=kernel))
+        return self.merged(
+            SufficientStats.from_statuses(batch, kernel=kernel, tiling=tiling)
+        )
 
     def merged(self, other: "SufficientStats") -> "SufficientStats":
-        """Statistics of the two histories concatenated (pure addition)."""
+        """Statistics of the two histories concatenated (pure addition).
+
+        Integer operands are promoted to int64 accumulators first, so
+        merging many large-β shards whose counts arrived as int32 cannot
+        silently wrap past 2³¹ − 1 (regression-tested in
+        ``tests/unit/test_stats_overflow.py``).
+        """
         self._require_compatible(other, "merge")
         return SufficientStats(
             counts={
-                key: self.counts[key] + other.counts[key] for key in COUNT_KEYS
+                key: _accumulator(self.counts[key]) + _accumulator(other.counts[key])
+                for key in COUNT_KEYS
             },
-            infected=self.infected + other.infected,
-            observed=self.observed + other.observed,
+            infected=_accumulator(self.infected) + _accumulator(other.infected),
+            observed=_accumulator(self.observed) + _accumulator(other.observed),
             beta=self.beta + other.beta,
             has_missing=self.has_missing or other.has_missing,
         )
@@ -243,10 +302,11 @@ class SufficientStats:
                 f"beta={self.beta} statistics"
             )
         counts = {
-            key: self.counts[key] - other.counts[key] for key in COUNT_KEYS
+            key: _accumulator(self.counts[key]) - _accumulator(other.counts[key])
+            for key in COUNT_KEYS
         }
-        infected = self.infected - other.infected
-        observed = self.observed - other.observed
+        infected = _accumulator(self.infected) - _accumulator(other.infected)
+        observed = _accumulator(self.observed) - _accumulator(other.observed)
         beta = self.beta - other.beta
         if (
             any(np.any(counts[key] < 0) for key in COUNT_KEYS)
@@ -268,6 +328,15 @@ class SufficientStats:
             beta=beta,
             has_missing=has_missing,
         )
+
+    def count_matrix(self, key: str) -> np.ndarray:
+        """One dense ``(n, n)`` int64 count matrix — the same accessor
+        :class:`~repro.core.tiles.TiledSufficientStats` exposes, so
+        consumers that densify one plane at a time (model snapshots,
+        drift) work against either representation."""
+        if key not in COUNT_KEYS:
+            raise DataError(f"unknown count key: {key!r}")
+        return np.ascontiguousarray(self.counts[key], dtype=np.int64)
 
     # ------------------------------------------------------------------
     # derived estimates
@@ -440,14 +509,20 @@ class WindowedStats:
 
     # ------------------------------------------------------------------
     def pushed(
-        self, batch: StatusMatrix, *, kernel: str | None = None
+        self,
+        batch: StatusMatrix,
+        *,
+        kernel: str | None = None,
+        tiling: "TileFanout | None" = None,
     ) -> "WindowedStats":
         """The ring with ``batch`` absorbed (immutably).
 
         The batch is split at window boundaries: the newest window fills
         up to ``window_cascades``, then fresh windows roll — a single
         push may add several blocks.  Windows beyond ``max_windows`` are
-        evicted oldest-first (tracked by :attr:`evicted_beta`).
+        evicted oldest-first (tracked by :attr:`evicted_beta`).  A
+        ``tiling`` spec fans each window's count over pair-space tiles
+        exactly like :meth:`SufficientStats.updated`.
         """
         if not isinstance(batch, StatusMatrix):
             batch = StatusMatrix(batch)
@@ -460,7 +535,7 @@ class WindowedStats:
             return self
         windows = list(self.windows)
         if self.window_cascades is None:
-            windows[-1] = windows[-1].updated(batch, kernel=kernel)
+            windows[-1] = windows[-1].updated(batch, kernel=kernel, tiling=tiling)
         else:
             offset = 0
             while offset < batch.beta:
@@ -470,7 +545,9 @@ class WindowedStats:
                     room = self.window_cascades
                 take = min(room, batch.beta - offset)
                 piece = batch.subset(range(offset, offset + take))
-                windows[-1] = windows[-1].updated(piece, kernel=kernel)
+                windows[-1] = windows[-1].updated(
+                    piece, kernel=kernel, tiling=tiling
+                )
                 offset += take
         evicted_beta = self.evicted_beta
         evicted_windows = self.evicted_windows

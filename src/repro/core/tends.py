@@ -41,6 +41,7 @@ from repro.core.search import (
     search_chunk,
 )
 from repro.core.stats import COUNT_KEYS, SufficientStats
+from repro.core.tiles import TileFanout, TiledSufficientStats
 from repro.exceptions import (
     CheckpointError,
     ConfigurationError,
@@ -59,7 +60,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (robustness → imi)
     from repro.core.drift import DriftConfig, DriftReport
     from repro.robustness.bootstrap import ImiBootstrap
 
-__all__ = ["Tends", "TendsResult", "TendsModel", "UpdateInfo"]
+__all__ = ["Tends", "TendsResult", "TendsModel", "UpdateInfo", "merge_results"]
+
+#: Row-band budget for the streaming off-diagonal scan in stage 2: bands
+#: of ~8 MB of float64 MI values, so the threshold stage never holds a
+#: second full O(n²) copy alongside the matrix it scans.
+_THRESHOLD_BAND_BYTES = 8 * 1024 * 1024
 
 
 def _fsync_directory(directory: Path) -> None:
@@ -136,6 +142,11 @@ class TendsResult:
         check a :meth:`Tends.partial_fit` ran with ``drift="detect"`` or
         ``"adapt"``; ``None`` under the default ``drift="ignore"`` and for
         full fits.
+    nodes:
+        The node shard this result searched (``Tends.fit(nodes=...)``) —
+        parent sets outside the shard are empty placeholders, and
+        :func:`merge_results` reassembles the full answer from a disjoint
+        cover of shards.  ``None`` for full fits and merged results.
     """
 
     graph: DiffusionGraph
@@ -152,6 +163,7 @@ class TendsResult:
     update: "UpdateInfo | None" = None
     kernel: str | None = None
     drift: "DriftReport | None" = None
+    nodes: tuple[int, ...] | None = None
 
     @property
     def n_edges(self) -> int:
@@ -182,6 +194,27 @@ class TendsResult:
     def total_evaluations(self) -> int:
         """Total score evaluations across all nodes (cost proxy)."""
         return int(sum(d.n_evaluations for d in self.diagnostics))
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the deterministic outputs of the fit: node count,
+        searched shard, MI matrix bytes, threshold, and parent sets.
+
+        Timings, worker attribution, and telemetry are excluded, so two
+        runs of the same inference — serial or fanned out, dense or
+        tiled, one-shot or shard+:func:`merge_results` — produce equal
+        fingerprints exactly when they produced the same answer.
+        """
+        digest = hashlib.sha256()
+        digest.update(str(self.graph.n_nodes).encode())
+        digest.update(repr(self.nodes).encode())
+        digest.update(repr(self.threshold).encode())
+        digest.update(
+            np.ascontiguousarray(self.mi_matrix, dtype=np.float64).tobytes()
+        )
+        digest.update(
+            json.dumps([list(p) for p in self.parent_sets]).encode()
+        )
+        return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -224,6 +257,88 @@ class UpdateInfo:
         return len(self.clean_nodes)
 
 
+def merge_results(results: Sequence[TendsResult]) -> TendsResult:
+    """Reassemble one full :class:`TendsResult` from shard fits.
+
+    ``results`` must be shard results (``Tends.fit(nodes=...)``) whose
+    shards disjointly cover every node, produced from the same
+    observations under the same configuration — validated here by
+    requiring bit-equal MI matrices and thresholds across the shards.
+    Stages 1–2 are deterministic functions of the data, so each shard
+    recomputed them identically; stage 3 is per-node, so concatenating
+    the shard answers in node order is *exactly* the one-shot fit:
+    the merged result's :meth:`TendsResult.fingerprint` equals the full
+    fit's (held by ``tests/property/test_prop_tiles.py``).
+
+    Per-stage timings are summed across shards (total work, not wall
+    clock) and worker stats concatenated.
+    """
+    if not results:
+        raise InferenceError("merge_results needs at least one shard result")
+    reference = results[0]
+    n = reference.graph.n_nodes
+    owner: dict[int, TendsResult] = {}
+    for result in results:
+        if result.nodes is None:
+            raise InferenceError(
+                "merge_results takes shard results (fit(nodes=...)); "
+                "got a full-fit result"
+            )
+        if result.graph.n_nodes != n:
+            raise InferenceError(
+                f"cannot merge shards over {result.graph.n_nodes} and "
+                f"{n} nodes"
+            )
+        if repr(result.threshold) != repr(reference.threshold):
+            raise InferenceError(
+                "shard results disagree on the threshold "
+                f"({result.threshold!r} vs {reference.threshold!r}); "
+                "they were not fitted on the same observations/config"
+            )
+        if not np.array_equal(
+            np.asarray(result.mi_matrix), np.asarray(reference.mi_matrix)
+        ):
+            raise InferenceError(
+                "shard results disagree on the MI matrix; they were not "
+                "fitted on the same observations/config"
+            )
+        for node in result.nodes:
+            if node in owner:
+                raise InferenceError(
+                    f"node {node} appears in more than one shard"
+                )
+            owner[node] = result
+    missing = [node for node in range(n) if node not in owner]
+    if missing:
+        raise InferenceError(
+            f"shards do not cover every node (missing {missing[:5]}"
+            f"{'...' if len(missing) > 5 else ''})"
+        )
+    parent_sets = tuple(owner[node].parent_sets[node] for node in range(n))
+    diagnostics = tuple(owner[node].diagnostics[node] for node in range(n))
+    graph = DiffusionGraph(n)
+    for node, parents in enumerate(parent_sets):
+        for parent in parents:
+            graph.add_edge(parent, node)
+    stage_seconds: dict[str, float] = {}
+    for result in results:
+        for stage, seconds in result.stage_seconds.items():
+            stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+    return TendsResult(
+        graph=graph.freeze(),
+        parent_sets=parent_sets,
+        mi_matrix=reference.mi_matrix,
+        threshold=reference.threshold,
+        clustering=reference.clustering,
+        diagnostics=diagnostics,
+        stage_seconds=stage_seconds,
+        worker_stats=tuple(
+            stats for result in results for stats in result.worker_stats
+        ),
+        kernel=reference.kernel,
+    )
+
+
 @dataclass(frozen=True)
 class TendsModel:
     """Checkpointable state of an incrementally-fitted TENDS estimator.
@@ -249,7 +364,7 @@ class TendsModel:
     """
 
     config: TendsConfig
-    stats: SufficientStats
+    stats: SufficientStats | TiledSufficientStats
     statuses: StatusMatrix
     threshold: float
     candidates: tuple[tuple[int, ...], ...]
@@ -354,7 +469,9 @@ class TendsModel:
         if self.statuses.mask is not None:
             arrays["statuses_mask"] = self.statuses.mask
         for key in COUNT_KEYS:
-            arrays[f"counts_{key}"] = self.stats.counts[key]
+            # count_matrix densifies one plane at a time, so tile-backed
+            # statistics snapshot without materialising all five at once.
+            arrays[f"counts_{key}"] = self.stats.count_matrix(key)
         # Same-directory temp + os.replace: readers (and a restart after
         # a kill mid-save) only ever see a complete snapshot.
         fd, temp_name = tempfile.mkstemp(
@@ -541,11 +658,48 @@ class Tends:
         return estimator
 
     # ------------------------------------------------------------------
+    def _execution_plan(self) -> ExecutionPlan:
+        """The stage-3 executor plan from the configured knobs — shared
+        by the parent-search fan-out and the tile fan-outs, so tiles get
+        the same retry / backoff / fallback / timeout semantics."""
+        return ExecutionPlan.resolve(
+            executor=self.config.executor,
+            n_jobs=self.config.n_jobs,
+            chunk_size=self.config.chunk_size,
+            max_attempts=self.config.max_attempts,
+            chunk_timeout=self.config.chunk_timeout,
+            fallback=self.config.executor_fallback,
+        )
+
+    def _count_stats(
+        self,
+        statuses: StatusMatrix,
+        kernel_backend: str,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
+        metrics: "MetricsRegistry | NullMetrics" = NULL_METRICS,
+    ) -> SufficientStats | TiledSufficientStats:
+        """Count the fit's sufficient statistics: dense one-shot by
+        default, tile-by-tile into the spill directory when
+        ``config.tile_size`` is set (bit-identical either way)."""
+        if self.config.tile_size is None:
+            return SufficientStats.from_statuses(statuses, kernel=kernel_backend)
+        return TiledSufficientStats.from_statuses(
+            statuses,
+            tile_size=self.config.tile_size,
+            spill_dir=self.config.spill_dir,
+            kernel=kernel_backend,
+            max_resident_tiles=self.config.max_resident_tiles,
+            plan=self._execution_plan(),
+            tracer=tracer,
+            metrics=metrics,
+        )
+
     def fit(
         self,
         statuses: StatusMatrix,
         *,
-        stats: SufficientStats | None = None,
+        stats: SufficientStats | TiledSufficientStats | None = None,
+        nodes: Sequence[int] | None = None,
     ) -> TendsResult:
         """Run the full Algorithm 1 pipeline on ``statuses``.
 
@@ -554,8 +708,18 @@ class Tends:
         observations** (callers fitting the same matrix repeatedly, e.g.
         :func:`repro.core.selection.select_threshold_scale`, skip the
         ``O(β n²)`` counting that way); when omitted the statistics are
-        counted here.  Either way the fit installs an incremental-update
-        :attr:`model` unless the configuration is bootstrap-backed.
+        counted here — tile-by-tile into the configured spill directory
+        when ``config.tile_size`` is set.  Either way the fit installs an
+        incremental-update :attr:`model` unless the configuration is
+        bootstrap-backed.
+
+        ``nodes`` restricts the stage-3 parent search to a node shard:
+        stages 1–2 (IMI, threshold) still run in full, but only the
+        shard's parent sets are searched, and the returned result carries
+        :attr:`TendsResult.nodes` so :func:`merge_results` can reassemble
+        a bit-identical full result from a disjoint cover of shards.
+        Shard fits install no incremental :attr:`model` (the state would
+        be partial).
         """
         if not isinstance(statuses, StatusMatrix):
             statuses = StatusMatrix(statuses)
@@ -587,9 +751,17 @@ class Tends:
             )
         n = statuses.n_nodes
         kernel_backend = resolve_kernel(self.config.kernel)
-        if stats is None:
-            stats = SufficientStats.from_statuses(statuses, kernel=kernel_backend)
-        elif (
+        shard: tuple[int, ...] | None = None
+        if nodes is not None:
+            shard = tuple(sorted({int(node) for node in nodes}))
+            if not shard:
+                raise ConfigurationError("fit(nodes=...) needs at least one node")
+            if shard[0] < 0 or shard[-1] >= n:
+                raise ConfigurationError(
+                    f"fit(nodes=...) entries must be in [0, {n}), "
+                    f"got {shard[0]}..{shard[-1]}"
+                )
+        if stats is not None and (
             stats.beta != statuses.beta
             or stats.n_nodes != n
             or stats.has_missing != statuses.has_missing
@@ -622,8 +794,21 @@ class Tends:
             with tracer.span(
                 "tends.fit", n_nodes=n, beta=statuses.beta, kernel=kernel_backend
             ) as fit_span, memory.measure("total", fit_span):
+                if stats is None:
+                    with tracer.span("tends.stats", beta=statuses.beta) as span:
+                        with memory.measure("stats", span):
+                            stats = self._count_stats(
+                                statuses, kernel_backend, tracer, metrics
+                            )
                 result, candidates = self._run_pipeline(
-                    statuses, stats, n, tracer, metrics, kernel_backend, memory
+                    statuses,
+                    stats,
+                    n,
+                    tracer,
+                    metrics,
+                    kernel_backend,
+                    memory,
+                    nodes=shard,
                 )
         if trace or memory.enabled:
             result = replace(
@@ -638,8 +823,13 @@ class Tends:
         # Install the incremental-update state.  Bootstrap-backed configs
         # get none: resampled screening/confidence is a function of the
         # raw history, not of the cached counts, so partial_fit cannot
-        # reproduce it and refuses such configs up front.
-        if self.config.threshold == "stable" or self.config.bootstrap_samples:
+        # reproduce it and refuses such configs up front.  Shard fits get
+        # none either — their parent sets are partial by construction.
+        if (
+            self.config.threshold == "stable"
+            or self.config.bootstrap_samples
+            or shard is not None
+        ):
             self._model = None
         else:
             self._model = TendsModel(
@@ -663,20 +853,37 @@ class Tends:
         floating-point operations."""
         if self.config.threshold is not None and self.config.threshold != "stable":
             return float(self.config.threshold), None
-        off_diagonal = mi[~np.eye(n, dtype=bool)]
-        non_negative = off_diagonal[off_diagonal >= 0.0]
+        # Stream the off-diagonal extraction in row bands: concatenating
+        # per-band row-major values reproduces ``mi[~np.eye(n)]`` element
+        # for element (so τ is bit-identical), without materialising the
+        # n×n boolean mask or a second full O(n²) copy — the peak this
+        # stage adds is one band plus the final non-negative vector,
+        # which keeps memmapped MI matrices (tiled fits) cheap to scan.
+        band = max(1, _THRESHOLD_BAND_BYTES // max(8 * n, 1))
+        chunks: list[np.ndarray] = []
+        for start in range(0, n, band):
+            stop = min(start + band, n)
+            block = np.asarray(mi[start:stop], dtype=np.float64)
+            keep = np.ones(block.shape, dtype=bool)
+            keep[np.arange(stop - start), np.arange(start, stop)] = False
+            values = block[keep]
+            chunks.append(values[values >= 0.0])
+        non_negative = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.float64)
+        )
         clustering = fixed_zero_two_means(non_negative)
         return clustering.threshold * self.config.threshold_scale, clustering
 
     def _run_pipeline(
         self,
         statuses: StatusMatrix,
-        stats: SufficientStats,
+        stats: SufficientStats | TiledSufficientStats,
         n: int,
         tracer: "Tracer | NullTracer",
         metrics: "MetricsRegistry | NullMetrics",
         kernel_backend: str,
         memory: "MemoryTracker | NullMemoryTracker" = NULL_MEMORY,
+        nodes: tuple[int, ...] | None = None,
     ) -> tuple[TendsResult, tuple[tuple[int, ...], ...]]:
         """Stages 1-3 of Algorithm 1 (validation already done by
         :meth:`fit`, which also owns the ambient tracer install and the
@@ -740,6 +947,7 @@ class Tends:
         ) as search_span:
             with memory.measure("search", search_span), Stopwatch() as watch:
                 search = ParentSearch(statuses, self.config)
+                searched = range(n) if nodes is None else nodes
                 items = [
                     (
                         node,
@@ -747,30 +955,28 @@ class Tends:
                             mi, node, threshold, self.config, stable_pairs
                         ),
                     )
-                    for node in range(n)
+                    for node in searched
                 ]
                 kept_pairs = sum(len(candidates) for _, candidates in items)
                 metrics.inc(
                     "tends_candidate_pairs_pruned_total",
-                    n * (n - 1) - kept_pairs,
+                    len(items) * (n - 1) - kept_pairs,
                 )
                 metrics.inc("tends_candidate_pairs_kept_total", kept_pairs)
-                plan = ExecutionPlan.resolve(
-                    executor=self.config.executor,
-                    n_jobs=self.config.n_jobs,
-                    chunk_size=self.config.chunk_size,
-                    max_attempts=self.config.max_attempts,
-                    chunk_timeout=self.config.chunk_timeout,
-                    fallback=self.config.executor_fallback,
-                )
+                plan = self._execution_plan()
                 executor = ParallelExecutor(plan, tracer=tracer)
                 outcomes, worker_stats = executor.map(search_chunk, search, items)
-                parent_sets: list[tuple[int, ...]] = []
-                diagnostics: list[SearchDiagnostics] = []
+                # Out-of-shard nodes keep empty placeholders; for full
+                # fits every slot is overwritten in node order, so this
+                # is byte-for-byte the previous assembly.
+                parent_sets: list[tuple[int, ...]] = [() for _ in range(n)]
+                diagnostics: list[SearchDiagnostics] = [
+                    SearchDiagnostics(node=node) for node in range(n)
+                ]
                 graph = DiffusionGraph(n)
-                for node, (parents, diag) in enumerate(outcomes):
-                    parent_sets.append(tuple(parents))
-                    diagnostics.append(diag)
+                for (node, _), (parents, diag) in zip(items, outcomes):
+                    parent_sets[node] = tuple(parents)
+                    diagnostics[node] = diag
                     for parent in parents:
                         graph.add_edge(parent, node)
             stage_seconds["search"] = watch.elapsed
@@ -809,6 +1015,7 @@ class Tends:
             edge_confidence=edge_confidence,
             imi_bootstrap=bootstrap,
             kernel=kernel_backend,
+            nodes=nodes,
         )
         return result, tuple(tuple(candidates) for _, candidates in items)
 
@@ -968,9 +1175,35 @@ class Tends:
         )
 
         # Sufficient statistics: count the batch, add (integer-exact).
+        # Tile-backed models roll a new copy-on-write tile generation;
+        # dense models under a configured tile_size fan the batch count
+        # out over tiles (same integers, same merge) — either way the
+        # update is bit-identical to the one-shot dense path.
         with tracer.span("tends.stats", batch_beta=batch.beta) as stats_span:
             with memory.measure("stats", stats_span), Stopwatch() as watch:
-                stats = previous.stats.updated(batch, kernel=kernel_backend)
+                if isinstance(previous.stats, TiledSufficientStats):
+                    stats: SufficientStats | TiledSufficientStats = (
+                        previous.stats.updated(
+                            batch,
+                            kernel=kernel_backend,
+                            plan=self._execution_plan(),
+                            tracer=tracer,
+                            metrics=metrics,
+                        )
+                    )
+                elif self.config.tile_size is not None:
+                    stats = previous.stats.updated(
+                        batch,
+                        kernel=kernel_backend,
+                        tiling=TileFanout(
+                            tile_size=self.config.tile_size,
+                            plan=self._execution_plan(),
+                            tracer=tracer,
+                            metrics=metrics,
+                        ),
+                    )
+                else:
+                    stats = previous.stats.updated(batch, kernel=kernel_backend)
                 history = previous.statuses.append(batch)
             stage_seconds["stats"] = watch.elapsed
         if history.has_missing:

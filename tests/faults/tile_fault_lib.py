@@ -1,0 +1,57 @@
+"""Picklable fault-injection chunk functions for the tile fan-out tests.
+
+Same contract as :mod:`tests.faults.fault_lib` — module-level functions
+(the process backend ships chunk functions by reference) coordinating
+through sentinel files, with crash helpers guarded so they only ever
+kill *worker* processes.  Each wrapper delegates to the real
+:func:`repro.core.tiles.count_tile_chunk` after the injected fault, so
+recovery exercises the production per-tile counting code byte for byte.
+
+The context is a plain dict::
+
+    {"inner": <TileContext>, "dir": <sentinel dir>, "main_pid": <pid>}
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.tiles import count_tile_chunk
+
+
+def crash_once_tile_chunk(
+    context: dict, blocks: Sequence[tuple[int, int]]
+) -> list:
+    """Kill the first worker process that picks up a chunk, mid-tile —
+    before any tile of the chunk is written.  Retries recompute the
+    identical integer stacks."""
+    if os.getpid() != context["main_pid"]:
+        sentinel = Path(context["dir"]) / "crashed"
+        if not sentinel.exists():
+            sentinel.touch()
+            os._exit(13)
+    return count_tile_chunk(context["inner"], blocks)
+
+
+def crash_after_one_tile_chunk(
+    context: dict, blocks: Sequence[tuple[int, int]]
+) -> list:
+    """Kill one worker *after* it has spilled the first tile of its
+    chunk — the torn state a mid-chunk SIGKILL leaves behind: some tiles
+    of the chunk durable and valid, the rest missing."""
+    if (
+        os.getpid() != context["main_pid"]
+        and len(blocks) > 1
+        and not (Path(context["dir"]) / "crashed").exists()
+    ):
+        (Path(context["dir"]) / "crashed").touch()
+        count_tile_chunk(context["inner"], blocks[:1])
+        os._exit(13)
+    return count_tile_chunk(context["inner"], blocks)
+
+
+def echo_tile_chunk(context: dict, blocks: Sequence[tuple[int, int]]) -> list:
+    """The no-fault control."""
+    return count_tile_chunk(context["inner"], blocks)

@@ -1,0 +1,111 @@
+"""Integer-width regression suite for the count algebra.
+
+Externally constructed statistics — a deserialised shard, a tile read
+back from disk, a user-built :class:`SufficientStats` — may carry int32
+counts.  Before the ``_accumulator`` promotion, ``merged()`` added them
+with numpy's dtype rules, so two shards whose counts sum past 2³¹ − 1
+silently wrapped negative.  These tests pin the fix: count algebra
+always runs in int64 accumulators, whatever width the operands arrived
+in, and float operands (the decayed-window path) pass through unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stats import COUNT_KEYS, SufficientStats
+
+#: A per-pair count close enough to INT32_MAX that one addition wraps.
+NEAR_MAX = np.int32(2**31 - 10)
+
+
+def _int32_stats(n=3, value=NEAR_MAX, beta=2**31 - 10):
+    """Statistics as a narrow-width producer would hand them over."""
+    return SufficientStats(
+        counts={
+            key: np.full((n, n), value, dtype=np.int32) for key in COUNT_KEYS
+        },
+        infected=np.full(n, value, dtype=np.int32),
+        observed=np.full(n, value, dtype=np.int32),
+        beta=int(beta),
+        has_missing=False,
+    )
+
+
+class TestMergedPromotion:
+    def test_merge_of_int32_shards_does_not_wrap(self):
+        merged = _int32_stats().merged(_int32_stats())
+        expected = 2 * int(NEAR_MAX)
+        assert expected > 2**31  # the sum genuinely exceeds int32
+        for key in COUNT_KEYS:
+            assert merged.counts[key].dtype == np.int64
+            assert np.all(merged.counts[key] == expected), key
+        assert merged.infected.dtype == np.int64
+        assert np.all(merged.infected == expected)
+        assert np.all(merged.observed == expected)
+        assert merged.beta == 2 * (2**31 - 10)
+
+    def test_many_shard_accumulation_stays_exact(self):
+        shard = _int32_stats(value=np.int32(2**30), beta=2**30)
+        total = SufficientStats.zeros(3)
+        for _ in range(8):
+            total = total.merged(shard)
+        assert np.all(total.counts["11"] == 8 * 2**30)  # = 2³³, > int32
+
+    def test_mixed_width_operands_promote(self):
+        wide = _int32_stats().merged(SufficientStats.zeros(3))
+        assert wide.counts["11"].dtype == np.int64
+        merged = wide.merged(_int32_stats())
+        assert np.all(merged.counts["11"] == 2 * int(NEAR_MAX))
+
+    def test_int16_operands_promote_too(self):
+        n = 2
+        small = SufficientStats(
+            counts={
+                key: np.full((n, n), 30_000, dtype=np.int16)
+                for key in COUNT_KEYS
+            },
+            infected=np.full(n, 30_000, dtype=np.int16),
+            observed=np.full(n, 30_000, dtype=np.int16),
+            beta=30_000,
+            has_missing=False,
+        )
+        merged = small.merged(small)
+        assert merged.counts["obs"].dtype == np.int64
+        assert np.all(merged.counts["obs"] == 60_000)  # > int16 range
+
+
+class TestSubtractedPromotion:
+    def test_subtracting_int32_operands_is_exact(self):
+        total = _int32_stats().merged(_int32_stats())
+        remainder = total.subtracted(_int32_stats())
+        for key in COUNT_KEYS:
+            assert np.all(remainder.counts[key] == int(NEAR_MAX)), key
+        assert remainder.beta == 2**31 - 10
+
+    def test_negative_guard_still_fires_after_promotion(self):
+        small = _int32_stats(value=np.int32(5), beta=10)
+        big = _int32_stats(value=np.int32(7), beta=10)
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError):
+            small.subtracted(big)
+
+
+class TestFloatPassThrough:
+    def test_decayed_float_counts_are_not_promoted(self):
+        n = 2
+        decayed = SufficientStats(
+            counts={
+                key: np.full((n, n), 0.5, dtype=np.float64)
+                for key in COUNT_KEYS
+            },
+            infected=np.full(n, 0.5, dtype=np.float64),
+            observed=np.full(n, 0.5, dtype=np.float64),
+            beta=1,
+            has_missing=False,
+        )
+        merged = decayed.merged(decayed)
+        assert merged.counts["11"].dtype == np.float64
+        assert np.all(merged.counts["11"] == 1.0)
